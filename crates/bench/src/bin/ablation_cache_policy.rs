@@ -1,0 +1,73 @@
+//! Ablation: hot-ID cache policy — the paper's static profiled top-K
+//! cache vs an online LRU, at equal byte budgets on the same power-law
+//! trace.
+
+use std::collections::HashMap;
+
+use mprec_bench::SERVING_SCALE;
+use mprec_core::mpcache::{EncoderCache, LruEncoderCache, MpCache};
+use mprec_data::{DatasetSpec, SyntheticDataset};
+use mprec_embed::{DheConfig, DheStack};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    mprec_bench::header(
+        "ablation_cache_policy",
+        "the paper's static top-K cache vs an online LRU on the same trace",
+    );
+    let samples = mprec_bench::arg_or(1, 15_000usize);
+    let spec = DatasetSpec::kaggle_sim(SERVING_SCALE);
+    let mut ds = SyntheticDataset::new(spec.clone(), 17);
+    let mut rng = StdRng::seed_from_u64(3);
+    let cfg = DheConfig { k: 32, dnn: 48, h: 2, out_dim: 16 };
+    let stacks: Vec<DheStack> = (0..spec.num_sparse_features())
+        .map(|f| DheStack::new(cfg, f, &mut rng).expect("stack"))
+        .collect();
+
+    // Profile pass (for the static cache) and evaluation pass.
+    let profile = ds.sample_batch(samples);
+    let mut counts: Vec<HashMap<u64, u64>> =
+        vec![HashMap::new(); spec.num_sparse_features()];
+    for (f, col) in profile.sparse.iter().enumerate() {
+        for &id in col {
+            *counts[f].entry(id).or_insert(0) += 1;
+        }
+    }
+    let eval = ds.sample_batch(samples);
+
+    println!(
+        "{:>10} {:>16} {:>14}",
+        "budget", "static hit rate", "lru hit rate"
+    );
+    for (label, bytes) in [
+        ("2 KB", 2_000u64),
+        ("16 KB", 16_000),
+        ("64 KB", 64_000),
+        ("256 KB", 256_000),
+        ("2 MB", 2_000_000),
+    ] {
+        let static_cache = EncoderCache::build(&counts, 16, bytes, |f, id| {
+            Ok(stacks[f].infer(&[id]).expect("infer").row(0).to_vec())
+        })
+        .expect("build");
+        let mp = MpCache::new(Some(static_cache), None);
+        let mut lru = LruEncoderCache::new(16, bytes);
+        for (f, col) in eval.sparse.iter().enumerate() {
+            for &id in col {
+                let _ = mp.embed(&stacks[f], f, id).expect("static");
+                let _ = lru.embed(&stacks[f], f, id).expect("lru");
+            }
+        }
+        println!(
+            "{:>10} {:>15.1}% {:>13.1}%",
+            label,
+            mp.stats().encoder_hit_rate() * 100.0,
+            lru.hit_rate() * 100.0
+        );
+    }
+    println!("\n(observed: LRU's recency bias beats a frequency snapshot at");
+    println!(" small budgets, while the static cache catches up once the");
+    println!(" budget covers the head; the paper's static design also buys");
+    println!(" zero eviction work on the serving path)");
+}

@@ -1,0 +1,39 @@
+//! Ablation: MP-Cache design choices — encoder capacity and decoder
+//! centroid count N (accuracy-vs-speed knob of §4.3).
+
+use mprec_bench::{hw1_mappings, SERVING_SCALE};
+use mprec_data::DatasetSpec;
+use mprec_serving::{simulate, MpCacheEffect, Policy, ServingConfig};
+
+fn main() {
+    mprec_bench::header(
+        "ablation_mpcache",
+        "larger N approximates better but costs compute; encoder hit rate drives viability",
+    );
+    let queries = mprec_bench::arg_or(1, 4_000usize);
+    let spec = DatasetSpec::kaggle_sim(SERVING_SCALE);
+    let maps = hw1_mappings(&spec);
+    println!(
+        "{:>10} {:>12} {:>14} {:>10}",
+        "hit rate", "centroids", "correct/s", "p99 ms"
+    );
+    for hit in [0.0, 0.25, 0.48, 0.75] {
+        for n in [0usize, 64, 256, 1024] {
+            let mut cfg = ServingConfig::default();
+            cfg.trace.num_queries = queries;
+            cfg.trace.qps = 2000.0; // saturating load exposes the effect
+            cfg.mpcache = Some(MpCacheEffect {
+                encoder_hit_rate: hit,
+                decoder_centroids: n,
+            });
+            let o = simulate(&maps, Policy::MpRec, &cfg);
+            println!(
+                "{:>9.0}% {:>12} {:>14.0} {:>10.1}",
+                hit * 100.0,
+                n,
+                o.correct_sps(),
+                o.p99_latency_us / 1000.0
+            );
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Ablation: the online scheduler's design — accuracy-first path order
+//! (Algorithm 2) vs fastest-first, and the latency margin.
+
+use mprec_bench::{hw1_mappings, SERVING_SCALE};
+use mprec_core::candidates::RepRole;
+use mprec_data::DatasetSpec;
+use mprec_serving::{simulate, Policy, ServingConfig};
+
+fn main() {
+    mprec_bench::header(
+        "ablation_scheduler",
+        "Algorithm 2's accuracy-first order trades a little latency for accuracy",
+    );
+    let queries = mprec_bench::arg_or(1, 6_000usize);
+    let spec = DatasetSpec::kaggle_sim(SERVING_SCALE);
+    let maps = hw1_mappings(&spec);
+    let mut cfg = ServingConfig::default();
+    cfg.trace.num_queries = queries;
+
+    println!(
+        "{:26} {:>14} {:>10} {:>10} {:>10}",
+        "policy", "correct/s", "acc %", "viol %", "p99 ms"
+    );
+    for policy in [
+        Policy::MpRec,
+        Policy::MpRecNoFallback,
+        Policy::TableSwitching,
+        Policy::Static { role: RepRole::Table, platform_idx: 0 },
+    ] {
+        let o = simulate(&maps, policy, &cfg);
+        println!(
+            "{:26} {:>14.0} {:>10.2} {:>9.1}% {:>10.1}",
+            o.policy,
+            o.correct_sps(),
+            o.effective_accuracy() * 100.0,
+            o.sla_violation_rate() * 100.0,
+            o.p99_latency_us / 1000.0
+        );
+    }
+    println!("\n(no-fallback shows why Algorithm 2 keeps the table path: without");
+    println!(" it, tight-SLA queries still run on compute paths and violate)");
+}

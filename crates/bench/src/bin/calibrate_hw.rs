@@ -1,0 +1,50 @@
+//! Hardware-model calibration check: prints the latency ratios the paper
+//! reports in Fig. 5 and Fig. 7 next to the model's predictions.
+//!
+//! Usage: `cargo run --release -p mprec-bench --bin calibrate_hw`
+
+use mprec_data::KAGGLE_CARDINALITIES;
+use mprec_hwsim::{Platform, WorkloadBuilder};
+
+fn main() {
+    let b = WorkloadBuilder::new("kaggle", KAGGLE_CARDINALITIES.to_vec(), 13);
+    let table = b.table(16).unwrap();
+    let dhe = b.dhe(512, 256, 2, 16).unwrap();
+    let select = b.select(16, 512, 256, 2, 3).unwrap();
+    let hybrid = b.hybrid(16, 512, 256, 2, 16).unwrap();
+
+    println!("== Fig 5 (batch 128, slowdown vs same-device table) ==");
+    println!("paper: dhe 10.5x/4.7x, select 2.1x/1.5x, hybrid 11.2x/5.4x (cpu/gpu)");
+    for (dev, p) in [("cpu", Platform::cpu()), ("gpu", Platform::gpu())] {
+        let t = p.query_time_us(&table, 128).unwrap();
+        for (name, w) in [("dhe", &dhe), ("select", &select), ("hybrid", &hybrid)] {
+            let x = p.query_time_us(w, 128).unwrap();
+            println!("  {dev} {name}: {:.1}x  (table={:.0}us, {name}={:.0}us)", x / t, t, x);
+        }
+    }
+
+    println!("== Fig 7 (batch 2048, speedup vs table-CPU) ==");
+    println!("paper: TPU-2 3.12x TPU-8 11.13x (table); IPU-16 16.65x (dhe)");
+    let t_cpu = Platform::cpu().query_time_us(&table, 2048).unwrap();
+    let plats = [
+        Platform::cpu(),
+        Platform::gpu(),
+        Platform::tpu(1),
+        Platform::tpu(2),
+        Platform::tpu(8),
+        Platform::ipu(1),
+        Platform::ipu(4),
+        Platform::ipu(16),
+    ];
+    for p in &plats {
+        print!("  {:>7}:", p.name);
+        for (name, w) in [("table", &table), ("dhe", &dhe), ("hybrid", &hybrid)] {
+            match p.query_time_us(w, 2048) {
+                Ok(us) => print!("  {name} {:>6.2}x", t_cpu / us),
+                Err(_) => print!("  {name}   asymp"),
+            }
+        }
+        let e = p.energy_per_query_j(&table, 2048).unwrap();
+        println!("  | table energy {:.3} J", e);
+    }
+}

@@ -1,0 +1,88 @@
+//! Fig. 3: the representation design space — accuracy vs capacity (a) and
+//! accuracy vs FLOPs (b) on the Kaggle-shaped dataset.
+//!
+//! Paper: DHE saves 10-1000x capacity, hybrid configurations reach the
+//! best accuracies, tables have the fewest FLOPs.
+//!
+//! Usage: `fig03_design_space [steps] [scale]` (defaults 400/2000 — the
+//! sweep trains 12 models).
+
+use mprec_data::{DatasetSpec, KAGGLE_CARDINALITIES};
+use mprec_dlrm::{train, DlrmConfig, TrainConfig};
+use mprec_embed::{DheConfig, RepresentationConfig};
+
+fn paper_capacity(rep: &RepresentationConfig) -> (f64, u64) {
+    // Report capacity/FLOPs at paper scale for the matching configuration
+    // family (the k used in training is the scaled-down stand-in for the
+    // paper-scale k shown here).
+    let cap = rep.capacity_bytes(&KAGGLE_CARDINALITIES) as f64 / 1e6;
+    let flops = rep.flops_per_sample(&KAGGLE_CARDINALITIES);
+    (cap, flops)
+}
+
+fn main() {
+    mprec_bench::header(
+        "fig03_design_space",
+        "DHE 10-1000x smaller; hybrid most accurate; table cheapest in FLOPs",
+    );
+    let steps = mprec_bench::arg_or(1, 400usize);
+    let scale = mprec_bench::arg_or(2, 2000u64);
+    let spec = DatasetSpec::kaggle_sim(scale);
+
+    // The sweep: table dims, DHE (k, dnn) grid, select, hybrids.
+    let mut sweep: Vec<(String, RepresentationConfig, RepresentationConfig)> = Vec::new();
+    for dim in [8usize, 16] {
+        let r = RepresentationConfig::table(dim);
+        sweep.push((format!("table/d{dim}"), r.clone(), r));
+    }
+    for (k, pk) in [(8usize, 128usize), (16, 512), (32, 2048)] {
+        for (dnn, pdnn) in [(24usize, 128usize), (48, 512)] {
+            let train_cfg = DheConfig { k, dnn, h: 2, out_dim: 16 };
+            let paper_cfg = DheConfig { k: pk, dnn: pdnn, h: 2, out_dim: 16 };
+            sweep.push((
+                format!("dhe/k{pk}-d{pdnn}"),
+                RepresentationConfig::dhe(train_cfg),
+                RepresentationConfig::dhe(paper_cfg),
+            ));
+        }
+    }
+    let sel_train = DheConfig { k: 32, dnn: 48, h: 2, out_dim: 16 };
+    let sel_paper = DheConfig { k: 512, dnn: 256, h: 2, out_dim: 16 };
+    sweep.push((
+        "select/top3".into(),
+        RepresentationConfig::select(16, sel_train, 3),
+        RepresentationConfig::select(16, sel_paper, 3),
+    ));
+    for (k, pk) in [(16usize, 512usize), (32, 2048)] {
+        let train_cfg = DheConfig { k, dnn: 48, h: 2, out_dim: 16 };
+        let paper_cfg = DheConfig { k: pk, dnn: 512, h: 2, out_dim: 16 };
+        sweep.push((
+            format!("hybrid/k{pk}"),
+            RepresentationConfig::hybrid(16, train_cfg),
+            RepresentationConfig::hybrid(16, paper_cfg),
+        ));
+    }
+
+    println!(
+        "{:18} {:>10} {:>14} {:>16}",
+        "config", "accuracy", "capacity MB", "flops/sample"
+    );
+    for (name, train_rep, paper_rep) in sweep {
+        let cfg = TrainConfig {
+            steps,
+            batch_size: 128,
+            eval_samples: 40_000,
+            ..TrainConfig::default()
+        };
+        let r = train(&spec, &DlrmConfig::for_spec(&spec, train_rep), &cfg)
+            .expect("training failed");
+        let (cap, flops) = paper_capacity(&paper_rep);
+        println!(
+            "{:18} {:>9.2}% {:>14.1} {:>16}",
+            name,
+            r.accuracy * 100.0,
+            cap,
+            flops
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Fig. 5: operator latency breakdown of the four representations on CPUs
+//! and GPUs at query size 128.
+//!
+//! Paper slowdowns vs same-device table: DHE 10.5x (CPU) / 4.7x (GPU),
+//! select 2.1x / 1.5x, hybrid 11.2x / 5.4x.
+
+use mprec_data::KAGGLE_CARDINALITIES;
+use mprec_hwsim::{Platform, WorkloadBuilder};
+
+fn main() {
+    mprec_bench::header(
+        "fig05_operator_breakdown",
+        "slowdown vs table: dhe 10.5x/4.7x, select 2.1x/1.5x, hybrid 11.2x/5.4x (CPU/GPU)",
+    );
+    let batch = mprec_bench::arg_or(1, 128u64);
+    let b = WorkloadBuilder::new("kaggle", KAGGLE_CARDINALITIES.to_vec(), 13);
+    // The mid-range DHE configuration used for the latency characterization.
+    let reps = vec![
+        ("table", b.table(16).unwrap()),
+        ("dhe", b.dhe(512, 256, 2, 16).unwrap()),
+        ("select", b.select(16, 512, 256, 2, 3).unwrap()),
+        ("hybrid", b.hybrid(16, 512, 256, 2, 16).unwrap()),
+    ];
+    for p in [Platform::cpu(), Platform::gpu()] {
+        println!("\n== {} (batch {batch}) ==", p.name);
+        println!(
+            "{:8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9}",
+            "rep", "total us", "emb", "bottom", "inter", "top", "fixed", "slowdown"
+        );
+        let table_t = p.query_time_us(&reps[0].1, batch).unwrap();
+        for (name, w) in &reps {
+            let c = p.query_cost(w, batch).unwrap();
+            println!(
+                "{:8} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>8.1}x",
+                name,
+                c.total_us(),
+                c.embedding_us,
+                c.bottom_mlp_us,
+                c.interaction_us,
+                c.top_mlp_us,
+                c.fixed_us + c.transfer_us,
+                c.total_us() / table_t
+            );
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Fig. 7: Table / DHE / Hybrid across CPU, GPU, TPU (core/chip/board) and
+//! IPU (chip/board/pod): speedup over table-on-CPU and energy.
+//!
+//! Paper: TPU-2 3.12x and TPU-8 11.13x for tables; IPU-16 16.65x for DHE;
+//! GPU is the energy winner for large table models (O3).
+
+use mprec_data::KAGGLE_CARDINALITIES;
+use mprec_hwsim::{energy::energy_report, Platform, WorkloadBuilder};
+
+fn main() {
+    mprec_bench::header(
+        "fig07_accelerator_grid",
+        "TPU-2 3.12x / TPU-8 11.13x (table); IPU-16 16.65x (dhe); GPU best energy (table)",
+    );
+    let batch = mprec_bench::arg_or(1, 2048u64);
+    let b = WorkloadBuilder::new("kaggle", KAGGLE_CARDINALITIES.to_vec(), 13);
+    let reps = vec![
+        ("table", b.table(16).unwrap()),
+        ("dhe", b.dhe(512, 256, 2, 16).unwrap()),
+        ("hybrid", b.hybrid(16, 512, 256, 2, 16).unwrap()),
+    ];
+    let t_cpu = Platform::cpu().query_time_us(&reps[0].1, batch).unwrap();
+    println!(
+        "{:8} {:>10} {:>14} {:>14} {:>16}",
+        "platform", "rep", "latency us", "speedup", "samples/J"
+    );
+    for p in [
+        Platform::cpu(),
+        Platform::gpu(),
+        Platform::tpu(1),
+        Platform::tpu(2),
+        Platform::tpu(8),
+        Platform::ipu(1),
+        Platform::ipu(4),
+        Platform::ipu(16),
+    ] {
+        for (name, w) in &reps {
+            match energy_report(&p, w, batch) {
+                Ok(r) => println!(
+                    "{:8} {:>10} {:>14.0} {:>13.2}x {:>16.0}",
+                    p.name,
+                    name,
+                    r.latency_us,
+                    t_cpu / r.latency_us,
+                    r.samples_per_joule
+                ),
+                Err(e) => println!("{:8} {:>10} does not fit: {e}", p.name, name),
+            }
+        }
+    }
+}

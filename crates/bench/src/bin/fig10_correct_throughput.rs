@@ -1,0 +1,52 @@
+//! Fig. 10: throughput of correct predictions for serving 10K queries on
+//! the HW-1 CPU-GPU node, Kaggle and Terabyte.
+//!
+//! Paper: MP-Rec achieves 2.49x (Kaggle) and 3.76x (Terabyte) over the
+//! table-on-CPU baseline; static DHE/hybrid deployments degrade throughput.
+
+use mprec_bench::{hw1_mappings, SERVING_SCALE};
+use mprec_core::candidates::RepRole;
+use mprec_data::DatasetSpec;
+use mprec_serving::{simulate, Policy, ServingConfig};
+
+fn main() {
+    mprec_bench::header(
+        "fig10_correct_throughput",
+        "MP-Rec 2.49x (Kaggle) / 3.76x (Terabyte) over TBL(CPU)",
+    );
+    let queries = mprec_bench::arg_or(1, 10_000usize);
+    for spec in [
+        DatasetSpec::kaggle_sim(SERVING_SCALE),
+        DatasetSpec::terabyte_sim(SERVING_SCALE),
+    ] {
+        let maps = hw1_mappings(&spec);
+        let mut cfg = ServingConfig::default();
+        cfg.trace.num_queries = queries;
+        println!("\n== {} ({} queries, 1000 QPS, 10 ms SLA) ==", spec.name, queries);
+        println!(
+            "{:22} {:>14} {:>12} {:>10}",
+            "policy", "correct/s", "accuracy", "vs TBL(CPU)"
+        );
+        let mut base = 0.0;
+        for policy in [
+            Policy::Static { role: RepRole::Table, platform_idx: 0 },
+            Policy::Static { role: RepRole::Table, platform_idx: 1 },
+            Policy::TableSwitching,
+            Policy::Static { role: RepRole::Dhe, platform_idx: 1 },
+            Policy::Static { role: RepRole::Hybrid, platform_idx: 1 },
+            Policy::MpRec,
+        ] {
+            let o = simulate(&maps, policy, &cfg);
+            if base == 0.0 {
+                base = o.correct_sps();
+            }
+            println!(
+                "{:22} {:>14.0} {:>11.2}% {:>9.2}x",
+                o.policy,
+                o.correct_sps(),
+                o.effective_accuracy() * 100.0,
+                o.correct_sps() / base
+            );
+        }
+    }
+}

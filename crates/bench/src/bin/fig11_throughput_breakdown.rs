@@ -1,0 +1,44 @@
+//! Fig. 11: raw throughput vs throughput of correct predictions per
+//! policy — how much of MP-Rec's win is system throughput vs accuracy.
+
+use mprec_bench::{hw1_mappings, SERVING_SCALE};
+use mprec_core::candidates::RepRole;
+use mprec_data::DatasetSpec;
+use mprec_serving::{simulate, Policy, ServingConfig};
+
+fn main() {
+    mprec_bench::header(
+        "fig11_throughput_breakdown",
+        "raw (hatched) vs correct (colored) throughput per configuration",
+    );
+    let queries = mprec_bench::arg_or(1, 10_000usize);
+    for spec in [
+        DatasetSpec::kaggle_sim(SERVING_SCALE),
+        DatasetSpec::terabyte_sim(SERVING_SCALE),
+    ] {
+        let maps = hw1_mappings(&spec);
+        let mut cfg = ServingConfig::default();
+        cfg.trace.num_queries = queries;
+        println!("\n== {} ==", spec.name);
+        println!(
+            "{:22} {:>12} {:>14} {:>10}",
+            "policy", "raw sps", "correct sps", "acc %"
+        );
+        for policy in [
+            Policy::Static { role: RepRole::Table, platform_idx: 0 },
+            Policy::TableSwitching,
+            Policy::Static { role: RepRole::Dhe, platform_idx: 1 },
+            Policy::Static { role: RepRole::Hybrid, platform_idx: 1 },
+            Policy::MpRec,
+        ] {
+            let o = simulate(&maps, policy, &cfg);
+            println!(
+                "{:22} {:>12.0} {:>14.0} {:>10.2}",
+                o.policy,
+                o.raw_sps(),
+                o.correct_sps(),
+                o.effective_accuracy() * 100.0
+            );
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Fig. 12: IPU query serving — potential speedups when an IPU-POD16
+//! joins the serving fleet (HW-3) and software supports dynamic query
+//! shapes.
+//!
+//! Paper: up to 34.24x correct-prediction throughput potential for MP-Rec
+//! with IPUs (compilation overheads excluded).
+
+use mprec_bench::{candidates_for, hw1_mappings, hw3_platforms, SERVING_SCALE};
+use mprec_core::candidates::RepRole;
+use mprec_core::planner::plan;
+use mprec_data::DatasetSpec;
+use mprec_serving::{simulate, Policy, ServingConfig};
+
+fn main() {
+    mprec_bench::header(
+        "fig12_ipu_serving",
+        "IPU-POD16 paths unlock up to 34.24x potential over TBL(CPU)",
+    );
+    let queries = mprec_bench::arg_or(1, 10_000usize);
+    for spec in [
+        DatasetSpec::kaggle_sim(SERVING_SCALE),
+        DatasetSpec::terabyte_sim(SERVING_SCALE),
+    ] {
+        // Baseline at the paper's offered load (the CPU is already
+        // saturated there, so this measures its capacity).
+        let mut cfg = ServingConfig::default();
+        cfg.trace.num_queries = queries;
+        let hw1 = hw1_mappings(&spec);
+        let base = simulate(
+            &hw1,
+            Policy::Static { role: RepRole::Table, platform_idx: 0 },
+            &cfg,
+        );
+        // HW-3: CPU + IPU-POD16. The paper reports the *potential* that
+        // software support would unlock, i.e. the capacity of the pod —
+        // expose it by offering far more load than 1000 QPS.
+        cfg.trace.qps = 20_000.0;
+        let maps = plan(&candidates_for(&spec), &hw3_platforms()).expect("pod plan");
+        println!("\n== {} ==", spec.name);
+        println!("{:24} {:>14} {:>12}", "configuration", "correct/s", "vs TBL(CPU)");
+        println!(
+            "{:24} {:>14.0} {:>11.2}x",
+            "tbl@CPU (baseline)",
+            base.correct_sps(),
+            1.0
+        );
+        for policy in [
+            Policy::Static { role: RepRole::Table, platform_idx: 1 },
+            Policy::Static { role: RepRole::Dhe, platform_idx: 1 },
+            Policy::Static { role: RepRole::Hybrid, platform_idx: 1 },
+            Policy::MpRec,
+        ] {
+            let o = simulate(&maps, policy, &cfg);
+            let label = format!("{}@HW-3", o.policy);
+            println!(
+                "{:24} {:>14.0} {:>11.2}x",
+                label,
+                o.correct_sps(),
+                o.correct_sps() / base.correct_sps()
+            );
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Fig. 13: sensitivity of the Terabyte use-case to mean query size and
+//! SLA latency target.
+//!
+//! Paper: switching/MP-Rec gains grow with query size (more offloading
+//! opportunity) and shrink as the SLA target loosens (even the CPU
+//! baseline finishes in time at 200 ms).
+
+use mprec_bench::{hw1_mappings, SERVING_SCALE};
+use mprec_core::candidates::RepRole;
+use mprec_data::DatasetSpec;
+use mprec_serving::{simulate, Policy, ServingConfig};
+
+fn main() {
+    mprec_bench::header(
+        "fig13_sensitivity",
+        "speedup grows with query size; shrinks with looser SLA (Terabyte)",
+    );
+    let queries = mprec_bench::arg_or(1, 4_000usize);
+    let spec = DatasetSpec::terabyte_sim(SERVING_SCALE);
+    let maps = hw1_mappings(&spec);
+    let run = |mean_size: f64, sla_ms: f64, policy| {
+        let mut cfg = ServingConfig::default();
+        cfg.trace.num_queries = queries;
+        cfg.trace.mean_size = mean_size;
+        cfg.sla_us = sla_ms * 1000.0;
+        simulate(&maps, policy, &cfg).correct_sps()
+    };
+    let tbl_cpu = Policy::Static { role: RepRole::Table, platform_idx: 0 };
+
+    println!("\n-- query-size sweep (SLA 10 ms) --");
+    println!("{:>10} {:>16} {:>16}", "mean size", "switching x", "mp-rec x");
+    for size in [32.0, 64.0, 128.0, 256.0, 512.0] {
+        let base = run(size, 10.0, tbl_cpu);
+        println!(
+            "{:>10.0} {:>15.2}x {:>15.2}x",
+            size,
+            run(size, 10.0, Policy::TableSwitching) / base,
+            run(size, 10.0, Policy::MpRec) / base
+        );
+    }
+
+    println!("\n-- SLA sweep (mean size 128) --");
+    println!("{:>10} {:>16} {:>16}", "SLA ms", "switching x", "mp-rec x");
+    for sla in [5.0, 10.0, 20.0, 50.0, 100.0, 200.0] {
+        let base = run(128.0, sla, tbl_cpu);
+        println!(
+            "{:>10.0} {:>15.2}x {:>15.2}x",
+            sla,
+            run(128.0, sla, Policy::TableSwitching) / base,
+            run(128.0, sla, Policy::MpRec) / base
+        );
+    }
+}

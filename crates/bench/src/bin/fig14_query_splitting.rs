@@ -1,0 +1,56 @@
+//! Fig. 14: even query splitting across CPU+GPU vs CPU-GPU switching.
+//!
+//! Paper: splitting helps table-only configurations but is detrimental
+//! once compute-heavy representations are involved, because splitting
+//! forces CPU execution of work the CPU is bad at.
+
+use mprec_bench::{hw1_mappings, SERVING_SCALE};
+use mprec_core::candidates::RepRole;
+use mprec_data::DatasetSpec;
+use mprec_serving::{simulate, Policy, ServingConfig};
+
+fn main() {
+    mprec_bench::header(
+        "fig14_query_splitting",
+        "table query-splitting beats switching; splitting + compute reps is detrimental",
+    );
+    let queries = mprec_bench::arg_or(1, 6_000usize);
+    let spec = DatasetSpec::kaggle_sim(SERVING_SCALE);
+    let maps = hw1_mappings(&spec);
+    let mut cfg = ServingConfig::default();
+    cfg.trace.num_queries = queries;
+
+    let base = simulate(
+        &maps,
+        Policy::Static { role: RepRole::Table, platform_idx: 0 },
+        &cfg,
+    )
+    .correct_sps();
+    println!("baseline: table@CPU = 1.00x\n");
+    println!("{:26} {:>14} {:>10}", "policy", "correct/s", "vs base");
+    let switching = simulate(&maps, Policy::TableSwitching, &cfg);
+    println!(
+        "{:26} {:>14.0} {:>9.2}x",
+        switching.policy,
+        switching.correct_sps(),
+        switching.correct_sps() / base
+    );
+    for frac in [0.1, 0.25, 0.5, 0.75, 0.9] {
+        let o = simulate(&maps, Policy::QuerySplit { cpu_fraction: frac }, &cfg);
+        println!(
+            "{:26} {:>14.0} {:>9.2}x",
+            o.policy,
+            o.correct_sps(),
+            o.correct_sps() / base
+        );
+    }
+    let mp = simulate(&maps, Policy::MpRec, &cfg);
+    println!(
+        "{:26} {:>14.0} {:>9.2}x",
+        mp.policy,
+        mp.correct_sps(),
+        mp.correct_sps() / base
+    );
+    println!("\n(mp-rec routes whole queries; even splits would force CPU");
+    println!(" execution of DHE/hybrid stacks, which Fig. 5 shows is ~10x slow)");
+}

@@ -1,0 +1,39 @@
+//! Fig. 15: which representation-hardware path served how many queries,
+//! for table-only switching and full MP-Rec.
+//!
+//! Paper: on Kaggle, TBL(CPU) is always present (small queries finish too
+//! fast for GPU offload to amortize); on Terabyte, TBL(GPU) is always
+//! preferable to TBL(CPU).
+
+use mprec_bench::{hw1_mappings, SERVING_SCALE};
+use mprec_data::DatasetSpec;
+use mprec_serving::{simulate, Policy, ServingConfig};
+
+fn main() {
+    mprec_bench::header(
+        "fig15_switching_breakdown",
+        "Kaggle keeps TBL(CPU) active; Terabyte always prefers TBL(GPU)",
+    );
+    let queries = mprec_bench::arg_or(1, 10_000usize);
+    for spec in [
+        DatasetSpec::kaggle_sim(SERVING_SCALE),
+        DatasetSpec::terabyte_sim(SERVING_SCALE),
+    ] {
+        let maps = hw1_mappings(&spec);
+        let mut cfg = ServingConfig::default();
+        cfg.trace.num_queries = queries;
+        println!("\n== {} ==", spec.name);
+        for policy in [Policy::TableSwitching, Policy::MpRec] {
+            let o = simulate(&maps, policy, &cfg);
+            println!("  {}:", o.policy);
+            for (label, n) in &o.usage.queries {
+                println!(
+                    "    {:20} {:>7} queries ({:>5.1}%)",
+                    label,
+                    n,
+                    o.usage.query_fraction(label) * 100.0
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Fig. 17: SLA-violation rates at constant 400 QPS across latency
+//! targets.
+//!
+//! Paper: at a 10 ms target, table-on-CPU violates 30.73% of queries and
+//! static DHE/hybrid violate 100%; MP-Rec cuts violations to 3.14%.
+
+use mprec_bench::{hw1_mappings, SERVING_SCALE};
+use mprec_core::candidates::RepRole;
+use mprec_data::DatasetSpec;
+use mprec_serving::{simulate, Policy, ServingConfig};
+
+fn main() {
+    mprec_bench::header(
+        "fig17_sla_violations",
+        "at 10 ms / 400 QPS: TBL(CPU) 30.73% violations, DHE/hybrid 100%, MP-Rec 3.14%",
+    );
+    let queries = mprec_bench::arg_or(1, 10_000usize);
+    let spec = DatasetSpec::kaggle_sim(SERVING_SCALE);
+    let maps = hw1_mappings(&spec);
+    println!(
+        "\n{:>8} {:>12} {:>12} {:>12} {:>12}",
+        "SLA ms", "tbl@CPU %", "dhe@GPU %", "hybrid@GPU %", "mp-rec %"
+    );
+    for sla_ms in [5.0, 10.0, 20.0, 50.0, 100.0, 200.0] {
+        let mut cfg = ServingConfig::default();
+        cfg.trace.num_queries = queries;
+        // "Constant throughput scenario": uniformly paced 400 QPS load.
+        cfg.trace.qps = 400.0;
+        cfg.trace.poisson_arrivals = false;
+        cfg.sla_us = sla_ms * 1000.0;
+        let v = |policy| {
+            simulate(&maps, policy, &cfg).sla_violation_rate() * 100.0
+        };
+        println!(
+            "{:>8.0} {:>11.2}% {:>11.2}% {:>11.2}% {:>11.2}%",
+            sla_ms,
+            v(Policy::Static { role: RepRole::Table, platform_idx: 0 }),
+            v(Policy::Static { role: RepRole::Dhe, platform_idx: 1 }),
+            v(Policy::Static { role: RepRole::Hybrid, platform_idx: 1 }),
+            v(Policy::MpRec),
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Table 2: achievable model accuracies of the representation-hardware
+//! mappings, measured by actually training each representation on the
+//! synthetic Criteo-shaped datasets.
+//!
+//! Paper: Kaggle 78.79 / 78.94 / 78.98 / 78.98 (%); Terabyte 80.81 /
+//! 80.99 / 81.03 / 81.03 (%) for Table / DHE / Hybrid / MP-Rec.
+//!
+//! Usage: `table2_accuracy [steps] [scale] [eval]` (defaults 1500/500/150K).
+
+use mprec_core::candidates::{sim_dhe_config, RepRole};
+use mprec_data::DatasetSpec;
+use mprec_dlrm::{train, DlrmConfig, TrainConfig};
+use mprec_embed::RepresentationConfig;
+
+fn main() {
+    mprec_bench::header(
+        "table2_accuracy",
+        "Kaggle 78.79/78.94/78.98/78.98; Terabyte 80.81/80.99/81.03/81.03 (tbl/dhe/hyb/mp-rec)",
+    );
+    let steps = mprec_bench::arg_or(1, 1500usize);
+    let scale = mprec_bench::arg_or(2, 500u64);
+    let eval = mprec_bench::arg_or(3, 150_000usize);
+
+    for spec in [DatasetSpec::kaggle_sim(scale), DatasetSpec::terabyte_sim(scale)] {
+        let dim = spec.baseline_emb_dim.min(16); // train-scale embedding dim
+        let reps = vec![
+            ("table", RepresentationConfig::table(dim)),
+            (
+                "dhe",
+                RepresentationConfig::dhe(sim_dhe_config(RepRole::Dhe, dim)),
+            ),
+            (
+                "select",
+                RepresentationConfig::select(dim, sim_dhe_config(RepRole::Select, dim), 3),
+            ),
+            (
+                "hybrid",
+                RepresentationConfig::hybrid(dim, sim_dhe_config(RepRole::Hybrid, dim)),
+            ),
+        ];
+        println!("\n== {} ({steps} steps, eval {eval}) ==", spec.name);
+        println!("{:8} {:>10} {:>8} {:>9}", "rep", "accuracy", "auc", "logloss");
+        let mut best = 0.0f32;
+        for (name, rep) in reps {
+            let cfg = TrainConfig {
+                steps,
+                eval_samples: eval,
+                ..TrainConfig::default()
+            };
+            let r = train(&spec, &DlrmConfig::for_spec(&spec, rep), &cfg)
+                .expect("training failed");
+            best = best.max(r.accuracy);
+            println!(
+                "{:8} {:>9.2}% {:>8.4} {:>9.4}",
+                name,
+                r.accuracy * 100.0,
+                r.auc,
+                r.log_loss
+            );
+        }
+        println!(
+            "{:8} {:>9.2}%  (MP-Rec conditionally matches its best path)",
+            "mp-rec",
+            best * 100.0
+        );
+    }
+}

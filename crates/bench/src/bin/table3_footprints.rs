@@ -1,0 +1,38 @@
+//! Table 3: memory footprints for HW-1 — static representations vs the
+//! MP-Rec multi-path deployment, at paper scale.
+//!
+//! Paper: Kaggle 2.16 GB / 126 MB / 2.29 GB / 4.58 GB (table/DHE/hybrid/
+//! MP-Rec); Terabyte 12.58 GB / 123 MB / 12.70 GB / 25.41 GB.
+
+use mprec_bench::{candidates_for, hw1_mappings, SERVING_SCALE};
+use mprec_data::DatasetSpec;
+
+fn main() {
+    mprec_bench::header(
+        "table3_footprints",
+        "Kaggle: TBL 2.16 GB, DHE 126 MB, Hybrid 2.29 GB, MP-Rec 4.58 GB; \
+         Terabyte: 12.58 GB / 123 MB / 12.70 GB / 25.41 GB",
+    );
+    for spec in [
+        DatasetSpec::kaggle_sim(SERVING_SCALE),
+        DatasetSpec::terabyte_sim(SERVING_SCALE),
+    ] {
+        println!("\n== {} ==", spec.name);
+        for c in candidates_for(&spec) {
+            println!(
+                "  {:12} {:>10.3} GB",
+                c.name,
+                c.capacity_bytes() as f64 / 1e9
+            );
+        }
+        let maps = hw1_mappings(&spec);
+        // MP-Rec stores its selected representation set on each platform;
+        // Table 3 reports the per-node total (hybrid + table + DHE).
+        let per_platform = maps.footprint_bytes(0);
+        println!(
+            "  {:12} {:>10.3} GB  (hybrid + table + dhe on one node)",
+            "mp-rec",
+            per_platform as f64 / 1e9
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Table 4: the HW-2 memory-constrained case study (1 GB CPU + 200 MB
+//! GPU).
+//!
+//! Paper: TBL(CPU) 78.721% / 1.00x / 542 MB; DHE(GPU) 78.936% / 0.43x /
+//! 123 MB; MP-Rec 78.936% / 2.26x (CPU 665 MB + GPU 123 MB).
+//!
+//! Note: at these budgets the full 2.16 GB Kaggle table does not fit, so
+//! the paper's TBL row uses a *reduced* table (542 MB, dim 4) — we model
+//! that baseline the same way.
+
+use mprec_bench::{candidates_for, hw2_platforms, SERVING_SCALE};
+use mprec_core::candidates::{CandidateRep, RepRole};
+use mprec_core::planner::plan;
+use mprec_data::DatasetSpec;
+use mprec_embed::RepresentationConfig;
+use mprec_hwsim::WorkloadBuilder;
+use mprec_serving::{simulate, Policy, ServingConfig};
+
+fn main() {
+    mprec_bench::header(
+        "table4_constrained",
+        "HW-2: DHE(GPU) matches DHE accuracy; MP-Rec 2.26x normalized correct throughput",
+    );
+    let queries = mprec_bench::arg_or(1, 6_000usize);
+    let spec = DatasetSpec::kaggle_sim(SERVING_SCALE);
+    let platforms = hw2_platforms();
+
+    // The paper's constrained table baseline: dim reduced until it fits
+    // 1 GB (dim 4 -> 542 MB + MLPs).
+    let b = WorkloadBuilder::new(spec.name.clone(), spec.cardinalities.clone(), 13);
+    let small_table = CandidateRep {
+        name: "table-dim4".into(),
+        role: RepRole::Table,
+        config: RepresentationConfig::table(4),
+        workload: b.table(4).expect("table workload"),
+        accuracy: 0.78721, // reduced-dim tables lose a little quality
+    };
+    let mut cands = candidates_for(&spec);
+    cands.retain(|c| c.role != RepRole::Table);
+    cands.push(small_table);
+
+    let maps = plan(&cands, &platforms).expect("HW-2 plan");
+    println!("\nplanned mappings (memory budgets: CPU 1 GB, GPU 200 MB):");
+    for m in &maps.mappings {
+        println!(
+            "  {:24} {:>8.0} MB  acc {:.3}%  latency(128) {:>8.0} us",
+            m.label(&maps.platforms),
+            m.rep.capacity_bytes() as f64 / 1e6,
+            m.rep.accuracy * 100.0,
+            m.profile.latency_us(128)
+        );
+    }
+    println!(
+        "\nMP-Rec footprints: CPU {:>4.0} MB, GPU {:>4.0} MB (paper: 665 MB / 123 MB)",
+        maps.footprint_bytes(0) as f64 / 1e6,
+        maps.footprint_bytes(1) as f64 / 1e6
+    );
+
+    let mut cfg = ServingConfig::default();
+    cfg.trace.num_queries = queries;
+    let base = simulate(
+        &maps,
+        Policy::Static { role: RepRole::Table, platform_idx: 0 },
+        &cfg,
+    );
+    println!(
+        "\n{:24} {:>12} {:>12} {:>14}",
+        "configuration", "accuracy", "correct/s", "normalized"
+    );
+    for (label, o) in [
+        ("TBL (CPU, dim 4)", base.clone()),
+        (
+            "DHE (GPU)",
+            simulate(
+                &maps,
+                Policy::Static { role: RepRole::Dhe, platform_idx: 1 },
+                &cfg,
+            ),
+        ),
+        ("MP-Rec", simulate(&maps, Policy::MpRec, &cfg)),
+    ] {
+        println!(
+            "{:24} {:>11.3}% {:>12.0} {:>13.2}x",
+            label,
+            o.effective_accuracy() * 100.0,
+            o.correct_sps(),
+            o.correct_sps() / base.correct_sps()
+        );
+    }
+}

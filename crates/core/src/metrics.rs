@@ -1,0 +1,106 @@
+//! The paper's serving metric: throughput of correct predictions (§5.4).
+//!
+//! ```text
+//! correct samples   queries   samples   correct samples
+//! --------------- = ------- x ------- x ---------------
+//!     second        second     query        sample
+//!                 =   QPS   x QuerySize x Model Accuracy
+//! ```
+
+/// Accumulator for correct-prediction throughput over a serving run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CorrectPredictionThroughput {
+    /// Total samples served.
+    pub samples: u64,
+    /// Expected correct samples (Σ query_size x path_accuracy).
+    pub correct_samples: f64,
+    /// Completed queries.
+    pub queries: u64,
+    /// Wall-clock span of the run in seconds.
+    pub span_s: f64,
+}
+
+impl CorrectPredictionThroughput {
+    /// Records one completed query served at `accuracy`.
+    pub fn record(&mut self, query_size: u64, accuracy: f32) {
+        self.samples += query_size;
+        self.correct_samples += query_size as f64 * accuracy as f64;
+        self.queries += 1;
+    }
+
+    /// Finalizes with the run's duration.
+    pub fn set_span(&mut self, span_s: f64) {
+        self.span_s = span_s;
+    }
+
+    /// Raw throughput in samples/second.
+    pub fn raw_sps(&self) -> f64 {
+        if self.span_s > 0.0 {
+            self.samples as f64 / self.span_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Correct predictions per second — the paper's headline metric.
+    pub fn correct_sps(&self) -> f64 {
+        if self.span_s > 0.0 {
+            self.correct_samples / self.span_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Effective accuracy over everything served.
+    pub fn effective_accuracy(&self) -> f64 {
+        if self.samples > 0 {
+            self.correct_samples / self.samples as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Queries per second.
+    pub fn qps(&self) -> f64 {
+        if self.span_s > 0.0 {
+            self.queries as f64 / self.span_s
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_is_qps_times_size_times_accuracy() {
+        let mut m = CorrectPredictionThroughput::default();
+        // 10 queries of 100 samples at 0.8 accuracy over 2 seconds.
+        for _ in 0..10 {
+            m.record(100, 0.8);
+        }
+        m.set_span(2.0);
+        assert_eq!(m.qps(), 5.0);
+        assert_eq!(m.raw_sps(), 500.0);
+        let expected = 5.0 * 100.0 * 0.8;
+        assert!((m.correct_sps() - expected).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mixed_paths_average_accuracy_by_samples() {
+        let mut m = CorrectPredictionThroughput::default();
+        m.record(100, 1.0);
+        m.record(300, 0.5);
+        assert!((m.effective_accuracy() - (100.0 + 150.0) / 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_span_reports_zero() {
+        let m = CorrectPredictionThroughput::default();
+        assert_eq!(m.raw_sps(), 0.0);
+        assert_eq!(m.correct_sps(), 0.0);
+        assert_eq!(m.effective_accuracy(), 0.0);
+    }
+}

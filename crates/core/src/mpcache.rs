@@ -1,0 +1,544 @@
+//! MP-Cache: the two-tier cache that makes compute-based embedding paths
+//! viable (paper §4.3, Fig. 9, Fig. 16).
+//!
+//! * [`EncoderCache`] exploits **access frequency**: recommendation
+//!   workloads follow power-law ID popularity, so pinning the
+//!   pre-computed *final* embeddings of hot `(feature, id)` pairs lets
+//!   hits skip the entire encoder-decoder stack.
+//! * [`DecoderCache`] exploits **value similarity**: intermediate encoder
+//!   outputs are profiled offline into `N` k-means centroids with
+//!   pre-computed decoder outputs; at inference the nearest centroid
+//!   (normalized dot product + argmax — cheap and parallel) replaces the
+//!   decoder MLP run.
+//!
+//! Both tiers are functional (real data structures, measurable hit rates
+//! and approximation error) and expose the cost parameters the hardware
+//! model needs to price cached paths.
+
+use std::collections::HashMap;
+
+use mprec_embed::DheStack;
+use mprec_tensor::{ops, Matrix};
+use parking_lot::Mutex;
+
+use crate::{CoreError, Result};
+
+/// Configuration of both cache tiers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MpCacheConfig {
+    /// Encoder-tier capacity in bytes (paper sweeps 2 KB .. 2 MB).
+    pub encoder_bytes: u64,
+    /// Decoder-tier centroid count `N` (0 disables the tier).
+    pub decoder_centroids: usize,
+    /// K-means iterations for centroid construction.
+    pub kmeans_iters: usize,
+}
+
+impl Default for MpCacheConfig {
+    fn default() -> Self {
+        MpCacheConfig {
+            encoder_bytes: 2_000_000, // the paper's 2 MB sweet spot
+            decoder_centroids: 256,
+            kmeans_iters: 8,
+        }
+    }
+}
+
+/// Hit/miss counters shared by both tiers.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Encoder-tier hits.
+    pub encoder_hits: u64,
+    /// Encoder-tier misses.
+    pub encoder_misses: u64,
+    /// Decoder-tier lookups (encoder misses that used centroids).
+    pub decoder_lookups: u64,
+}
+
+impl CacheStats {
+    /// Encoder hit rate in [0, 1].
+    pub fn encoder_hit_rate(&self) -> f64 {
+        let total = self.encoder_hits + self.encoder_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.encoder_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Frequency-based cache of pre-computed final embeddings for hot IDs.
+///
+/// The paper's design is a *static* cache: profiled access counts pick the
+/// top-K hottest IDs per deployment, and their embeddings are precomputed
+/// at mapping time (so a hit costs one small-table lookup).
+#[derive(Debug)]
+pub struct EncoderCache {
+    entries: HashMap<(usize, u64), Vec<f32>>,
+    entry_bytes: u64,
+    capacity_bytes: u64,
+}
+
+impl EncoderCache {
+    /// Builds the cache from profiled access counts.
+    ///
+    /// `access_counts[f]` maps ID -> count for feature `f`; `embed` is
+    /// called to pre-compute each cached embedding.
+    ///
+    /// # Errors
+    ///
+    /// Propagates embedding errors from `embed`.
+    pub fn build(
+        access_counts: &[HashMap<u64, u64>],
+        emb_dim: usize,
+        capacity_bytes: u64,
+        mut embed: impl FnMut(usize, u64) -> Result<Vec<f32>>,
+    ) -> Result<Self> {
+        // Entry cost: id key (8) + feature (8) + vector.
+        let entry_bytes = 16 + emb_dim as u64 * 4;
+        let max_entries = (capacity_bytes / entry_bytes.max(1)) as usize;
+        // Global hottest (feature, id) pairs.
+        let mut all: Vec<(u64, usize, u64)> = access_counts
+            .iter()
+            .enumerate()
+            .flat_map(|(f, m)| m.iter().map(move |(&id, &c)| (c, f, id)))
+            .collect();
+        all.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        all.truncate(max_entries);
+        let mut entries = HashMap::with_capacity(all.len());
+        for (_, f, id) in all {
+            entries.insert((f, id), embed(f, id)?);
+        }
+        Ok(EncoderCache {
+            entries,
+            entry_bytes,
+            capacity_bytes,
+        })
+    }
+
+    /// Number of cached embeddings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes used by the cached entries.
+    pub fn used_bytes(&self) -> u64 {
+        self.entries.len() as u64 * self.entry_bytes
+    }
+
+    /// Configured capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Looks up a hot embedding.
+    pub fn get(&self, feature: usize, id: u64) -> Option<&[f32]> {
+        self.entries.get(&(feature, id)).map(Vec::as_slice)
+    }
+}
+
+/// An online LRU alternative to the static frequency cache (ablation:
+/// the paper's design is static top-K by profiled frequency; LRU needs no
+/// profiling pass but pays eviction churn on power-law traffic).
+#[derive(Debug)]
+pub struct LruEncoderCache {
+    entries: HashMap<(usize, u64), (u64, Vec<f32>)>,
+    clock: u64,
+    max_entries: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl LruEncoderCache {
+    /// Creates an LRU cache with the same byte budget semantics as
+    /// [`EncoderCache::build`].
+    pub fn new(emb_dim: usize, capacity_bytes: u64) -> Self {
+        let entry_bytes = 16 + emb_dim as u64 * 4;
+        LruEncoderCache {
+            entries: HashMap::new(),
+            clock: 0,
+            max_entries: (capacity_bytes / entry_bytes.max(1)).max(1) as usize,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Maximum entries the byte budget allows.
+    pub fn max_entries(&self) -> usize {
+        self.max_entries
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit rate so far.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Serves one embedding, computing and inserting on miss (evicting the
+    /// least-recently-used entry at capacity).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stack execution errors.
+    pub fn embed(&mut self, stack: &DheStack, feature: usize, id: u64) -> Result<Vec<f32>> {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some((stamp, v)) = self.entries.get_mut(&(feature, id)) {
+            *stamp = clock;
+            self.hits += 1;
+            return Ok(v.clone());
+        }
+        self.misses += 1;
+        let out = stack.infer(&[id])?;
+        let v = out.row(0).to_vec();
+        if self.entries.len() >= self.max_entries {
+            if let Some((&oldest, _)) = self.entries.iter().min_by_key(|(_, (s, _))| *s) {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert((feature, id), (clock, v.clone()));
+        Ok(v)
+    }
+}
+
+/// Value-similarity cache: k-means centroids over encoder outputs with
+/// pre-computed decoder results.
+#[derive(Debug)]
+pub struct DecoderCache {
+    /// Unit-normalized centroids, `N x k`.
+    centroids: Matrix,
+    /// Pre-computed decoder outputs, `N x out_dim`.
+    outputs: Matrix,
+}
+
+impl DecoderCache {
+    /// Profiles `sample_codes` (rows are encoder outputs) into `n`
+    /// centroids via Lloyd's k-means and pre-computes decoder outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] if there are no sample codes or
+    /// `n == 0`; propagates decoder errors.
+    pub fn build(
+        stack: &DheStack,
+        sample_codes: &Matrix,
+        n: usize,
+        kmeans_iters: usize,
+    ) -> Result<Self> {
+        if n == 0 || sample_codes.rows() == 0 {
+            return Err(CoreError::BadConfig(
+                "decoder cache needs samples and n > 0".into(),
+            ));
+        }
+        let k = sample_codes.cols();
+        let n = n.min(sample_codes.rows());
+        // Init: spread over the sample set.
+        let mut centroids = Matrix::zeros(n, k);
+        let stride = sample_codes.rows() / n;
+        for c in 0..n {
+            centroids
+                .row_mut(c)
+                .copy_from_slice(sample_codes.row(c * stride));
+        }
+        let mut assignment = vec![0usize; sample_codes.rows()];
+        for _ in 0..kmeans_iters {
+            // Assign.
+            for (i, a) in assignment.iter_mut().enumerate() {
+                let row = sample_codes.row(i);
+                let mut best = 0;
+                let mut best_d = f32::INFINITY;
+                for c in 0..n {
+                    let d = ops::sq_dist(row, centroids.row(c));
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+                *a = best;
+            }
+            // Update.
+            let mut sums = Matrix::zeros(n, k);
+            let mut counts = vec![0u64; n];
+            for (i, &a) in assignment.iter().enumerate() {
+                ops::axpy(1.0, sample_codes.row(i), sums.row_mut(a));
+                counts[a] += 1;
+            }
+            for c in 0..n {
+                if counts[c] > 0 {
+                    let inv = 1.0 / counts[c] as f32;
+                    for v in sums.row_mut(c).iter_mut() {
+                        *v *= inv;
+                    }
+                    centroids.row_mut(c).copy_from_slice(sums.row(c));
+                }
+            }
+        }
+        let outputs = stack.decode(&centroids)?;
+        // Normalize centroids so nearest-by-distance becomes
+        // max-dot-product (the paper's parallelizable trick). We keep both
+        // the normalized direction and rely on approximately equal norms
+        // of hash codes (uniform in [-1,1]^k).
+        let mut normalized = centroids.clone();
+        for c in 0..normalized.rows() {
+            ops::normalize(normalized.row_mut(c));
+        }
+        Ok(DecoderCache {
+            centroids: normalized,
+            outputs,
+        })
+    }
+
+    /// Number of centroids `N`.
+    pub fn num_centroids(&self) -> usize {
+        self.centroids.rows()
+    }
+
+    /// Nearest-centroid index for a code (dot product + argmax).
+    pub fn nearest(&self, code: &[f32]) -> usize {
+        let mut unit = code.to_vec();
+        ops::normalize(&mut unit);
+        let mut best = 0;
+        let mut best_dot = f32::NEG_INFINITY;
+        for c in 0..self.centroids.rows() {
+            let d = ops::dot(&unit, self.centroids.row(c));
+            if d > best_dot {
+                best_dot = d;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Approximate embedding for a code: the pre-computed decoder output
+    /// of its nearest centroid.
+    pub fn lookup(&self, code: &[f32]) -> &[f32] {
+        self.outputs.row(self.nearest(code))
+    }
+
+    /// FLOPs per lookup (the kNN dot products), for the hardware model.
+    pub fn flops_per_lookup(&self) -> u64 {
+        (2 * self.centroids.rows() * self.centroids.cols()) as u64
+    }
+}
+
+/// Both tiers plus shared statistics, ready to serve one DHE/hybrid path.
+#[derive(Debug)]
+pub struct MpCache {
+    /// Encoder tier (hot-ID embeddings); `None` when capacity is 0.
+    pub encoder: Option<EncoderCache>,
+    /// Decoder tier (centroids); `None` when `decoder_centroids` is 0.
+    pub decoder: Option<DecoderCache>,
+    stats: Mutex<CacheStats>,
+}
+
+impl MpCache {
+    /// Wraps built tiers.
+    pub fn new(encoder: Option<EncoderCache>, decoder: Option<DecoderCache>) -> Self {
+        MpCache {
+            encoder,
+            decoder,
+            stats: Mutex::new(CacheStats::default()),
+        }
+    }
+
+    /// Serves one embedding through the cache hierarchy:
+    /// encoder-tier hit -> cached final embedding; otherwise encode and
+    /// use the decoder tier if present; otherwise run the full stack.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stack execution errors.
+    pub fn embed(&self, stack: &DheStack, feature: usize, id: u64) -> Result<Vec<f32>> {
+        if let Some(enc) = &self.encoder {
+            if let Some(hit) = enc.get(feature, id) {
+                self.stats.lock().encoder_hits += 1;
+                return Ok(hit.to_vec());
+            }
+            self.stats.lock().encoder_misses += 1;
+        }
+        let mut code = vec![0.0f32; stack.encoder().k()];
+        stack.encoder().encode_into(id, &mut code);
+        if let Some(dec) = &self.decoder {
+            self.stats.lock().decoder_lookups += 1;
+            return Ok(dec.lookup(&code).to_vec());
+        }
+        let m = Matrix::from_vec(1, code.len(), code)
+            .expect("code buffer matches encoder k");
+        let out = stack.decode(&m)?;
+        Ok(out.row(0).to_vec())
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock()
+    }
+
+    /// Resets the counters.
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mprec_embed::DheConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn stack() -> DheStack {
+        let mut rng = StdRng::seed_from_u64(0);
+        DheStack::new(
+            DheConfig {
+                k: 16,
+                dnn: 16,
+                h: 1,
+                out_dim: 8,
+            },
+            0,
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    fn counts_single_feature(hot: u64) -> Vec<HashMap<u64, u64>> {
+        let mut m = HashMap::new();
+        for id in 0..100u64 {
+            m.insert(id, if id == hot { 1000 } else { 1 });
+        }
+        vec![m]
+    }
+
+    #[test]
+    fn encoder_cache_pins_hottest_ids() {
+        let s = stack();
+        let cache = EncoderCache::build(&counts_single_feature(42), 8, 200, |_, id| {
+            Ok(s.infer(&[id]).unwrap().row(0).to_vec())
+        })
+        .unwrap();
+        // 200 bytes / 48-byte entries = 4 entries; hottest id must be in.
+        assert!(cache.len() <= 4);
+        assert!(cache.get(0, 42).is_some());
+        assert!(cache.used_bytes() <= 200);
+    }
+
+    #[test]
+    fn encoder_cache_hit_matches_full_stack() {
+        let s = stack();
+        let cache = EncoderCache::build(&counts_single_feature(7), 8, 10_000, |_, id| {
+            Ok(s.infer(&[id]).unwrap().row(0).to_vec())
+        })
+        .unwrap();
+        let hit = cache.get(0, 7).unwrap();
+        let full = s.infer(&[7]).unwrap();
+        assert_eq!(hit, full.row(0));
+    }
+
+    #[test]
+    fn decoder_cache_recovers_exact_centroid_points() {
+        let s = stack();
+        let ids: Vec<u64> = (0..64).collect();
+        let codes = s.encoder().encode_batch(&ids);
+        let cache = DecoderCache::build(&s, &codes, 64, 5).unwrap();
+        // With as many centroids as points, each point is (close to) its
+        // own centroid, so the approximation is near-exact.
+        let code0 = codes.row(0);
+        let approx = cache.lookup(code0);
+        let exact = s.infer(&[0]).unwrap();
+        let err: f32 = approx
+            .iter()
+            .zip(exact.row(0))
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(err < 0.5, "approximation error {err}");
+    }
+
+    #[test]
+    fn decoder_cache_flops_scale_with_n() {
+        let s = stack();
+        let ids: Vec<u64> = (0..128).collect();
+        let codes = s.encoder().encode_batch(&ids);
+        let small = DecoderCache::build(&s, &codes, 8, 3).unwrap();
+        let large = DecoderCache::build(&s, &codes, 64, 3).unwrap();
+        assert!(large.flops_per_lookup() > small.flops_per_lookup());
+        assert_eq!(small.flops_per_lookup(), (2 * 8 * 16) as u64);
+    }
+
+    #[test]
+    fn mpcache_counts_hits_and_misses() {
+        let s = stack();
+        let enc = EncoderCache::build(&counts_single_feature(3), 8, 64, |_, id| {
+            Ok(s.infer(&[id]).unwrap().row(0).to_vec())
+        })
+        .unwrap();
+        let cache = MpCache::new(Some(enc), None);
+        let _ = cache.embed(&s, 0, 3).unwrap(); // hit
+        let _ = cache.embed(&s, 0, 99).unwrap(); // miss -> full stack
+        let stats = cache.stats();
+        assert_eq!(stats.encoder_hits, 1);
+        assert_eq!(stats.encoder_misses, 1);
+        assert_eq!(stats.encoder_hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn mpcache_miss_path_without_decoder_is_exact() {
+        let s = stack();
+        let cache = MpCache::new(None, None);
+        let via_cache = cache.embed(&s, 0, 55).unwrap();
+        let exact = s.infer(&[55]).unwrap();
+        assert_eq!(via_cache.as_slice(), exact.row(0));
+    }
+
+    #[test]
+    fn lru_cache_hits_after_insert_and_respects_capacity() {
+        let s = stack();
+        let mut lru = LruEncoderCache::new(8, 200); // 4 entries
+        assert_eq!(lru.max_entries(), 4);
+        for id in 0..6u64 {
+            let _ = lru.embed(&s, 0, id).unwrap();
+        }
+        assert!(lru.len() <= 4);
+        // Recently used id hits; a long-evicted one misses.
+        let before = lru.hit_rate();
+        let _ = lru.embed(&s, 0, 5).unwrap();
+        assert!(lru.hit_rate() >= before, "recent id should hit");
+    }
+
+    #[test]
+    fn lru_matches_full_stack_output() {
+        let s = stack();
+        let mut lru = LruEncoderCache::new(8, 10_000);
+        let via = lru.embed(&s, 0, 42).unwrap();
+        let again = lru.embed(&s, 0, 42).unwrap();
+        let direct = s.infer(&[42]).unwrap();
+        assert_eq!(via, again);
+        assert_eq!(via.as_slice(), direct.row(0));
+        assert!(lru.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn decoder_cache_rejects_empty_input() {
+        let s = stack();
+        let empty = Matrix::zeros(0, 16);
+        assert!(DecoderCache::build(&s, &empty, 8, 3).is_err());
+    }
+}

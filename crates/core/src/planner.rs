@@ -1,0 +1,234 @@
+//! Algorithm 1: offline hardware-specific representation generation.
+//!
+//! For each hardware platform, in order: place the accuracy-optimal hybrid
+//! if it fits the remaining memory budget, then a table path for
+//! latency-critical queries, then a mid-range DHE; if the platform ended
+//! up with at most one mapping, place the compact DHE. Finally every
+//! selected mapping is profiled across query sizes.
+
+use mprec_hwsim::Platform;
+
+use crate::candidates::{CandidateRep, RepRole};
+use crate::profile::LatencyProfile;
+use crate::{CoreError, Result};
+
+/// One selected representation-hardware pairing with its latency profile.
+#[derive(Debug, Clone)]
+pub struct Mapping {
+    /// The representation.
+    pub rep: CandidateRep,
+    /// Index into [`MappingSet::platforms`].
+    pub platform_idx: usize,
+    /// Profiled latency curve.
+    pub profile: LatencyProfile,
+}
+
+impl Mapping {
+    /// Display label like `"hybrid@GPU"`.
+    pub fn label(&self, platforms: &[Platform]) -> String {
+        format!("{}@{}", self.rep.name, platforms[self.platform_idx].name)
+    }
+}
+
+/// The offline stage's output: platforms plus selected mappings.
+#[derive(Debug, Clone)]
+pub struct MappingSet {
+    /// The hardware platforms considered (index space for mappings).
+    pub platforms: Vec<Platform>,
+    /// Selected representation-hardware mappings.
+    pub mappings: Vec<Mapping>,
+}
+
+impl MappingSet {
+    /// Mappings hosted on platform `idx`.
+    pub fn on_platform(&self, idx: usize) -> impl Iterator<Item = &Mapping> {
+        self.mappings.iter().filter(move |m| m.platform_idx == idx)
+    }
+
+    /// The most accurate mapping overall (Table 2's "MP-Rec achievable
+    /// accuracy").
+    pub fn best_accuracy(&self) -> Option<&Mapping> {
+        self.mappings.iter().max_by(|a, b| {
+            a.rep
+                .accuracy
+                .partial_cmp(&b.rep.accuracy)
+                .expect("accuracies are finite")
+        })
+    }
+
+    /// Total memory footprint per platform (Table 3's MP-Rec row).
+    pub fn footprint_bytes(&self, platform_idx: usize) -> u64 {
+        self.on_platform(platform_idx)
+            .map(|m| m.rep.capacity_bytes())
+            .sum()
+    }
+}
+
+/// Runs Algorithm 1 over `candidates` and `platforms`.
+///
+/// `candidates` should contain at most one representation per role; the
+/// role drives the selection order (hybrid -> table -> DHE -> compact).
+///
+/// # Errors
+///
+/// Returns [`CoreError::NoFeasibleMapping`] if nothing fits anywhere, or
+/// propagates hardware-model errors from profiling.
+pub fn plan(candidates: &[CandidateRep], platforms: &[Platform]) -> Result<MappingSet> {
+    let by_role = |role: RepRole| candidates.iter().find(|c| c.role == role);
+    let mut mappings = Vec::new();
+
+    for (idx, hw) in platforms.iter().enumerate() {
+        let mut budget = hw.memory_budget();
+        let mut placed_here = 0usize;
+
+        // Lines 3-5: accuracy-optimal hybrid if it fits.
+        if let Some(hybrid) = by_role(RepRole::Hybrid) {
+            if hybrid.capacity_bytes() <= budget && hw.fits(&hybrid.workload) {
+                budget -= hybrid.capacity_bytes();
+                mappings.push(Mapping {
+                    rep: hybrid.clone(),
+                    platform_idx: idx,
+                    profile: LatencyProfile::measure(hw, &hybrid.workload)?,
+                });
+                placed_here += 1;
+            }
+        }
+        // Lines 6-8: a table path that still fits.
+        if let Some(table) = by_role(RepRole::Table) {
+            if table.capacity_bytes() <= budget && hw.fits(&table.workload) {
+                budget -= table.capacity_bytes();
+                mappings.push(Mapping {
+                    rep: table.clone(),
+                    platform_idx: idx,
+                    profile: LatencyProfile::measure(hw, &table.workload)?,
+                });
+                placed_here += 1;
+            }
+        }
+        // Lines 9-11: a mid-range DHE that still fits.
+        if let Some(dhe) = by_role(RepRole::Dhe) {
+            if dhe.capacity_bytes() <= budget && hw.fits(&dhe.workload) {
+                budget -= dhe.capacity_bytes();
+                mappings.push(Mapping {
+                    rep: dhe.clone(),
+                    platform_idx: idx,
+                    profile: LatencyProfile::measure(hw, &dhe.workload)?,
+                });
+                placed_here += 1;
+            }
+        }
+        // Lines 12-14: compact DHE for platforms with <= 1 mapping.
+        if placed_here <= 1 {
+            if let Some(compact) = by_role(RepRole::DheCompact) {
+                if compact.capacity_bytes() <= budget && hw.fits(&compact.workload) {
+                    mappings.push(Mapping {
+                        rep: compact.clone(),
+                        platform_idx: idx,
+                        profile: LatencyProfile::measure(hw, &compact.workload)?,
+                    });
+                }
+            }
+        }
+    }
+
+    if mappings.is_empty() {
+        return Err(CoreError::NoFeasibleMapping);
+    }
+    Ok(MappingSet {
+        platforms: platforms.to_vec(),
+        mappings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::{default_accuracy_book, paper_candidates};
+    use mprec_data::DatasetSpec;
+
+    fn kaggle_candidates() -> Vec<CandidateRep> {
+        let spec = DatasetSpec::kaggle_sim(100);
+        paper_candidates(&spec, &default_accuracy_book(&spec))
+    }
+
+    #[test]
+    fn hw1_places_all_three_roles_on_both_devices() {
+        // HW-1: 32 GB CPU + 32 GB GPU — everything fits everywhere.
+        let platforms = vec![
+            Platform::cpu().with_dram_cap(32_000_000_000),
+            Platform::gpu(),
+        ];
+        let set = plan(&kaggle_candidates(), &platforms).unwrap();
+        for idx in 0..2 {
+            let roles: Vec<RepRole> = set.on_platform(idx).map(|m| m.rep.role).collect();
+            assert!(roles.contains(&RepRole::Hybrid), "platform {idx}: {roles:?}");
+            assert!(roles.contains(&RepRole::Table));
+            assert!(roles.contains(&RepRole::Dhe));
+        }
+    }
+
+    #[test]
+    fn hw2_constrained_gpu_gets_dhe_only() {
+        // HW-2: 1 GB CPU + 200 MB GPU (paper Table 4): the GPU can only
+        // host DHE paths; the CPU fits a table but not the hybrid.
+        let platforms = vec![
+            Platform::cpu().with_dram_cap(1_000_000_000),
+            Platform::gpu().with_dram_cap(200_000_000),
+        ];
+        let set = plan(&kaggle_candidates(), &platforms).unwrap();
+        let gpu_roles: Vec<RepRole> = set.on_platform(1).map(|m| m.rep.role).collect();
+        assert!(!gpu_roles.contains(&RepRole::Hybrid));
+        assert!(!gpu_roles.contains(&RepRole::Table), "2.16 GB > 200 MB");
+        assert!(gpu_roles.contains(&RepRole::Dhe), "126 MB DHE fits");
+        let cpu_roles: Vec<RepRole> = set.on_platform(0).map(|m| m.rep.role).collect();
+        assert!(!cpu_roles.contains(&RepRole::Hybrid), "2.29 GB > 1 GB");
+        assert!(!cpu_roles.contains(&RepRole::Table), "2.16 GB > 1 GB");
+        assert!(cpu_roles.contains(&RepRole::Dhe));
+    }
+
+    #[test]
+    fn memory_budget_is_consumed_sequentially() {
+        // A device fitting hybrid but not hybrid+table skips the table.
+        let cands = kaggle_candidates();
+        let hybrid_bytes = cands[0].capacity_bytes();
+        let platforms = vec![Platform::cpu().with_dram_cap(hybrid_bytes + 50_000_000)];
+        let set = plan(&cands, &platforms).unwrap();
+        let roles: Vec<RepRole> = set.on_platform(0).map(|m| m.rep.role).collect();
+        assert!(roles.contains(&RepRole::Hybrid));
+        assert!(!roles.contains(&RepRole::Table));
+        // <=1 non-compact mapping rule kicks in... hybrid counts as 1, so
+        // the compact DHE is also placed.
+        assert!(roles.contains(&RepRole::DheCompact));
+    }
+
+    #[test]
+    fn nothing_fits_is_an_error() {
+        let platforms = vec![Platform::gpu().with_dram_cap(1_000)];
+        assert!(matches!(
+            plan(&kaggle_candidates(), &platforms),
+            Err(CoreError::NoFeasibleMapping)
+        ));
+    }
+
+    #[test]
+    fn best_accuracy_is_hybrid_when_present() {
+        let platforms = vec![Platform::cpu().with_dram_cap(32_000_000_000)];
+        let set = plan(&kaggle_candidates(), &platforms).unwrap();
+        assert_eq!(set.best_accuracy().unwrap().rep.role, RepRole::Hybrid);
+    }
+
+    #[test]
+    fn footprint_exceeds_single_representation() {
+        // Table 3: MP-Rec stores multiple representations -> larger
+        // footprint than any static choice.
+        let platforms = vec![Platform::cpu().with_dram_cap(32_000_000_000)];
+        let set = plan(&kaggle_candidates(), &platforms).unwrap();
+        let fp = set.footprint_bytes(0);
+        let max_single = kaggle_candidates()
+            .iter()
+            .map(|c| c.capacity_bytes())
+            .max()
+            .unwrap();
+        assert!(fp > max_single);
+    }
+}

@@ -1,0 +1,306 @@
+//! Algorithm 2: online dynamic multi-path activation.
+//!
+//! Per incoming query, MP-Rec activates the most accurate representation-
+//! hardware path that can finish within the SLA latency target *without
+//! throughput degradation*. The throughput guard is implemented via
+//! per-platform backlog accounting: a path is only eligible if the
+//! device's queued work plus this query's execution completes inside the
+//! SLA window, so a path that cannot keep up naturally sheds load to the
+//! table paths instead of building an unbounded queue.
+
+use crate::planner::MappingSet;
+use crate::Result;
+
+/// Scheduler tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulerConfig {
+    /// Safety factor on profiled latencies (1.0 = trust the profile).
+    pub latency_margin: f64,
+    /// If `true` (MP-Rec), prefer accuracy order; if `false`, always take
+    /// the fastest path (table-only switching baseline).
+    pub accuracy_first: bool,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            latency_margin: 1.0,
+            accuracy_first: true,
+        }
+    }
+}
+
+/// The scheduler's verdict for one query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteDecision {
+    /// Index into the mapping set's `mappings`.
+    pub mapping_idx: usize,
+    /// Index of the platform that will execute.
+    pub platform_idx: usize,
+    /// Expected execution latency (microseconds, excluding queueing).
+    pub exec_us: f64,
+    /// Expected completion latency including current backlog.
+    pub expected_completion_us: f64,
+    /// Accuracy of the activated representation.
+    pub accuracy: f32,
+}
+
+/// Online router over a planned [`MappingSet`].
+///
+/// The scheduler tracks per-platform backlog in simulated microseconds;
+/// callers advance time via [`Scheduler::advance_to`] and commit work via
+/// [`Scheduler::commit`].
+#[derive(Debug)]
+pub struct Scheduler {
+    mappings: MappingSet,
+    cfg: SchedulerConfig,
+    /// Absolute simulated time (us) when each platform becomes free.
+    free_at_us: Vec<f64>,
+    now_us: f64,
+}
+
+impl Scheduler {
+    /// Creates a scheduler over planned mappings.
+    pub fn new(mappings: MappingSet, cfg: SchedulerConfig) -> Self {
+        let n = mappings.platforms.len();
+        Scheduler {
+            mappings,
+            cfg,
+            free_at_us: vec![0.0; n],
+            now_us: 0.0,
+        }
+    }
+
+    /// The planned mappings.
+    pub fn mappings(&self) -> &MappingSet {
+        &self.mappings
+    }
+
+    /// Advances simulated time to `t_us` (monotone).
+    pub fn advance_to(&mut self, t_us: f64) {
+        if t_us > self.now_us {
+            self.now_us = t_us;
+        }
+    }
+
+    /// Current backlog of a platform in microseconds.
+    pub fn backlog_us(&self, platform_idx: usize) -> f64 {
+        (self.free_at_us[platform_idx] - self.now_us).max(0.0)
+    }
+
+    /// Algorithm 2: route a query of `size` samples under `sla_us`.
+    ///
+    /// `min_accuracy` filters paths (0.0 = no filter). Returns `None` only
+    /// when the mapping set is empty.
+    pub fn route(&mut self, size: u64, sla_us: f64, min_accuracy: u32) -> Option<RouteDecision> {
+        let _ = min_accuracy;
+        let mut candidates: Vec<(usize, f64)> = Vec::new();
+        for (i, m) in self.mappings.mappings.iter().enumerate() {
+            let exec = m.profile.latency_us(size) * self.cfg.latency_margin;
+            candidates.push((i, exec));
+        }
+        if candidates.is_empty() {
+            return None;
+        }
+
+        let decision_of = |idx: usize, exec: f64, backlog: f64| {
+            let m = &self.mappings.mappings[idx];
+            RouteDecision {
+                mapping_idx: idx,
+                platform_idx: m.platform_idx,
+                exec_us: exec,
+                expected_completion_us: backlog + exec,
+                accuracy: m.rep.accuracy,
+            }
+        };
+
+        if self.cfg.accuracy_first {
+            // Sort by accuracy (desc), then by expected completion (asc).
+            let mut order: Vec<usize> = (0..candidates.len()).collect();
+            order.sort_by(|&a, &b| {
+                let (ia, ea) = candidates[a];
+                let (ib, eb) = candidates[b];
+                let acc_a = self.mappings.mappings[ia].rep.accuracy;
+                let acc_b = self.mappings.mappings[ib].rep.accuracy;
+                acc_b
+                    .partial_cmp(&acc_a)
+                    .expect("finite accuracy")
+                    .then(
+                        (self.backlog_us(self.mappings.mappings[ia].platform_idx) + ea)
+                            .partial_cmp(
+                                &(self.backlog_us(self.mappings.mappings[ib].platform_idx) + eb),
+                            )
+                            .expect("finite latency"),
+                    )
+            });
+            // First (most accurate) path that completes within the SLA.
+            for &c in &order {
+                let (idx, exec) = candidates[c];
+                let backlog = self.backlog_us(self.mappings.mappings[idx].platform_idx);
+                if backlog + exec <= sla_us {
+                    return Some(decision_of(idx, exec, backlog));
+                }
+            }
+        }
+        // Fallback (and the entire policy for accuracy_first = false):
+        // fastest expected completion, i.e. the latency-critical table
+        // path on the least-loaded device.
+        let best = candidates
+            .iter()
+            .min_by(|(ia, ea), (ib, eb)| {
+                let ca = self.backlog_us(self.mappings.mappings[*ia].platform_idx) + ea;
+                let cb = self.backlog_us(self.mappings.mappings[*ib].platform_idx) + eb;
+                ca.partial_cmp(&cb).expect("finite latency")
+            })
+            .copied();
+        best.map(|(idx, exec)| {
+            let backlog = self.backlog_us(self.mappings.mappings[idx].platform_idx);
+            decision_of(idx, exec, backlog)
+        })
+    }
+
+    /// Commits a routed query: occupies the platform for `exec_us` and
+    /// returns the completion timestamp.
+    pub fn commit(&mut self, decision: &RouteDecision) -> f64 {
+        let start = self.free_at_us[decision.platform_idx].max(self.now_us);
+        let done = start + decision.exec_us;
+        self.free_at_us[decision.platform_idx] = done;
+        done
+    }
+
+    /// Convenience: route + commit, returning `(decision, completion)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::NoFeasibleMapping`] when the mapping
+    /// set is empty.
+    pub fn dispatch(&mut self, size: u64, sla_us: f64) -> Result<(RouteDecision, f64)> {
+        let d = self
+            .route(size, sla_us, 0)
+            .ok_or(crate::CoreError::NoFeasibleMapping)?;
+        let done = self.commit(&d);
+        Ok((d, done))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::{CandidateRep, RepRole};
+    use crate::planner::{Mapping, MappingSet};
+    use crate::profile::LatencyProfile;
+    use mprec_embed::RepresentationConfig;
+    use mprec_hwsim::{Platform, WorkloadBuilder};
+
+    /// Builds a synthetic two-platform mapping set with controlled
+    /// latencies: hybrid (slow, accurate) on GPU; table (fast) on CPU+GPU.
+    fn toy_mappings() -> MappingSet {
+        let b = WorkloadBuilder::new("toy", vec![1000; 4], 13);
+        let mk_rep = |name: &str, role, acc| CandidateRep {
+            name: name.into(),
+            role,
+            config: RepresentationConfig::table(8),
+            workload: b.table(8).unwrap(),
+            accuracy: acc,
+        };
+        let flat = |us: f64| {
+            LatencyProfile::from_points(vec![1, 4096], vec![us, us])
+        };
+        MappingSet {
+            platforms: vec![Platform::cpu(), Platform::gpu()],
+            mappings: vec![
+                Mapping {
+                    rep: mk_rep("hybrid", RepRole::Hybrid, 0.79),
+                    platform_idx: 1,
+                    profile: flat(8_000.0),
+                },
+                Mapping {
+                    rep: mk_rep("table", RepRole::Table, 0.78),
+                    platform_idx: 0,
+                    profile: flat(1_000.0),
+                },
+                Mapping {
+                    rep: mk_rep("table", RepRole::Table, 0.78),
+                    platform_idx: 1,
+                    profile: flat(500.0),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn loose_sla_activates_hybrid() {
+        let mut s = Scheduler::new(toy_mappings(), SchedulerConfig::default());
+        let d = s.route(128, 10_000.0, 0).unwrap();
+        assert_eq!(d.accuracy, 0.79, "hybrid should win under a loose SLA");
+    }
+
+    #[test]
+    fn tight_sla_falls_back_to_table() {
+        let mut s = Scheduler::new(toy_mappings(), SchedulerConfig::default());
+        let d = s.route(128, 2_000.0, 0).unwrap();
+        assert_eq!(d.accuracy, 0.78);
+        assert!(d.exec_us <= 1_000.0);
+    }
+
+    #[test]
+    fn backlog_forces_fallback() {
+        let mut s = Scheduler::new(toy_mappings(), SchedulerConfig::default());
+        // Saturate the GPU with hybrid work.
+        for _ in 0..3 {
+            let (d, _) = s.dispatch(128, 30_000.0).unwrap();
+            assert_eq!(d.accuracy, 0.79);
+        }
+        // GPU backlog is now ~24 ms; a 10 ms SLA query must use a table.
+        let d = s.route(128, 10_000.0, 0).unwrap();
+        assert_eq!(d.accuracy, 0.78);
+    }
+
+    #[test]
+    fn time_advance_drains_backlog() {
+        let mut s = Scheduler::new(toy_mappings(), SchedulerConfig::default());
+        let (_, done) = s.dispatch(128, 30_000.0).unwrap();
+        assert!(s.backlog_us(1) > 0.0);
+        s.advance_to(done);
+        assert_eq!(s.backlog_us(1), 0.0);
+    }
+
+    #[test]
+    fn table_only_policy_picks_fastest() {
+        let cfg = SchedulerConfig {
+            accuracy_first: false,
+            ..SchedulerConfig::default()
+        };
+        let mut s = Scheduler::new(toy_mappings(), cfg);
+        let d = s.route(128, 100_000.0, 0).unwrap();
+        assert_eq!(d.exec_us, 500.0, "fastest table path (GPU) expected");
+    }
+
+    #[test]
+    fn fastest_path_balances_load() {
+        let cfg = SchedulerConfig {
+            accuracy_first: false,
+            ..SchedulerConfig::default()
+        };
+        let mut s = Scheduler::new(toy_mappings(), cfg);
+        // First queries go to GPU (500us); once backlogged, CPU (1000us)
+        // becomes competitive.
+        let mut used_cpu = false;
+        for _ in 0..6 {
+            let (d, _) = s.dispatch(128, 100_000.0).unwrap();
+            if d.platform_idx == 0 {
+                used_cpu = true;
+            }
+        }
+        assert!(used_cpu, "load balancing should spill to CPU");
+    }
+
+    #[test]
+    fn impossible_sla_still_returns_fastest() {
+        // Algorithm 2 line 7: default to the table path even when the SLA
+        // cannot be met (the query will just violate).
+        let mut s = Scheduler::new(toy_mappings(), SchedulerConfig::default());
+        let d = s.route(4096, 1.0, 0).unwrap();
+        assert_eq!(d.accuracy, 0.78);
+    }
+}

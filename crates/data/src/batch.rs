@@ -1,0 +1,137 @@
+use mprec_tensor::Matrix;
+
+/// A labelled mini-batch of synthetic click-log samples.
+///
+/// Layout follows DLRM's input convention: one dense matrix
+/// (`batch x num_dense`) plus, per sparse feature, one lookup ID per sample
+/// (Criteo has single-valued categorical features, so each "bag" holds one
+/// index).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// Dense features, `batch x num_dense`.
+    pub dense: Matrix,
+    /// `sparse[f][i]` is the ID of sparse feature `f` in sample `i`.
+    pub sparse: Vec<Vec<u64>>,
+    /// Click labels (0.0 / 1.0), length `batch`.
+    pub labels: Vec<f32>,
+}
+
+impl Batch {
+    /// Assembles a batch from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer lengths are inconsistent with `n`/`num_dense`.
+    pub fn new(
+        n: usize,
+        num_dense: usize,
+        dense: Vec<f32>,
+        sparse: Vec<Vec<u64>>,
+        labels: Vec<f32>,
+    ) -> Self {
+        assert_eq!(dense.len(), n * num_dense, "dense buffer length mismatch");
+        assert_eq!(labels.len(), n, "label length mismatch");
+        assert!(
+            sparse.iter().all(|col| col.len() == n),
+            "sparse column length mismatch"
+        );
+        let dense = Matrix::from_vec(n, num_dense, dense).expect("checked above");
+        Batch {
+            dense,
+            sparse,
+            labels,
+        }
+    }
+
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Fraction of positive labels.
+    pub fn positive_rate(&self) -> f32 {
+        if self.labels.is_empty() {
+            0.0
+        } else {
+            self.labels.iter().sum::<f32>() / self.labels.len() as f32
+        }
+    }
+
+    /// Splits the batch into contiguous chunks of at most `chunk` samples
+    /// (used by mini-batch training loops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0`.
+    pub fn chunks(&self, chunk: usize) -> Vec<Batch> {
+        assert!(chunk > 0, "chunk size must be positive");
+        let n = self.len();
+        let nd = self.dense.cols();
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk).min(n);
+            let m = end - start;
+            let mut dense = Vec::with_capacity(m * nd);
+            for r in start..end {
+                dense.extend_from_slice(self.dense.row(r));
+            }
+            let sparse = self
+                .sparse
+                .iter()
+                .map(|col| col[start..end].to_vec())
+                .collect();
+            let labels = self.labels[start..end].to_vec();
+            out.push(Batch::new(m, nd, dense, sparse, labels));
+            start = end;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Batch {
+        Batch::new(
+            n,
+            2,
+            (0..n * 2).map(|x| x as f32).collect(),
+            vec![(0..n as u64).collect(), vec![7; n]],
+            (0..n).map(|i| (i % 2) as f32).collect(),
+        )
+    }
+
+    #[test]
+    fn positive_rate_counts_ones() {
+        let b = toy(4);
+        assert_eq!(b.positive_rate(), 0.5);
+    }
+
+    #[test]
+    fn chunks_cover_all_samples_in_order() {
+        let b = toy(10);
+        let parts = b.chunks(4);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].len(), 4);
+        assert_eq!(parts[2].len(), 2);
+        // Labels concatenate back to the original.
+        let cat: Vec<f32> = parts.iter().flat_map(|p| p.labels.clone()).collect();
+        assert_eq!(cat, b.labels);
+        // Sparse ids preserved.
+        assert_eq!(parts[1].sparse[0], vec![4, 5, 6, 7]);
+        assert_eq!(parts[1].dense.row(0), b.dense.row(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn inconsistent_parts_panic() {
+        let _ = Batch::new(2, 1, vec![0.0; 2], vec![vec![1]], vec![0.0, 1.0]);
+    }
+}

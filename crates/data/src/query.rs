@@ -1,0 +1,189 @@
+//! Inference query traces.
+//!
+//! The paper's serving experiments (§5.3) evaluate a generated query set of
+//! 10K queries whose sizes follow a lognormal distribution with average 128
+//! samples per query, arriving at a target load of 1000 QPS with SLA
+//! latency targets of 1–100s of milliseconds.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One inference query: a batch of samples arriving together.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Query {
+    /// Sequential query identifier.
+    pub id: u64,
+    /// Number of samples (batch size) in the query.
+    pub size: usize,
+    /// Arrival time in microseconds from trace start.
+    pub arrival_us: u64,
+}
+
+/// Configuration of the query trace generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryTraceConfig {
+    /// Number of queries in the trace (paper default: 10_000).
+    pub num_queries: usize,
+    /// Mean query size (paper default: 128).
+    pub mean_size: f64,
+    /// Lognormal shape parameter sigma (DeepRecSys-style traces use ~1.0).
+    pub sigma: f64,
+    /// Largest admissible query size (paper: 1–4K samples).
+    pub max_size: usize,
+    /// Target arrival rate in queries per second (paper default: 1000).
+    pub qps: f64,
+    /// Whether arrivals are Poisson (exponential gaps) or uniformly paced.
+    pub poisson_arrivals: bool,
+}
+
+impl Default for QueryTraceConfig {
+    fn default() -> Self {
+        QueryTraceConfig {
+            num_queries: 10_000,
+            mean_size: 128.0,
+            sigma: 1.0,
+            max_size: 4096,
+            qps: 1000.0,
+            poisson_arrivals: true,
+        }
+    }
+}
+
+/// Lognormal-size / Poisson-arrival query trace generator.
+///
+/// # Examples
+///
+/// ```
+/// use mprec_data::query::{QueryGenerator, QueryTraceConfig};
+///
+/// let trace = QueryGenerator::new(QueryTraceConfig::default(), 7).generate();
+/// assert_eq!(trace.len(), 10_000);
+/// let mean = trace.iter().map(|q| q.size as f64).sum::<f64>() / trace.len() as f64;
+/// assert!((mean - 128.0).abs() < 15.0);
+/// ```
+#[derive(Debug)]
+pub struct QueryGenerator {
+    cfg: QueryTraceConfig,
+    rng: StdRng,
+}
+
+impl QueryGenerator {
+    /// Creates a generator for the given configuration and seed.
+    pub fn new(cfg: QueryTraceConfig, seed: u64) -> Self {
+        QueryGenerator {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &QueryTraceConfig {
+        &self.cfg
+    }
+
+    /// Generates the full trace, sorted by arrival time.
+    pub fn generate(mut self) -> Vec<Query> {
+        // For a lognormal with E[X] = mean we need mu = ln(mean) - sigma^2/2.
+        let mu = self.cfg.mean_size.ln() - self.cfg.sigma * self.cfg.sigma / 2.0;
+        let mut t_us = 0.0f64;
+        let gap_us = 1e6 / self.cfg.qps;
+        let mut out = Vec::with_capacity(self.cfg.num_queries);
+        for id in 0..self.cfg.num_queries {
+            let z = standard_normal(&mut self.rng);
+            let size = (mu + self.cfg.sigma * z).exp();
+            let size = (size.round() as usize).clamp(1, self.cfg.max_size);
+            if self.cfg.poisson_arrivals {
+                let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+                t_us += -gap_us * u.ln();
+            } else {
+                t_us += gap_us;
+            }
+            out.push(Query {
+                id: id as u64,
+                size,
+                arrival_us: t_us as u64,
+            });
+        }
+        out
+    }
+}
+
+fn standard_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(cfg: QueryTraceConfig) -> Vec<Query> {
+        QueryGenerator::new(cfg, 42).generate()
+    }
+
+    #[test]
+    fn sizes_match_configured_mean() {
+        let t = trace(QueryTraceConfig::default());
+        let mean = t.iter().map(|q| q.size as f64).sum::<f64>() / t.len() as f64;
+        assert!((mean - 128.0).abs() < 15.0, "mean size {mean}");
+    }
+
+    #[test]
+    fn sizes_are_clamped() {
+        let cfg = QueryTraceConfig {
+            max_size: 256,
+            sigma: 2.0,
+            ..QueryTraceConfig::default()
+        };
+        let t = trace(cfg);
+        assert!(t.iter().all(|q| q.size >= 1 && q.size <= 256));
+    }
+
+    #[test]
+    fn arrival_times_are_monotone() {
+        let t = trace(QueryTraceConfig::default());
+        for w in t.windows(2) {
+            assert!(w[0].arrival_us <= w[1].arrival_us);
+        }
+    }
+
+    #[test]
+    fn arrival_rate_matches_qps() {
+        let t = trace(QueryTraceConfig::default());
+        let span_s = t.last().unwrap().arrival_us as f64 / 1e6;
+        let rate = t.len() as f64 / span_s;
+        assert!((rate - 1000.0).abs() < 50.0, "achieved rate {rate}");
+    }
+
+    #[test]
+    fn uniform_arrivals_have_fixed_gap() {
+        let cfg = QueryTraceConfig {
+            poisson_arrivals: false,
+            num_queries: 10,
+            ..QueryTraceConfig::default()
+        };
+        let t = trace(cfg);
+        let gaps: Vec<u64> = t.windows(2).map(|w| w[1].arrival_us - w[0].arrival_us).collect();
+        assert!(gaps.iter().all(|&g| (g as i64 - 1000).abs() <= 1));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = QueryGenerator::new(QueryTraceConfig::default(), 9).generate();
+        let b = QueryGenerator::new(QueryTraceConfig::default(), 9).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sizes_are_right_skewed() {
+        // Lognormal: median < mean.
+        let t = trace(QueryTraceConfig::default());
+        let mut sizes: Vec<usize> = t.iter().map(|q| q.size).collect();
+        sizes.sort_unstable();
+        let median = sizes[sizes.len() / 2] as f64;
+        let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        assert!(median < mean, "median {median} !< mean {mean}");
+    }
+}

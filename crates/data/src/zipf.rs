@@ -1,0 +1,176 @@
+//! Zipf-distributed ID sampling.
+
+use rand::Rng;
+
+/// A Zipf(`n`, `s`) sampler over ranks `0..n`: rank `r` has probability
+/// proportional to `1 / (r+1)^s`.
+///
+/// Recommendation traces follow such power laws (paper §4.3, Fig. 16a:
+/// "hot row IDs have 10K+ access counts while others are barely accessed").
+/// Sampling uses binary search over a precomputed CDF (`O(log n)` per draw),
+/// which is exact and fast for the scaled-down cardinalities used in
+/// training; paper-scale *trace statistics* only need the analytic mass
+/// functions exposed here.
+///
+/// # Examples
+///
+/// ```
+/// use mprec_data::Zipf;
+/// use rand::{SeedableRng, rngs::StdRng};
+///
+/// let z = Zipf::new(1000, 1.05);
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let id = z.sample(&mut rng);
+/// assert!(id < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    exponent: f64,
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `0..n` with the given exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: u64, exponent: f64) -> Self {
+        assert!(n > 0, "zipf support must be non-empty");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in cdf.iter_mut() {
+            *v /= total;
+        }
+        Zipf { n, exponent, cdf }
+    }
+
+    /// Support size.
+    pub fn support(&self) -> u64 {
+        self.n
+    }
+
+    /// The exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Draws one rank.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i as u64,
+            Err(i) => (i as u64).min(self.n - 1),
+        }
+    }
+
+    /// Probability mass of rank `r`.
+    pub fn pmf(&self, r: u64) -> f64 {
+        if r >= self.n {
+            return 0.0;
+        }
+        let prev = if r == 0 { 0.0 } else { self.cdf[(r - 1) as usize] };
+        self.cdf[r as usize] - prev
+    }
+
+    /// Cumulative mass of the `k` most popular ranks — i.e. the expected hit
+    /// rate of a cache that pins the top-`k` hottest IDs. This is the
+    /// analytic backbone of the MP-Cache encoder model.
+    pub fn top_k_mass(&self, k: u64) -> f64 {
+        if k == 0 {
+            0.0
+        } else {
+            self.cdf[(k.min(self.n) - 1) as usize]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 0.9);
+        let total: f64 = (0..100).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_zero_is_most_popular() {
+        let z = Zipf::new(1000, 1.0);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(10));
+        assert!(z.pmf(10) > z.pmf(999));
+    }
+
+    #[test]
+    fn empirical_matches_analytic_head() {
+        let z = Zipf::new(50, 1.0);
+        let mut rng = StdRng::seed_from_u64(123);
+        let n = 200_000;
+        let mut counts = vec![0u64; 50];
+        for _ in 0..n {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let emp0 = counts[0] as f64 / n as f64;
+        assert!(
+            (emp0 - z.pmf(0)).abs() < 0.01,
+            "empirical {emp0} vs analytic {}",
+            z.pmf(0)
+        );
+    }
+
+    #[test]
+    fn top_k_mass_is_monotone_and_caps_at_one() {
+        let z = Zipf::new(1000, 1.05);
+        assert_eq!(z.top_k_mass(0), 0.0);
+        assert!(z.top_k_mass(10) < z.top_k_mass(100));
+        assert!((z.top_k_mass(1000) - 1.0).abs() < 1e-9);
+        assert!((z.top_k_mass(5000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavier_exponent_concentrates_mass() {
+        let light = Zipf::new(10_000, 0.6);
+        let heavy = Zipf::new(10_000, 1.2);
+        assert!(heavy.top_k_mass(100) > light.top_k_mass(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_support_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn samples_in_support(n in 1u64..500, s in 0.1f64..2.0, seed in any::<u64>()) {
+            let z = Zipf::new(n, s);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..20 {
+                prop_assert!(z.sample(&mut rng) < n);
+            }
+        }
+
+        #[test]
+        fn pmf_is_decreasing(n in 2u64..200, s in 0.1f64..2.0) {
+            let z = Zipf::new(n, s);
+            for r in 0..n - 1 {
+                prop_assert!(z.pmf(r) >= z.pmf(r + 1));
+            }
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! DLRM's dot-product feature interaction.
+//!
+//! Given the bottom-MLP output `z` and one embedding per sparse feature
+//! (all width `d`), the interaction layer computes every pairwise dot
+//! product among the `1 + F` vectors and concatenates them after `z`:
+//! `top_input = [z | <v_i, v_j> for i < j]`.
+
+use mprec_tensor::{ops, Matrix};
+
+use crate::{DlrmError, Result};
+
+/// Width of the interaction output: `d + (F+1) * F / 2` where `F` is the
+/// number of sparse features and `d` the shared vector width.
+pub fn interaction_output_dim(d: usize, num_features: usize) -> usize {
+    let n = num_features + 1;
+    d + n * (n - 1) / 2
+}
+
+fn check_shapes(z: &Matrix, embs: &[Matrix]) -> Result<()> {
+    let (batch, d) = z.shape();
+    for (f, e) in embs.iter().enumerate() {
+        if e.shape() != (batch, d) {
+            return Err(DlrmError::BadConfig(format!(
+                "interaction: feature {f} has shape {:?}, expected ({batch}, {d})",
+                e.shape()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Forward interaction: returns the `batch x (d + pairs)` top-MLP input.
+///
+/// # Errors
+///
+/// Returns [`DlrmError::BadConfig`] if any embedding's shape disagrees with
+/// `z`.
+pub fn interaction_forward(z: &Matrix, embs: &[Matrix]) -> Result<Matrix> {
+    check_shapes(z, embs)?;
+    let (batch, d) = z.shape();
+    let out_dim = interaction_output_dim(d, embs.len());
+    let mut out = Matrix::zeros(batch, out_dim);
+    for b in 0..batch {
+        let row = out.row_mut(b);
+        row[..d].copy_from_slice(z.row(b));
+        let mut idx = d;
+        let n = embs.len() + 1;
+        for i in 0..n {
+            let vi = if i == 0 { z.row(b) } else { embs[i - 1].row(b) };
+            for j in (i + 1)..n {
+                let vj = if j == 0 { z.row(b) } else { embs[j - 1].row(b) };
+                row[idx] = ops::dot(vi, vj);
+                idx += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Backward interaction: given the gradient w.r.t. the top-MLP input,
+/// returns `(dz, dembs)`.
+///
+/// # Errors
+///
+/// Returns [`DlrmError::BadConfig`] on any shape disagreement.
+pub fn interaction_backward(
+    z: &Matrix,
+    embs: &[Matrix],
+    grad_top_in: &Matrix,
+) -> Result<(Matrix, Vec<Matrix>)> {
+    check_shapes(z, embs)?;
+    let (batch, d) = z.shape();
+    let out_dim = interaction_output_dim(d, embs.len());
+    if grad_top_in.shape() != (batch, out_dim) {
+        return Err(DlrmError::BadConfig(format!(
+            "interaction backward: grad shape {:?}, expected ({batch}, {out_dim})",
+            grad_top_in.shape()
+        )));
+    }
+    let mut dz = Matrix::zeros(batch, d);
+    let mut dembs: Vec<Matrix> = embs.iter().map(|_| Matrix::zeros(batch, d)).collect();
+    for b in 0..batch {
+        let g = grad_top_in.row(b);
+        // Pass-through part.
+        dz.row_mut(b).copy_from_slice(&g[..d]);
+        // Dot-product part: d<vi,vj>/dvi = vj and vice versa.
+        let mut idx = d;
+        let n = embs.len() + 1;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let gd = g[idx];
+                idx += 1;
+                if gd == 0.0 {
+                    continue;
+                }
+                // Accumulate gd * vj into dvi and gd * vi into dvj.
+                // Copy source rows first to appease the borrow checker.
+                let vi: Vec<f32> = if i == 0 {
+                    z.row(b).to_vec()
+                } else {
+                    embs[i - 1].row(b).to_vec()
+                };
+                let vj: Vec<f32> = if j == 0 {
+                    z.row(b).to_vec()
+                } else {
+                    embs[j - 1].row(b).to_vec()
+                };
+                {
+                    let dst = if i == 0 {
+                        dz.row_mut(b)
+                    } else {
+                        dembs[i - 1].row_mut(b)
+                    };
+                    ops::axpy(gd, &vj, dst);
+                }
+                {
+                    let dst = if j == 0 {
+                        dz.row_mut(b)
+                    } else {
+                        dembs[j - 1].row_mut(b)
+                    };
+                    ops::axpy(gd, &vi, dst);
+                }
+            }
+        }
+    }
+    Ok((dz, dembs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(batch: usize, d: usize, scale: f32) -> Matrix {
+        Matrix::from_fn(batch, d, |r, c| ((r * d + c) as f32 * 0.1 + 0.05) * scale)
+    }
+
+    #[test]
+    fn output_dim_formula() {
+        // 1 bottom vector + 2 features = 3 vectors -> 3 pairs.
+        assert_eq!(interaction_output_dim(4, 2), 4 + 3);
+        // DLRM-Kaggle shape: d=16, 26 features -> 16 + 27*26/2 = 367.
+        assert_eq!(interaction_output_dim(16, 26), 367);
+    }
+
+    #[test]
+    fn forward_contains_passthrough_and_dots() {
+        let z = mk(1, 2, 1.0); // [0.05, 0.15]
+        let e0 = mk(1, 2, 2.0); // [0.1, 0.3]
+        let out = interaction_forward(&z, &[e0.clone()]).unwrap();
+        assert_eq!(out.shape(), (1, 3));
+        assert_eq!(&out.row(0)[..2], z.row(0));
+        let expect = ops::dot(z.row(0), e0.row(0));
+        assert!((out[(0, 2)] - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn forward_rejects_mismatched_dims() {
+        let z = mk(2, 4, 1.0);
+        let bad = mk(2, 3, 1.0);
+        assert!(interaction_forward(&z, &[bad]).is_err());
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let batch = 2;
+        let d = 3;
+        let z = mk(batch, d, 0.7);
+        let embs = vec![mk(batch, d, 1.3), mk(batch, d, -0.4)];
+        // Scalar loss: sum of all interaction outputs.
+        let fwd_loss = |z: &Matrix, embs: &[Matrix]| -> f32 {
+            interaction_forward(z, embs)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .sum()
+        };
+        let out = interaction_forward(&z, &embs).unwrap();
+        let grad = Matrix::filled(out.rows(), out.cols(), 1.0);
+        let (dz, dembs) = interaction_backward(&z, &embs, &grad).unwrap();
+
+        let eps = 1e-2f32;
+        for r in 0..batch {
+            for c in 0..d {
+                let mut zp = z.clone();
+                zp[(r, c)] += eps;
+                let mut zm = z.clone();
+                zm[(r, c)] -= eps;
+                let num = (fwd_loss(&zp, &embs) - fwd_loss(&zm, &embs)) / (2.0 * eps);
+                assert!(
+                    (num - dz[(r, c)]).abs() < 0.05,
+                    "dz[{r},{c}] numeric {num} vs analytic {}",
+                    dz[(r, c)]
+                );
+                for f in 0..embs.len() {
+                    let mut ep = embs.clone();
+                    ep[f][(r, c)] += eps;
+                    let mut em = embs.clone();
+                    em[f][(r, c)] -= eps;
+                    let num = (fwd_loss(&z, &ep) - fwd_loss(&z, &em)) / (2.0 * eps);
+                    assert!(
+                        (num - dembs[f][(r, c)]).abs() < 0.05,
+                        "demb[{f}][{r},{c}] numeric {num} vs analytic {}",
+                        dembs[f][(r, c)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backward_rejects_bad_grad_shape() {
+        let z = mk(1, 2, 1.0);
+        let embs = vec![mk(1, 2, 1.0)];
+        let bad = Matrix::zeros(1, 99);
+        assert!(interaction_backward(&z, &embs, &bad).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! DLRM substrate: Meta's Deep Learning Recommendation Model (paper §5.2).
+//!
+//! The paper evaluates every embedding representation by swapping it into
+//! DLRM ([Naumov et al. 2019]): a bottom MLP projects the 13 dense features
+//! to the embedding dimension, the embedding layer produces one vector per
+//! sparse feature, a dot-product **feature interaction** forms all pairwise
+//! similarities, and a top MLP maps `[bottom output | interactions]` to a
+//! click logit.
+//!
+//! This crate provides the full model ([`Dlrm`]), a streaming trainer over
+//! the synthetic Criteo-shaped data ([`train`]), and CTR evaluation metrics
+//! ([`metrics`]).
+//!
+//! [Naumov et al. 2019]: https://arxiv.org/abs/1906.00091
+//!
+//! # Examples
+//!
+//! Train a tiny table-representation DLRM for a few steps:
+//!
+//! ```
+//! use mprec_data::DatasetSpec;
+//! use mprec_dlrm::{train, DlrmConfig, TrainConfig};
+//! use mprec_embed::RepresentationConfig;
+//!
+//! let spec = DatasetSpec::kaggle_sim(10_000);
+//! let model_cfg = DlrmConfig::for_spec(&spec, RepresentationConfig::table(8));
+//! let train_cfg = TrainConfig { steps: 20, batch_size: 32, eval_samples: 256, ..TrainConfig::default() };
+//! let report = train(&spec, &model_cfg, &train_cfg)?;
+//! assert!(report.accuracy > 0.3 && report.accuracy < 1.0);
+//! # Ok::<(), mprec_dlrm::DlrmError>(())
+//! ```
+
+mod interaction;
+mod model;
+mod trainer;
+
+pub mod metrics;
+
+pub use interaction::{interaction_backward, interaction_forward, interaction_output_dim};
+pub use model::{Dlrm, DlrmConfig};
+pub use trainer::{train, TrainConfig, TrainReport};
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by model assembly, training or evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DlrmError {
+    /// Underlying embedding error.
+    Embed(mprec_embed::EmbedError),
+    /// Underlying neural-net error.
+    Nn(mprec_nn::NnError),
+    /// Underlying tensor error.
+    Tensor(mprec_tensor::TensorError),
+    /// Model configuration inconsistent with the dataset spec.
+    BadConfig(String),
+}
+
+impl fmt::Display for DlrmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DlrmError::Embed(e) => write!(f, "embedding error: {e}"),
+            DlrmError::Nn(e) => write!(f, "nn error: {e}"),
+            DlrmError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DlrmError::BadConfig(msg) => write!(f, "bad dlrm config: {msg}"),
+        }
+    }
+}
+
+impl Error for DlrmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DlrmError::Embed(e) => Some(e),
+            DlrmError::Nn(e) => Some(e),
+            DlrmError::Tensor(e) => Some(e),
+            DlrmError::BadConfig(_) => None,
+        }
+    }
+}
+
+impl From<mprec_embed::EmbedError> for DlrmError {
+    fn from(e: mprec_embed::EmbedError) -> Self {
+        DlrmError::Embed(e)
+    }
+}
+
+impl From<mprec_nn::NnError> for DlrmError {
+    fn from(e: mprec_nn::NnError) -> Self {
+        DlrmError::Nn(e)
+    }
+}
+
+impl From<mprec_tensor::TensorError> for DlrmError {
+    fn from(e: mprec_tensor::TensorError) -> Self {
+        DlrmError::Tensor(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DlrmError>;

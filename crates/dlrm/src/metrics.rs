@@ -1,0 +1,147 @@
+//! CTR evaluation metrics: accuracy, log-loss and AUC.
+
+/// Summary of a model evaluation on held-out samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// Binary accuracy at a 0.5 threshold (the paper's headline metric).
+    pub accuracy: f32,
+    /// Mean binary cross-entropy of the predicted probabilities.
+    pub log_loss: f32,
+    /// Area under the ROC curve.
+    pub auc: f32,
+    /// Number of evaluated samples.
+    pub samples: usize,
+}
+
+/// Binary accuracy at threshold 0.5.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn accuracy(probs: &[f32], labels: &[f32]) -> f32 {
+    assert_eq!(probs.len(), labels.len(), "accuracy: length mismatch");
+    if probs.is_empty() {
+        return 0.0;
+    }
+    let correct = probs
+        .iter()
+        .zip(labels.iter())
+        .filter(|(&p, &y)| (p >= 0.5) == (y >= 0.5))
+        .count();
+    correct as f32 / probs.len() as f32
+}
+
+/// Rank-based AUC (probability a random positive outranks a random
+/// negative), with the standard tie correction.
+///
+/// Returns 0.5 when either class is absent.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn auc(probs: &[f32], labels: &[f32]) -> f32 {
+    assert_eq!(probs.len(), labels.len(), "auc: length mismatch");
+    let n_pos = labels.iter().filter(|&&y| y >= 0.5).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Rank all predictions (average rank for ties).
+    let mut order: Vec<usize> = (0..probs.len()).collect();
+    // total_cmp keeps the metric well-defined even if a diverged model
+    // emits NaN probabilities (NaNs sort to the end).
+    order.sort_by(|&a, &b| probs[a].total_cmp(&probs[b]));
+    let mut ranks = vec![0.0f64; probs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && probs[order[j + 1]] == probs[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = labels
+        .iter()
+        .zip(ranks.iter())
+        .filter(|(&y, _)| y >= 0.5)
+        .map(|(_, &r)| r)
+        .sum();
+    let u = rank_sum_pos - (n_pos as f64 * (n_pos as f64 + 1.0)) / 2.0;
+    (u / (n_pos as f64 * n_neg as f64)) as f32
+}
+
+/// Full evaluation bundle.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn evaluate(probs: &[f32], labels: &[f32]) -> Evaluation {
+    Evaluation {
+        accuracy: accuracy(probs, labels),
+        log_loss: mprec_nn::log_loss(probs, labels).expect("checked lengths"),
+        auc: auc(probs, labels),
+        samples: probs.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_threshold_halves() {
+        let p = [0.9, 0.1, 0.6, 0.4];
+        let y = [1.0, 0.0, 0.0, 1.0];
+        assert_eq!(accuracy(&p, &y), 0.5);
+    }
+
+    #[test]
+    fn perfect_separation_gives_auc_one() {
+        let p = [0.1, 0.2, 0.8, 0.9];
+        let y = [0.0, 0.0, 1.0, 1.0];
+        assert!((auc(&p, &y) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reversed_separation_gives_auc_zero() {
+        let p = [0.9, 0.8, 0.2, 0.1];
+        let y = [0.0, 0.0, 1.0, 1.0];
+        assert!(auc(&p, &y) < 1e-6);
+    }
+
+    #[test]
+    fn random_constant_predictions_give_half_auc() {
+        let p = [0.5; 6];
+        let y = [0.0, 1.0, 0.0, 1.0, 0.0, 1.0];
+        assert!((auc(&p, &y) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_class_returns_half() {
+        assert_eq!(auc(&[0.3, 0.7], &[1.0, 1.0]), 0.5);
+    }
+
+    #[test]
+    fn known_partial_auc() {
+        // pos ranks: 0.4 (beats 0.1, loses to 0.55) -> pairs won: 1 of 2,
+        // 0.9 beats both negatives -> 2 of 2. AUC = 3/4.
+        let p = [0.1, 0.4, 0.55, 0.9];
+        let y = [0.0, 1.0, 0.0, 1.0];
+        assert!((auc(&p, &y) - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn evaluate_bundles_consistently() {
+        let p = [0.8, 0.2, 0.7, 0.3];
+        let y = [1.0, 0.0, 1.0, 0.0];
+        let e = evaluate(&p, &y);
+        assert_eq!(e.samples, 4);
+        assert_eq!(e.accuracy, 1.0);
+        assert!((e.auc - 1.0).abs() < 1e-6);
+        assert!(e.log_loss > 0.0);
+    }
+}

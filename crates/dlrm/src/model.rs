@@ -1,0 +1,361 @@
+//! The DLRM model assembly.
+
+use mprec_data::DatasetSpec;
+use mprec_embed::{EmbeddingLayer, RepresentationConfig};
+use mprec_nn::{Activation, Adagrad, Mlp, Sgd};
+use mprec_tensor::Matrix;
+use rand::Rng;
+
+use crate::{
+    interaction_backward, interaction_forward, interaction_output_dim, DlrmError, Result,
+};
+
+/// Architecture of a DLRM instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DlrmConfig {
+    /// Dense feature count (input width of the bottom MLP).
+    pub num_dense: usize,
+    /// Hidden widths of the bottom MLP (its output width is forced to the
+    /// representation's `feature_dim`).
+    pub bottom_hidden: Vec<usize>,
+    /// Hidden widths of the top MLP (its input is the interaction output,
+    /// its output is the single click logit).
+    pub top_hidden: Vec<usize>,
+    /// The embedding representation to instantiate.
+    pub representation: RepresentationConfig,
+    /// Training-scale table cardinalities.
+    pub cardinalities: Vec<u64>,
+}
+
+impl DlrmConfig {
+    /// The scaled-down architecture used throughout the reproduction's
+    /// accuracy experiments: bottom `13-64-d`, top `in-64-32-1`.
+    pub fn for_spec(spec: &DatasetSpec, representation: RepresentationConfig) -> Self {
+        DlrmConfig {
+            num_dense: spec.num_dense_features,
+            bottom_hidden: vec![64],
+            top_hidden: vec![64, 32],
+            representation,
+            cardinalities: spec.scaled_cardinalities(),
+        }
+    }
+
+    /// Number of sparse features.
+    pub fn num_sparse(&self) -> usize {
+        self.cardinalities.len()
+    }
+}
+
+/// A complete DLRM: bottom MLP, embedding layer, dot interaction, top MLP.
+///
+/// See the crate docs for a training example.
+#[derive(Debug, Clone)]
+pub struct Dlrm {
+    config: DlrmConfig,
+    bottom: Mlp,
+    embeddings: EmbeddingLayer,
+    top: Mlp,
+    // Cached activations between forward and backward_step.
+    cached: Option<CachedForward>,
+}
+
+#[derive(Debug, Clone)]
+struct CachedForward {
+    z: Matrix,
+    embs: Vec<Matrix>,
+    sparse: Vec<Vec<u64>>,
+}
+
+impl Dlrm {
+    /// Builds a model from its configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError::BadConfig`] on inconsistent dimensions or
+    /// propagates embedding/MLP construction errors.
+    pub fn new(config: DlrmConfig, rng: &mut impl Rng) -> Result<Self> {
+        config
+            .representation
+            .validate()
+            .map_err(DlrmError::Embed)?;
+        let d = config.representation.feature_dim();
+        if d == 0 {
+            return Err(DlrmError::BadConfig("feature_dim is zero".into()));
+        }
+        let mut bottom_sizes = vec![config.num_dense];
+        bottom_sizes.extend_from_slice(&config.bottom_hidden);
+        bottom_sizes.push(d);
+        let bottom = Mlp::new(&bottom_sizes, Activation::Relu, Activation::Relu, rng)?;
+
+        let embeddings = EmbeddingLayer::new(&config.representation, &config.cardinalities, rng)?;
+
+        let top_in = interaction_output_dim(d, config.num_sparse());
+        let mut top_sizes = vec![top_in];
+        top_sizes.extend_from_slice(&config.top_hidden);
+        top_sizes.push(1);
+        let top = Mlp::new(&top_sizes, Activation::Relu, Activation::Identity, rng)?;
+
+        Ok(Dlrm {
+            config,
+            bottom,
+            embeddings,
+            top,
+            cached: None,
+        })
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &DlrmConfig {
+        &self.config
+    }
+
+    /// The embedding layer (for capacity inspection and MP-Cache wiring).
+    pub fn embeddings(&self) -> &EmbeddingLayer {
+        &self.embeddings
+    }
+
+    /// Dense (MLP) parameter count.
+    pub fn dense_param_count(&self) -> usize {
+        self.bottom.param_count() + self.top.param_count()
+    }
+
+    /// Total allocated parameter bytes (training scale).
+    pub fn capacity_bytes(&self) -> u64 {
+        self.dense_param_count() as u64 * 4 + self.embeddings.capacity_bytes()
+    }
+
+    /// Training forward pass: returns raw logits (`batch x 1`) and caches
+    /// activations for [`Dlrm::backward_step`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape/lookup errors from the sub-modules.
+    pub fn forward(&mut self, dense: &Matrix, sparse: &[Vec<u64>]) -> Result<Matrix> {
+        let z = self.bottom.forward(dense)?;
+        let embs = self.embeddings.forward(sparse)?;
+        let top_in = interaction_forward(&z, &embs)?;
+        let logits = self.top.forward(&top_in)?;
+        self.cached = Some(CachedForward {
+            z,
+            embs,
+            sparse: sparse.to_vec(),
+        });
+        Ok(logits)
+    }
+
+    /// Inference forward pass: returns logits without mutating the model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape/lookup errors from the sub-modules.
+    pub fn infer(&self, dense: &Matrix, sparse: &[Vec<u64>]) -> Result<Matrix> {
+        let z = self.bottom.infer(dense)?;
+        let embs = self.embeddings.infer(sparse)?;
+        let top_in = interaction_forward(&z, &embs)?;
+        Ok(self.top.infer(&top_in)?)
+    }
+
+    /// Predicted click probabilities for a batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape/lookup errors from the sub-modules.
+    pub fn predict(&self, dense: &Matrix, sparse: &[Vec<u64>]) -> Result<Vec<f32>> {
+        let logits = self.infer(dense, sparse)?;
+        Ok(logits
+            .as_slice()
+            .iter()
+            .map(|&z| mprec_tensor::ops::sigmoid(z))
+            .collect())
+    }
+
+    /// Backward pass + parameter update from the loss gradient w.r.t. the
+    /// logits. Dense parameters take an SGD step with `dense_lr`; embedding
+    /// tables take sparse Adagrad steps with `sparse_lr`; DHE decoders use
+    /// Adagrad with `sparse_lr` (they stand in for tables, and adaptive
+    /// updates are what DLRM uses on the embedding side).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no forward pass is cached or shapes disagree.
+    pub fn backward_step(
+        &mut self,
+        grad_logits: &Matrix,
+        dense_lr: f32,
+        sparse_lr: f32,
+    ) -> Result<()> {
+        let cached = self
+            .cached
+            .take()
+            .ok_or(DlrmError::Nn(mprec_nn::NnError::NoForwardCached))?;
+        let grad_top_in = self.top.backward(grad_logits)?;
+        let (dz, mut dembs) = interaction_backward(&cached.z, &cached.embs, &grad_top_in)?;
+        self.bottom.backward(&dz)?;
+        let opt = Sgd { lr: dense_lr };
+        self.top.step(&opt);
+        self.bottom.step(&opt);
+        // Clip per-feature embedding gradients: the interaction's bilinear
+        // terms occasionally spike and adaptive decoder updates would
+        // otherwise amplify them into divergence.
+        const EMB_GRAD_CLIP: f32 = 1.0;
+        for g in dembs.iter_mut() {
+            let norm = g.frob_norm();
+            if norm > EMB_GRAD_CLIP {
+                g.scale(EMB_GRAD_CLIP / norm);
+            }
+        }
+        // Decoder layers are dense (every sample touches every weight),
+        // so their adaptive step must be far smaller than the sparse
+        // per-row table updates to stay stable.
+        let emb_opt = Adagrad {
+            lr: sparse_lr * 0.2,
+            eps: 1e-8,
+        };
+        self.embeddings
+            .backward_step(&cached.sparse, &dembs, sparse_lr, &emb_opt)?;
+        Ok(())
+    }
+
+    /// Forward FLOPs per sample (used to cross-check the hardware model's
+    /// workload description against the real implementation).
+    pub fn forward_flops_per_sample(&self) -> u64 {
+        let d = self.config.representation.feature_dim();
+        let f = self.config.num_sparse();
+        let bottom = self.bottom.forward_flops(1);
+        let top = self.top.forward_flops(1);
+        let emb = self
+            .config
+            .representation
+            .flops_per_sample(&self.config.cardinalities);
+        let n = f + 1;
+        let inter = (n * (n - 1) / 2) as u64 * 2 * d as u64;
+        bottom + top + emb + inter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mprec_data::DatasetSpec;
+    use mprec_embed::DheConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_spec() -> DatasetSpec {
+        DatasetSpec::kaggle_sim(100_000)
+    }
+
+    fn dhe_cfg(out_dim: usize) -> DheConfig {
+        DheConfig {
+            k: 8,
+            dnn: 8,
+            h: 1,
+            out_dim,
+        }
+    }
+
+    fn batch(n: usize, spec: &DatasetSpec) -> (Matrix, Vec<Vec<u64>>) {
+        let dense = Matrix::from_fn(n, spec.num_dense_features, |r, c| {
+            ((r + c) as f32 * 0.37).sin()
+        });
+        let cards = spec.scaled_cardinalities();
+        let sparse: Vec<Vec<u64>> = cards
+            .iter()
+            .map(|&card| (0..n).map(|i| (i as u64 * 7 + 3) % card).collect())
+            .collect();
+        (dense, sparse)
+    }
+
+    #[test]
+    fn builds_and_infers_for_all_representations() {
+        let spec = tiny_spec();
+        let mut rng = StdRng::seed_from_u64(0);
+        for rep in [
+            RepresentationConfig::table(8),
+            RepresentationConfig::dhe(dhe_cfg(8)),
+            RepresentationConfig::select(8, dhe_cfg(8), 3),
+            RepresentationConfig::hybrid(8, dhe_cfg(4)),
+        ] {
+            let cfg = DlrmConfig::for_spec(&spec, rep);
+            let model = Dlrm::new(cfg, &mut rng).unwrap();
+            let (dense, sparse) = batch(4, &spec);
+            let p = model.predict(&dense, &sparse).unwrap();
+            assert_eq!(p.len(), 4);
+            assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn hybrid_has_wider_interaction() {
+        let spec = tiny_spec();
+        let mut rng = StdRng::seed_from_u64(0);
+        let table = Dlrm::new(
+            DlrmConfig::for_spec(&spec, RepresentationConfig::table(8)),
+            &mut rng,
+        )
+        .unwrap();
+        let hybrid = Dlrm::new(
+            DlrmConfig::for_spec(&spec, RepresentationConfig::hybrid(8, dhe_cfg(8))),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(hybrid.capacity_bytes() > table.capacity_bytes());
+        assert!(hybrid.forward_flops_per_sample() > table.forward_flops_per_sample());
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let spec = tiny_spec();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = Dlrm::new(
+            DlrmConfig::for_spec(&spec, RepresentationConfig::table(8)),
+            &mut rng,
+        )
+        .unwrap();
+        let g = Matrix::zeros(4, 1);
+        assert!(model.backward_step(&g, 0.1, 0.1).is_err());
+    }
+
+    #[test]
+    fn one_training_step_reduces_loss_on_fixed_batch() {
+        use mprec_nn::bce_with_logits_grad;
+        let spec = tiny_spec();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = Dlrm::new(
+            DlrmConfig::for_spec(&spec, RepresentationConfig::table(8)),
+            &mut rng,
+        )
+        .unwrap();
+        let (dense, sparse) = batch(16, &spec);
+        let labels: Vec<f32> = (0..16).map(|i| (i % 2) as f32).collect();
+        let mut losses = Vec::new();
+        for _ in 0..30 {
+            let logits = model.forward(&dense, &sparse).unwrap();
+            let (loss, grad) = bce_with_logits_grad(&logits, &labels).unwrap();
+            losses.push(loss);
+            model.backward_step(&grad, 0.1, 0.1).unwrap();
+        }
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.9),
+            "loss did not drop: {:?} -> {:?}",
+            losses.first(),
+            losses.last()
+        );
+    }
+
+    #[test]
+    fn infer_is_deterministic() {
+        let spec = tiny_spec();
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = Dlrm::new(
+            DlrmConfig::for_spec(&spec, RepresentationConfig::dhe(dhe_cfg(8))),
+            &mut rng,
+        )
+        .unwrap();
+        let (dense, sparse) = batch(3, &spec);
+        assert_eq!(
+            model.infer(&dense, &sparse).unwrap(),
+            model.infer(&dense, &sparse).unwrap()
+        );
+    }
+}

@@ -1,0 +1,375 @@
+//! The model-level embedding layer: one representation instance per sparse
+//! feature, assembled according to a [`RepresentationConfig`].
+
+use mprec_nn::Optimizer;
+use mprec_tensor::Matrix;
+use rand::Rng;
+
+use crate::{
+    DheStack, EmbedError, EmbeddingTable, RepresentationConfig, RepresentationKind, Result,
+};
+
+/// The embedding mechanism of a single sparse feature.
+#[derive(Debug, Clone)]
+pub enum FeatureEmbedding {
+    /// Storage path only.
+    Table(EmbeddingTable),
+    /// Generation path only.
+    Dhe(DheStack),
+    /// Both paths, outputs concatenated `[table | dhe]` (paper Fig. 2d).
+    Hybrid {
+        /// The storage half.
+        table: EmbeddingTable,
+        /// The generation half.
+        dhe: DheStack,
+    },
+}
+
+impl FeatureEmbedding {
+    /// Output width of this feature's embedding.
+    pub fn out_dim(&self) -> usize {
+        match self {
+            FeatureEmbedding::Table(t) => t.dim(),
+            FeatureEmbedding::Dhe(d) => d.out_dim(),
+            FeatureEmbedding::Hybrid { table, dhe } => table.dim() + dhe.out_dim(),
+        }
+    }
+
+    /// Parameter bytes actually allocated (at training scale).
+    pub fn capacity_bytes(&self) -> u64 {
+        match self {
+            FeatureEmbedding::Table(t) => t.capacity_bytes(),
+            FeatureEmbedding::Dhe(d) => d.capacity_bytes(),
+            FeatureEmbedding::Hybrid { table, dhe } => {
+                table.capacity_bytes() + dhe.capacity_bytes()
+            }
+        }
+    }
+
+    fn forward(&mut self, ids: &[u64]) -> Result<Matrix> {
+        match self {
+            FeatureEmbedding::Table(t) => t.forward(ids),
+            FeatureEmbedding::Dhe(d) => d.forward(ids),
+            FeatureEmbedding::Hybrid { table, dhe } => {
+                let a = table.forward(ids)?;
+                let b = dhe.forward(ids)?;
+                Ok(a.hcat(&b)?)
+            }
+        }
+    }
+
+    fn infer(&self, ids: &[u64]) -> Result<Matrix> {
+        match self {
+            FeatureEmbedding::Table(t) => t.forward(ids),
+            FeatureEmbedding::Dhe(d) => d.infer(ids),
+            FeatureEmbedding::Hybrid { table, dhe } => {
+                let a = table.forward(ids)?;
+                let b = dhe.infer(ids)?;
+                Ok(a.hcat(&b)?)
+            }
+        }
+    }
+
+    fn backward_step(
+        &mut self,
+        ids: &[u64],
+        grad: &Matrix,
+        sparse_lr: f32,
+        opt: &impl Optimizer,
+    ) -> Result<()> {
+        match self {
+            FeatureEmbedding::Table(t) => t.backward_step(ids, grad, sparse_lr),
+            FeatureEmbedding::Dhe(d) => {
+                d.backward(grad)?;
+                d.step(opt);
+                Ok(())
+            }
+            FeatureEmbedding::Hybrid { table, dhe } => {
+                // Split the concatenated gradient back into halves.
+                let td = table.dim();
+                let dd = dhe.out_dim();
+                let mut gt = Matrix::zeros(grad.rows(), td);
+                let mut gd = Matrix::zeros(grad.rows(), dd);
+                for r in 0..grad.rows() {
+                    gt.row_mut(r).copy_from_slice(&grad.row(r)[..td]);
+                    gd.row_mut(r).copy_from_slice(&grad.row(r)[td..]);
+                }
+                table.backward_step(ids, &gt, sparse_lr)?;
+                dhe.backward(&gd)?;
+                dhe.step(opt);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The full embedding layer of a recommendation model: one
+/// [`FeatureEmbedding`] per sparse feature.
+///
+/// See the crate docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct EmbeddingLayer {
+    features: Vec<FeatureEmbedding>,
+    config: RepresentationConfig,
+}
+
+impl EmbeddingLayer {
+    /// Instantiates the layer for `cardinalities` (training-scale rows).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbedError::BadConfig`] if the configuration fails
+    /// validation.
+    pub fn new(
+        config: &RepresentationConfig,
+        cardinalities: &[u64],
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        config.validate()?;
+        let dhe_mask = config.dhe_features(cardinalities);
+        let mut features = Vec::with_capacity(cardinalities.len());
+        for (f, &card) in cardinalities.iter().enumerate() {
+            let fe = match config.kind {
+                RepresentationKind::Table => {
+                    FeatureEmbedding::Table(EmbeddingTable::new(card, config.table_dim, rng)?)
+                }
+                RepresentationKind::Dhe => FeatureEmbedding::Dhe(DheStack::new(
+                    config.dhe.expect("validated"),
+                    f,
+                    rng,
+                )?),
+                RepresentationKind::Select => {
+                    if dhe_mask[f] {
+                        FeatureEmbedding::Dhe(DheStack::new(
+                            config.dhe.expect("validated"),
+                            f,
+                            rng,
+                        )?)
+                    } else {
+                        FeatureEmbedding::Table(EmbeddingTable::new(
+                            card,
+                            config.table_dim,
+                            rng,
+                        )?)
+                    }
+                }
+                RepresentationKind::Hybrid => FeatureEmbedding::Hybrid {
+                    table: EmbeddingTable::new(card, config.table_dim, rng)?,
+                    dhe: DheStack::new(config.dhe.expect("validated"), f, rng)?,
+                },
+            };
+            features.push(fe);
+        }
+        Ok(EmbeddingLayer {
+            features,
+            config: config.clone(),
+        })
+    }
+
+    /// The configuration the layer was built from.
+    pub fn config(&self) -> &RepresentationConfig {
+        &self.config
+    }
+
+    /// Number of sparse features.
+    pub fn num_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Per-feature output width (uniform across features by construction).
+    pub fn feature_dim(&self) -> usize {
+        self.config.feature_dim()
+    }
+
+    /// Borrow of the per-feature embeddings.
+    pub fn features(&self) -> &[FeatureEmbedding] {
+        &self.features
+    }
+
+    /// Total allocated parameter bytes (training scale).
+    pub fn capacity_bytes(&self) -> u64 {
+        self.features.iter().map(|f| f.capacity_bytes()).sum()
+    }
+
+    /// Training forward: per-feature embedding matrices for a batch.
+    ///
+    /// `sparse[f][i]` is feature `f`'s ID for sample `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbedError::FeatureCountMismatch`] if `sparse.len()` is
+    /// wrong, or lookup/shape errors from individual features.
+    pub fn forward(&mut self, sparse: &[Vec<u64>]) -> Result<Vec<Matrix>> {
+        if sparse.len() != self.features.len() {
+            return Err(EmbedError::FeatureCountMismatch {
+                expected: self.features.len(),
+                got: sparse.len(),
+            });
+        }
+        self.features
+            .iter_mut()
+            .zip(sparse.iter())
+            .map(|(fe, ids)| fe.forward(ids))
+            .collect()
+    }
+
+    /// Inference forward (no gradient caches).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EmbeddingLayer::forward`].
+    pub fn infer(&self, sparse: &[Vec<u64>]) -> Result<Vec<Matrix>> {
+        if sparse.len() != self.features.len() {
+            return Err(EmbedError::FeatureCountMismatch {
+                expected: self.features.len(),
+                got: sparse.len(),
+            });
+        }
+        self.features
+            .iter()
+            .zip(sparse.iter())
+            .map(|(fe, ids)| fe.infer(ids))
+            .collect()
+    }
+
+    /// Backward + update: applies per-feature embedding gradients.
+    ///
+    /// Tables take sparse Adagrad steps with `sparse_lr`; DHE decoders use
+    /// `opt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbedError::FeatureCountMismatch`] on arity mismatch or
+    /// propagates per-feature errors.
+    pub fn backward_step(
+        &mut self,
+        sparse: &[Vec<u64>],
+        grads: &[Matrix],
+        sparse_lr: f32,
+        opt: &impl Optimizer,
+    ) -> Result<()> {
+        if grads.len() != self.features.len() || sparse.len() != self.features.len() {
+            return Err(EmbedError::FeatureCountMismatch {
+                expected: self.features.len(),
+                got: grads.len().min(sparse.len()),
+            });
+        }
+        for ((fe, ids), grad) in self.features.iter_mut().zip(sparse.iter()).zip(grads.iter()) {
+            fe.backward_step(ids, grad, sparse_lr, opt)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DheConfig;
+    use mprec_nn::Sgd;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cards() -> Vec<u64> {
+        vec![100, 2000, 50, 10_000]
+    }
+
+    fn dhe_cfg(out_dim: usize) -> DheConfig {
+        DheConfig {
+            k: 16,
+            dnn: 16,
+            h: 1,
+            out_dim,
+        }
+    }
+
+    #[test]
+    fn table_layer_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer =
+            EmbeddingLayer::new(&RepresentationConfig::table(8), &cards(), &mut rng).unwrap();
+        let ids: Vec<Vec<u64>> = vec![vec![0, 1], vec![5, 6], vec![0, 49], vec![9999, 3]];
+        let out = layer.forward(&ids).unwrap();
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|m| m.shape() == (2, 8)));
+    }
+
+    #[test]
+    fn hybrid_layer_concatenates() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = RepresentationConfig::hybrid(8, dhe_cfg(4));
+        let layer = EmbeddingLayer::new(&cfg, &cards(), &mut rng).unwrap();
+        assert_eq!(layer.feature_dim(), 12);
+        let ids: Vec<Vec<u64>> = vec![vec![0], vec![1], vec![2], vec![3]];
+        let out = layer.infer(&ids).unwrap();
+        assert!(out.iter().all(|m| m.shape() == (1, 12)));
+    }
+
+    #[test]
+    fn select_layer_mixes_kinds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = RepresentationConfig::select(8, dhe_cfg(8), 2);
+        let layer = EmbeddingLayer::new(&cfg, &cards(), &mut rng).unwrap();
+        // Two largest tables (10_000 @ idx 3, 2000 @ idx 1) become DHE.
+        assert!(matches!(layer.features()[3], FeatureEmbedding::Dhe(_)));
+        assert!(matches!(layer.features()[1], FeatureEmbedding::Dhe(_)));
+        assert!(matches!(layer.features()[0], FeatureEmbedding::Table(_)));
+        assert!(matches!(layer.features()[2], FeatureEmbedding::Table(_)));
+    }
+
+    #[test]
+    fn feature_count_mismatch_detected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer =
+            EmbeddingLayer::new(&RepresentationConfig::table(8), &cards(), &mut rng).unwrap();
+        let too_few: Vec<Vec<u64>> = vec![vec![0]];
+        assert!(matches!(
+            layer.forward(&too_few),
+            Err(EmbedError::FeatureCountMismatch { expected: 4, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn dhe_capacity_independent_of_cardinality() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = RepresentationConfig::dhe(dhe_cfg(8));
+        let small = EmbeddingLayer::new(&cfg, &[10, 10], &mut rng).unwrap();
+        let large = EmbeddingLayer::new(&cfg, &[1_000_000, 1_000_000], &mut rng).unwrap();
+        assert_eq!(small.capacity_bytes(), large.capacity_bytes());
+    }
+
+    #[test]
+    fn hybrid_backward_updates_both_halves() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = RepresentationConfig::hybrid(4, dhe_cfg(4));
+        let mut layer = EmbeddingLayer::new(&cfg, &[100], &mut rng).unwrap();
+        let ids = vec![vec![7u64]];
+        let before = layer.infer(&ids).unwrap()[0].clone();
+        let out = layer.forward(&ids).unwrap();
+        let grad = vec![Matrix::filled(1, out[0].cols(), 0.5)];
+        layer
+            .backward_step(&ids, &grad, 0.5, &Sgd { lr: 0.5 })
+            .unwrap();
+        let after = layer.infer(&ids).unwrap()[0].clone();
+        let table_moved = before.row(0)[..4] != after.row(0)[..4];
+        let dhe_moved = before.row(0)[4..] != after.row(0)[4..];
+        assert!(table_moved, "table half did not move");
+        assert!(dhe_moved, "dhe half did not move");
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for cfg in [
+            RepresentationConfig::table(8),
+            RepresentationConfig::dhe(dhe_cfg(8)),
+            RepresentationConfig::select(8, dhe_cfg(8), 1),
+            RepresentationConfig::hybrid(8, dhe_cfg(4)),
+        ] {
+            let mut layer = EmbeddingLayer::new(&cfg, &cards(), &mut rng).unwrap();
+            let ids: Vec<Vec<u64>> = vec![vec![1, 2], vec![3, 4], vec![5, 6], vec![7, 8]];
+            let a = layer.forward(&ids).unwrap();
+            let b = layer.infer(&ids).unwrap();
+            assert_eq!(a, b, "mismatch for {:?}", cfg.kind);
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Operator descriptions and the roofline cost rule.
+
+use serde::{Deserialize, Serialize};
+
+use crate::DeviceSpec;
+
+/// One operator instance executed on a device.
+///
+/// Sizes are absolute (already multiplied by batch); the workload builder
+/// produces these from per-sample descriptions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// Dense GEMM `m x k * k x n` with resident weight bytes (placement
+    /// decides whether weights stream from DRAM).
+    Gemm {
+        /// Rows of the activation matrix (usually the batch).
+        m: u64,
+        /// Output width.
+        n: u64,
+        /// Inner dimension.
+        k: u64,
+        /// Bytes of the weight operand.
+        weight_bytes: u64,
+    },
+    /// Random-row gather out of an embedding table.
+    Gather {
+        /// Number of row lookups.
+        lookups: u64,
+        /// Bytes per row (`dim * 4`).
+        row_bytes: u64,
+        /// Total bytes of the table being gathered from.
+        table_bytes: u64,
+    },
+    /// Parallel encoder hashing (`count` hash evaluations).
+    Hash {
+        /// Total hash-function evaluations (ids x k).
+        count: u64,
+    },
+    /// DLRM dot-product interaction.
+    Interaction {
+        /// Batch size.
+        batch: u64,
+        /// Number of interacting vectors (1 + sparse features).
+        vectors: u64,
+        /// Vector width.
+        dim: u64,
+    },
+    /// Generic elementwise work (activations, concat, pooling).
+    Elementwise {
+        /// Element count.
+        elems: u64,
+        /// FLOPs per element.
+        flops_per_elem: u64,
+    },
+    /// Host <-> device transfer over the link.
+    HostTransfer {
+        /// Bytes moved.
+        bytes: u64,
+    },
+}
+
+impl Op {
+    /// Floating-point work of the op.
+    pub fn flops(&self) -> f64 {
+        match *self {
+            Op::Gemm { m, n, k, .. } => 2.0 * m as f64 * n as f64 * k as f64,
+            Op::Gather { lookups, row_bytes, .. } => lookups as f64 * row_bytes as f64 / 4.0,
+            Op::Hash { count } => 6.0 * count as f64,
+            Op::Interaction { batch, vectors, dim } => {
+                let pairs = vectors * (vectors - 1) / 2;
+                2.0 * batch as f64 * pairs as f64 * dim as f64
+            }
+            Op::Elementwise { elems, flops_per_elem } => elems as f64 * flops_per_elem as f64,
+            Op::HostTransfer { .. } => 0.0,
+        }
+    }
+
+    /// Bytes that must move through memory for the op, *excluding* weight
+    /// residency effects (those are placement-dependent and handled by the
+    /// caller via `weight_bytes`).
+    pub fn activation_bytes(&self) -> f64 {
+        match *self {
+            Op::Gemm { m, n, k, .. } => 4.0 * (m * k + m * n) as f64,
+            Op::Gather { lookups, row_bytes, .. } => (lookups * (row_bytes + 8)) as f64,
+            Op::Hash { count } => 4.0 * count as f64,
+            Op::Interaction { batch, vectors, dim } => 4.0 * (batch * vectors * dim) as f64,
+            Op::Elementwise { elems, .. } => 8.0 * elems as f64,
+            Op::HostTransfer { bytes } => bytes as f64,
+        }
+    }
+}
+
+/// Cost breakdown of one op on one device.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct OpCost {
+    /// Time spent compute-bound, microseconds.
+    pub compute_us: f64,
+    /// Time spent memory-bound, microseconds.
+    pub memory_us: f64,
+    /// Fixed dispatch overhead, microseconds.
+    pub overhead_us: f64,
+}
+
+impl OpCost {
+    /// Total op latency under the roofline rule: overlapped compute/memory
+    /// plus dispatch overhead.
+    pub fn total_us(&self) -> f64 {
+        self.compute_us.max(self.memory_us) + self.overhead_us
+    }
+}
+
+/// Prices `op` on `dev`.
+///
+/// `weights_resident` tells whether the op's weight operand lives in
+/// on-chip SRAM (cached / scratchpad) rather than streaming from DRAM;
+/// `table_in_sram` the same for gathered tables; `dram_bw_override`
+/// replaces the device DRAM bandwidth (used for IPU streaming-memory
+/// spill, which is host-mediated).
+pub fn op_cost(
+    op: &Op,
+    dev: &DeviceSpec,
+    weights_resident: bool,
+    table_in_sram: bool,
+    dram_bw_override: Option<f64>,
+) -> OpCost {
+    let dram_bw = dram_bw_override.unwrap_or(dev.dram_bw_gb) * 1e9;
+    let sram_bw = dev.sram_bw_gb * 1e9;
+    let flops = op.flops();
+    let compute_s = if flops > 0.0 {
+        flops / (dev.peak_gflops * 1e9 * dev.utilization(flops))
+    } else {
+        0.0
+    };
+    let memory_s = match *op {
+        Op::Gemm { weight_bytes, .. } => {
+            let act = op.activation_bytes() / sram_bw.max(dram_bw);
+            let w = if weights_resident {
+                weight_bytes as f64 / sram_bw
+            } else {
+                weight_bytes as f64 / dram_bw
+            };
+            act + w
+        }
+        Op::Gather { .. } => {
+            let bytes = op.activation_bytes();
+            if table_in_sram {
+                bytes / sram_bw
+            } else {
+                bytes / (dram_bw * dev.gather_eff)
+            }
+        }
+        Op::HostTransfer { bytes } => {
+            if dev.link_bw_gb > 0.0 {
+                bytes as f64 / (dev.link_bw_gb * 1e9)
+            } else {
+                0.0
+            }
+        }
+        _ => op.activation_bytes() / dram_bw.max(sram_bw * 0.25),
+    };
+    OpCost {
+        compute_us: compute_s * 1e6,
+        memory_us: memory_s * 1e6,
+        overhead_us: dev.op_overhead_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_flops_formula() {
+        let g = Op::Gemm {
+            m: 2,
+            n: 3,
+            k: 4,
+            weight_bytes: 48,
+        };
+        assert_eq!(g.flops(), 48.0);
+    }
+
+    #[test]
+    fn interaction_flops_formula() {
+        let op = Op::Interaction {
+            batch: 2,
+            vectors: 3,
+            dim: 4,
+        };
+        // 3 pairs x 2 x dim x batch = 3 * 2 * 4 * 2 = 48.
+        assert_eq!(op.flops(), 48.0);
+    }
+
+    #[test]
+    fn gather_is_memory_bound_on_cpu() {
+        let cpu = DeviceSpec::broadwell_cpu();
+        let op = Op::Gather {
+            lookups: 10_000,
+            row_bytes: 64,
+            table_bytes: 2_000_000_000,
+        };
+        let c = op_cost(&op, &cpu, false, false, None);
+        assert!(c.memory_us > c.compute_us);
+    }
+
+    #[test]
+    fn sram_resident_gather_is_faster() {
+        let ipu = DeviceSpec::ipu_gc200();
+        let op = Op::Gather {
+            lookups: 10_000,
+            row_bytes: 64,
+            table_bytes: 500_000_000,
+        };
+        let slow = op_cost(&op, &ipu, false, false, None);
+        let fast = op_cost(&op, &ipu, false, true, None);
+        assert!(
+            fast.memory_us < slow.memory_us / 100.0,
+            "sram {} vs dram {}",
+            fast.memory_us,
+            slow.memory_us
+        );
+    }
+
+    #[test]
+    fn big_gemm_is_compute_bound_on_gpu() {
+        let gpu = DeviceSpec::v100_gpu();
+        let op = Op::Gemm {
+            m: 1024,
+            n: 512,
+            k: 512,
+            weight_bytes: 512 * 512 * 4,
+        };
+        let c = op_cost(&op, &gpu, false, false, None);
+        assert!(c.compute_us > c.memory_us);
+    }
+
+    #[test]
+    fn dram_override_slows_gather() {
+        let ipu = DeviceSpec::ipu_gc200();
+        let op = Op::Gather {
+            lookups: 1000,
+            row_bytes: 64,
+            table_bytes: 5_000_000_000,
+        };
+        let normal = op_cost(&op, &ipu, false, false, None);
+        let slower = op_cost(&op, &ipu, false, false, Some(2.0));
+        assert!(slower.memory_us > normal.memory_us);
+    }
+
+    #[test]
+    fn total_us_overlaps_compute_and_memory() {
+        let c = OpCost {
+            compute_us: 10.0,
+            memory_us: 4.0,
+            overhead_us: 1.0,
+        };
+        assert_eq!(c.total_us(), 11.0);
+    }
+
+    #[test]
+    fn host_transfer_uses_link() {
+        let gpu = DeviceSpec::v100_gpu();
+        let op = Op::HostTransfer { bytes: 12_000_000 };
+        let c = op_cost(&op, &gpu, false, false, None);
+        assert!((c.memory_us - 1000.0).abs() < 1.0, "{}", c.memory_us);
+        let cpu = DeviceSpec::broadwell_cpu();
+        let c = op_cost(&op, &cpu, false, false, None);
+        assert_eq!(c.memory_us, 0.0, "host-resident device has no transfer");
+    }
+}

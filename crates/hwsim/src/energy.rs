@@ -1,0 +1,65 @@
+//! Energy-efficiency reporting helpers (paper Fig. 7, bottom row).
+
+use crate::{ModelWorkload, Platform, Result};
+
+/// Energy-efficiency summary for one (platform, workload) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyReport {
+    /// Platform display name.
+    pub platform: String,
+    /// Workload display name.
+    pub workload: String,
+    /// Query latency (microseconds).
+    pub latency_us: f64,
+    /// Energy per query (joules).
+    pub energy_j: f64,
+    /// Samples processed per joule — the figure's efficiency metric.
+    pub samples_per_joule: f64,
+}
+
+/// Builds the energy report for a platform and workload at a batch size.
+///
+/// # Errors
+///
+/// Propagates capacity errors from the platform model.
+pub fn energy_report(p: &Platform, w: &ModelWorkload, batch: u64) -> Result<EnergyReport> {
+    let latency_us = p.query_time_us(w, batch)?;
+    let energy_j = p.energy_per_query_j(w, batch)?;
+    Ok(EnergyReport {
+        platform: p.name.clone(),
+        workload: w.name.clone(),
+        latency_us,
+        energy_j,
+        samples_per_joule: batch as f64 / energy_j,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadBuilder;
+
+    #[test]
+    fn report_is_self_consistent() {
+        let w = WorkloadBuilder::new("t", vec![10_000; 8], 13)
+            .table(16)
+            .unwrap();
+        let p = Platform::cpu();
+        let r = energy_report(&p, &w, 128).unwrap();
+        assert!(r.energy_j > 0.0);
+        assert!((r.samples_per_joule - 128.0 / r.energy_j).abs() < 1e-6);
+        // Energy = TDP x time for a single chip.
+        assert!((r.energy_j - 105.0 * r.latency_us / 1e6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_chips_cost_more_energy_at_equal_time() {
+        let w = WorkloadBuilder::new("t", vec![1_000; 4], 13)
+            .dhe(128, 64, 2, 16)
+            .unwrap();
+        let one = energy_report(&Platform::ipu(1), &w, 64).unwrap();
+        let four = energy_report(&Platform::ipu(4), &w, 64).unwrap();
+        // Four chips burn more power; tiny batches can't use them.
+        assert!(four.energy_j > one.energy_j * 0.9);
+    }
+}

@@ -1,0 +1,556 @@
+//! Multi-chip platforms and the query cost model.
+//!
+//! A [`Platform`] is one or more identical chips plus a parallelization
+//! strategy. The execution model implements the mechanisms behind the
+//! paper's observations:
+//!
+//! * **O1 (TPU)**: TPUEmbedding shards tables across the chips' HBM and
+//!   pipelines lookups with dense compute — gathers scale with chip count
+//!   and overlap with the rest of the model;
+//! * **O2 (IPU)**: when parameters fit in the 900 MB/chip scratchpad the
+//!   model runs at SRAM speeds (data-parallel if a full replica fits per
+//!   chip, sharded across chips otherwise); anything larger spills to
+//!   20 GB/s streaming memory, which is the performance cliff;
+//! * **Insight 3 (CPU vs GPU)**: offload overheads and utilization knees
+//!   make CPUs win small queries and accelerators win large ones.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::{op_cost, OpCost};
+use crate::device::{DeviceKind, DeviceSpec};
+use crate::workload::{ModelWorkload, OpClass};
+use crate::{HwError, Op, Result};
+
+/// How a multi-chip platform splits work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParallelMode {
+    /// One chip.
+    Single,
+    /// Full model replica per chip; queries split by batch.
+    DataParallel,
+    /// Model sharded/pipelined across chips; batch not split.
+    ModelSharded,
+}
+
+/// Pipeline fill efficiency for model-sharded IPU execution (bubbles and
+/// inter-stage exchange).
+const PIPELINE_EFF: f64 = 0.5;
+
+/// Effective IPU inter-chip fabric bandwidth for embedding-row exchange
+/// (GB/s): sharded tables serve rows across chips.
+const IPU_FABRIC_GB: f64 = 3.0;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ExecPlan {
+    /// Data-parallel replica count (batch is split among replicas).
+    replicas: u64,
+    /// Pipeline stage count (1 = not pipelined).
+    stages: u64,
+    /// Compute-rate multiplier from pipelining across shards.
+    stage_scale: f64,
+    /// Whether gathers hit scratchpad SRAM locally.
+    table_in_sram: bool,
+    /// Whether gathered rows must cross the IPU fabric.
+    fabric_gathers: bool,
+    /// Fraction of table gathers spilled to streaming host memory.
+    spill_frac: f64,
+}
+
+/// Per-class latency breakdown of a query (microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct QueryCost {
+    /// Host-device transfer time.
+    pub transfer_us: f64,
+    /// Bottom-MLP time.
+    pub bottom_mlp_us: f64,
+    /// Embedding-access time (gathers + hashing + decoder GEMMs).
+    pub embedding_us: f64,
+    /// Interaction time.
+    pub interaction_us: f64,
+    /// Top-MLP time.
+    pub top_mlp_us: f64,
+    /// Fixed offload + sync overhead.
+    pub fixed_us: f64,
+}
+
+impl QueryCost {
+    /// Total query latency in microseconds.
+    pub fn total_us(&self) -> f64 {
+        self.transfer_us
+            + self.bottom_mlp_us
+            + self.embedding_us
+            + self.interaction_us
+            + self.top_mlp_us
+            + self.fixed_us
+    }
+
+    fn add(&mut self, class: OpClass, us: f64) {
+        match class {
+            OpClass::Transfer => self.transfer_us += us,
+            OpClass::BottomMlp => self.bottom_mlp_us += us,
+            OpClass::EmbeddingAccess => self.embedding_us += us,
+            OpClass::Interaction => self.interaction_us += us,
+            OpClass::TopMlp => self.top_mlp_us += us,
+        }
+    }
+}
+
+/// A named hardware configuration: chip spec x count (paper Table 1 rows
+/// and the TPU/IPU configurations of Fig. 7).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Display name, e.g. `"IPU-16"`.
+    pub name: String,
+    /// The chip model.
+    pub spec: DeviceSpec,
+    /// Number of chips.
+    pub chips: u32,
+}
+
+impl Platform {
+    /// Single Broadwell Xeon host.
+    pub fn cpu() -> Self {
+        Platform {
+            name: "CPU".into(),
+            spec: DeviceSpec::broadwell_cpu(),
+            chips: 1,
+        }
+    }
+
+    /// Single V100.
+    pub fn gpu() -> Self {
+        Platform {
+            name: "GPU".into(),
+            spec: DeviceSpec::v100_gpu(),
+            chips: 1,
+        }
+    }
+
+    /// TPUv3 configurations by core count (1 = core, 2 = chip, 8 = board).
+    pub fn tpu(cores: u32) -> Self {
+        Platform {
+            name: format!("TPU-{cores}"),
+            spec: DeviceSpec::tpu_v3_core(),
+            chips: cores,
+        }
+    }
+
+    /// IPU configurations by chip count (1 = GC200, 4 = M2000, 16 = POD16).
+    pub fn ipu(chips: u32) -> Self {
+        Platform {
+            name: format!("IPU-{chips}"),
+            spec: DeviceSpec::ipu_gc200(),
+            chips,
+        }
+    }
+
+    /// A memory-capacity-limited variant (for HW-2 style case studies).
+    pub fn with_dram_cap(mut self, bytes: u64) -> Self {
+        self.spec.dram_cap_bytes = bytes;
+        self
+    }
+
+    /// Total DRAM-class capacity.
+    pub fn dram_capacity(&self) -> u64 {
+        self.spec.dram_cap_bytes * self.chips as u64
+    }
+
+    /// Total scratchpad/cache capacity.
+    pub fn sram_capacity(&self) -> u64 {
+        self.spec.sram_bytes * self.chips as u64
+    }
+
+    /// Memory budget relevant for Algorithm 1's capacity checks: DRAM for
+    /// CPU/GPU/TPU, scratchpad (+streaming DRAM) for IPU.
+    pub fn memory_budget(&self) -> u64 {
+        match self.spec.kind {
+            DeviceKind::Ipu => self.sram_capacity() + self.dram_capacity(),
+            _ => self.dram_capacity(),
+        }
+    }
+
+    /// Whether the workload's parameters fit on this platform at all.
+    pub fn fits(&self, w: &ModelWorkload) -> bool {
+        w.total_bytes() <= self.memory_budget()
+    }
+
+    /// How this platform would execute the workload.
+    pub fn mode_for(&self, w: &ModelWorkload) -> ParallelMode {
+        if self.chips == 1 {
+            return ParallelMode::Single;
+        }
+        match self.spec.kind {
+            DeviceKind::Ipu => {
+                if w.total_bytes() <= self.spec.sram_bytes {
+                    ParallelMode::DataParallel
+                } else {
+                    // Shard across chips' SRAM (spilling further if needed).
+                    ParallelMode::ModelSharded
+                }
+            }
+            // TPU boards run data-parallel with sharded TPUEmbedding;
+            // multi-chip CPU/GPU (not used in the paper) default to DP.
+            _ => ParallelMode::DataParallel,
+        }
+    }
+
+    /// The execution plan: replica count, pipeline scaling and placement.
+    ///
+    /// IPU platforms follow the paper's Fig. 6 deployment strategies:
+    /// a model that fits one chip's scratchpad replicates data-parallel;
+    /// a model that fits a 4-chip board pipelines across the board, and a
+    /// pod data-parallelizes across board-level pipelines; anything larger
+    /// pipelines across the whole platform, spilling the remainder to
+    /// 20 GB/s streaming memory.
+    fn exec_plan(&self, w: &ModelWorkload) -> ExecPlan {
+        let chips = self.chips as u64;
+        match self.spec.kind {
+            DeviceKind::Cpu | DeviceKind::Gpu => ExecPlan {
+                replicas: 1,
+                stages: 1,
+                stage_scale: 1.0,
+                table_in_sram: false,
+                fabric_gathers: false,
+                spill_frac: 0.0,
+            },
+            DeviceKind::Tpu => ExecPlan {
+                replicas: chips,
+                stages: 1,
+                stage_scale: 1.0,
+                table_in_sram: false,
+                fabric_gathers: false,
+                spill_frac: 0.0,
+            },
+            DeviceKind::Ipu => {
+                let total = w.total_bytes();
+                let sram1 = self.spec.sram_bytes;
+                if total <= sram1 {
+                    // Full replica per chip (Fig. 6 pod strategy for DHE).
+                    return ExecPlan {
+                        replicas: chips,
+                        stages: 1,
+                        stage_scale: 1.0,
+                        table_in_sram: true,
+                        fabric_gathers: false,
+                        spill_frac: 0.0,
+                    };
+                }
+                if chips >= 4 && total <= 4 * sram1 {
+                    // Board-level pipeline, replicated across boards.
+                    return ExecPlan {
+                        replicas: chips / 4,
+                        stages: 4,
+                        stage_scale: 4.0 * PIPELINE_EFF,
+                        table_in_sram: true,
+                        fabric_gathers: true,
+                        spill_frac: 0.0,
+                    };
+                }
+                if total <= chips * sram1 && chips > 1 {
+                    // One platform-wide pipeline (Terabyte-on-POD16 case).
+                    return ExecPlan {
+                        replicas: 1,
+                        stages: chips,
+                        stage_scale: chips as f64 * PIPELINE_EFF,
+                        table_in_sram: true,
+                        fabric_gathers: true,
+                        spill_frac: 0.0,
+                    };
+                }
+                // Spill: the overflow fraction of table bytes streams from
+                // host DRAM (Fig. 6 single-chip strategy).
+                let sram_total = chips * sram1;
+                let avail = sram_total.saturating_sub(w.dense_param_bytes);
+                let spilled = w.table_bytes.saturating_sub(avail);
+                ExecPlan {
+                    replicas: 1,
+                    stages: chips.max(1),
+                    stage_scale: (chips as f64 * PIPELINE_EFF).max(1.0),
+                    table_in_sram: false,
+                    fabric_gathers: chips > 1,
+                    spill_frac: spilled as f64 / w.table_bytes.max(1) as f64,
+                }
+            }
+        }
+    }
+
+    /// Prices one query of `batch` samples, with a per-class breakdown.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::DoesNotFit`] if the parameters exceed the
+    /// platform's total memory budget.
+    pub fn query_cost(&self, w: &ModelWorkload, batch: u64) -> Result<QueryCost> {
+        if !self.fits(w) {
+            return Err(HwError::DoesNotFit {
+                required: w.total_bytes(),
+                available: self.memory_budget(),
+            });
+        }
+        let plan = self.exec_plan(w);
+        let dev = &self.spec;
+        let mut cost = QueryCost::default();
+
+        let per_replica_batch = batch.div_ceil(plan.replicas);
+
+        let weights_resident = match dev.kind {
+            DeviceKind::Ipu => true,
+            _ => w.dense_param_bytes <= dev.sram_bytes,
+        };
+
+        let mut gather_us_total = 0.0;
+        let mut non_gather_us = 0.0;
+        for (class, op) in w.ops(per_replica_batch) {
+            let is_gather = matches!(op, Op::Gather { .. });
+            let (resident, table_sram, bw_override) = match dev.kind {
+                DeviceKind::Ipu => {
+                    if is_gather && plan.fabric_gathers {
+                        // Rows are SRAM-resident on some chip, but cross
+                        // the IPU fabric to reach the consuming tile.
+                        (true, false, Some(IPU_FABRIC_GB))
+                    } else {
+                        (true, plan.table_in_sram, None)
+                    }
+                }
+                _ => (weights_resident, false, None),
+            };
+            let mut c = op_cost(&op, dev, resident, table_sram, bw_override);
+            // IPU spill: the spilled gather fraction streams from host
+            // DRAM at 20 GB/s.
+            if dev.kind == DeviceKind::Ipu && is_gather && plan.spill_frac > 0.0 {
+                let spilled = op_cost(&op, dev, true, false, None);
+                c.memory_us =
+                    c.memory_us * (1.0 - plan.spill_frac) + spilled.memory_us * plan.spill_frac;
+            }
+            let mut us = OpCost {
+                compute_us: c.compute_us / plan.stage_scale,
+                ..c
+            }
+            .total_us();
+            // TPUEmbedding: sharded tables mean each chip gathers only its
+            // share -> bandwidth scales with chips.
+            if dev.kind == DeviceKind::Tpu && is_gather {
+                us = c.overhead_us + (c.memory_us.max(c.compute_us)) / self.chips as f64;
+                gather_us_total += us;
+                continue;
+            }
+            if is_gather {
+                gather_us_total += us;
+            } else {
+                cost.add(class, us);
+                non_gather_us += us;
+            }
+        }
+        // TPU pipelines lookups behind dense compute (O1): only the
+        // non-overlapped excess shows up in latency.
+        if dev.kind == DeviceKind::Tpu {
+            let exposed = (gather_us_total - non_gather_us).max(gather_us_total * 0.1);
+            cost.add(OpClass::EmbeddingAccess, exposed);
+        } else {
+            cost.add(OpClass::EmbeddingAccess, gather_us_total);
+        }
+
+        // Fixed offload + multi-chip sync.
+        let sync = if self.chips > 1 {
+            5.0 * (self.chips as f64).log2()
+        } else {
+            0.0
+        };
+        // Pipelined shards exchange activations at every stage boundary
+        // over the fabric; the widest activation is the top-MLP input.
+        let exchange = if plan.stages > 1 {
+            let widest = *w.top_sizes.first().unwrap_or(&0) as f64;
+            let bytes = per_replica_batch as f64 * widest * 4.0 * (plan.stages - 1) as f64;
+            bytes / (IPU_FABRIC_GB * 1e9) * 1e6 + 20.0 * plan.stages as f64
+        } else {
+            0.0
+        };
+        cost.fixed_us = dev.offload_fixed_us + sync + exchange;
+        Ok(cost)
+    }
+
+    /// Query latency in microseconds.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Platform::query_cost`].
+    pub fn query_time_us(&self, w: &ModelWorkload, batch: u64) -> Result<f64> {
+        Ok(self.query_cost(w, batch)?.total_us())
+    }
+
+    /// Maximum sustainable throughput in samples/second, assuming back-to-
+    /// back queries of `batch` samples.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Platform::query_cost`].
+    pub fn throughput_sps(&self, w: &ModelWorkload, batch: u64) -> Result<f64> {
+        let t = self.query_time_us(w, batch)?;
+        Ok(batch as f64 / (t / 1e6))
+    }
+
+    /// Energy per query in joules: TDP x busy time x chips (the paper's
+    /// Fig. 7 energy-efficiency granularity).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Platform::query_cost`].
+    pub fn energy_per_query_j(&self, w: &ModelWorkload, batch: u64) -> Result<f64> {
+        let t_s = self.query_time_us(w, batch)? / 1e6;
+        Ok(self.spec.tdp_w * self.chips as f64 * t_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadBuilder;
+    use mprec_data_cardinalities::KAGGLE;
+
+    /// The real Kaggle cardinalities, duplicated here as a test fixture so
+    /// hwsim stays dependency-free.
+    mod mprec_data_cardinalities {
+        pub const KAGGLE: [u64; 26] = [
+            1460, 583, 10_131_227, 2_202_608, 305, 24, 12_517, 633, 3, 93_145, 5_683, 8_351_593,
+            3_194, 27, 14_992, 5_461_306, 10, 5_652, 2_173, 4, 7_046_547, 18, 15, 286_181, 105,
+            142_572,
+        ];
+    }
+
+    fn kaggle_builder() -> WorkloadBuilder {
+        WorkloadBuilder::new("kaggle", KAGGLE.to_vec(), 13)
+    }
+
+    #[test]
+    fn capacity_checks_reject_oversized_models() {
+        let w = kaggle_builder().table(16).unwrap();
+        let tiny_gpu = Platform::gpu().with_dram_cap(200_000_000);
+        assert!(!tiny_gpu.fits(&w));
+        assert!(matches!(
+            tiny_gpu.query_cost(&w, 128),
+            Err(HwError::DoesNotFit { .. })
+        ));
+        let dhe = kaggle_builder().dhe(2048, 512, 2, 16).unwrap();
+        assert!(tiny_gpu.fits(&dhe), "126 MB DHE fits in 200 MB");
+    }
+
+    #[test]
+    fn cpu_beats_gpu_on_tiny_queries() {
+        // Insight 3: offload overheads dominate small queries.
+        let w = kaggle_builder().table(16).unwrap();
+        let cpu = Platform::cpu().query_time_us(&w, 4).unwrap();
+        let gpu = Platform::gpu().query_time_us(&w, 4).unwrap();
+        assert!(cpu < gpu, "cpu {cpu} vs gpu {gpu}");
+    }
+
+    #[test]
+    fn gpu_beats_cpu_on_large_queries() {
+        let w = kaggle_builder().table(16).unwrap();
+        let cpu = Platform::cpu().query_time_us(&w, 4096).unwrap();
+        let gpu = Platform::gpu().query_time_us(&w, 4096).unwrap();
+        assert!(gpu < cpu, "gpu {gpu} vs cpu {cpu}");
+    }
+
+    #[test]
+    fn dhe_slower_than_table_on_cpu_and_gap_shrinks_on_gpu() {
+        // Fig. 5 shape: DHE ~10x slower on CPU, ~5x on GPU.
+        let t = kaggle_builder().table(16).unwrap();
+        let d = kaggle_builder().dhe(512, 256, 2, 16).unwrap();
+        let cpu_ratio = Platform::cpu().query_time_us(&d, 128).unwrap()
+            / Platform::cpu().query_time_us(&t, 128).unwrap();
+        let gpu_ratio = Platform::gpu().query_time_us(&d, 128).unwrap()
+            / Platform::gpu().query_time_us(&t, 128).unwrap();
+        assert!(cpu_ratio > 3.0, "cpu slowdown {cpu_ratio}");
+        assert!(gpu_ratio < cpu_ratio, "gpu {gpu_ratio} !< cpu {cpu_ratio}");
+    }
+
+    #[test]
+    fn tpu_board_speeds_up_tables() {
+        // O1: more TPU cores -> faster table execution.
+        let w = kaggle_builder().table(16).unwrap();
+        let one = Platform::tpu(1).query_time_us(&w, 2048).unwrap();
+        let eight = Platform::tpu(8).query_time_us(&w, 2048).unwrap();
+        assert!(eight < one, "tpu8 {eight} !< tpu1 {one}");
+    }
+
+    #[test]
+    fn ipu_loves_models_that_fit_in_sram() {
+        // O2: DHE (126 MB) fits in 900 MB scratchpad; table (2.16 GB)
+        // spills to 20 GB/s streaming memory.
+        let dhe = kaggle_builder().dhe(512, 256, 2, 16).unwrap();
+        let table = kaggle_builder().table(16).unwrap();
+        let ipu = Platform::ipu(1);
+        let dhe_t = ipu.query_time_us(&dhe, 1024).unwrap();
+        let cpu_dhe_t = Platform::cpu().query_time_us(&dhe, 1024).unwrap();
+        assert!(
+            dhe_t < cpu_dhe_t / 2.0,
+            "ipu {dhe_t} !< cpu {cpu_dhe_t} / 2 for DHE"
+        );
+        // Spilled table gathers hurt: the table model's embedding stage
+        // is far slower than the all-SRAM DHE model's.
+        let table_cost = ipu.query_cost(&table, 1024).unwrap();
+        let dhe_gather_free = ipu.query_cost(&dhe, 1024).unwrap();
+        assert!(table_cost.embedding_us > 10.0 * dhe_gather_free.transfer_us.max(1.0));
+        let _ = dhe_gather_free;
+    }
+
+    #[test]
+    fn ipu_pod_scales_dhe_data_parallel() {
+        let dhe = kaggle_builder().dhe(512, 256, 2, 16).unwrap();
+        assert_eq!(
+            Platform::ipu(16).mode_for(&dhe),
+            ParallelMode::DataParallel
+        );
+        let one = Platform::ipu(1).query_time_us(&dhe, 4096).unwrap();
+        let pod = Platform::ipu(16).query_time_us(&dhe, 4096).unwrap();
+        assert!(pod < one / 4.0, "pod {pod} vs one {one}");
+    }
+
+    #[test]
+    fn terabyte_table_on_pod_is_model_sharded() {
+        // Paper §6.3: Terabyte table/hybrid shard across the 16 chips'
+        // SRAM, so no data parallelism.
+        let tb_cards: Vec<u64> = vec![9_100_000; 5]
+            .into_iter()
+            .chain(vec![100_000; 21])
+            .collect();
+        let w = WorkloadBuilder::new("tb", tb_cards, 13).table(64).unwrap();
+        assert!(w.table_bytes > 900 * 1_000_000);
+        assert_eq!(
+            Platform::ipu(16).mode_for(&w),
+            ParallelMode::ModelSharded
+        );
+    }
+
+    #[test]
+    fn gpu_is_more_energy_efficient_than_tpu_for_tables() {
+        // O3: TPU chip TDP is 1.8x V100's, making GPU the energy winner
+        // for large table models.
+        let w = kaggle_builder().table(16).unwrap();
+        let gpu_e = Platform::gpu().energy_per_query_j(&w, 2048).unwrap();
+        let tpu_e = Platform::tpu(2).energy_per_query_j(&w, 2048).unwrap();
+        assert!(gpu_e < tpu_e, "gpu {gpu_e} J vs tpu {tpu_e} J");
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let w = kaggle_builder().table(16).unwrap();
+        let c = Platform::cpu().query_cost(&w, 128).unwrap();
+        let sum = c.transfer_us
+            + c.bottom_mlp_us
+            + c.embedding_us
+            + c.interaction_us
+            + c.top_mlp_us
+            + c.fixed_us;
+        assert!((sum - c.total_us()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_is_batch_over_latency() {
+        let w = kaggle_builder().table(16).unwrap();
+        let p = Platform::cpu();
+        let t = p.query_time_us(&w, 256).unwrap();
+        let thr = p.throughput_sps(&w, 256).unwrap();
+        assert!((thr - 256.0 / (t / 1e6)).abs() < 1.0);
+    }
+}

@@ -1,0 +1,488 @@
+//! Workload descriptions: what a DLRM with a given embedding
+//! representation executes per query.
+//!
+//! The builder keeps this crate independent of the model crates — callers
+//! describe the architecture with plain numbers and get a [`ModelWorkload`]
+//! whose [`ModelWorkload::ops`] expands to concrete [`Op`]s at any batch
+//! size.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{HwError, Op, Result};
+
+/// Which pipeline stage an op belongs to (used by the Fig. 5 operator
+/// breakdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Host to device input transfer.
+    Transfer,
+    /// Bottom MLP GEMMs.
+    BottomMlp,
+    /// Embedding access: gathers, encoder hashing, decoder GEMMs.
+    EmbeddingAccess,
+    /// Dot-product feature interaction.
+    Interaction,
+    /// Top MLP GEMMs and the output sigmoid.
+    TopMlp,
+}
+
+impl std::fmt::Display for OpClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpClass::Transfer => write!(f, "transfer"),
+            OpClass::BottomMlp => write!(f, "bottom_mlp"),
+            OpClass::EmbeddingAccess => write!(f, "embedding"),
+            OpClass::Interaction => write!(f, "interaction"),
+            OpClass::TopMlp => write!(f, "top_mlp"),
+        }
+    }
+}
+
+/// Plain-number description of the embedding representation, mirroring
+/// `mprec_embed::RepresentationConfig` without the dependency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepKindDesc {
+    /// Features that gather from a table: `(rows, dim)` per feature.
+    pub table_features: Vec<(u64, usize)>,
+    /// Features that run a DHE stack: decoder layer sizes `[k, ..., out]`.
+    pub dhe_features: Vec<Vec<usize>>,
+    /// For hybrid, both lists cover all features; this flag marks that the
+    /// outputs concatenate (affects the interaction width).
+    pub hybrid: bool,
+}
+
+/// A priced model: parameter placement plus per-batch operator expansion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelWorkload {
+    /// Human-readable name (e.g. `"kaggle/table"`).
+    pub name: String,
+    /// Bytes of embedding tables (placement-sensitive, gather-accessed).
+    pub table_bytes: u64,
+    /// Bytes of dense parameters (MLPs + DHE decoders).
+    pub dense_param_bytes: u64,
+    /// Bottom MLP sizes `[in, ..., d]`.
+    pub bottom_sizes: Vec<usize>,
+    /// Top MLP sizes `[interaction_out, ..., 1]`.
+    pub top_sizes: Vec<usize>,
+    /// Representation description.
+    pub rep: RepKindDesc,
+    /// Input bytes per sample (dense + sparse IDs).
+    pub input_bytes_per_sample: u64,
+}
+
+impl ModelWorkload {
+    /// Total parameter bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.table_bytes + self.dense_param_bytes
+    }
+
+    /// Per-feature embedding output width (for the interaction).
+    fn feature_dim(&self) -> usize {
+        let t = self.rep.table_features.first().map(|&(_, d)| d).unwrap_or(0);
+        let g = self
+            .rep
+            .dhe_features
+            .first()
+            .and_then(|s| s.last())
+            .copied()
+            .unwrap_or(0);
+        if self.rep.hybrid {
+            t + g
+        } else {
+            t.max(g)
+        }
+    }
+
+    /// Number of sparse features.
+    pub fn num_features(&self) -> usize {
+        if self.rep.hybrid {
+            self.rep.table_features.len()
+        } else {
+            self.rep.table_features.len() + self.rep.dhe_features.len()
+        }
+    }
+
+    /// Expands the workload into tagged ops for a query of `batch` samples.
+    pub fn ops(&self, batch: u64) -> Vec<(OpClass, Op)> {
+        let mut ops = Vec::new();
+        ops.push((
+            OpClass::Transfer,
+            Op::HostTransfer {
+                bytes: batch * self.input_bytes_per_sample,
+            },
+        ));
+        // Bottom MLP.
+        for w in self.bottom_sizes.windows(2) {
+            ops.push((
+                OpClass::BottomMlp,
+                Op::Gemm {
+                    m: batch,
+                    n: w[1] as u64,
+                    k: w[0] as u64,
+                    weight_bytes: (w[0] * w[1] * 4) as u64,
+                },
+            ));
+        }
+        // Embedding access: table gathers.
+        for &(rows, dim) in &self.rep.table_features {
+            ops.push((
+                OpClass::EmbeddingAccess,
+                Op::Gather {
+                    lookups: batch,
+                    row_bytes: dim as u64 * 4,
+                    table_bytes: rows * dim as u64 * 4,
+                },
+            ));
+        }
+        // Embedding access: DHE stacks. Each feature's stack dispatches
+        // separately (one hash kernel + one GEMM per decoder layer),
+        // matching the paper artifact's per-feature PyTorch loop — the
+        // per-op dispatch overheads this incurs on accelerators are part
+        // of the measured behaviour (Fig. 5).
+        for sizes in &self.rep.dhe_features {
+            let k = sizes[0] as u64;
+            ops.push((OpClass::EmbeddingAccess, Op::Hash { count: batch * k }));
+            for w in sizes.windows(2) {
+                ops.push((
+                    OpClass::EmbeddingAccess,
+                    Op::Gemm {
+                        m: batch,
+                        n: w[1] as u64,
+                        k: w[0] as u64,
+                        weight_bytes: (w[0] * w[1] * 4) as u64,
+                    },
+                ));
+            }
+        }
+        // Interaction.
+        let d = self.feature_dim() as u64;
+        if d > 0 {
+            ops.push((
+                OpClass::Interaction,
+                Op::Interaction {
+                    batch,
+                    vectors: self.num_features() as u64 + 1,
+                    dim: d,
+                },
+            ));
+        }
+        // Top MLP.
+        for w in self.top_sizes.windows(2) {
+            ops.push((
+                OpClass::TopMlp,
+                Op::Gemm {
+                    m: batch,
+                    n: w[1] as u64,
+                    k: w[0] as u64,
+                    weight_bytes: (w[0] * w[1] * 4) as u64,
+                },
+            ));
+        }
+        ops.push((
+            OpClass::TopMlp,
+            Op::Elementwise {
+                elems: batch,
+                flops_per_elem: 4,
+            },
+        ));
+        ops
+    }
+
+    /// Total FLOPs at a batch size (for Fig. 3b-style reporting).
+    pub fn flops(&self, batch: u64) -> f64 {
+        self.ops(batch).iter().map(|(_, op)| op.flops()).sum()
+    }
+}
+
+/// Builder assembling [`ModelWorkload`]s for the paper's model shapes.
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder {
+    name: String,
+    cardinalities: Vec<u64>,
+    num_dense: usize,
+    bottom_hidden: Vec<usize>,
+    top_hidden: Vec<usize>,
+}
+
+impl WorkloadBuilder {
+    /// Starts a builder for a dataset shape.
+    pub fn new(name: impl Into<String>, cardinalities: Vec<u64>, num_dense: usize) -> Self {
+        WorkloadBuilder {
+            name: name.into(),
+            cardinalities,
+            num_dense,
+            // MLPerf DLRM shapes: bottom 13-512-256-64-d, top in-512-256-1.
+            bottom_hidden: vec![512, 256, 64],
+            top_hidden: vec![512, 256],
+        }
+    }
+
+    /// Overrides the bottom MLP hidden sizes.
+    pub fn bottom_hidden(mut self, sizes: Vec<usize>) -> Self {
+        self.bottom_hidden = sizes;
+        self
+    }
+
+    /// Overrides the top MLP hidden sizes.
+    pub fn top_hidden(mut self, sizes: Vec<usize>) -> Self {
+        self.top_hidden = sizes;
+        self
+    }
+
+    fn mlp_sizes(&self, feature_dim: usize, num_vectors: usize) -> (Vec<usize>, Vec<usize>, u64) {
+        let mut bottom = vec![self.num_dense];
+        bottom.extend_from_slice(&self.bottom_hidden);
+        bottom.push(feature_dim);
+        let inter_out = feature_dim + num_vectors * (num_vectors - 1) / 2;
+        let mut top = vec![inter_out];
+        top.extend_from_slice(&self.top_hidden);
+        top.push(1);
+        let dense_params: u64 = bottom
+            .windows(2)
+            .chain(top.windows(2))
+            .map(|w| (w[0] * w[1] + w[1]) as u64)
+            .sum();
+        (bottom, top, dense_params * 4)
+    }
+
+    fn input_bytes(&self) -> u64 {
+        (self.num_dense * 4 + self.cardinalities.len() * 8) as u64
+    }
+
+    /// A table-representation workload at embedding dim `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::BadConfig`] if `dim == 0`.
+    pub fn table(&self, dim: usize) -> Result<ModelWorkload> {
+        if dim == 0 {
+            return Err(HwError::BadConfig("table dim must be > 0".into()));
+        }
+        let (bottom, top, dense) = self.mlp_sizes(dim, self.cardinalities.len() + 1);
+        Ok(ModelWorkload {
+            name: format!("{}/table", self.name),
+            table_bytes: self.cardinalities.iter().sum::<u64>() * dim as u64 * 4,
+            dense_param_bytes: dense,
+            bottom_sizes: bottom,
+            top_sizes: top,
+            rep: RepKindDesc {
+                table_features: self.cardinalities.iter().map(|&c| (c, dim)).collect(),
+                dhe_features: vec![],
+                hybrid: false,
+            },
+            input_bytes_per_sample: self.input_bytes(),
+        })
+    }
+
+    /// A DHE workload with decoder `[k, dnn x h, out_dim]` per feature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::BadConfig`] on zero dimensions.
+    pub fn dhe(&self, k: usize, dnn: usize, h: usize, out_dim: usize) -> Result<ModelWorkload> {
+        if k == 0 || dnn == 0 || out_dim == 0 {
+            return Err(HwError::BadConfig("dhe dims must be > 0".into()));
+        }
+        let mut sizes = vec![k];
+        sizes.extend(std::iter::repeat(dnn).take(h));
+        sizes.push(out_dim);
+        let stack_params: u64 = sizes
+            .windows(2)
+            .map(|w| (w[0] * w[1] + w[1]) as u64)
+            .sum();
+        let (bottom, top, dense) = self.mlp_sizes(out_dim, self.cardinalities.len() + 1);
+        Ok(ModelWorkload {
+            name: format!("{}/dhe", self.name),
+            table_bytes: 0,
+            dense_param_bytes: dense + stack_params * 4 * self.cardinalities.len() as u64,
+            bottom_sizes: bottom,
+            top_sizes: top,
+            rep: RepKindDesc {
+                table_features: vec![],
+                dhe_features: vec![sizes; self.cardinalities.len()],
+                hybrid: false,
+            },
+            input_bytes_per_sample: self.input_bytes(),
+        })
+    }
+
+    /// A select workload: DHE (same `out_dim` as `dim`) on the `top_k`
+    /// largest tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::BadConfig`] on zero dimensions.
+    pub fn select(
+        &self,
+        dim: usize,
+        k: usize,
+        dnn: usize,
+        h: usize,
+        top_k: usize,
+    ) -> Result<ModelWorkload> {
+        if dim == 0 || k == 0 {
+            return Err(HwError::BadConfig("select dims must be > 0".into()));
+        }
+        let mut idx: Vec<usize> = (0..self.cardinalities.len()).collect();
+        idx.sort_by_key(|&i| std::cmp::Reverse(self.cardinalities[i]));
+        let dhe_set: std::collections::HashSet<usize> = idx.into_iter().take(top_k).collect();
+        let mut sizes = vec![k];
+        sizes.extend(std::iter::repeat(dnn).take(h));
+        sizes.push(dim);
+        let stack_params: u64 = sizes
+            .windows(2)
+            .map(|w| (w[0] * w[1] + w[1]) as u64)
+            .sum();
+        let table_features: Vec<(u64, usize)> = self
+            .cardinalities
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !dhe_set.contains(i))
+            .map(|(_, &c)| (c, dim))
+            .collect();
+        let (bottom, top, dense) = self.mlp_sizes(dim, self.cardinalities.len() + 1);
+        Ok(ModelWorkload {
+            name: format!("{}/select", self.name),
+            table_bytes: table_features.iter().map(|&(c, d)| c * d as u64 * 4).sum(),
+            dense_param_bytes: dense + stack_params * 4 * dhe_set.len() as u64,
+            bottom_sizes: bottom,
+            top_sizes: top,
+            rep: RepKindDesc {
+                table_features,
+                dhe_features: vec![sizes; dhe_set.len()],
+                hybrid: false,
+            },
+            input_bytes_per_sample: self.input_bytes(),
+        })
+    }
+
+    /// A hybrid workload: every feature gathers a `dim` table row *and*
+    /// runs a DHE stack; outputs concatenate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::BadConfig`] on zero dimensions.
+    pub fn hybrid(
+        &self,
+        dim: usize,
+        k: usize,
+        dnn: usize,
+        h: usize,
+        out_dim: usize,
+    ) -> Result<ModelWorkload> {
+        if dim == 0 || k == 0 || out_dim == 0 {
+            return Err(HwError::BadConfig("hybrid dims must be > 0".into()));
+        }
+        let mut sizes = vec![k];
+        sizes.extend(std::iter::repeat(dnn).take(h));
+        sizes.push(out_dim);
+        let stack_params: u64 = sizes
+            .windows(2)
+            .map(|w| (w[0] * w[1] + w[1]) as u64)
+            .sum();
+        let (bottom, top, dense) =
+            self.mlp_sizes(dim + out_dim, self.cardinalities.len() + 1);
+        Ok(ModelWorkload {
+            name: format!("{}/hybrid", self.name),
+            table_bytes: self.cardinalities.iter().sum::<u64>() * dim as u64 * 4,
+            dense_param_bytes: dense + stack_params * 4 * self.cardinalities.len() as u64,
+            bottom_sizes: bottom,
+            top_sizes: top,
+            rep: RepKindDesc {
+                table_features: self.cardinalities.iter().map(|&c| (c, dim)).collect(),
+                dhe_features: vec![sizes; self.cardinalities.len()],
+                hybrid: true,
+            },
+            input_bytes_per_sample: self.input_bytes(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cards() -> Vec<u64> {
+        vec![1000, 2000, 3000]
+    }
+
+    fn criteo_like_cards() -> Vec<u64> {
+        (0..26).map(|i| 1000 * (i as u64 + 1)).collect()
+    }
+
+    #[test]
+    fn table_workload_counts_bytes() {
+        let b = WorkloadBuilder::new("t", cards(), 13);
+        let w = b.table(16).unwrap();
+        assert_eq!(w.table_bytes, 6000 * 16 * 4);
+        assert!(w.dense_param_bytes > 0);
+    }
+
+    #[test]
+    fn dhe_workload_has_no_table_bytes() {
+        let b = WorkloadBuilder::new("t", cards(), 13);
+        let w = b.dhe(128, 64, 2, 16).unwrap();
+        assert_eq!(w.table_bytes, 0);
+        assert_eq!(w.rep.dhe_features.len(), 3);
+    }
+
+    #[test]
+    fn hybrid_widens_interaction() {
+        let b = WorkloadBuilder::new("t", cards(), 13);
+        let t = b.table(16).unwrap();
+        let h = b.hybrid(16, 128, 64, 2, 16).unwrap();
+        assert_eq!(t.feature_dim(), 16);
+        assert_eq!(h.feature_dim(), 32);
+        assert!(h.flops(128) > t.flops(128));
+    }
+
+    #[test]
+    fn select_splits_features() {
+        let b = WorkloadBuilder::new("t", cards(), 13);
+        let w = b.select(16, 128, 64, 2, 1).unwrap();
+        assert_eq!(w.rep.dhe_features.len(), 1);
+        assert_eq!(w.rep.table_features.len(), 2);
+        // Largest table (3000) got replaced.
+        assert_eq!(w.table_bytes, (1000 + 2000) * 16 * 4);
+    }
+
+    #[test]
+    fn ops_scale_with_batch() {
+        let b = WorkloadBuilder::new("t", cards(), 13);
+        let w = b.table(16).unwrap();
+        assert!(w.flops(256) > w.flops(128) * 1.9);
+    }
+
+    #[test]
+    fn dhe_flops_dominate_table_flops() {
+        // Paper Fig. 3(b): DHE has 10-100x the FLOPs at 26 sparse features.
+        let b = WorkloadBuilder::new("t", criteo_like_cards(), 13);
+        let t = b.table(16).unwrap();
+        let d = b.dhe(512, 256, 2, 16).unwrap();
+        let ratio = d.flops(128) / t.flops(128);
+        assert!(ratio > 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn dhe_stacks_dispatch_per_feature() {
+        let b = WorkloadBuilder::new("t", criteo_like_cards(), 13);
+        let d = b.dhe(128, 64, 2, 16).unwrap();
+        let gemm_count = d
+            .ops(32)
+            .iter()
+            .filter(|(c, op)| {
+                *c == OpClass::EmbeddingAccess && matches!(op, Op::Gemm { .. })
+            })
+            .count();
+        // 26 stacks x 3 decoder layers, dispatched per feature.
+        assert_eq!(gemm_count, 26 * 3);
+    }
+
+    #[test]
+    fn builders_validate() {
+        let b = WorkloadBuilder::new("t", cards(), 13);
+        assert!(b.table(0).is_err());
+        assert!(b.dhe(0, 64, 2, 16).is_err());
+        assert!(b.hybrid(16, 128, 64, 2, 0).is_err());
+    }
+}

@@ -1,0 +1,119 @@
+use mprec_tensor::{ops, Matrix};
+
+/// Element-wise nonlinearity applied after a [`crate::Linear`] layer.
+///
+/// The DLRM bottom/top MLPs use `Relu` on hidden layers; the final CTR
+/// output is `Identity` (the loss consumes raw logits) and DHE decoders can
+/// use `Sigmoid` on the last layer when producing bounded embeddings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Activation {
+    /// `max(0, x)`.
+    #[default]
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Pass-through.
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation in place.
+    pub fn apply(&self, m: &mut Matrix) {
+        match self {
+            Activation::Relu => m.map_inplace(|x| x.max(0.0)),
+            Activation::Sigmoid => m.map_inplace(ops::sigmoid),
+            Activation::Identity => {}
+        }
+    }
+
+    /// Multiplies `grad` by the activation derivative, evaluated from the
+    /// *activated output* `y` (all three supported activations admit this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad` and `y` have different shapes.
+    pub fn backprop(&self, grad: &mut Matrix, y: &Matrix) {
+        assert_eq!(grad.shape(), y.shape(), "activation backprop shape mismatch");
+        match self {
+            Activation::Relu => {
+                for (g, &out) in grad.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                    if out <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+            }
+            Activation::Sigmoid => {
+                for (g, &out) in grad.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                    *g *= out * (1.0 - out);
+                }
+            }
+            Activation::Identity => {}
+        }
+    }
+
+    /// FLOPs per element for this activation (used by the hardware model).
+    pub fn flops_per_element(&self) -> u64 {
+        match self {
+            Activation::Relu => 1,
+            Activation::Sigmoid => 4,
+            Activation::Identity => 0,
+        }
+    }
+}
+
+impl std::fmt::Display for Activation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Activation::Relu => write!(f, "relu"),
+            Activation::Sigmoid => write!(f, "sigmoid"),
+            Activation::Identity => write!(f, "identity"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut m = Matrix::from_vec(1, 3, vec![-1.0, 0.0, 2.0]).unwrap();
+        Activation::Relu.apply(&mut m);
+        assert_eq!(m.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn sigmoid_maps_into_unit_interval() {
+        let mut m = Matrix::from_vec(1, 3, vec![-10.0, 0.0, 10.0]).unwrap();
+        Activation::Sigmoid.apply(&mut m);
+        assert!(m.as_slice().iter().all(|&x| (0.0..=1.0).contains(&x)));
+        assert!((m[(0, 1)] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relu_backprop_masks_where_output_zero() {
+        let y = Matrix::from_vec(1, 3, vec![0.0, 0.0, 2.0]).unwrap();
+        let mut g = Matrix::from_vec(1, 3, vec![5.0, 5.0, 5.0]).unwrap();
+        Activation::Relu.backprop(&mut g, &y);
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn sigmoid_backprop_uses_output() {
+        let y = Matrix::from_vec(1, 1, vec![0.5]).unwrap();
+        let mut g = Matrix::from_vec(1, 1, vec![1.0]).unwrap();
+        Activation::Sigmoid.backprop(&mut g, &y);
+        assert!((g[(0, 0)] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identity_is_noop_both_ways() {
+        let mut m = Matrix::from_vec(1, 2, vec![-3.0, 3.0]).unwrap();
+        let orig = m.clone();
+        Activation::Identity.apply(&mut m);
+        assert_eq!(m, orig);
+        let mut g = Matrix::filled(1, 2, 2.0);
+        Activation::Identity.backprop(&mut g, &m);
+        assert_eq!(g.as_slice(), &[2.0, 2.0]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Neural-network substrate for the MP-Rec reproduction.
+//!
+//! Provides the pieces DLRM and DHE decoders are assembled from: a
+//! fully-connected [`Linear`] layer with explicit backward pass, the
+//! [`Mlp`] stack, activations, binary-cross-entropy loss, and SGD/Adagrad
+//! optimizers. Everything is deterministic given the caller's RNG.
+//!
+//! # Examples
+//!
+//! Train a 2-layer MLP one step on a toy batch:
+//!
+//! ```
+//! use mprec_nn::{Activation, Mlp, Sgd, bce_with_logits_grad};
+//! use mprec_tensor::Matrix;
+//! use rand::{SeedableRng, rngs::StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut mlp = Mlp::new(&[2, 8, 1], Activation::Relu, Activation::Identity, &mut rng)?;
+//! let x = Matrix::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.])?;
+//! let y = [0.0f32, 1.0, 1.0, 0.0];
+//! let logits = mlp.forward(&x)?;
+//! let (loss, dlogits) = bce_with_logits_grad(&logits, &y)?;
+//! mlp.backward(&dlogits)?;
+//! mlp.step(&Sgd { lr: 0.1 });
+//! assert!(loss.is_finite());
+//! # Ok::<(), mprec_nn::NnError>(())
+//! ```
+
+mod activation;
+mod linear;
+mod loss;
+mod mlp;
+mod optim;
+
+pub use activation::Activation;
+pub use linear::Linear;
+pub use loss::{bce_with_logits, bce_with_logits_grad, log_loss};
+pub use mlp::Mlp;
+pub use optim::{Adagrad, Optimizer, Sgd};
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by network construction or forward/backward passes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NnError {
+    /// Underlying tensor kernel failed (shape mismatch etc.).
+    Tensor(mprec_tensor::TensorError),
+    /// A layer stack was configured with fewer than two sizes.
+    BadArchitecture(String),
+    /// `backward` was called without a preceding `forward`.
+    NoForwardCached,
+    /// Label/logit count mismatch in a loss function.
+    LabelMismatch {
+        /// Number of logits provided.
+        logits: usize,
+        /// Number of labels provided.
+        labels: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BadArchitecture(msg) => write!(f, "bad architecture: {msg}"),
+            NnError::NoForwardCached => write!(f, "backward called before forward"),
+            NnError::LabelMismatch { logits, labels } => {
+                write!(f, "loss got {logits} logits but {labels} labels")
+            }
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mprec_tensor::TensorError> for NnError {
+    fn from(e: mprec_tensor::TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, NnError>;

@@ -1,0 +1,234 @@
+use mprec_tensor::{init, Matrix};
+use rand::Rng;
+
+use crate::{Activation, NnError, Optimizer, Result};
+
+/// A fully-connected layer `y = act(x W + b)` with explicit backprop.
+///
+/// Weights are stored `in x out` so the forward pass is a single row-major
+/// GEMM. The layer caches its input and activated output between `forward`
+/// and `backward`; gradients accumulate until [`Linear::step`] applies the
+/// optimizer and clears them.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: Matrix,
+    b: Vec<f32>,
+    act: Activation,
+    grad_w: Matrix,
+    grad_b: Vec<f32>,
+    // Adagrad accumulators, grown lazily on the first stateful update.
+    state_w: Vec<f32>,
+    state_b: Vec<f32>,
+    cached_input: Option<Matrix>,
+    cached_output: Option<Matrix>,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-initialized weights and zero bias.
+    pub fn new(fan_in: usize, fan_out: usize, act: Activation, rng: &mut impl Rng) -> Self {
+        Linear {
+            w: init::xavier_uniform(fan_in, fan_out, rng),
+            b: vec![0.0; fan_out],
+            act,
+            grad_w: Matrix::zeros(fan_in, fan_out),
+            grad_b: vec![0.0; fan_out],
+            state_w: Vec::new(),
+            state_b: Vec::new(),
+            cached_input: None,
+            cached_output: None,
+        }
+    }
+
+    /// Input width.
+    pub fn fan_in(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output width.
+    pub fn fan_out(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// The layer's activation.
+    pub fn activation(&self) -> Activation {
+        self.act
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    /// Borrow of the weight matrix (e.g. for checkpointing or inspection).
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// Borrow of the bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.b
+    }
+
+    /// Forward pass for a batch (`x` is `batch x fan_in`). Caches input and
+    /// output for a subsequent [`Linear::backward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor shape error if `x.cols() != fan_in`.
+    pub fn forward(&mut self, x: &Matrix) -> Result<Matrix> {
+        let mut y = x.matmul(&self.w)?;
+        for r in 0..y.rows() {
+            let row = y.row_mut(r);
+            for (v, b) in row.iter_mut().zip(self.b.iter()) {
+                *v += b;
+            }
+        }
+        self.act.apply(&mut y);
+        self.cached_input = Some(x.clone());
+        self.cached_output = Some(y.clone());
+        Ok(y)
+    }
+
+    /// Inference-only forward pass: no caches are written, `self` stays
+    /// immutable. Use this on hot serving paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor shape error if `x.cols() != fan_in`.
+    pub fn infer(&self, x: &Matrix) -> Result<Matrix> {
+        let mut y = x.matmul(&self.w)?;
+        for r in 0..y.rows() {
+            let row = y.row_mut(r);
+            for (v, b) in row.iter_mut().zip(self.b.iter()) {
+                *v += b;
+            }
+        }
+        self.act.apply(&mut y);
+        Ok(y)
+    }
+
+    /// Backward pass: consumes the cached activations, accumulates weight
+    /// and bias gradients, and returns the gradient w.r.t. the input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoForwardCached`] if `forward` has not been called
+    /// since the last `backward`.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Result<Matrix> {
+        let x = self.cached_input.take().ok_or(NnError::NoForwardCached)?;
+        let y = self.cached_output.take().ok_or(NnError::NoForwardCached)?;
+        let mut g = grad_out.clone();
+        self.act.backprop(&mut g, &y);
+        // dW += X^T g ; db += column sums of g ; dX = g W^T
+        let dw = x.matmul_tn(&g)?;
+        self.grad_w.add_assign(&dw)?;
+        for r in 0..g.rows() {
+            for (db, &gv) in self.grad_b.iter_mut().zip(g.row(r).iter()) {
+                *db += gv;
+            }
+        }
+        let dx = g.matmul_nt(&self.w)?;
+        Ok(dx)
+    }
+
+    /// Applies `opt` to the accumulated gradients and clears them.
+    pub fn step(&mut self, opt: &impl Optimizer) {
+        if opt.needs_state() {
+            if self.state_w.is_empty() {
+                self.state_w = vec![0.0; self.w.len()];
+                self.state_b = vec![0.0; self.b.len()];
+            }
+            opt.update(
+                self.w.as_mut_slice(),
+                self.grad_w.as_slice(),
+                &mut self.state_w,
+            );
+            opt.update(&mut self.b, &self.grad_b, &mut self.state_b);
+        } else {
+            let mut empty_w: Vec<f32> = Vec::new();
+            opt.update(self.w.as_mut_slice(), self.grad_w.as_slice(), &mut empty_w);
+            opt.update(&mut self.b, &self.grad_b, &mut empty_w);
+        }
+        self.grad_w.fill_zero();
+        self.grad_b.iter_mut().for_each(|x| *x = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sgd;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Linear::new(3, 5, Activation::Relu, &mut rng);
+        let x = Matrix::zeros(4, 3);
+        let y = l.forward(&x).unwrap();
+        assert_eq!(y.shape(), (4, 5));
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Linear::new(3, 5, Activation::Relu, &mut rng);
+        let g = Matrix::zeros(4, 5);
+        assert!(matches!(l.backward(&g), Err(NnError::NoForwardCached)));
+    }
+
+    #[test]
+    fn identity_layer_gradient_check() {
+        // Finite-difference check on a tiny identity-activation layer.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut l = Linear::new(2, 2, Activation::Identity, &mut rng);
+        let x = Matrix::from_vec(1, 2, vec![0.3, -0.7]).unwrap();
+        // Loss = sum(y); dL/dy = ones.
+        let ones = Matrix::filled(1, 2, 1.0);
+        let _ = l.forward(&x).unwrap();
+        let _ = l.backward(&ones).unwrap();
+        let analytic = l.grad_w.clone();
+
+        let eps = 1e-3f32;
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut lp = l.clone();
+                lp.w[(i, j)] += eps;
+                let yp: f32 = lp.infer(&x).unwrap().as_slice().iter().sum();
+                let mut lm = l.clone();
+                lm.w[(i, j)] -= eps;
+                let ym: f32 = lm.infer(&x).unwrap().as_slice().iter().sum();
+                let numeric = (yp - ym) / (2.0 * eps);
+                assert!(
+                    (numeric - analytic[(i, j)]).abs() < 1e-2,
+                    "grad mismatch at ({i},{j}): numeric {numeric} vs analytic {}",
+                    analytic[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn step_clears_gradients() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Linear::new(2, 2, Activation::Identity, &mut rng);
+        let x = Matrix::filled(1, 2, 1.0);
+        let g = Matrix::filled(1, 2, 1.0);
+        l.forward(&x).unwrap();
+        l.backward(&g).unwrap();
+        assert!(l.grad_w.frob_norm() > 0.0);
+        l.step(&Sgd { lr: 0.1 });
+        assert_eq!(l.grad_w.frob_norm(), 0.0);
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut l = Linear::new(4, 3, Activation::Relu, &mut rng);
+        let x = Matrix::from_fn(2, 4, |r, c| (r + c) as f32 * 0.1 - 0.2);
+        let a = l.forward(&x).unwrap();
+        let b = l.infer(&x).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,144 @@
+//! Loss functions for click-through-rate training.
+
+use mprec_tensor::{ops, Matrix};
+
+use crate::{NnError, Result};
+
+/// Numerically-stable binary cross-entropy on raw logits.
+///
+/// Returns the mean loss over the batch. `logits` must be a `batch x 1`
+/// column; `labels` are 0/1 targets.
+///
+/// # Errors
+///
+/// Returns [`NnError::LabelMismatch`] if the batch sizes disagree.
+pub fn bce_with_logits(logits: &Matrix, labels: &[f32]) -> Result<f32> {
+    if logits.len() != labels.len() {
+        return Err(NnError::LabelMismatch {
+            logits: logits.len(),
+            labels: labels.len(),
+        });
+    }
+    let mut total = 0.0f64;
+    for (&z, &y) in logits.as_slice().iter().zip(labels.iter()) {
+        // max(z,0) - z*y + ln(1 + exp(-|z|)) is stable for both signs.
+        let l = z.max(0.0) - z * y + (-z.abs()).exp().ln_1p();
+        total += l as f64;
+    }
+    Ok((total / labels.len() as f64) as f32)
+}
+
+/// BCE loss plus the gradient of the mean loss w.r.t. the logits.
+///
+/// The gradient is `(sigmoid(z) - y) / batch`, shaped like `logits`.
+///
+/// # Errors
+///
+/// Returns [`NnError::LabelMismatch`] if the batch sizes disagree.
+pub fn bce_with_logits_grad(logits: &Matrix, labels: &[f32]) -> Result<(f32, Matrix)> {
+    let loss = bce_with_logits(logits, labels)?;
+    let n = labels.len() as f32;
+    let mut grad = logits.clone();
+    for (g, &y) in grad.as_mut_slice().iter_mut().zip(labels.iter()) {
+        *g = (ops::sigmoid(*g) - y) / n;
+    }
+    Ok((loss, grad))
+}
+
+/// Mean log-loss from predicted probabilities (clamped away from 0/1).
+///
+/// Used for evaluation-time reporting where predictions are probabilities,
+/// not logits.
+///
+/// # Errors
+///
+/// Returns [`NnError::LabelMismatch`] if lengths disagree.
+pub fn log_loss(probs: &[f32], labels: &[f32]) -> Result<f32> {
+    if probs.len() != labels.len() {
+        return Err(NnError::LabelMismatch {
+            logits: probs.len(),
+            labels: labels.len(),
+        });
+    }
+    let eps = 1e-7f32;
+    let mut total = 0.0f64;
+    for (&p, &y) in probs.iter().zip(labels.iter()) {
+        let p = p.clamp(eps, 1.0 - eps);
+        total += -(y * p.ln() + (1.0 - y) * (1.0 - p).ln()) as f64;
+    }
+    Ok((total / labels.len() as f64) as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bce_zero_logit_is_ln2() {
+        let z = Matrix::zeros(4, 1);
+        let y = [0.0, 1.0, 0.0, 1.0];
+        let loss = bce_with_logits(&z, &y).unwrap();
+        assert!((loss - std::f32::consts::LN_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_confident_correct_is_small() {
+        let z = Matrix::from_vec(2, 1, vec![10.0, -10.0]).unwrap();
+        let y = [1.0, 0.0];
+        assert!(bce_with_logits(&z, &y).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn bce_is_stable_for_extreme_logits() {
+        let z = Matrix::from_vec(2, 1, vec![1e4, -1e4]).unwrap();
+        let y = [0.0, 1.0];
+        let loss = bce_with_logits(&z, &y).unwrap();
+        assert!(loss.is_finite());
+    }
+
+    #[test]
+    fn grad_sign_points_toward_label() {
+        let z = Matrix::zeros(2, 1);
+        let y = [1.0, 0.0];
+        let (_, g) = bce_with_logits_grad(&z, &y).unwrap();
+        assert!(g[(0, 0)] < 0.0, "label 1 should push logit up");
+        assert!(g[(1, 0)] > 0.0, "label 0 should push logit down");
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let z = Matrix::from_vec(3, 1, vec![0.5, -1.2, 2.0]).unwrap();
+        let y = [1.0, 0.0, 1.0];
+        let (_, g) = bce_with_logits_grad(&z, &y).unwrap();
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut zp = z.clone();
+            zp[(i, 0)] += eps;
+            let mut zm = z.clone();
+            zm[(i, 0)] -= eps;
+            let numeric = (bce_with_logits(&zp, &y).unwrap() - bce_with_logits(&zm, &y).unwrap())
+                / (2.0 * eps);
+            assert!(
+                (numeric - g[(i, 0)]).abs() < 1e-3,
+                "grad {i}: numeric {numeric} vs analytic {}",
+                g[(i, 0)]
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_labels_error() {
+        let z = Matrix::zeros(2, 1);
+        assert!(matches!(
+            bce_with_logits(&z, &[0.0]),
+            Err(NnError::LabelMismatch { .. })
+        ));
+        assert!(log_loss(&[0.5], &[]).is_err());
+    }
+
+    #[test]
+    fn log_loss_clamps_extremes() {
+        let l = log_loss(&[0.0, 1.0], &[1.0, 0.0]).unwrap();
+        assert!(l.is_finite());
+    }
+}

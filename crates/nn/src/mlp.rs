@@ -1,0 +1,205 @@
+use mprec_tensor::Matrix;
+use rand::Rng;
+
+use crate::{Activation, Linear, NnError, Optimizer, Result};
+
+/// A stack of [`Linear`] layers.
+///
+/// `sizes = [in, h1, ..., out]` creates `sizes.len() - 1` layers; all hidden
+/// layers use `hidden_act`, the final layer uses `output_act`. This mirrors
+/// both the DLRM bottom/top MLPs and the DHE decoder stacks, which differ
+/// only in their size vectors.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Builds the stack with Xavier-initialized weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadArchitecture`] if fewer than two sizes are given
+    /// or any size is zero.
+    pub fn new(
+        sizes: &[usize],
+        hidden_act: Activation,
+        output_act: Activation,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        if sizes.len() < 2 {
+            return Err(NnError::BadArchitecture(format!(
+                "need at least [in, out], got {sizes:?}"
+            )));
+        }
+        if sizes.iter().any(|&s| s == 0) {
+            return Err(NnError::BadArchitecture(format!(
+                "layer sizes must be positive, got {sizes:?}"
+            )));
+        }
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for w in sizes.windows(2) {
+            let is_last = layers.len() == sizes.len() - 2;
+            let act = if is_last { output_act } else { hidden_act };
+            layers.push(Linear::new(w[0], w[1], act, rng));
+        }
+        Ok(Mlp { layers })
+    }
+
+    /// Input width of the first layer.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].fan_in()
+    }
+
+    /// Output width of the last layer.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("mlp has >= 1 layer").fan_out()
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total trainable parameters across all layers.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Linear::param_count).sum()
+    }
+
+    /// Borrow of the individual layers.
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// Training forward pass (caches activations for backward).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying layers.
+    pub fn forward(&mut self, x: &Matrix) -> Result<Matrix> {
+        let mut h = x.clone();
+        for layer in self.layers.iter_mut() {
+            h = layer.forward(&h)?;
+        }
+        Ok(h)
+    }
+
+    /// Inference-only forward pass (no caches, immutable receiver).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying layers.
+    pub fn infer(&self, x: &Matrix) -> Result<Matrix> {
+        let mut h = x.clone();
+        for layer in self.layers.iter() {
+            h = layer.infer(&h)?;
+        }
+        Ok(h)
+    }
+
+    /// Backward pass; returns the gradient w.r.t. the stack input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoForwardCached`] if `forward` was not called first.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Result<Matrix> {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    /// Applies the optimizer to every layer and clears gradients.
+    pub fn step(&mut self, opt: &impl Optimizer) {
+        for layer in self.layers.iter_mut() {
+            layer.step(opt);
+        }
+    }
+
+    /// Total FLOPs for one forward pass at the given batch size
+    /// (2 per multiply-accumulate, plus activation costs).
+    pub fn forward_flops(&self, batch: usize) -> u64 {
+        let mut flops = 0u64;
+        for layer in &self.layers {
+            let (fi, fo) = (layer.fan_in() as u64, layer.fan_out() as u64);
+            flops += 2 * fi * fo * batch as u64;
+            flops += layer.activation().flops_per_element() * fo * batch as u64;
+        }
+        flops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bce_with_logits_grad, Sgd};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_degenerate_architectures() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(Mlp::new(&[4], Activation::Relu, Activation::Identity, &mut rng).is_err());
+        assert!(Mlp::new(&[4, 0, 2], Activation::Relu, Activation::Identity, &mut rng).is_err());
+    }
+
+    #[test]
+    fn dims_and_params() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mlp = Mlp::new(&[13, 64, 16], Activation::Relu, Activation::Relu, &mut rng).unwrap();
+        assert_eq!(mlp.input_dim(), 13);
+        assert_eq!(mlp.output_dim(), 16);
+        assert_eq!(mlp.depth(), 2);
+        assert_eq!(mlp.param_count(), 13 * 64 + 64 + 64 * 16 + 16);
+    }
+
+    #[test]
+    fn forward_flops_counts_gemms() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mlp = Mlp::new(&[8, 4], Activation::Identity, Activation::Identity, &mut rng).unwrap();
+        assert_eq!(mlp.forward_flops(2), 2 * 8 * 4 * 2);
+    }
+
+    #[test]
+    fn xor_is_learnable() {
+        // End-to-end sanity: a small MLP drives BCE loss down on XOR.
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut mlp = Mlp::new(
+            &[2, 16, 1],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng,
+        )
+        .unwrap();
+        let x =
+            Matrix::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.]).unwrap();
+        let y = [0.0f32, 1.0, 1.0, 0.0];
+        let opt = Sgd { lr: 0.3 };
+        let mut first_loss = 0.0;
+        let mut last_loss = 0.0;
+        for epoch in 0..400 {
+            let logits = mlp.forward(&x).unwrap();
+            let (loss, grad) = bce_with_logits_grad(&logits, &y).unwrap();
+            if epoch == 0 {
+                first_loss = loss;
+            }
+            last_loss = loss;
+            mlp.backward(&grad).unwrap();
+            mlp.step(&opt);
+        }
+        assert!(
+            last_loss < first_loss * 0.25,
+            "loss did not drop: {first_loss} -> {last_loss}"
+        );
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut mlp =
+            Mlp::new(&[4, 8, 2], Activation::Relu, Activation::Sigmoid, &mut rng).unwrap();
+        let x = Matrix::from_fn(3, 4, |r, c| ((r * 4 + c) as f32).sin());
+        assert_eq!(mlp.forward(&x).unwrap(), mlp.infer(&x).unwrap());
+    }
+}

@@ -1,0 +1,137 @@
+//! Optimizers.
+//!
+//! DLRM training traditionally pairs plain SGD on dense parameters with
+//! (sparse) Adagrad on embedding tables; both are provided here behind a
+//! common sealed [`Optimizer`] trait so layers and embedding
+//! representations can be generic over the update rule.
+
+/// Parameter update rule.
+///
+/// This trait is sealed: the cost model and layer state management assume
+/// the two concrete optimizers shipped with the crate.
+pub trait Optimizer: private::Sealed {
+    /// Applies one update to `params` given `grads`.
+    ///
+    /// `state` is per-parameter optimizer memory (e.g. Adagrad accumulators);
+    /// it is empty for stateless rules and otherwise has `params.len()`
+    /// entries managed by the caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads.len() != params.len()`, or if the rule is stateful
+    /// and `state.len() != params.len()`.
+    fn update(&self, params: &mut [f32], grads: &[f32], state: &mut Vec<f32>);
+
+    /// Whether [`Optimizer::update`] requires per-parameter state.
+    fn needs_state(&self) -> bool;
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Optimizer for Sgd {
+    fn update(&self, params: &mut [f32], grads: &[f32], _state: &mut Vec<f32>) {
+        assert_eq!(params.len(), grads.len(), "sgd: length mismatch");
+        for (p, g) in params.iter_mut().zip(grads.iter()) {
+            *p -= self.lr * g;
+        }
+    }
+
+    fn needs_state(&self) -> bool {
+        false
+    }
+}
+
+/// Adagrad with per-parameter accumulators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Adagrad {
+    /// Learning rate.
+    pub lr: f32,
+    /// Denominator fuzz to avoid division by zero.
+    pub eps: f32,
+}
+
+impl Default for Adagrad {
+    fn default() -> Self {
+        Adagrad {
+            lr: 0.01,
+            eps: 1e-8,
+        }
+    }
+}
+
+impl Optimizer for Adagrad {
+    fn update(&self, params: &mut [f32], grads: &[f32], state: &mut Vec<f32>) {
+        assert_eq!(params.len(), grads.len(), "adagrad: length mismatch");
+        if state.is_empty() {
+            state.resize(params.len(), 0.0);
+        }
+        assert_eq!(params.len(), state.len(), "adagrad: state length mismatch");
+        for ((p, &g), s) in params.iter_mut().zip(grads.iter()).zip(state.iter_mut()) {
+            *s += g * g;
+            *p -= self.lr * g / (s.sqrt() + self.eps);
+        }
+    }
+
+    fn needs_state(&self) -> bool {
+        true
+    }
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for super::Sgd {}
+    impl Sealed for super::Adagrad {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut p = vec![1.0f32, -1.0];
+        let g = vec![0.5f32, -0.5];
+        Sgd { lr: 0.1 }.update(&mut p, &g, &mut Vec::new());
+        assert_eq!(p, vec![0.95, -0.95]);
+    }
+
+    #[test]
+    fn adagrad_shrinks_effective_lr_over_time() {
+        let opt = Adagrad {
+            lr: 0.1,
+            eps: 1e-8,
+        };
+        let mut p = vec![0.0f32];
+        let g = vec![1.0f32];
+        let mut state = vec![0.0f32];
+        opt.update(&mut p, &g, &mut state);
+        let first_step = -p[0];
+        let before = p[0];
+        opt.update(&mut p, &g, &mut state);
+        let second_step = before - p[0];
+        assert!(second_step < first_step, "{second_step} !< {first_step}");
+        assert!(second_step > 0.0);
+    }
+
+    #[test]
+    fn adagrad_initializes_state_lazily() {
+        let opt = Adagrad::default();
+        let mut p = vec![0.0f32; 3];
+        let mut state = Vec::new();
+        opt.update(&mut p, &[1.0, 2.0, 3.0], &mut state);
+        assert_eq!(state.len(), 3);
+        assert_eq!(state, vec![1.0, 4.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn sgd_panics_on_mismatch() {
+        let mut p = vec![0.0f32; 2];
+        Sgd { lr: 0.1 }.update(&mut p, &[1.0], &mut Vec::new());
+    }
+}

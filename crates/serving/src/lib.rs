@@ -1,0 +1,42 @@
+//! Query-serving simulator for the MP-Rec evaluation (paper §5-6).
+//!
+//! Replays a query trace (lognormal sizes, Poisson arrivals) against a
+//! serving **policy** — a static representation-hardware deployment,
+//! table-only CPU-GPU switching, even query splitting, or full MP-Rec —
+//! and reports the paper's metrics: throughput of correct predictions
+//! (Fig. 10/11), path-activation breakdown (Fig. 15), latency percentiles
+//! and SLA-violation rates (Fig. 17).
+//!
+//! The simulation is discrete-event at query granularity: each platform
+//! executes queries FIFO; execution times come from the profiled latency
+//! curves produced by the offline stage (optionally MP-Cache-adjusted).
+//!
+//! # Examples
+//!
+//! ```
+//! use mprec_core::candidates::{default_accuracy_book, paper_candidates};
+//! use mprec_core::planner::plan;
+//! use mprec_data::query::QueryTraceConfig;
+//! use mprec_data::DatasetSpec;
+//! use mprec_hwsim::Platform;
+//! use mprec_serving::{simulate, Policy, ServingConfig};
+//!
+//! let spec = DatasetSpec::kaggle_sim(100);
+//! let candidates = paper_candidates(&spec, &default_accuracy_book(&spec));
+//! let mappings = plan(&candidates, &[Platform::cpu(), Platform::gpu()])?;
+//! let cfg = ServingConfig {
+//!     trace: QueryTraceConfig { num_queries: 200, ..QueryTraceConfig::default() },
+//!     ..ServingConfig::default()
+//! };
+//! let outcome = simulate(&mappings, Policy::MpRec, &cfg);
+//! assert_eq!(outcome.completed, 200);
+//! # Ok::<(), mprec_core::CoreError>(())
+//! ```
+
+mod outcome;
+mod policy;
+mod sim;
+
+pub use outcome::{PathUsage, ServingOutcome};
+pub use policy::Policy;
+pub use sim::{simulate, MpCacheEffect, ServingConfig};

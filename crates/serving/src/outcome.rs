@@ -1,0 +1,149 @@
+//! Serving-run results and per-path usage accounting.
+
+use std::collections::BTreeMap;
+
+/// Per-path usage counters (Fig. 15's switching breakdown).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PathUsage {
+    /// Queries served per path label (e.g. `"table@CPU"`).
+    pub queries: BTreeMap<String, u64>,
+    /// Samples served per path label.
+    pub samples: BTreeMap<String, u64>,
+}
+
+impl PathUsage {
+    /// Records one query on a path.
+    pub fn record(&mut self, label: &str, samples: u64) {
+        *self.queries.entry(label.to_string()).or_insert(0) += 1;
+        *self.samples.entry(label.to_string()).or_insert(0) += samples;
+    }
+
+    /// Fraction of queries served by `label`.
+    pub fn query_fraction(&self, label: &str) -> f64 {
+        let total: u64 = self.queries.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        *self.queries.get(label).unwrap_or(&0) as f64 / total as f64
+    }
+}
+
+/// Full result of one serving simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingOutcome {
+    /// Policy label.
+    pub policy: String,
+    /// Queries completed.
+    pub completed: u64,
+    /// Total samples served.
+    pub samples: u64,
+    /// Expected correct samples (size x path accuracy summed).
+    pub correct_samples: f64,
+    /// Wall-clock span of the run (first arrival to last completion), s.
+    pub span_s: f64,
+    /// Queries whose completion exceeded the SLA target.
+    pub sla_violations: u64,
+    /// Mean query latency (microseconds).
+    pub mean_latency_us: f64,
+    /// 95th-percentile query latency (microseconds).
+    pub p95_latency_us: f64,
+    /// 99th-percentile (tail) query latency (microseconds).
+    pub p99_latency_us: f64,
+    /// Per-path usage.
+    pub usage: PathUsage,
+}
+
+impl ServingOutcome {
+    /// Raw throughput (samples/s).
+    pub fn raw_sps(&self) -> f64 {
+        if self.span_s > 0.0 {
+            self.samples as f64 / self.span_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Throughput of correct predictions (correct samples/s) — the
+    /// paper's headline serving metric.
+    pub fn correct_sps(&self) -> f64 {
+        if self.span_s > 0.0 {
+            self.correct_samples / self.span_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Effective model accuracy over all served samples.
+    pub fn effective_accuracy(&self) -> f64 {
+        if self.samples > 0 {
+            self.correct_samples / self.samples as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// SLA-violation rate in [0, 1].
+    pub fn sla_violation_rate(&self) -> f64 {
+        if self.completed > 0 {
+            self.sla_violations as f64 / self.completed as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Percentile of a (will-be-sorted) latency vector; `q` in [0, 1].
+pub(crate) fn percentile(values: &mut [f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let idx = ((values.len() as f64 - 1.0) * q).round() as usize;
+    values[idx.min(values.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_fractions_sum_to_one() {
+        let mut u = PathUsage::default();
+        u.record("a", 10);
+        u.record("a", 20);
+        u.record("b", 30);
+        assert!((u.query_fraction("a") - 2.0 / 3.0).abs() < 1e-9);
+        assert!((u.query_fraction("a") + u.query_fraction("b") - 1.0).abs() < 1e-9);
+        assert_eq!(u.samples["a"], 30);
+    }
+
+    #[test]
+    fn percentile_picks_order_statistics() {
+        let mut v = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&mut v, 0.0), 1.0);
+        assert_eq!(percentile(&mut v, 0.5), 3.0);
+        assert_eq!(percentile(&mut v, 1.0), 5.0);
+        let mut empty: Vec<f64> = vec![];
+        assert_eq!(percentile(&mut empty, 0.5), 0.0);
+    }
+
+    #[test]
+    fn outcome_rates_are_consistent() {
+        let o = ServingOutcome {
+            policy: "test".into(),
+            completed: 10,
+            samples: 1000,
+            correct_samples: 800.0,
+            span_s: 2.0,
+            sla_violations: 3,
+            mean_latency_us: 0.0,
+            p95_latency_us: 0.0,
+            p99_latency_us: 0.0,
+            usage: PathUsage::default(),
+        };
+        assert_eq!(o.raw_sps(), 500.0);
+        assert_eq!(o.correct_sps(), 400.0);
+        assert_eq!(o.effective_accuracy(), 0.8);
+        assert_eq!(o.sla_violation_rate(), 0.3);
+    }
+}

@@ -1,0 +1,66 @@
+//! Serving policies: the deployment choices Fig. 10/14 compares.
+
+use mprec_core::candidates::RepRole;
+
+/// How queries are assigned to representation-hardware paths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Policy {
+    /// Every query runs one fixed (representation, platform) pair —
+    /// e.g. "TBL (CPU)" or "DHE (GPU)" in Fig. 10.
+    Static {
+        /// Representation role to pin.
+        role: RepRole,
+        /// Platform index to pin.
+        platform_idx: usize,
+    },
+    /// Table representation only, but free choice of platform per query
+    /// (the "TBL (CPU-GPU)" switching baseline of Fig. 10/15).
+    TableSwitching,
+    /// Table representation with every query split across *all* platforms
+    /// in a fixed ratio (Fig. 14; `cpu_fraction` goes to platform 0, the
+    /// remainder to platform 1).
+    QuerySplit {
+        /// Fraction of each query executed on platform 0.
+        cpu_fraction: f64,
+    },
+    /// Full MP-Rec: Algorithm 2 with all planned paths (and MP-Cache
+    /// adjusted profiles when enabled in the serving config).
+    MpRec,
+    /// MP-Rec restricted to compute paths (ablation: no table fallback).
+    MpRecNoFallback,
+}
+
+impl std::fmt::Display for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Policy::Static { role, platform_idx } => {
+                write!(f, "static:{role}@p{platform_idx}")
+            }
+            Policy::TableSwitching => write!(f, "tbl-switching"),
+            Policy::QuerySplit { cpu_fraction } => {
+                write!(f, "query-split:{cpu_fraction:.2}")
+            }
+            Policy::MpRec => write!(f, "mp-rec"),
+            Policy::MpRecNoFallback => write!(f, "mp-rec-no-fallback"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let p = Policy::Static {
+            role: RepRole::Table,
+            platform_idx: 0,
+        };
+        assert_eq!(p.to_string(), "static:table@p0");
+        assert_eq!(Policy::MpRec.to_string(), "mp-rec");
+        assert_eq!(
+            Policy::QuerySplit { cpu_fraction: 0.5 }.to_string(),
+            "query-split:0.50"
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Weight initializers.
+//!
+//! All stochastic initialization in the workspace goes through these helpers
+//! so experiments are reproducible from a single seed.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+use crate::Matrix;
+
+/// Xavier/Glorot uniform initialization: `U(-sqrt(6/(fan_in+fan_out)), +...)`.
+///
+/// Standard choice for the MLP stacks in DLRM and DHE decoders.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let bound = (6.0 / (rows + cols) as f64).sqrt() as f32;
+    let dist = Uniform::new_inclusive(-bound, bound);
+    Matrix::from_fn(rows, cols, |_, _| dist.sample(rng))
+}
+
+/// Uniform initialization in `[-bound, bound]`.
+///
+/// DLRM initializes embedding tables with `U(-1/sqrt(n), 1/sqrt(n))` where
+/// `n` is the table cardinality; callers compute the bound.
+pub fn uniform(rows: usize, cols: usize, bound: f32, rng: &mut impl Rng) -> Matrix {
+    let dist = Uniform::new_inclusive(-bound, bound);
+    Matrix::from_fn(rows, cols, |_, _| dist.sample(rng))
+}
+
+/// He/Kaiming-style normal initialization (`N(0, sqrt(2/fan_in))`), useful
+/// for ReLU stacks.
+pub fn he_normal(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let std = (2.0 / rows as f64).sqrt() as f32;
+    Matrix::from_fn(rows, cols, |_, _| {
+        // Box-Muller transform: two uniforms -> one standard normal.
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        z * std
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = xavier_uniform(64, 32, &mut rng);
+        let bound = (6.0f64 / 96.0).sqrt() as f32 + 1e-6;
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn uniform_within_bound() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = uniform(100, 4, 0.25, &mut rng);
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= 0.25 + 1e-6));
+    }
+
+    #[test]
+    fn he_normal_has_reasonable_std() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let m = he_normal(256, 256, &mut rng);
+        let n = m.len() as f32;
+        let mean: f32 = m.as_slice().iter().sum::<f32>() / n;
+        let var: f32 = m.as_slice().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n;
+        let expected = 2.0 / 256.0;
+        assert!(mean.abs() < 0.01, "mean {mean} too far from 0");
+        assert!(
+            (var - expected).abs() < expected * 0.3,
+            "variance {var} too far from {expected}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = xavier_uniform(8, 8, &mut StdRng::seed_from_u64(1));
+        let b = xavier_uniform(8, 8, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+}

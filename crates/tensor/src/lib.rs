@@ -1,0 +1,36 @@
+//! Dense tensor substrate for the MP-Rec reproduction.
+//!
+//! This crate provides the minimal linear-algebra kernels that every other
+//! crate in the workspace builds on: a row-major [`Matrix`] with the GEMM
+//! variants needed for MLP forward/backward passes, free-standing vector
+//! kernels in [`ops`], and weight initializers in [`init`].
+//!
+//! The implementation is deliberately dependency-free (plain `f32` loops with
+//! an `ikj` blocked GEMM) so the reproduction runs anywhere a Rust toolchain
+//! does; it is fast enough to train the scaled-down DLRM variants used by the
+//! accuracy experiments in seconds.
+//!
+//! # Examples
+//!
+//! ```
+//! use mprec_tensor::Matrix;
+//!
+//! let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.])?;
+//! let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.])?;
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.shape(), (2, 2));
+//! assert_eq!(c[(0, 0)], 58.0);
+//! # Ok::<(), mprec_tensor::TensorError>(())
+//! ```
+
+mod error;
+mod matrix;
+
+pub mod init;
+pub mod ops;
+
+pub use error::TensorError;
+pub use matrix::Matrix;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

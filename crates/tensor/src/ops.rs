@@ -1,0 +1,178 @@
+//! Free-standing vector kernels shared across the workspace.
+//!
+//! These operate on plain `&[f32]` slices so callers can apply them to matrix
+//! rows, embedding vectors, and intermediate buffers without conversions.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x` element-wise.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean (L2) norm.
+pub fn norm(a: &[f32]) -> f32 {
+    a.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+/// Normalizes `a` to unit L2 norm in place; leaves zero vectors untouched.
+pub fn normalize(a: &mut [f32]) {
+    let n = norm(a);
+    if n > 0.0 {
+        for x in a.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+/// Index of the maximum element (first on ties).
+///
+/// Returns `None` for an empty slice.
+pub fn argmax(a: &[f32]) -> Option<usize> {
+    if a.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &v) in a.iter().enumerate().skip(1) {
+        if v > a[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Numerically-stable logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "sq_dist: length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Arithmetic mean; returns `0.0` for an empty slice.
+pub fn mean(a: &[f32]) -> f32 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f32>() / a.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dot_known() {
+        assert_eq!(dot(&[1., 2., 3.], &[4., 5., 6.]), 32.0);
+    }
+
+    #[test]
+    fn axpy_known() {
+        let mut y = [1.0f32, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, [7.0, 9.0]);
+    }
+
+    #[test]
+    fn normalize_makes_unit() {
+        let mut v = [3.0f32, 4.0];
+        normalize(&mut v);
+        assert!((norm(&v) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_zero_is_noop() {
+        let mut v = [0.0f32, 0.0];
+        normalize(&mut v);
+        assert_eq!(v, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn argmax_first_on_tie() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn sigmoid_symmetry_and_range() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!((sigmoid(10.0) + sigmoid(-10.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid(100.0) <= 1.0);
+        assert!(sigmoid(-100.0) >= 0.0);
+    }
+
+    #[test]
+    fn mean_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    proptest! {
+        #[test]
+        fn dot_commutative(v in prop::collection::vec(-100.0f32..100.0, 1..32)) {
+            let w: Vec<f32> = v.iter().rev().cloned().collect();
+            prop_assert!((dot(&v, &w) - dot(&w, &v)).abs() < 1e-3);
+        }
+
+        #[test]
+        fn norm_nonnegative(v in prop::collection::vec(-100.0f32..100.0, 0..32)) {
+            prop_assert!(norm(&v) >= 0.0);
+        }
+
+        #[test]
+        fn sigmoid_monotone(a in -50.0f32..50.0, d in 0.001f32..10.0) {
+            prop_assert!(sigmoid(a + d) >= sigmoid(a));
+        }
+
+        #[test]
+        fn sq_dist_zero_iff_equal(v in prop::collection::vec(-10.0f32..10.0, 1..16)) {
+            prop_assert_eq!(sq_dist(&v, &v), 0.0);
+        }
+
+        #[test]
+        fn normalized_vectors_have_unit_norm(
+            v in prop::collection::vec(-100.0f32..100.0, 1..32)
+        ) {
+            prop_assume!(norm(&v) > 1e-3);
+            let mut w = v.clone();
+            normalize(&mut w);
+            prop_assert!((norm(&w) - 1.0).abs() < 1e-4);
+        }
+    }
+}

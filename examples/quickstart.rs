@@ -1,0 +1,86 @@
+//! Quickstart: plan representation-hardware mappings for a CPU-GPU
+//! inference node (the paper's HW-1) and serve a query trace with MP-Rec,
+//! comparing against the static table-on-CPU baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mprec::core::candidates::{default_accuracy_book, paper_candidates, RepRole};
+use mprec::core::planner::plan;
+use mprec::data::query::QueryTraceConfig;
+use mprec::data::DatasetSpec;
+use mprec::hwsim::Platform;
+use mprec::serving::{simulate, Policy, ServingConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The Kaggle-shaped dataset (real Criteo cardinalities; 1/100-scale
+    //    training tables).
+    let spec = DatasetSpec::kaggle_sim(100);
+    println!(
+        "dataset: {} ({} sparse features, baseline tables {:.2} GB)",
+        spec.name,
+        spec.num_sparse_features(),
+        spec.baseline_table_bytes() as f64 / 1e9
+    );
+
+    // 2. The candidate representation space with measured accuracies.
+    let book = default_accuracy_book(&spec);
+    let candidates = paper_candidates(&spec, &book);
+    for c in &candidates {
+        println!(
+            "  candidate {:12} capacity {:>9.1} MB  accuracy {:.2}%",
+            c.name,
+            c.capacity_bytes() as f64 / 1e6,
+            c.accuracy * 100.0
+        );
+    }
+
+    // 3. Offline stage (Algorithm 1): map representations onto HW-1.
+    let platforms = vec![
+        Platform::cpu().with_dram_cap(32_000_000_000),
+        Platform::gpu(),
+    ];
+    let mappings = plan(&candidates, &platforms)?;
+    println!("\nplanned mappings:");
+    for m in &mappings.mappings {
+        println!(
+            "  {:20} latency(q=128) = {:>8.0} us",
+            m.label(&mappings.platforms),
+            m.profile.latency_us(128)
+        );
+    }
+
+    // 4. Online stage (Algorithm 2): serve 2000 queries at 1000 QPS with a
+    //    10 ms SLA, MP-Rec vs. the static baseline.
+    let cfg = ServingConfig {
+        trace: QueryTraceConfig {
+            num_queries: 2000,
+            ..QueryTraceConfig::default()
+        },
+        ..ServingConfig::default()
+    };
+    let baseline = simulate(
+        &mappings,
+        Policy::Static {
+            role: RepRole::Table,
+            platform_idx: 0,
+        },
+        &cfg,
+    );
+    let mprec_run = simulate(&mappings, Policy::MpRec, &cfg);
+
+    println!("\n{:22} {:>14} {:>12} {:>10}", "policy", "correct/s", "accuracy", "p99 (ms)");
+    for o in [&baseline, &mprec_run] {
+        println!(
+            "{:22} {:>14.0} {:>11.2}% {:>10.2}",
+            o.policy,
+            o.correct_sps(),
+            o.effective_accuracy() * 100.0,
+            o.p99_latency_us / 1000.0
+        );
+    }
+    println!(
+        "\nMP-Rec improvement: {:.2}x correct-prediction throughput",
+        mprec_run.correct_sps() / baseline.correct_sps()
+    );
+    Ok(())
+}

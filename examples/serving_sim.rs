@@ -1,0 +1,81 @@
+//! Serving-policy shoot-out (paper Fig. 10/15): replays the paper's query
+//! workload (10K queries, lognormal sizes, 1000 QPS, 10 ms SLA) against
+//! every deployment policy on the HW-1 CPU-GPU node and prints throughput
+//! of correct predictions, SLA violations and the path-activation
+//! breakdown.
+//!
+//! Run with: `cargo run --release --example serving_sim`
+
+use mprec::core::candidates::{default_accuracy_book, paper_candidates, RepRole};
+use mprec::core::planner::plan;
+use mprec::data::DatasetSpec;
+use mprec::hwsim::Platform;
+use mprec::serving::{simulate, Policy, ServingConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = DatasetSpec::kaggle_sim(100);
+    let candidates = paper_candidates(&spec, &default_accuracy_book(&spec));
+    let platforms = vec![
+        Platform::cpu().with_dram_cap(32_000_000_000),
+        Platform::gpu(),
+    ];
+    let mappings = plan(&candidates, &platforms)?;
+    let cfg = ServingConfig::default(); // 10K queries, 1000 QPS, 10 ms SLA
+
+    let policies = vec![
+        Policy::Static {
+            role: RepRole::Table,
+            platform_idx: 0,
+        },
+        Policy::Static {
+            role: RepRole::Table,
+            platform_idx: 1,
+        },
+        Policy::TableSwitching,
+        Policy::Static {
+            role: RepRole::Dhe,
+            platform_idx: 1,
+        },
+        Policy::Static {
+            role: RepRole::Hybrid,
+            platform_idx: 1,
+        },
+        Policy::MpRec,
+    ];
+
+    println!(
+        "{:22} {:>12} {:>10} {:>10} {:>10}",
+        "policy", "correct/s", "accuracy", "viol %", "p99 ms"
+    );
+    let mut baseline = None;
+    for p in policies {
+        let o = simulate(&mappings, p, &cfg);
+        if baseline.is_none() {
+            baseline = Some(o.correct_sps());
+        }
+        println!(
+            "{:22} {:>12.0} {:>9.2}% {:>9.1}% {:>10.1}",
+            o.policy,
+            o.correct_sps(),
+            o.effective_accuracy() * 100.0,
+            o.sla_violation_rate() * 100.0,
+            o.p99_latency_us / 1000.0
+        );
+        if p == Policy::MpRec {
+            println!("\npath-activation breakdown (Fig. 15):");
+            for (label, n) in &o.usage.queries {
+                println!(
+                    "  {:20} {:>6} queries ({:>5.1}%)",
+                    label,
+                    n,
+                    o.usage.query_fraction(label) * 100.0
+                );
+            }
+            println!(
+                "\nMP-Rec vs TBL(CPU): {:.2}x correct-prediction throughput",
+                o.correct_sps() / baseline.unwrap()
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,138 @@
+//! Cross-crate integration: data generation -> DLRM training -> offline
+//! planning -> online serving, end to end on a small configuration.
+
+use mprec::core::candidates::{default_accuracy_book, paper_candidates, RepRole};
+use mprec::core::planner::plan;
+use mprec::data::query::QueryTraceConfig;
+use mprec::data::DatasetSpec;
+use mprec::dlrm::{train, DlrmConfig, TrainConfig};
+use mprec::embed::{DheConfig, RepresentationConfig};
+use mprec::hwsim::Platform;
+use mprec::serving::{simulate, Policy, ServingConfig};
+
+fn tiny_train_cfg() -> TrainConfig {
+    TrainConfig {
+        steps: 40,
+        batch_size: 64,
+        eval_samples: 2_000,
+        ..TrainConfig::default()
+    }
+}
+
+#[test]
+fn train_plan_serve_pipeline() {
+    // 1. Train a real (tiny) model end to end.
+    let spec = DatasetSpec::kaggle_sim(50_000);
+    let rep = RepresentationConfig::table(8);
+    let report = train(&spec, &DlrmConfig::for_spec(&spec, rep), &tiny_train_cfg())
+        .expect("training");
+    assert!(report.accuracy > 0.5);
+
+    // 2. Plan mappings on HW-1.
+    let candidates = paper_candidates(&spec, &default_accuracy_book(&spec));
+    let platforms = vec![
+        Platform::cpu().with_dram_cap(32_000_000_000),
+        Platform::gpu(),
+    ];
+    let mappings = plan(&candidates, &platforms).expect("plan");
+    assert!(mappings.mappings.len() >= 6);
+
+    // 3. Serve a trace with MP-Rec.
+    let cfg = ServingConfig {
+        trace: QueryTraceConfig {
+            num_queries: 300,
+            ..QueryTraceConfig::default()
+        },
+        ..ServingConfig::default()
+    };
+    let outcome = simulate(&mappings, Policy::MpRec, &cfg);
+    assert_eq!(outcome.completed, 300);
+    assert!(outcome.correct_sps() > 0.0);
+    assert!(outcome.effective_accuracy() > 0.78);
+}
+
+#[test]
+fn every_representation_trains_and_predicts() {
+    let spec = DatasetSpec::kaggle_sim(50_000);
+    let dhe = DheConfig {
+        k: 16,
+        dnn: 16,
+        h: 1,
+        out_dim: 8,
+    };
+    for rep in [
+        RepresentationConfig::table(8),
+        RepresentationConfig::dhe(dhe),
+        RepresentationConfig::select(8, dhe, 3),
+        RepresentationConfig::hybrid(8, DheConfig { out_dim: 8, ..dhe }),
+    ] {
+        let kind = rep.kind;
+        let report = train(&spec, &DlrmConfig::for_spec(&spec, rep), &tiny_train_cfg())
+            .unwrap_or_else(|e| panic!("{kind:?} failed: {e}"));
+        assert!(
+            report.accuracy > 0.5,
+            "{kind:?} accuracy {} below chance",
+            report.accuracy
+        );
+        assert!(report.log_loss.is_finite());
+    }
+}
+
+#[test]
+fn planner_respects_hw2_budgets_end_to_end() {
+    let spec = DatasetSpec::kaggle_sim(50_000);
+    let candidates = paper_candidates(&spec, &default_accuracy_book(&spec));
+    let platforms = vec![
+        Platform::cpu().with_dram_cap(1_000_000_000),
+        Platform::gpu().with_dram_cap(200_000_000),
+    ];
+    let mappings = plan(&candidates, &platforms).expect("plan HW-2");
+    // Nothing placed may exceed its platform budget.
+    for (idx, p) in mappings.platforms.iter().enumerate() {
+        let used = mappings.footprint_bytes(idx);
+        assert!(
+            used <= p.memory_budget(),
+            "platform {} over budget: {used} > {}",
+            p.name,
+            p.memory_budget()
+        );
+    }
+    // Serving still works with only compute paths.
+    let cfg = ServingConfig {
+        trace: QueryTraceConfig {
+            num_queries: 200,
+            ..QueryTraceConfig::default()
+        },
+        ..ServingConfig::default()
+    };
+    let o = simulate(&mappings, Policy::MpRec, &cfg);
+    assert_eq!(o.completed, 200);
+}
+
+#[test]
+fn static_compute_paths_lose_to_mp_rec_under_load() {
+    let spec = DatasetSpec::kaggle_sim(50_000);
+    let candidates = paper_candidates(&spec, &default_accuracy_book(&spec));
+    let platforms = vec![
+        Platform::cpu().with_dram_cap(32_000_000_000),
+        Platform::gpu(),
+    ];
+    let mappings = plan(&candidates, &platforms).expect("plan");
+    let cfg = ServingConfig {
+        trace: QueryTraceConfig {
+            num_queries: 600,
+            ..QueryTraceConfig::default()
+        },
+        ..ServingConfig::default()
+    };
+    let dhe = simulate(
+        &mappings,
+        Policy::Static {
+            role: RepRole::Dhe,
+            platform_idx: 1,
+        },
+        &cfg,
+    );
+    let mp = simulate(&mappings, Policy::MpRec, &cfg);
+    assert!(mp.correct_sps() > dhe.correct_sps());
+}

@@ -1,0 +1,128 @@
+//! MP-Cache integration: the functional cache must agree with the full
+//! DHE stack on hits, approximate sensibly via centroids on misses, and
+//! show the power-law hit rates the serving model assumes.
+
+use std::collections::HashMap;
+
+use mprec::core::mpcache::{DecoderCache, EncoderCache, MpCache};
+use mprec::data::{DatasetSpec, SyntheticDataset};
+use mprec::embed::{DheConfig, DheStack};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn stack(feature: usize) -> DheStack {
+    let mut rng = StdRng::seed_from_u64(42);
+    DheStack::new(
+        DheConfig {
+            k: 16,
+            dnn: 24,
+            h: 2,
+            out_dim: 8,
+        },
+        feature,
+        &mut rng,
+    )
+    .expect("stack")
+}
+
+#[test]
+fn zipf_trace_gives_useful_hit_rates() {
+    // Build per-feature access counts from the real synthetic trace and
+    // check a modest cache captures a disproportionate share of accesses.
+    let spec = DatasetSpec::kaggle_sim(100);
+    let mut ds = SyntheticDataset::new(spec.clone(), 5);
+    let profile = ds.sample_batch(8_000);
+    let mut counts: Vec<HashMap<u64, u64>> = vec![HashMap::new(); 26];
+    for (f, col) in profile.sparse.iter().enumerate() {
+        for &id in col {
+            *counts[f].entry(id).or_insert(0) += 1;
+        }
+    }
+    let stacks: Vec<DheStack> = (0..26).map(stack).collect();
+    let cache = EncoderCache::build(&counts, 8, 64_000, |f, id| {
+        Ok(stacks[f].infer(&[id]).expect("infer").row(0).to_vec())
+    })
+    .expect("build");
+    let mp = MpCache::new(Some(cache), None);
+
+    let eval = ds.sample_batch(4_000);
+    for (f, col) in eval.sparse.iter().enumerate() {
+        for &id in col {
+            let _ = mp.embed(&stacks[f], f, id).expect("embed");
+        }
+    }
+    let hit = mp.stats().encoder_hit_rate();
+    // 64 KB over 26 zipf(0.9) features: a small cache already captures a
+    // large fraction of accesses — that's the entire premise of Fig. 16.
+    assert!(hit > 0.2, "hit rate {hit} too low for a power-law trace");
+    // And the cached entries fit the budget.
+    assert!(mp.encoder.as_ref().unwrap().used_bytes() <= 64_000);
+}
+
+#[test]
+fn cache_hits_are_bit_exact_and_misses_match_stack() {
+    let s = stack(0);
+    let mut counts: Vec<HashMap<u64, u64>> = vec![HashMap::new()];
+    counts[0].insert(1, 100);
+    counts[0].insert(2, 50);
+    let cache = EncoderCache::build(&counts, 8, 10_000, |_, id| {
+        Ok(s.infer(&[id]).expect("infer").row(0).to_vec())
+    })
+    .expect("build");
+    let mp = MpCache::new(Some(cache), None);
+    for id in [1u64, 2, 777] {
+        let via = mp.embed(&s, 0, id).expect("embed");
+        let direct = s.infer(&[id]).expect("infer");
+        assert_eq!(via.as_slice(), direct.row(0), "id {id}");
+    }
+}
+
+#[test]
+fn decoder_tier_error_shrinks_with_more_centroids() {
+    let s = stack(0);
+    let ids: Vec<u64> = (0..2048).collect();
+    let codes = s.encoder().encode_batch(&ids);
+    let test_ids: Vec<u64> = (5000..5200).collect();
+    let test_codes = s.encoder().encode_batch(&test_ids);
+    let exact = s.decode(&test_codes).expect("decode");
+
+    let rmse = |n: usize| {
+        let dec = DecoderCache::build(&s, &codes, n, 5).expect("build");
+        let mut err = 0.0f64;
+        for i in 0..test_ids.len() {
+            let approx = dec.lookup(test_codes.row(i));
+            for (a, b) in approx.iter().zip(exact.row(i)) {
+                err += ((a - b) * (a - b)) as f64;
+            }
+        }
+        (err / (test_ids.len() * 8) as f64).sqrt()
+    };
+    let coarse = rmse(8);
+    let fine = rmse(512);
+    assert!(
+        fine < coarse,
+        "more centroids should approximate better: {fine} !< {coarse}"
+    );
+}
+
+#[test]
+fn full_hierarchy_prefers_encoder_then_decoder() {
+    let s = stack(0);
+    let mut counts: Vec<HashMap<u64, u64>> = vec![HashMap::new()];
+    counts[0].insert(7, 1000);
+    let enc = EncoderCache::build(&counts, 8, 1_000, |_, id| {
+        Ok(s.infer(&[id]).expect("infer").row(0).to_vec())
+    })
+    .expect("enc");
+    let ids: Vec<u64> = (0..512).collect();
+    let codes = s.encoder().encode_batch(&ids);
+    let dec = DecoderCache::build(&s, &codes, 64, 4).expect("dec");
+    let mp = MpCache::new(Some(enc), Some(dec));
+
+    let _ = mp.embed(&s, 0, 7).expect("hot id");
+    let _ = mp.embed(&s, 0, 99_999).expect("cold id");
+    let stats = mp.stats();
+    assert_eq!(stats.encoder_hits, 1);
+    assert_eq!(stats.encoder_misses, 1);
+    assert_eq!(stats.decoder_lookups, 1);
+}
