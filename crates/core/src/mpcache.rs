@@ -103,7 +103,10 @@ impl EncoderCache {
             .enumerate()
             .flat_map(|(f, m)| m.iter().map(move |(&id, &c)| (c, f, id)))
             .collect();
-        all.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        // Break count ties on (feature, id) so the truncation boundary does
+        // not depend on HashMap iteration order — cache contents must be
+        // identical across runs for the determinism guarantees tests rely on.
+        all.sort_unstable_by_key(|&(c, f, id)| (std::cmp::Reverse(c), f, id));
         all.truncate(max_entries);
         let mut entries = HashMap::with_capacity(all.len());
         for (_, f, id) in all {
@@ -282,9 +285,9 @@ impl DecoderCache {
                 ops::axpy(1.0, sample_codes.row(i), sums.row_mut(a));
                 counts[a] += 1;
             }
-            for c in 0..n {
-                if counts[c] > 0 {
-                    let inv = 1.0 / counts[c] as f32;
+            for (c, &count) in counts.iter().enumerate() {
+                if count > 0 {
+                    let inv = 1.0 / count as f32;
                     for v in sums.row_mut(c).iter_mut() {
                         *v *= inv;
                     }

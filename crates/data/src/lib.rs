@@ -23,10 +23,10 @@
 mod batch;
 mod criteo;
 mod hashutil;
-mod zipf;
 
 pub mod query;
 pub mod teacher;
+pub mod zipf;
 
 pub use batch::Batch;
 pub use criteo::{DatasetSpec, KAGGLE_CARDINALITIES, TERABYTE_CARDINALITIES};

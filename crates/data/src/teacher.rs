@@ -241,7 +241,7 @@ mod tests {
     fn bayes_accuracy_above_half() {
         let t = teacher();
         let logits: Vec<f32> = (0..1000)
-            .map(|i| t.logit(&vec![(i % 7) as f32 * 0.3 - 1.0; 13], &vec![i as u64; 26]))
+            .map(|i| t.logit(&[(i % 7) as f32 * 0.3 - 1.0; 13], &vec![i as u64; 26]))
             .collect();
         let acc = t.bayes_accuracy_estimate(&logits);
         assert!(acc > 0.5 && acc <= 1.0, "bayes accuracy {acc}");

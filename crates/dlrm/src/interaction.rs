@@ -147,7 +147,7 @@ mod tests {
     fn forward_contains_passthrough_and_dots() {
         let z = mk(1, 2, 1.0); // [0.05, 0.15]
         let e0 = mk(1, 2, 2.0); // [0.1, 0.3]
-        let out = interaction_forward(&z, &[e0.clone()]).unwrap();
+        let out = interaction_forward(&z, std::slice::from_ref(&e0)).unwrap();
         assert_eq!(out.shape(), (1, 3));
         assert_eq!(&out.row(0)[..2], z.row(0));
         let expect = ops::dot(z.row(0), e0.row(0));

@@ -46,7 +46,7 @@ impl DheConfig {
     pub fn decoder_sizes(&self) -> Vec<usize> {
         let mut sizes = Vec::with_capacity(self.h + 2);
         sizes.push(self.k);
-        sizes.extend(std::iter::repeat(self.dnn).take(self.h));
+        sizes.extend(std::iter::repeat_n(self.dnn, self.h));
         sizes.push(self.out_dim);
         sizes
     }

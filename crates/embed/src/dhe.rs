@@ -284,7 +284,7 @@ mod tests {
         // target via gradient descent.
         let mut rng = StdRng::seed_from_u64(5);
         let mut s = DheStack::new(cfg(), 3, &mut rng).unwrap();
-        let target = vec![0.5f32; 8];
+        let target = [0.5f32; 8];
         let opt = Sgd { lr: 0.05 };
         let mut first_err = 0.0;
         let mut last_err = 0.0;

@@ -284,7 +284,7 @@ impl WorkloadBuilder {
             return Err(HwError::BadConfig("dhe dims must be > 0".into()));
         }
         let mut sizes = vec![k];
-        sizes.extend(std::iter::repeat(dnn).take(h));
+        sizes.extend(std::iter::repeat_n(dnn, h));
         sizes.push(out_dim);
         let stack_params: u64 = sizes
             .windows(2)
@@ -327,7 +327,7 @@ impl WorkloadBuilder {
         idx.sort_by_key(|&i| std::cmp::Reverse(self.cardinalities[i]));
         let dhe_set: std::collections::HashSet<usize> = idx.into_iter().take(top_k).collect();
         let mut sizes = vec![k];
-        sizes.extend(std::iter::repeat(dnn).take(h));
+        sizes.extend(std::iter::repeat_n(dnn, h));
         sizes.push(dim);
         let stack_params: u64 = sizes
             .windows(2)
@@ -374,7 +374,7 @@ impl WorkloadBuilder {
             return Err(HwError::BadConfig("hybrid dims must be > 0".into()));
         }
         let mut sizes = vec![k];
-        sizes.extend(std::iter::repeat(dnn).take(h));
+        sizes.extend(std::iter::repeat_n(dnn, h));
         sizes.push(out_dim);
         let stack_params: u64 = sizes
             .windows(2)

@@ -32,7 +32,7 @@ impl Mlp {
                 "need at least [in, out], got {sizes:?}"
             )));
         }
-        if sizes.iter().any(|&s| s == 0) {
+        if sizes.contains(&0) {
             return Err(NnError::BadArchitecture(format!(
                 "layer sizes must be positive, got {sizes:?}"
             )));

@@ -310,7 +310,7 @@ fn simulate_split(
         };
     };
 
-    let mut free = vec![0.0f64; 2];
+    let mut free = [0.0f64; 2];
     let mut usage = PathUsage::default();
     let mut latencies = Vec::with_capacity(trace.len());
     let mut samples = 0u64;

@@ -1,0 +1,27 @@
+# Developer entry points mirroring the tier-1 verify and CI.
+# Install `just` (https://github.com/casey/just) or read the recipes as
+# plain shell — each one is a single cargo invocation.
+
+# Build + test exactly as the tier-1 verify does.
+default: build test
+
+# Release build of the whole workspace (facade, all crates, bench binaries).
+build:
+    cargo build --release
+
+# Full test suite: unit tests, crate integration tests (including
+# crates/core/tests/invariants.rs), the root integration tests, and doctests.
+test:
+    cargo test -q
+
+# Criterion micro-benchmarks for the hot kernels (crates/bench/benches/micro.rs).
+bench:
+    cargo bench -p mprec-bench
+
+# Lint gate used by CI: clippy over every target with warnings denied.
+lint:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Regenerate one paper figure/table, e.g. `just fig fig16_mpcache`.
+fig name:
+    cargo run --release -p mprec-bench --bin {{name}}

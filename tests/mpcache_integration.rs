@@ -4,7 +4,8 @@
 
 use std::collections::HashMap;
 
-use mprec::core::mpcache::{DecoderCache, EncoderCache, MpCache};
+use mprec::core::mpcache::{DecoderCache, EncoderCache, LruEncoderCache, MpCache};
+use mprec::data::zipf::Zipf;
 use mprec::data::{DatasetSpec, SyntheticDataset};
 use mprec::embed::{DheConfig, DheStack};
 use rand::rngs::StdRng;
@@ -103,6 +104,78 @@ fn decoder_tier_error_shrinks_with_more_centroids() {
         fine < coarse,
         "more centroids should approximate better: {fine} !< {coarse}"
     );
+}
+
+#[test]
+fn eviction_under_pressure_stays_within_budget_and_bit_exact() {
+    // A cache sized for ~64 entries fed 4K distinct ids must evict
+    // constantly, never exceed its entry budget, and still return
+    // bit-exact embeddings for whatever it serves.
+    let s = stack(0);
+    let mut cache = LruEncoderCache::new(8, 64 * (16 + 8 * 4));
+    let cap = cache.max_entries();
+    assert!(cap >= 32, "budget should admit a meaningful working set");
+
+    for id in 0..4096u64 {
+        let via = cache.embed(&s, 0, id).expect("embed");
+        let direct = s.infer(&[id]).expect("infer");
+        assert_eq!(via.as_slice(), direct.row(0), "id {id}");
+        assert!(
+            cache.len() <= cap,
+            "{} entries exceed the {cap}-entry budget",
+            cache.len()
+        );
+    }
+    // A cold uniform sweep over 4K ids through a 64-entry cache is all
+    // misses; the hit counter must reflect that.
+    assert!(cache.hit_rate() < 0.05, "hit rate {}", cache.hit_rate());
+
+    // After the pressure phase the cache still works: a small hot set
+    // re-accessed repeatedly becomes all hits once resident.
+    for _ in 0..10 {
+        for id in 0..16u64 {
+            let _ = cache.embed(&s, 0, id).expect("embed");
+        }
+    }
+    let hot = cache.embed(&s, 0, 3).expect("embed");
+    assert_eq!(hot.as_slice(), s.infer(&[3]).expect("infer").row(0));
+    assert!(
+        cache.hit_rate() > 0.03,
+        "re-accessed hot set should lift hit rate, got {}",
+        cache.hit_rate()
+    );
+}
+
+#[test]
+fn hit_rate_is_monotone_in_zipf_skew() {
+    // Fig. 16's premise: the more skewed the access distribution, the more
+    // traffic a fixed-size cache captures. Sweep the Zipf exponent and
+    // require the measured hit rate to rise with it.
+    let s = stack(0);
+    let support = 50_000u64;
+    let draws = 30_000usize;
+    let mut rates = Vec::new();
+    for (i, alpha) in [0.5f64, 0.8, 1.1, 1.4].into_iter().enumerate() {
+        let z = Zipf::new(support, alpha);
+        let mut rng = StdRng::seed_from_u64(1000 + i as u64);
+        let mut cache = LruEncoderCache::new(8, 256 * (16 + 8 * 4));
+        for _ in 0..draws {
+            let id = z.sample(&mut rng);
+            let _ = cache.embed(&s, 0, id).expect("embed");
+        }
+        rates.push((alpha, cache.hit_rate()));
+    }
+    for pair in rates.windows(2) {
+        let ((a0, r0), (a1, r1)) = (pair[0], pair[1]);
+        assert!(
+            r1 > r0,
+            "hit rate should grow with skew: alpha {a0} -> {r0:.3}, alpha {a1} -> {r1:.3}"
+        );
+    }
+    // Endpoints sanity: near-uniform traffic over 50K ids barely hits a
+    // 256-entry cache; alpha=1.4 concentrates most mass on the head.
+    assert!(rates[0].1 < 0.2, "alpha 0.5 rate {:.3}", rates[0].1);
+    assert!(rates[3].1 > 0.5, "alpha 1.4 rate {:.3}", rates[3].1);
 }
 
 #[test]

@@ -1,0 +1,113 @@
+//! Planner/scheduler boundary guardrails (Fig. 17): `plan()` must be
+//! deterministic for a fixed input, and Algorithm 2 must never violate the
+//! SLA declared in `ServingConfig` while a feasible path exists.
+
+use mprec::core::candidates::{default_accuracy_book, paper_candidates};
+use mprec::core::planner::{plan, MappingSet};
+use mprec::core::scheduler::{Scheduler, SchedulerConfig};
+use mprec::data::query::{QueryGenerator, QueryTraceConfig};
+use mprec::data::DatasetSpec;
+use mprec::hwsim::Platform;
+use mprec::serving::{simulate, Policy, ServingConfig};
+
+fn planned() -> MappingSet {
+    let spec = DatasetSpec::kaggle_sim(100);
+    let cands = paper_candidates(&spec, &default_accuracy_book(&spec));
+    let platforms = vec![Platform::cpu().with_dram_cap(32_000_000_000), Platform::gpu()];
+    plan(&cands, &platforms).expect("plan")
+}
+
+#[test]
+fn plan_is_deterministic_across_runs() {
+    let a = planned();
+    let b = planned();
+    assert_eq!(a.mappings.len(), b.mappings.len(), "mapping count drifted");
+    for (ma, mb) in a.mappings.iter().zip(&b.mappings) {
+        assert_eq!(ma.label(&a.platforms), mb.label(&b.platforms));
+        assert_eq!(ma.platform_idx, mb.platform_idx);
+        assert_eq!(ma.rep.accuracy, mb.rep.accuracy);
+        assert_eq!(ma.rep.capacity_bytes(), mb.rep.capacity_bytes());
+        for size in [1u64, 16, 128, 1024, 4096] {
+            let (la, lb) = (ma.profile.latency_us(size), mb.profile.latency_us(size));
+            assert_eq!(la, lb, "latency profile drifted at size {size}");
+        }
+    }
+    for idx in 0..a.platforms.len() {
+        assert_eq!(a.footprint_bytes(idx), b.footprint_bytes(idx));
+    }
+}
+
+#[test]
+fn scheduler_honors_sla_whenever_feasible() {
+    let cfg = ServingConfig::default();
+    let set = planned();
+    let n_platforms = set.platforms.len();
+    let mut sched = Scheduler::new(set, SchedulerConfig::default());
+
+    let trace = QueryGenerator::new(
+        QueryTraceConfig { num_queries: 2_000, ..QueryTraceConfig::default() },
+        7,
+    )
+    .generate();
+
+    let mut feasible_routed = 0u64;
+    for q in &trace {
+        sched.advance_to(q.arrival_us as f64);
+        // A query is feasible iff some planned path finishes within the SLA
+        // given current backlogs; compute that bound before routing.
+        let best_possible = sched
+            .mappings()
+            .mappings
+            .iter()
+            .map(|m| sched.backlog_us(m.platform_idx) + m.profile.latency_us(q.size as u64))
+            .fold(f64::INFINITY, f64::min);
+        let (d, _) = sched.dispatch(q.size as u64, cfg.sla_us).expect("dispatch");
+        assert!(d.platform_idx < n_platforms);
+        if best_possible <= cfg.sla_us {
+            feasible_routed += 1;
+            assert!(
+                d.expected_completion_us <= cfg.sla_us + 1e-6,
+                "scheduler violated a feasible {}us SLA: completion {}us (best possible {}us, size {})",
+                cfg.sla_us,
+                d.expected_completion_us,
+                best_possible,
+                q.size
+            );
+        }
+    }
+    assert!(
+        feasible_routed > trace.len() as u64 / 2,
+        "trace too hard: only {feasible_routed}/{} queries had a feasible path",
+        trace.len()
+    );
+}
+
+#[test]
+fn serving_sim_keeps_sla_violations_rare_at_paper_load() {
+    // End-to-end guard for Fig. 17: at the figure's operating point
+    // (400 QPS, 10 ms SLA) MP-Rec keeps SLA violations rare and is never
+    // worse than the table-switching baseline.
+    let set = planned();
+    let cfg = ServingConfig {
+        trace: QueryTraceConfig {
+            num_queries: 4_000,
+            qps: 400.0,
+            ..QueryTraceConfig::default()
+        },
+        ..ServingConfig::default()
+    };
+    let mprec = simulate(&set, Policy::MpRec, &cfg);
+    assert!(
+        mprec.sla_violation_rate() < 0.05,
+        "MP-Rec violation rate {:.4} at paper-default load",
+        mprec.sla_violation_rate()
+    );
+
+    let baseline = simulate(&set, Policy::TableSwitching, &cfg);
+    assert!(
+        mprec.sla_violation_rate() <= baseline.sla_violation_rate() + 0.01,
+        "MP-Rec ({:.4}) should not violate more than table-switching ({:.4})",
+        mprec.sla_violation_rate(),
+        baseline.sla_violation_rate()
+    );
+}

@@ -1,0 +1,244 @@
+//! Vendored micro-benchmark harness exposing the slice of the `criterion`
+//! API the workspace's `benches/` use: `Criterion::default()` with the
+//! builder knobs, `bench_function`, `Bencher::iter` / `iter_batched`,
+//! `BatchSize`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is a simple warm-up phase followed by timed batches; it
+//! reports mean ns/iter (with min/max over batches) to stdout. No HTML
+//! reports, statistics, or regression detection — the workspace's
+//! figure-generating binaries do their own measurement; this harness exists
+//! so `cargo bench` runs offline and exercises the hot kernels.
+
+use std::time::{Duration, Instant};
+
+/// Returns its argument, opaque to the optimizer.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Hint for how expensive `iter_batched` setup values are to hold.
+/// This harness treats every variant as per-batch setup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine inputs; batches may be large.
+    SmallInput,
+    /// Large routine inputs; batches are kept small.
+    LargeInput,
+    /// One setup per routine invocation.
+    PerIteration,
+}
+
+/// Benchmark driver configured builder-style, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed batches each benchmark records.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total time budget for the timed batches.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the untimed warm-up duration preceding measurement.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up_time,
+            budget: self.measurement_time,
+            samples: self.sample_size,
+            batch_ns: Vec::new(),
+            iters_per_batch: 0,
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    budget: Duration,
+    samples: usize,
+    batch_ns: Vec<f64>,
+    iters_per_batch: u64,
+}
+
+impl Bencher {
+    /// Measures `routine` called in a tight loop.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm up and size batches so one batch is ~1/samples of the budget.
+        let warm_deadline = Instant::now() + self.warm_up;
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let batch_budget = self.budget.as_secs_f64() / self.samples as f64;
+        let iters = ((batch_budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000_000);
+
+        self.iters_per_batch = iters;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
+            self.batch_ns.push(ns);
+        }
+    }
+
+    /// Measures `routine` on fresh inputs built by `setup`; only the routine
+    /// is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            let input = setup();
+            black_box(routine(input));
+        }
+        // Time routine invocations individually, excluding setup.
+        let deadline = Instant::now() + self.budget;
+        let mut total_ns = 0.0f64;
+        let mut count: u64 = 0;
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns = 0.0f64;
+        while Instant::now() < deadline {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let ns = start.elapsed().as_secs_f64() * 1e9;
+            total_ns += ns;
+            count += 1;
+            min_ns = min_ns.min(ns);
+            max_ns = max_ns.max(ns);
+        }
+        if count > 0 {
+            self.iters_per_batch = 1;
+            self.batch_ns = vec![min_ns, total_ns / count as f64, max_ns];
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.batch_ns.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        let mean = self.batch_ns.iter().sum::<f64>() / self.batch_ns.len() as f64;
+        let min = self.batch_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = self.batch_ns.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{id:<40} time: [{} {} {}]",
+            format_ns(min),
+            format_ns(mean),
+            format_ns(max)
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a named group of benchmark functions, optionally with a custom
+/// `Criterion` configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main`, running each benchmark group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,96 @@
+//! Distribution types (`Uniform`, the `Distribution` trait).
+
+use crate::{RngCore, SampleRange, Standard};
+
+/// Types that can produce values of `T` when driven by an RNG.
+pub trait Distribution<T> {
+    /// Draws one value from the distribution.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform distribution over an interval.
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+    inclusive: bool,
+}
+
+impl<T: Copy + PartialOrd> Uniform<T> {
+    /// Uniform over the half-open interval `[low, high)`.
+    pub fn new(low: T, high: T) -> Self {
+        assert!(low < high, "Uniform::new: empty range");
+        Uniform { low, high, inclusive: false }
+    }
+
+    /// Uniform over the closed interval `[low, high]`.
+    pub fn new_inclusive(low: T, high: T) -> Self {
+        assert!(low <= high, "Uniform::new_inclusive: empty range");
+        Uniform { low, high, inclusive: true }
+    }
+}
+
+macro_rules! uniform_float {
+    ($($t:ty),+) => {$(
+        impl Distribution<$t> for Uniform<$t> {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                // For floats the closed/open distinction is a single
+                // representable value; sample the half-open interval and, in
+                // the inclusive case, the top value is unreachable but the
+                // distribution is indistinguishable for simulation purposes.
+                let u = <$t as Standard>::sample_standard(&mut &mut *rng);
+                let v = self.low + u * (self.high - self.low);
+                if !self.inclusive && v >= self.high {
+                    self.high.next_down()
+                } else {
+                    v
+                }
+            }
+        }
+    )+};
+}
+
+uniform_float!(f32, f64);
+
+macro_rules! uniform_int {
+    ($($t:ty),+) => {$(
+        impl Distribution<$t> for Uniform<$t> {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                if self.inclusive {
+                    (self.low..=self.high).sample_single(&mut &mut *rng)
+                } else {
+                    (self.low..self.high).sample_single(&mut &mut *rng)
+                }
+            }
+        }
+    )+};
+}
+
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn uniform_float_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Uniform::new_inclusive(-0.25f32, 0.25);
+        for _ in 0..10_000 {
+            let v = d.sample(&mut rng);
+            assert!((-0.25..=0.25).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_int_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = Uniform::new(10u64, 20);
+        for _ in 0..10_000 {
+            let v = d.sample(&mut rng);
+            assert!((10..20).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Concrete RNG implementations.
+
+use crate::{RngCore, SeedableRng};
+
+/// Deterministic xoshiro256++ generator standing in for `rand::rngs::StdRng`.
+///
+/// Not cryptographically secure — it exists to give the workspace fast,
+/// reproducible streams for simulation and initialization.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = (self.s[0].wrapping_add(self.s[3]))
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(bytes);
+        }
+        // xoshiro enters a fixed point at the all-zero state; remix through
+        // SplitMix64 so even a zero seed yields a usable stream.
+        if s == [0, 0, 0, 0] {
+            let mut state = 0x0005_DEEC_E66D_u64;
+            for word in s.iter_mut() {
+                *word = crate::splitmix64(&mut state);
+            }
+        }
+        StdRng { s }
+    }
+}

@@ -1,0 +1,23 @@
+//! Vendored no-op stand-in for `serde`'s derive macros.
+//!
+//! The workspace annotates config and result structs with
+//! `#[derive(Serialize, Deserialize)]` so they are ready for wire formats,
+//! but nothing in-tree serializes yet and the build environment has no
+//! crates.io access. These derives accept the same syntax (including
+//! `#[serde(...)]` field attributes) and expand to nothing, keeping the
+//! annotations compiling until a real serde can be plugged in via
+//! `[patch]` or a dependency swap.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; accepts and ignores `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; accepts and ignores `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
