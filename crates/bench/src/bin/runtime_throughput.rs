@@ -1,0 +1,179 @@
+//! Runtime throughput sweep: real multi-threaded serving across worker
+//! counts x offered QPS, measuring aggregate samples/s, latency
+//! percentiles, SLA-violation rates, and the path mix. Writes
+//! `BENCH_runtime.json` (the repo's serving-perf trajectory artifact).
+//!
+//! The sweep runs in throughput mode (`pace_ingress = false`): the trace
+//! is fed as fast as the workers drain it, so samples/s measures the
+//! compute capacity of the pool while the *virtual* QPS still shapes
+//! micro-batch formation and routing.
+//!
+//! Usage:
+//!   runtime_throughput [num_queries]   full sweep (default 10000/cell)
+//!   runtime_throughput --smoke         CI smoke: one 4-worker cell,
+//!                                      3000 queries, asserts completion
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use mprec_data::query::QueryTraceConfig;
+use mprec_runtime::{Engine, RuntimeConfig, RuntimeReport};
+
+struct Cell {
+    workers: usize,
+    qps: f64,
+    report: RuntimeReport,
+    build_s: f64,
+    serve_s: f64,
+}
+
+fn run_cell(workers: usize, qps: f64, num_queries: usize) -> Cell {
+    let cfg = RuntimeConfig {
+        workers,
+        trace: QueryTraceConfig {
+            num_queries,
+            qps,
+            mean_size: 32.0,
+            max_size: 512,
+            ..QueryTraceConfig::default()
+        },
+        ..RuntimeConfig::default()
+    };
+    let t0 = Instant::now();
+    let engine = Engine::new(cfg).expect("engine builds");
+    let build_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let report = engine.serve().expect("serve succeeds");
+    let serve_s = t1.elapsed().as_secs_f64();
+    Cell { workers, qps, report, build_s, serve_s }
+}
+
+fn cell_json(c: &Cell) -> String {
+    let o = &c.report.outcome;
+    let completed = o.completed.max(1) as f64;
+    format!(
+        concat!(
+            "{{\"workers\":{},\"qps\":{},\"completed\":{},\"samples\":{},",
+            "\"samples_per_s\":{:.1},\"correct_samples_per_s\":{:.1},",
+            "\"span_s\":{:.4},\"p50_us\":{:.1},\"p95_us\":{:.1},\"p99_us\":{:.1},",
+            "\"virtual_sla_violation_rate\":{:.5},\"measured_sla_violation_rate\":{:.5},",
+            "\"cache_hit_rate\":{:.4},\"build_s\":{:.3},\"serve_s\":{:.3}}}"
+        ),
+        c.workers,
+        c.qps,
+        o.completed,
+        o.samples,
+        o.raw_sps(),
+        o.correct_sps(),
+        o.span_s,
+        c.report.histogram.quantile_us(0.50),
+        o.p95_latency_us,
+        o.p99_latency_us,
+        c.report.virtual_sla_violations as f64 / completed,
+        c.report.measured_sla_violations as f64 / completed,
+        c.report.cache.encoder_hit_rate(),
+        c.build_s,
+        c.serve_s,
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    mprec_bench::header(
+        "runtime_throughput",
+        "real multi-threaded serving scales with workers (>1.5x from 1 to 4)",
+    );
+
+    let cells: Vec<Cell> = if smoke {
+        let c = run_cell(4, 4000.0, 3000);
+        assert_eq!(
+            c.report.outcome.completed, 3000,
+            "smoke: every query must complete exactly once"
+        );
+        assert_eq!(
+            c.report.routed_queries, c.report.outcome.completed,
+            "smoke: routed == completed"
+        );
+        vec![c]
+    } else {
+        let num_queries = mprec_bench::arg_or(1, 10_000usize);
+        let mut out = Vec::new();
+        for &workers in &[1usize, 2, 4, 8] {
+            for &qps in &[1000.0f64, 4000.0, 16_000.0] {
+                out.push(run_cell(workers, qps, num_queries));
+            }
+        }
+        out
+    };
+
+    println!(
+        "\n{:>7} {:>8} {:>12} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "workers", "qps", "samples/s", "p50 ms", "p95 ms", "p99 ms", "viol %", "serve s"
+    );
+    for c in &cells {
+        let o = &c.report.outcome;
+        println!(
+            "{:>7} {:>8.0} {:>12.0} {:>10.2} {:>10.2} {:>10.2} {:>8.2} {:>8.2}",
+            c.workers,
+            c.qps,
+            o.raw_sps(),
+            c.report.histogram.quantile_us(0.50) / 1000.0,
+            o.p95_latency_us / 1000.0,
+            o.p99_latency_us / 1000.0,
+            100.0 * o.sla_violation_rate(),
+            c.serve_s,
+        );
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    // Scaling headline: samples/s at 4 workers vs 1 worker, mid QPS.
+    // `None` (JSON null) in smoke mode — a single cell measures nothing
+    // about scaling and must not masquerade as a 0.0x collapse.
+    let mut scaling_1_to_4: Option<f64> = None;
+    if !smoke {
+        let sps = |workers: usize| {
+            cells
+                .iter()
+                .find(|c| c.workers == workers && c.qps == 4000.0)
+                .map(|c| c.report.outcome.raw_sps())
+                .unwrap_or(0.0)
+        };
+        let (one, four) = (sps(1), sps(4));
+        if one > 0.0 {
+            scaling_1_to_4 = Some(four / one);
+        }
+        println!(
+            "\nthroughput scaling 1 -> 4 workers @ 4000 qps: {:.2}x",
+            scaling_1_to_4.unwrap_or(0.0)
+        );
+        if cores < 4 {
+            println!(
+                "note: host exposes only {cores} core(s); worker scaling cannot \
+                 exceed ~1.0x here — interpret the sweep on a multicore host"
+            );
+        }
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"runtime_throughput\",\n");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"available_parallelism\": {cores},");
+    match scaling_1_to_4 {
+        Some(s) => {
+            let _ = writeln!(json, "  \"scaling_1_to_4\": {s:.3},");
+        }
+        None => {
+            let _ = writeln!(json, "  \"scaling_1_to_4\": null,");
+        }
+    }
+    json.push_str("  \"sweep\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let sep = if i + 1 < cells.len() { "," } else { "" };
+        let _ = writeln!(json, "    {}{}", cell_json(c), sep);
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
+    println!("\nwrote BENCH_runtime.json ({} cells)", cells.len());
+}

@@ -51,7 +51,10 @@ pub mod scheduler;
 
 pub use candidates::{AccuracyBook, CandidateRep, RepRole};
 pub use metrics::CorrectPredictionThroughput;
-pub use mpcache::{DecoderCache, EncoderCache, LruEncoderCache, MpCache, MpCacheConfig};
+pub use mpcache::{
+    CacheStats, DecoderCache, EncoderCache, LruEncoderCache, MpCache, MpCacheConfig,
+    ShardedCacheConfig, ShardedMpCache,
+};
 pub use planner::{plan, Mapping, MappingSet};
 pub use profile::LatencyProfile;
 pub use scheduler::{RouteDecision, Scheduler, SchedulerConfig};

@@ -14,12 +14,19 @@
 //! Both tiers are functional (real data structures, measurable hit rates
 //! and approximation error) and expose the cost parameters the hardware
 //! model needs to price cached paths.
+//!
+//! For the multi-threaded serving runtime (`mprec-runtime`) the tiers sit
+//! behind [`ShardedMpCache`]: the encoder tier is partitioned into N
+//! shards keyed by a `(feature, id)` hash, each shard pairing an
+//! immutable (lock-free) static map with an online dynamic tier behind a
+//! `parking_lot::RwLock` and an atomic hit/miss/eviction stats block.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use mprec_embed::DheStack;
 use mprec_tensor::{ops, Matrix};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::{CoreError, Result};
 
@@ -47,22 +54,44 @@ impl Default for MpCacheConfig {
 /// Hit/miss counters shared by both tiers.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Encoder-tier hits.
+    /// Encoder-tier (static, profiled top-K) hits.
     pub encoder_hits: u64,
-    /// Encoder-tier misses.
+    /// Encoder-tier misses (accesses served by neither encoder tier).
     pub encoder_misses: u64,
     /// Decoder-tier lookups (encoder misses that used centroids).
     pub decoder_lookups: u64,
+    /// Dynamic-tier hits (online warm entries; [`ShardedMpCache`] only).
+    pub dynamic_hits: u64,
+    /// Dynamic-tier evictions ([`ShardedMpCache`] only).
+    pub evictions: u64,
 }
 
 impl CacheStats {
-    /// Encoder hit rate in [0, 1].
+    /// Encoder hit rate in [0, 1]: hits of either encoder tier (static or
+    /// dynamic) over all lookups.
     pub fn encoder_hit_rate(&self) -> f64 {
-        let total = self.encoder_hits + self.encoder_misses;
+        let hits = self.encoder_hits + self.dynamic_hits;
+        let total = hits + self.encoder_misses;
         if total == 0 {
             0.0
         } else {
-            self.encoder_hits as f64 / total as f64
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Total lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.encoder_hits + self.dynamic_hits + self.encoder_misses
+    }
+
+    /// Field-wise sum of two snapshots (merging per-shard stats).
+    pub fn merged(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            encoder_hits: self.encoder_hits + other.encoder_hits,
+            encoder_misses: self.encoder_misses + other.encoder_misses,
+            decoder_lookups: self.decoder_lookups + other.decoder_lookups,
+            dynamic_hits: self.dynamic_hits + other.dynamic_hits,
+            evictions: self.evictions + other.evictions,
         }
     }
 }
@@ -142,6 +171,12 @@ impl EncoderCache {
     /// Looks up a hot embedding.
     pub fn get(&self, feature: usize, id: u64) -> Option<&[f32]> {
         self.entries.get(&(feature, id)).map(Vec::as_slice)
+    }
+
+    /// Consumes the cache, yielding its `(feature, id) -> embedding` map
+    /// (used by [`ShardedMpCache`] to partition entries across shards).
+    pub fn into_entries(self) -> HashMap<(usize, u64), Vec<f32>> {
+        self.entries
     }
 }
 
@@ -401,6 +436,392 @@ impl MpCache {
     }
 }
 
+/// Configuration of the sharded, thread-safe MP-Cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardedCacheConfig {
+    /// Number of shards (rounded up to a power of two, min 1).
+    pub shards: usize,
+    /// Per-cache budget of *dynamic* (online warm-up) entries, split
+    /// evenly across shards; 0 disables the dynamic tier entirely.
+    pub dynamic_entries: usize,
+}
+
+impl Default for ShardedCacheConfig {
+    fn default() -> Self {
+        ShardedCacheConfig {
+            shards: 16,
+            dynamic_entries: 0,
+        }
+    }
+}
+
+/// Lock-free hit/miss/eviction counters (relaxed ordering; the counters
+/// are statistics, not synchronization).
+#[derive(Debug, Default)]
+pub struct AtomicCacheStats {
+    encoder_hits: AtomicU64,
+    encoder_misses: AtomicU64,
+    decoder_lookups: AtomicU64,
+    dynamic_hits: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl AtomicCacheStats {
+    /// Consistent-enough snapshot of the counters (each counter is read
+    /// atomically; the set may straddle in-flight updates).
+    pub fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            encoder_hits: self.encoder_hits.load(Ordering::Relaxed),
+            encoder_misses: self.encoder_misses.load(Ordering::Relaxed),
+            decoder_lookups: self.decoder_lookups.load(Ordering::Relaxed),
+            dynamic_hits: self.dynamic_hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.encoder_hits.store(0, Ordering::Relaxed);
+        self.encoder_misses.store(0, Ordering::Relaxed);
+        self.decoder_lookups.store(0, Ordering::Relaxed);
+        self.dynamic_hits.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Dynamic (online warm-up) tier of one shard: insert-on-miss with FIFO
+/// eviction at the per-shard entry budget.
+#[derive(Debug, Default)]
+struct DynamicTier {
+    entries: HashMap<(usize, u64), Vec<f32>>,
+    fifo: VecDeque<(usize, u64)>,
+}
+
+/// One cache shard: an immutable slice of the static encoder tier (read
+/// without any lock) plus a locked dynamic tier and an atomic stats block.
+#[derive(Debug)]
+struct CacheShard {
+    static_entries: HashMap<(usize, u64), Vec<f32>>,
+    dynamic: RwLock<DynamicTier>,
+    stats: AtomicCacheStats,
+}
+
+/// Decoder-tier topology: none, one tier shared by every feature (valid
+/// when all features share one decoder), or one tier per sparse feature
+/// (each feature's centroids carry *its* decoder's precomputed outputs).
+#[derive(Debug)]
+enum DecoderTier {
+    None,
+    Shared(DecoderCache),
+    PerFeature(Vec<Option<DecoderCache>>),
+}
+
+impl DecoderTier {
+    fn for_feature(&self, feature: usize) -> Option<&DecoderCache> {
+        match self {
+            DecoderTier::None => None,
+            DecoderTier::Shared(d) => Some(d),
+            DecoderTier::PerFeature(v) => v.get(feature).and_then(Option::as_ref),
+        }
+    }
+}
+
+/// Thread-safe MP-Cache for the serving runtime: the encoder tier is
+/// partitioned into `N` shards keyed by a `(feature, id)` hash, so
+/// concurrent workers contend only on their own shard — and only when
+/// they touch the *dynamic* tier, because the static (profiled top-K)
+/// entries and the decoder centroids are immutable and read lock-free.
+///
+/// Sharding never changes hit/miss semantics: the static tier is a pure
+/// function of the key, and the dynamic tier partitions its entry budget
+/// by the same key hash, so under a sequential access pattern the merged
+/// per-shard stats of an `N`-shard cache equal a 1-shard cache's stats
+/// whenever the dynamic tier is disabled or unsaturated (property-tested
+/// in `crates/core/tests/sharded_mpcache.rs`).
+#[derive(Debug)]
+pub struct ShardedMpCache {
+    shards: Vec<CacheShard>,
+    decoder: DecoderTier,
+    mask: u64,
+    dynamic_per_shard: usize,
+}
+
+impl ShardedMpCache {
+    /// Builds the sharded cache from (optionally) a built static encoder
+    /// tier and a decoder tier shared by every feature.
+    pub fn new(
+        encoder: Option<EncoderCache>,
+        decoder: Option<DecoderCache>,
+        cfg: ShardedCacheConfig,
+    ) -> Self {
+        Self::build(
+            encoder,
+            match decoder {
+                Some(d) => DecoderTier::Shared(d),
+                None => DecoderTier::None,
+            },
+            cfg,
+        )
+    }
+
+    /// Builds the sharded cache with one decoder tier per sparse feature
+    /// (index = feature): multi-feature deployments precompute each
+    /// tier's outputs with that feature's own decoder.
+    pub fn with_feature_decoders(
+        encoder: Option<EncoderCache>,
+        decoders: Vec<Option<DecoderCache>>,
+        cfg: ShardedCacheConfig,
+    ) -> Self {
+        Self::build(encoder, DecoderTier::PerFeature(decoders), cfg)
+    }
+
+    fn build(encoder: Option<EncoderCache>, decoder: DecoderTier, cfg: ShardedCacheConfig) -> Self {
+        let shards = cfg.shards.max(1).next_power_of_two();
+        let mask = shards as u64 - 1;
+        let mut maps: Vec<HashMap<(usize, u64), Vec<f32>>> =
+            (0..shards).map(|_| HashMap::new()).collect();
+        if let Some(enc) = encoder {
+            for (key, v) in enc.into_entries() {
+                maps[(shard_hash(key.0, key.1) & mask) as usize].insert(key, v);
+            }
+        }
+        // A nonzero budget always yields a usable tier: round the
+        // per-shard quota up to 1 rather than flooring a small budget
+        // (e.g. 10 entries over 16 shards) down to "disabled".
+        let dynamic_per_shard = if cfg.dynamic_entries == 0 {
+            0
+        } else {
+            (cfg.dynamic_entries / shards).max(1)
+        };
+        ShardedMpCache {
+            shards: maps
+                .into_iter()
+                .map(|static_entries| CacheShard {
+                    static_entries,
+                    dynamic: RwLock::new(DynamicTier::default()),
+                    stats: AtomicCacheStats::default(),
+                })
+                .collect(),
+            decoder,
+            mask,
+            dynamic_per_shard,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Entries in the static tier across all shards.
+    pub fn static_len(&self) -> usize {
+        self.shards.iter().map(|s| s.static_entries.len()).sum()
+    }
+
+    /// Entries currently in the dynamic tier across all shards.
+    pub fn dynamic_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.dynamic.read().entries.len())
+            .sum()
+    }
+
+    /// The decoder tier serving `feature`, if any.
+    pub fn decoder_for(&self, feature: usize) -> Option<&DecoderCache> {
+        self.decoder.for_feature(feature)
+    }
+
+    fn shard(&self, feature: usize, id: u64) -> &CacheShard {
+        &self.shards[(shard_hash(feature, id) & self.mask) as usize]
+    }
+
+    /// Stats of one shard.
+    pub fn shard_stats(&self, idx: usize) -> CacheStats {
+        self.shards[idx].stats.snapshot()
+    }
+
+    /// Merged stats across all shards.
+    pub fn stats(&self) -> CacheStats {
+        self.shards
+            .iter()
+            .fold(CacheStats::default(), |acc, s| {
+                acc.merged(&s.stats.snapshot())
+            })
+    }
+
+    /// Resets all shard counters.
+    pub fn reset_stats(&self) {
+        for s in &self.shards {
+            s.stats.reset();
+        }
+    }
+
+    /// Empties every shard's dynamic (online warm-up) tier; the static
+    /// and decoder tiers are immutable and unaffected. Together with
+    /// [`ShardedMpCache::reset_stats`] this restores a freshly-built
+    /// cache's behaviour between runs.
+    pub fn clear_dynamic(&self) {
+        for s in &self.shards {
+            let mut tier = s.dynamic.write();
+            tier.entries.clear();
+            tier.fifo.clear();
+        }
+    }
+
+    /// Serves one embedding through the sharded hierarchy: static tier
+    /// (lock-free) -> dynamic tier (shared read lock) -> encode + decoder
+    /// tier or full decoder, inserting the result into the dynamic tier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stack execution errors.
+    pub fn embed(&self, stack: &DheStack, feature: usize, id: u64) -> Result<Vec<f32>> {
+        let shard = self.shard(feature, id);
+        let key = (feature, id);
+        if let Some(hit) = shard.static_entries.get(&key) {
+            shard.stats.encoder_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
+        }
+        if self.dynamic_per_shard > 0 {
+            if let Some(hit) = shard.dynamic.read().entries.get(&key) {
+                shard.stats.dynamic_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit.clone());
+            }
+        }
+        shard.stats.encoder_misses.fetch_add(1, Ordering::Relaxed);
+        let v = self.compute_miss(stack, shard, feature, id)?;
+        self.admit(shard, key, v.clone());
+        Ok(v)
+    }
+
+    /// Batched lookup: one output row per ID, computing all misses with a
+    /// single batched encode/decode so workers amortize the decoder GEMMs.
+    /// Duplicate cold IDs within the batch are computed once; their stats
+    /// follow sequential-[`ShardedMpCache::embed`] semantics (a repeat is
+    /// a dynamic hit when the dynamic tier is enabled, another miss when
+    /// it is disabled), matching the scalar path exactly whenever the
+    /// dynamic tier does not evict mid-batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stack execution errors.
+    pub fn embed_batch(&self, stack: &DheStack, feature: usize, ids: &[u64]) -> Result<Matrix> {
+        let dim = stack.out_dim();
+        let mut out = Matrix::zeros(ids.len(), dim);
+        // Unique cold IDs to compute, and for every output row of a cold
+        // ID the slot its embedding comes from.
+        let mut miss_slot_of: HashMap<u64, usize> = HashMap::new();
+        let mut miss_ids: Vec<u64> = Vec::new();
+        let mut cold_rows: Vec<(usize, usize)> = Vec::new();
+        for (row, &id) in ids.iter().enumerate() {
+            let shard = self.shard(feature, id);
+            let key = (feature, id);
+            if let Some(hit) = shard.static_entries.get(&key) {
+                shard.stats.encoder_hits.fetch_add(1, Ordering::Relaxed);
+                out.row_mut(row).copy_from_slice(hit);
+                continue;
+            }
+            if self.dynamic_per_shard > 0 {
+                if let Some(hit) = shard.dynamic.read().entries.get(&key) {
+                    shard.stats.dynamic_hits.fetch_add(1, Ordering::Relaxed);
+                    out.row_mut(row).copy_from_slice(hit);
+                    continue;
+                }
+            }
+            if let Some(&slot) = miss_slot_of.get(&id) {
+                // Repeat of a cold ID already pending in this batch: the
+                // scalar path would have admitted it by now, so count a
+                // dynamic hit when the tier exists; with the tier
+                // disabled the scalar path recomputes (another miss, and
+                // another decoder-tier lookup when that tier serves it).
+                if self.dynamic_per_shard > 0 {
+                    shard.stats.dynamic_hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    shard.stats.encoder_misses.fetch_add(1, Ordering::Relaxed);
+                    if self.decoder.for_feature(feature).is_some() {
+                        shard.stats.decoder_lookups.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                cold_rows.push((row, slot));
+                continue;
+            }
+            shard.stats.encoder_misses.fetch_add(1, Ordering::Relaxed);
+            let slot = miss_ids.len();
+            miss_slot_of.insert(id, slot);
+            miss_ids.push(id);
+            cold_rows.push((row, slot));
+        }
+        if miss_ids.is_empty() {
+            return Ok(out);
+        }
+        let codes = stack.encoder().encode_batch(&miss_ids);
+        let computed: Matrix = if let Some(dec) = self.decoder.for_feature(feature) {
+            let mut m = Matrix::zeros(miss_ids.len(), dim);
+            for (i, &id) in miss_ids.iter().enumerate() {
+                let shard = self.shard(feature, id);
+                shard.stats.decoder_lookups.fetch_add(1, Ordering::Relaxed);
+                m.row_mut(i).copy_from_slice(dec.lookup(codes.row(i)));
+            }
+            m
+        } else {
+            stack.decode(&codes)?
+        };
+        for &(row, slot) in &cold_rows {
+            out.row_mut(row).copy_from_slice(computed.row(slot));
+        }
+        for (i, &id) in miss_ids.iter().enumerate() {
+            let shard = self.shard(feature, id);
+            self.admit(shard, (feature, id), computed.row(i).to_vec());
+        }
+        Ok(out)
+    }
+
+    fn compute_miss(
+        &self,
+        stack: &DheStack,
+        shard: &CacheShard,
+        feature: usize,
+        id: u64,
+    ) -> Result<Vec<f32>> {
+        let mut code = vec![0.0f32; stack.encoder().k()];
+        stack.encoder().encode_into(id, &mut code);
+        if let Some(dec) = self.decoder.for_feature(feature) {
+            shard.stats.decoder_lookups.fetch_add(1, Ordering::Relaxed);
+            return Ok(dec.lookup(&code).to_vec());
+        }
+        let m = Matrix::from_vec(1, code.len(), code).expect("code buffer matches encoder k");
+        let out = stack.decode(&m)?;
+        Ok(out.row(0).to_vec())
+    }
+
+    /// Inserts a computed embedding into the shard's dynamic tier (FIFO
+    /// eviction at the per-shard budget); no-op when the tier is disabled
+    /// or another thread already inserted the key.
+    fn admit(&self, shard: &CacheShard, key: (usize, u64), v: Vec<f32>) {
+        if self.dynamic_per_shard == 0 {
+            return;
+        }
+        let mut tier = shard.dynamic.write();
+        if tier.entries.contains_key(&key) {
+            return;
+        }
+        while tier.entries.len() >= self.dynamic_per_shard {
+            let Some(oldest) = tier.fifo.pop_front() else {
+                break;
+            };
+            tier.entries.remove(&oldest);
+            shard.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        tier.entries.insert(key, v);
+        tier.fifo.push_back(key);
+    }
+}
+
+/// Shard selector: a splitmix64-style mix of the feature-salted ID so
+/// consecutive IDs of one feature spread across shards.
+fn shard_hash(feature: usize, id: u64) -> u64 {
+    mprec_data::splitmix64((feature as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ id)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -543,5 +964,117 @@ mod tests {
         let s = stack();
         let empty = Matrix::zeros(0, 16);
         assert!(DecoderCache::build(&s, &empty, 8, 3).is_err());
+    }
+
+    fn sharded(shards: usize, dynamic_entries: usize) -> (DheStack, ShardedMpCache) {
+        let s = stack();
+        let enc = EncoderCache::build(&counts_single_feature(3), 8, 10 * 48, |_, id| {
+            Ok(s.infer(&[id]).unwrap().row(0).to_vec())
+        })
+        .unwrap();
+        let cache = ShardedMpCache::new(
+            Some(enc),
+            None,
+            ShardedCacheConfig { shards, dynamic_entries },
+        );
+        (s, cache)
+    }
+
+    #[test]
+    fn sharded_static_hits_match_full_stack() {
+        let (s, cache) = sharded(4, 0);
+        assert_eq!(cache.num_shards(), 4);
+        assert_eq!(cache.static_len(), 10);
+        let via = cache.embed(&s, 0, 3).unwrap();
+        let exact = s.infer(&[3]).unwrap();
+        assert_eq!(via.as_slice(), exact.row(0));
+        let stats = cache.stats();
+        assert_eq!(stats.encoder_hits, 1);
+        assert_eq!(stats.encoder_misses, 0);
+    }
+
+    #[test]
+    fn sharded_miss_path_is_exact_without_decoder() {
+        let (s, cache) = sharded(8, 0);
+        let via = cache.embed(&s, 0, 999).unwrap();
+        let exact = s.infer(&[999]).unwrap();
+        assert_eq!(via.as_slice(), exact.row(0));
+        assert_eq!(cache.stats().encoder_misses, 1);
+        assert_eq!(cache.dynamic_len(), 0, "dynamic tier disabled");
+    }
+
+    #[test]
+    fn sharded_dynamic_tier_warms_up_and_evicts() {
+        let (s, cache) = sharded(1, 2);
+        // Two distinct cold IDs fill the 2-entry shard budget.
+        let _ = cache.embed(&s, 0, 500).unwrap();
+        let _ = cache.embed(&s, 0, 501).unwrap();
+        // Re-access hits the dynamic tier.
+        let _ = cache.embed(&s, 0, 500).unwrap();
+        assert_eq!(cache.stats().dynamic_hits, 1);
+        // A third cold ID evicts the FIFO-oldest (500).
+        let _ = cache.embed(&s, 0, 502).unwrap();
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.dynamic_len(), 2);
+        let _ = cache.embed(&s, 0, 500).unwrap();
+        assert_eq!(cache.stats().dynamic_hits, 1, "500 was evicted");
+    }
+
+    #[test]
+    fn sharded_batch_matches_scalar_path() {
+        // Includes duplicate cold IDs (21 appears three times, 25 twice):
+        // the batch path must compute each once yet report the same stats
+        // as sequential scalar embeds.
+        for dynamic_entries in [0usize, 64] {
+            let (s, cache) = sharded(4, dynamic_entries);
+            let mut ids: Vec<u64> = (0..32).collect();
+            ids.extend([21, 25, 21]);
+            let batch = cache.embed_batch(&s, 0, &ids).unwrap();
+            let (s2, cache2) = sharded(4, dynamic_entries);
+            assert_eq!(s.infer(&[0]).unwrap(), s2.infer(&[0]).unwrap());
+            for (i, &id) in ids.iter().enumerate() {
+                let scalar = cache2.embed(&s2, 0, id).unwrap();
+                assert_eq!(batch.row(i), scalar.as_slice(), "id {id}");
+            }
+            assert_eq!(
+                cache.stats(),
+                cache2.stats(),
+                "dynamic_entries = {dynamic_entries}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_dynamic_budget_is_not_silently_disabled() {
+        // 10 entries over 8 shards must still warm (>= 1 per shard), not
+        // floor to zero.
+        let (s, cache) = sharded(8, 10);
+        let _ = cache.embed(&s, 0, 900).unwrap(); // cold -> admitted
+        let _ = cache.embed(&s, 0, 900).unwrap(); // warm hit
+        assert_eq!(cache.stats().dynamic_hits, 1);
+    }
+
+    #[test]
+    fn sharded_concurrent_access_counts_every_lookup() {
+        use std::sync::Arc;
+        let (s, cache) = sharded(8, 32);
+        let s = Arc::new(s);
+        let cache = Arc::new(cache);
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..250u64 {
+                        let id = (t * 13 + i) % 40;
+                        let _ = cache.embed(&s, 0, id).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(cache.stats().lookups(), 1000, "no lost or double counts");
     }
 }

@@ -1,0 +1,125 @@
+//! Property tests: sharding the MP-Cache must not change hit-rate
+//! semantics. On the same sequential access sequence, the merged
+//! per-shard stats of an N-shard [`ShardedMpCache`] must equal a 1-shard
+//! cache's stats (and the returned embeddings must be identical), both
+//! with the dynamic tier disabled and with an unsaturated dynamic tier.
+
+use std::collections::HashMap;
+
+use mprec_core::mpcache::{EncoderCache, ShardedCacheConfig, ShardedMpCache};
+use mprec_embed::{DheConfig, DheStack};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn stack() -> DheStack {
+    let mut rng = StdRng::seed_from_u64(7);
+    DheStack::new(
+        DheConfig {
+            k: 8,
+            dnn: 16,
+            h: 1,
+            out_dim: 4,
+        },
+        0,
+        &mut rng,
+    )
+    .expect("valid dhe config")
+}
+
+/// Builds a static encoder cache pinning the `hot` IDs of feature 0.
+fn static_cache(stack: &DheStack, hot: &[u64], capacity_entries: usize) -> EncoderCache {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for (rank, &id) in hot.iter().enumerate() {
+        counts.insert(id, 1000 - rank as u64);
+    }
+    // Entry cost is 16 + 4 * out_dim bytes (see EncoderCache::build).
+    let capacity_bytes = (capacity_entries * (16 + 4 * 4)) as u64;
+    EncoderCache::build(&[counts], 4, capacity_bytes, |_, id| {
+        Ok(stack.infer(&[id]).expect("infer").row(0).to_vec())
+    })
+    .expect("cache build")
+}
+
+fn run_sequence(
+    stack: &DheStack,
+    hot: &[u64],
+    accesses: &[u64],
+    shards: usize,
+    dynamic_entries: usize,
+) -> (mprec_core::CacheStats, Vec<Vec<f32>>) {
+    let cache = ShardedMpCache::new(
+        Some(static_cache(stack, hot, hot.len())),
+        None,
+        ShardedCacheConfig {
+            shards,
+            dynamic_entries,
+        },
+    );
+    let outputs = accesses
+        .iter()
+        .map(|&id| cache.embed(stack, 0, id).expect("embed"))
+        .collect();
+    (cache.stats(), outputs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sharding_preserves_stats_with_dynamic_tier_disabled(
+        hot in prop::collection::vec(0u64..200, 1..16),
+        accesses in prop::collection::vec(0u64..200, 1..300),
+        shard_pow in 1u32..5,
+    ) {
+        let s = stack();
+        let shards = 1usize << shard_pow;
+        let (single, out_single) = run_sequence(&s, &hot, &accesses, 1, 0);
+        let (merged, out_sharded) = run_sequence(&s, &hot, &accesses, shards, 0);
+        prop_assert_eq!(single, merged, "shards = {}", shards);
+        prop_assert_eq!(out_single, out_sharded);
+    }
+
+    #[test]
+    fn sharding_preserves_stats_with_unsaturated_dynamic_tier(
+        hot in prop::collection::vec(0u64..200, 1..16),
+        accesses in prop::collection::vec(0u64..200, 1..300),
+        shard_pow in 1u32..5,
+    ) {
+        let s = stack();
+        let shards = 1usize << shard_pow;
+        // A per-shard budget large enough that no shard ever evicts: every
+        // cold key is admitted exactly once in both configurations, so
+        // hit/miss accounting must match shard-for-shard.
+        let budget_single = 256;
+        let budget_sharded = shards * 256;
+        let (single, out_single) = run_sequence(&s, &hot, &accesses, 1, budget_single);
+        let (merged, out_sharded) = run_sequence(&s, &hot, &accesses, shards, budget_sharded);
+        prop_assert_eq!(single.evictions, 0, "test premise: no evictions");
+        prop_assert_eq!(single, merged, "shards = {}", shards);
+        prop_assert_eq!(out_single, out_sharded);
+    }
+
+    #[test]
+    fn merged_shard_stats_equal_whole_cache_stats(
+        accesses in prop::collection::vec(0u64..100, 1..200),
+        shard_pow in 0u32..5,
+    ) {
+        let s = stack();
+        let shards = 1usize << shard_pow;
+        let cache = ShardedMpCache::new(
+            Some(static_cache(&s, &[1, 2, 3], 3)),
+            None,
+            ShardedCacheConfig { shards, dynamic_entries: shards * 8 },
+        );
+        for &id in &accesses {
+            let _ = cache.embed(&s, 0, id).expect("embed");
+        }
+        let mut merged = mprec_core::CacheStats::default();
+        for i in 0..cache.num_shards() {
+            merged = merged.merged(&cache.shard_stats(i));
+        }
+        prop_assert_eq!(merged, cache.stats());
+        prop_assert_eq!(merged.lookups(), accesses.len() as u64);
+    }
+}

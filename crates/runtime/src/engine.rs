@@ -1,0 +1,783 @@
+//! The serving engine: open-loop ingress, SLA-aware micro-batching, a
+//! deterministic virtual-time router (the paper's Algorithm 2, reused
+//! from `mprec-core::scheduler`), and a `std::thread` worker pool that
+//! executes the routed batches for real.
+//!
+//! ## Determinism contract
+//!
+//! Admission, batching, routing, SLA accounting, and the math of every
+//! query are all functions of `(config, seed)` only — they run on the
+//! dispatcher thread against the trace's *virtual* arrival clock, or are
+//! derived per query id. Worker threads only decide *when* wall-clock
+//! work happens, never *what* work happens, so aggregate
+//! [`ServingOutcome`] counts (completed / samples / correct /
+//! SLA violations under [`SlaAccounting::VirtualTime`] / per-path usage)
+//! are identical for any worker count. Measured wall-clock latencies
+//! (the histogram percentiles, span, throughput) are the part reality
+//! decides.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mprec_core::candidates::{CandidateRep, RepRole};
+use mprec_core::mpcache::CacheStats;
+use mprec_core::planner::{Mapping, MappingSet};
+use mprec_core::profile::LatencyProfile;
+use mprec_core::scheduler::{Scheduler, SchedulerConfig};
+use mprec_data::query::{Query, QueryGenerator, QueryTraceConfig};
+use mprec_embed::{DheConfig, RepresentationConfig};
+use mprec_hwsim::{Platform, WorkloadBuilder};
+use mprec_serving::{PathUsage, ServingOutcome};
+
+use crate::histogram::LatencyHistogram;
+use crate::model::{PathKind, RuntimeModel, RuntimeModelConfig};
+use crate::queue::BoundedQueue;
+use crate::{Result, RuntimeError};
+
+/// Effective model accuracy per path (the runtime's Table-2 book; the
+/// synthetic model here does not measure accuracy online).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathAccuracy {
+    /// Table-path accuracy.
+    pub table: f32,
+    /// DHE-path accuracy.
+    pub dhe: f32,
+    /// Hybrid-path accuracy (highest).
+    pub hybrid: f32,
+}
+
+impl Default for PathAccuracy {
+    fn default() -> Self {
+        // The Kaggle-shaped accuracy book measured by table2_accuracy.
+        PathAccuracy {
+            table: 0.7879,
+            dhe: 0.7894,
+            hybrid: 0.7898,
+        }
+    }
+}
+
+impl PathAccuracy {
+    fn of(&self, path: PathKind) -> f32 {
+        match path {
+            PathKind::Table => self.table,
+            PathKind::Dhe => self.dhe,
+            PathKind::Hybrid => self.hybrid,
+        }
+    }
+}
+
+/// How the dispatcher picks a path per micro-batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// Algorithm 2: most accurate path whose expected completion fits the
+    /// remaining SLA budget, table fallback otherwise.
+    MpRec,
+    /// Every batch runs one fixed path (static-deployment baseline).
+    Fixed(PathKind),
+}
+
+impl std::fmt::Display for RoutePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoutePolicy::MpRec => write!(f, "mp-rec"),
+            RoutePolicy::Fixed(p) => write!(f, "fixed:{p}"),
+        }
+    }
+}
+
+/// Which latency feeds [`ServingOutcome::sla_violations`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlaAccounting {
+    /// Deterministic virtual-time completions from the dispatcher's
+    /// router — identical across worker counts and directly comparable
+    /// to `mprec-serving::simulate`.
+    VirtualTime,
+    /// Measured wall-clock latencies (machine- and load-dependent).
+    Measured,
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeConfig {
+    /// Worker threads executing batches.
+    pub workers: usize,
+    /// MP-Cache shard count.
+    pub cache_shards: usize,
+    /// Query trace shape (sizes, arrivals, QPS).
+    pub trace: QueryTraceConfig,
+    /// Seed for the trace, the model weights, and per-query ID draws.
+    pub seed: u64,
+    /// SLA latency target in microseconds.
+    pub sla_us: f64,
+    /// Micro-batch sample budget: a pending batch flushes at this size.
+    pub max_batch_samples: usize,
+    /// Micro-batch deadline: a pending batch flushes `max_batch_wait_us`
+    /// after its oldest query arrived.
+    pub max_batch_wait_us: f64,
+    /// Bounded work-queue depth (0 = `4 * workers`); full queue blocks
+    /// the dispatcher (backpressure).
+    pub queue_depth: usize,
+    /// Pace ingress to the trace's real arrival times (open-loop load
+    /// generator); `false` feeds the trace as fast as workers drain it
+    /// (throughput mode).
+    pub pace_ingress: bool,
+    /// Path-selection policy.
+    pub route: RoutePolicy,
+    /// SLA-violation accounting mode.
+    pub sla_accounting: SlaAccounting,
+    /// Virtual compute rate converting model FLOPs into the router's
+    /// virtual-time latency profiles (GFLOP/s).
+    pub virtual_gflops: f64,
+    /// Fixed virtual per-batch dispatch overhead (µs).
+    pub dispatch_overhead_us: f64,
+    /// Per-path accuracy book.
+    pub accuracy: PathAccuracy,
+    /// Model shape.
+    pub model: RuntimeModelConfig,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: 4,
+            cache_shards: 16,
+            trace: QueryTraceConfig {
+                num_queries: 10_000,
+                mean_size: 32.0,
+                sigma: 1.0,
+                max_size: 512,
+                qps: 1000.0,
+                poisson_arrivals: true,
+            },
+            seed: 42,
+            sla_us: 10_000.0,
+            max_batch_samples: 256,
+            max_batch_wait_us: 2_000.0,
+            queue_depth: 0,
+            pace_ingress: false,
+            route: RoutePolicy::MpRec,
+            sla_accounting: SlaAccounting::VirtualTime,
+            virtual_gflops: 2.0,
+            dispatch_overhead_us: 30.0,
+            accuracy: PathAccuracy::default(),
+            model: RuntimeModelConfig::default(),
+        }
+    }
+}
+
+/// One query inside a dispatched micro-batch.
+#[derive(Debug, Clone, Copy)]
+struct WorkQuery {
+    id: u64,
+    size: u64,
+    real_arrival: Instant,
+}
+
+/// A routed micro-batch on the worker queue.
+#[derive(Debug)]
+struct WorkItem {
+    path: PathKind,
+    queries: Vec<WorkQuery>,
+}
+
+/// Per-worker tallies, merged after the run.
+#[derive(Debug)]
+struct WorkerReport {
+    histogram: LatencyHistogram,
+    completed: u64,
+    samples: u64,
+    measured_violations: u64,
+    batches: u64,
+    checksum: f64,
+    last_done: Instant,
+    error: Option<String>,
+}
+
+/// Everything one serve produced: the simulator-shaped outcome plus the
+/// runtime-only telemetry.
+#[derive(Debug)]
+pub struct RuntimeReport {
+    /// Aggregate results in the same shape the simulator emits.
+    pub outcome: ServingOutcome,
+    /// Merged MP-Cache stats for the run.
+    pub cache: CacheStats,
+    /// Merged measured-latency histogram.
+    pub histogram: LatencyHistogram,
+    /// Queries whose *virtual-time* completion exceeded the SLA.
+    pub virtual_sla_violations: u64,
+    /// Queries whose *measured* latency exceeded the SLA.
+    pub measured_sla_violations: u64,
+    /// Queries routed by the dispatcher (must equal `outcome.completed`).
+    pub routed_queries: u64,
+    /// Batches executed per worker.
+    pub worker_batches: Vec<u64>,
+    /// Sum of all top-MLP scores (output checksum).
+    pub checksum: f64,
+    /// Worker count the run used.
+    pub workers: usize,
+}
+
+/// The multi-threaded serving engine: build once, serve a trace.
+#[derive(Debug)]
+pub struct Engine {
+    cfg: RuntimeConfig,
+    model: Arc<RuntimeModel>,
+    mappings: MappingSet,
+    paths: Vec<PathKind>,
+    labels: Vec<String>,
+}
+
+impl Engine {
+    /// Builds the model and the virtual-time mapping set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::BadConfig`] on degenerate configuration and
+    /// propagates model-construction errors.
+    pub fn new(cfg: RuntimeConfig) -> Result<Self> {
+        if cfg.workers == 0 {
+            return Err(RuntimeError::BadConfig("workers must be >= 1".into()));
+        }
+        if cfg.max_batch_samples == 0 {
+            return Err(RuntimeError::BadConfig(
+                "max_batch_samples must be >= 1".into(),
+            ));
+        }
+        let model = RuntimeModel::build(&cfg.model, cfg.cache_shards, cfg.seed)?;
+        let (mappings, paths) = build_mapping_set(&cfg, &model)?;
+        let labels = mappings
+            .mappings
+            .iter()
+            .map(|m| m.label(&mappings.platforms))
+            .collect();
+        Ok(Engine {
+            cfg,
+            model: Arc::new(model),
+            mappings,
+            paths,
+            labels,
+        })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// The serving model.
+    pub fn model(&self) -> &RuntimeModel {
+        &self.model
+    }
+
+    /// Serves the configured trace on the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces any worker-side execution error.
+    pub fn serve(&self) -> Result<RuntimeReport> {
+        // Restore fresh-cache behaviour so repeated serves on one engine
+        // report comparable (and reproducible) per-run cache stats.
+        self.model.cache().reset_stats();
+        self.model.cache().clear_dynamic();
+        let trace = QueryGenerator::new(self.cfg.trace, self.cfg.seed).generate();
+        let depth = if self.cfg.queue_depth == 0 {
+            self.cfg.workers * 4
+        } else {
+            self.cfg.queue_depth
+        };
+        let queue: Arc<BoundedQueue<WorkItem>> = Arc::new(BoundedQueue::with_capacity(depth));
+        let start = Instant::now();
+
+        let workers: Vec<_> = (0..self.cfg.workers)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let model = Arc::clone(&self.model);
+                let sla_us = self.cfg.sla_us;
+                std::thread::spawn(move || worker_loop(&queue, &model, sla_us, start))
+            })
+            .collect();
+
+        let dispatch = self.dispatch(&trace, &queue, start);
+        queue.close();
+        let mut reports = Vec::with_capacity(workers.len());
+        for w in workers {
+            reports.push(w.join().expect("worker thread panicked"));
+        }
+        for r in &reports {
+            if let Some(msg) = &r.error {
+                return Err(RuntimeError::Worker(msg.clone()));
+            }
+        }
+        Ok(self.merge(dispatch, reports, start))
+    }
+
+    /// Runs the dispatcher loop: virtual-time batching + routing.
+    fn dispatch(
+        &self,
+        trace: &[Query],
+        queue: &BoundedQueue<WorkItem>,
+        start: Instant,
+    ) -> DispatchTally {
+        let mut sched = Scheduler::new(self.mappings.clone(), SchedulerConfig::default());
+        let mut tally = DispatchTally::default();
+        let mut pending: Vec<&Query> = Vec::new();
+        let mut pending_samples: u64 = 0;
+
+        let mut flush =
+            |pending: &mut Vec<&Query>, pending_samples: &mut u64, flush_at_us: f64| {
+                if pending.is_empty() {
+                    return;
+                }
+                let oldest_us = pending[0].arrival_us as f64;
+                sched.advance_to(flush_at_us);
+                let sla_remaining = (self.cfg.sla_us - (flush_at_us - oldest_us)).max(1.0);
+                let decision = sched
+                    .route(*pending_samples, sla_remaining, 0)
+                    .expect("mapping set is never empty");
+                let done_us = sched.commit(&decision);
+                let path = self.paths[decision.mapping_idx];
+                let accuracy = self.cfg.accuracy.of(path) as f64;
+                let label = &self.labels[decision.mapping_idx];
+                let now = Instant::now();
+                let queries: Vec<WorkQuery> = pending
+                    .iter()
+                    .map(|q| {
+                        let virtual_latency = done_us - q.arrival_us as f64;
+                        if virtual_latency > self.cfg.sla_us {
+                            tally.virtual_violations += 1;
+                        }
+                        tally.correct_samples += q.size as f64 * accuracy;
+                        tally.usage.record(label, q.size as u64);
+                        tally.routed += 1;
+                        WorkQuery {
+                            id: q.id,
+                            size: q.size as u64,
+                            real_arrival: if self.cfg.pace_ingress {
+                                start + Duration::from_micros(q.arrival_us)
+                            } else {
+                                now
+                            },
+                        }
+                    })
+                    .collect();
+                // push only fails when a panicking worker closed the
+                // queue; the join in serve() surfaces that panic.
+                let _ = queue.push(WorkItem { path, queries });
+                pending.clear();
+                *pending_samples = 0;
+            };
+
+        for q in trace {
+            let arrival_us = q.arrival_us as f64;
+            // Deadline-triggered flush strictly before this arrival.
+            if !pending.is_empty() {
+                let deadline = pending[0].arrival_us as f64 + self.cfg.max_batch_wait_us;
+                if arrival_us > deadline {
+                    if self.cfg.pace_ingress {
+                        sleep_until(start, deadline);
+                    }
+                    flush(&mut pending, &mut pending_samples, deadline);
+                }
+            }
+            if self.cfg.pace_ingress {
+                sleep_until(start, arrival_us);
+            }
+            // Size-triggered flush: don't blow the batch budget by adding.
+            if !pending.is_empty()
+                && pending_samples + q.size as u64 > self.cfg.max_batch_samples as u64
+            {
+                flush(&mut pending, &mut pending_samples, arrival_us);
+            }
+            pending.push(q);
+            pending_samples += q.size as u64;
+            if pending_samples >= self.cfg.max_batch_samples as u64 {
+                flush(&mut pending, &mut pending_samples, arrival_us);
+            }
+        }
+        if !pending.is_empty() {
+            let deadline = pending[0].arrival_us as f64 + self.cfg.max_batch_wait_us;
+            if self.cfg.pace_ingress {
+                sleep_until(start, deadline);
+            }
+            flush(&mut pending, &mut pending_samples, deadline);
+        }
+        tally
+    }
+
+    fn merge(
+        &self,
+        tally: DispatchTally,
+        reports: Vec<WorkerReport>,
+        start: Instant,
+    ) -> RuntimeReport {
+        let mut histogram = LatencyHistogram::new();
+        let mut completed = 0u64;
+        let mut samples = 0u64;
+        let mut measured_violations = 0u64;
+        let mut checksum = 0.0f64;
+        let mut worker_batches = Vec::with_capacity(reports.len());
+        let mut last_done = start;
+        for r in &reports {
+            histogram.merge(&r.histogram);
+            completed += r.completed;
+            samples += r.samples;
+            measured_violations += r.measured_violations;
+            checksum += r.checksum;
+            worker_batches.push(r.batches);
+            if r.last_done > last_done {
+                last_done = r.last_done;
+            }
+        }
+        let sla_violations = match self.cfg.sla_accounting {
+            SlaAccounting::VirtualTime => tally.virtual_violations,
+            SlaAccounting::Measured => measured_violations,
+        };
+        let outcome = ServingOutcome {
+            policy: format!("runtime:{}@{}w", self.cfg.route, self.cfg.workers),
+            completed,
+            samples,
+            correct_samples: tally.correct_samples,
+            span_s: last_done.duration_since(start).as_secs_f64(),
+            sla_violations,
+            mean_latency_us: histogram.mean_us(),
+            p95_latency_us: histogram.quantile_us(0.95),
+            p99_latency_us: histogram.quantile_us(0.99),
+            usage: tally.usage,
+        };
+        RuntimeReport {
+            outcome,
+            cache: self.model.cache().stats(),
+            histogram,
+            virtual_sla_violations: tally.virtual_violations,
+            measured_sla_violations: measured_violations,
+            routed_queries: tally.routed,
+            worker_batches,
+            checksum,
+            workers: self.cfg.workers,
+        }
+    }
+}
+
+/// Dispatcher-side (deterministic) tallies.
+#[derive(Debug, Default)]
+struct DispatchTally {
+    usage: PathUsage,
+    correct_samples: f64,
+    virtual_violations: u64,
+    routed: u64,
+}
+
+/// Convenience: build an engine and serve once.
+///
+/// # Errors
+///
+/// Propagates [`Engine::new`] and [`Engine::serve`] errors.
+pub fn serve(cfg: RuntimeConfig) -> Result<RuntimeReport> {
+    Engine::new(cfg)?.serve()
+}
+
+/// Closes the work queue if the worker unwinds, so a panicking worker can
+/// never leave the dispatcher blocked on a bounded `push` with no
+/// consumer — the panic then surfaces at `join()` instead of hanging
+/// `serve()`.
+struct CloseOnPanic<'a>(&'a BoundedQueue<WorkItem>);
+
+impl Drop for CloseOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.close();
+        }
+    }
+}
+
+fn worker_loop(
+    queue: &BoundedQueue<WorkItem>,
+    model: &RuntimeModel,
+    sla_us: f64,
+    start: Instant,
+) -> WorkerReport {
+    let _close_guard = CloseOnPanic(queue);
+    let mut report = WorkerReport {
+        histogram: LatencyHistogram::new(),
+        completed: 0,
+        samples: 0,
+        measured_violations: 0,
+        batches: 0,
+        checksum: 0.0,
+        last_done: start,
+        error: None,
+    };
+    while let Some(item) = queue.pop() {
+        let specs: Vec<(u64, u64)> = item.queries.iter().map(|q| (q.id, q.size)).collect();
+        match model.execute(item.path, &specs) {
+            Ok(res) => {
+                let now = Instant::now();
+                for q in &item.queries {
+                    let latency_us =
+                        now.saturating_duration_since(q.real_arrival).as_secs_f64() * 1e6;
+                    report.histogram.record(latency_us);
+                    if latency_us > sla_us {
+                        report.measured_violations += 1;
+                    }
+                    report.completed += 1;
+                    report.samples += q.size;
+                }
+                report.checksum += res.checksum;
+                report.batches += 1;
+                report.last_done = now;
+            }
+            Err(e) => {
+                report.error = Some(format!("batch on path {}: {e}", item.path));
+                // Keep draining (and discarding) so the dispatcher's
+                // bounded push can always make progress — stopping cold
+                // here would deadlock serve() instead of surfacing the
+                // error once the queue closes.
+                while queue.pop().is_some() {}
+                break;
+            }
+        }
+    }
+    report
+}
+
+fn sleep_until(start: Instant, virtual_us: f64) {
+    let target = start + Duration::from_secs_f64(virtual_us / 1e6);
+    let now = Instant::now();
+    if target > now {
+        std::thread::sleep(target - now);
+    }
+}
+
+/// Builds the single-platform mapping set the virtual-time router runs
+/// on: one mapping per path with an analytic (FLOPs / virtual rate)
+/// latency profile, ordered `[hybrid, dhe, table]`.
+fn build_mapping_set(
+    cfg: &RuntimeConfig,
+    model: &RuntimeModel,
+) -> Result<(MappingSet, Vec<PathKind>)> {
+    let m = &cfg.model;
+    let builder = WorkloadBuilder::new(
+        "runtime",
+        vec![m.rows_per_feature; m.sparse_features],
+        8,
+    );
+    let dhe_cfg = DheConfig {
+        k: m.dhe_k,
+        dnn: m.dhe_dnn,
+        h: m.dhe_h,
+        out_dim: m.emb_dim,
+    };
+    let all: [(PathKind, RepRole); 3] = [
+        (PathKind::Hybrid, RepRole::Hybrid),
+        (PathKind::Dhe, RepRole::Dhe),
+        (PathKind::Table, RepRole::Table),
+    ];
+    let selected: Vec<(PathKind, RepRole)> = match cfg.route {
+        RoutePolicy::MpRec => all.to_vec(),
+        RoutePolicy::Fixed(p) => all.iter().copied().filter(|&(k, _)| k == p).collect(),
+    };
+    let mut mappings = Vec::with_capacity(selected.len());
+    let mut paths = Vec::with_capacity(selected.len());
+    for (path, role) in selected {
+        let (config, workload) = match path {
+            PathKind::Table => (
+                RepresentationConfig::table(m.emb_dim),
+                builder.table(m.emb_dim)?,
+            ),
+            PathKind::Dhe => (
+                RepresentationConfig::dhe(dhe_cfg),
+                builder.dhe(m.dhe_k, m.dhe_dnn, m.dhe_h, m.emb_dim)?,
+            ),
+            PathKind::Hybrid => (
+                RepresentationConfig::hybrid(m.emb_dim, dhe_cfg),
+                builder.hybrid(m.emb_dim, m.dhe_k, m.dhe_dnn, m.dhe_h, m.emb_dim)?,
+            ),
+        };
+        let per_sample_us =
+            model.flops_per_sample(path) / (cfg.virtual_gflops.max(1e-6) * 1e3);
+        let sizes: Vec<u64> = vec![1, 16, 64, 256, 1024, 4096];
+        let lats: Vec<f64> = sizes
+            .iter()
+            .map(|&n| cfg.dispatch_overhead_us + n as f64 * per_sample_us)
+            .collect();
+        mappings.push(Mapping {
+            rep: CandidateRep {
+                name: path.to_string(),
+                role,
+                config,
+                workload,
+                accuracy: cfg.accuracy.of(path),
+            },
+            platform_idx: 0,
+            profile: LatencyProfile::from_points(sizes, lats),
+        });
+        paths.push(path);
+    }
+    Ok((
+        MappingSet {
+            platforms: vec![Platform::cpu()],
+            mappings,
+        },
+        paths,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> RuntimeConfig {
+        RuntimeConfig {
+            workers: 2,
+            cache_shards: 4,
+            trace: QueryTraceConfig {
+                num_queries: 300,
+                mean_size: 4.0,
+                sigma: 1.0,
+                max_size: 16,
+                qps: 5000.0,
+                poisson_arrivals: true,
+            },
+            model: RuntimeModelConfig {
+                sparse_features: 2,
+                rows_per_feature: 500,
+                emb_dim: 4,
+                dhe_k: 8,
+                dhe_dnn: 8,
+                dhe_h: 1,
+                top_hidden: vec![8],
+                encoder_cache_bytes: 1024,
+                decoder_centroids: 8,
+                dynamic_cache_entries: 64,
+                profile_accesses: 2_000,
+                ..RuntimeModelConfig::default()
+            },
+            max_batch_samples: 32,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn rejects_zero_workers() {
+        let cfg = RuntimeConfig {
+            workers: 0,
+            ..quick_cfg()
+        };
+        assert!(matches!(Engine::new(cfg), Err(RuntimeError::BadConfig(_))));
+    }
+
+    #[test]
+    fn serves_every_query_exactly_once() {
+        let report = serve(quick_cfg()).unwrap();
+        assert_eq!(report.outcome.completed, 300);
+        assert_eq!(report.routed_queries, 300);
+        let usage_total: u64 = report.outcome.usage.queries.values().sum();
+        assert_eq!(usage_total, 300);
+        assert!(report.outcome.samples > 0);
+        assert!(report.outcome.span_s > 0.0);
+        assert!(report.checksum.is_finite());
+        assert_eq!(report.worker_batches.len(), 2);
+        assert_eq!(
+            report.histogram.count(),
+            300,
+            "one latency sample per query"
+        );
+    }
+
+    #[test]
+    fn repeated_serves_on_one_engine_report_identical_cache_stats() {
+        // Single worker: with the dynamic tier cleared between runs, the
+        // access sequence (and thus the stats) replays exactly. Multiple
+        // workers would race dynamic-tier admission order.
+        let engine = Engine::new(RuntimeConfig {
+            workers: 1,
+            ..quick_cfg()
+        })
+        .unwrap();
+        let a = engine.serve().unwrap();
+        let b = engine.serve().unwrap();
+        assert_eq!(
+            a.cache, b.cache,
+            "dynamic tier must be cleared between runs"
+        );
+        assert_eq!(a.outcome.completed, b.outcome.completed);
+    }
+
+    #[test]
+    fn fixed_route_uses_one_path_only() {
+        let cfg = RuntimeConfig {
+            route: RoutePolicy::Fixed(PathKind::Table),
+            ..quick_cfg()
+        };
+        let report = serve(cfg).unwrap();
+        assert_eq!(report.outcome.usage.queries.len(), 1);
+        assert!(report
+            .outcome
+            .usage
+            .queries
+            .keys()
+            .next()
+            .unwrap()
+            .starts_with("table@"));
+    }
+
+    #[test]
+    fn mp_rec_beats_fixed_table_on_correct_samples() {
+        let mp = serve(quick_cfg()).unwrap();
+        let fixed = serve(RuntimeConfig {
+            route: RoutePolicy::Fixed(PathKind::Table),
+            ..quick_cfg()
+        })
+        .unwrap();
+        assert!(
+            mp.outcome.correct_samples > fixed.outcome.correct_samples,
+            "multi-path must serve more correct samples: {} vs {}",
+            mp.outcome.correct_samples,
+            fixed.outcome.correct_samples
+        );
+    }
+
+    #[test]
+    fn tight_virtual_sla_pushes_load_to_the_table_path() {
+        let cfg = RuntimeConfig {
+            sla_us: 100.0,
+            ..quick_cfg()
+        };
+        let report = serve(cfg).unwrap();
+        let table_fraction: f64 = report
+            .outcome
+            .usage
+            .queries
+            .iter()
+            .filter(|(k, _)| k.starts_with("table@"))
+            .map(|(_, &v)| v as f64)
+            .sum::<f64>()
+            / report.outcome.completed as f64;
+        assert!(
+            table_fraction > 0.5,
+            "tight SLA should fall back to table, got {table_fraction}"
+        );
+    }
+
+    #[test]
+    fn virtual_accounting_is_worker_count_invariant() {
+        let base = quick_cfg();
+        let runs: Vec<_> = [1usize, 3]
+            .iter()
+            .map(|&w| {
+                serve(RuntimeConfig {
+                    workers: w,
+                    ..base.clone()
+                })
+                .unwrap()
+            })
+            .collect();
+        assert_eq!(runs[0].outcome.completed, runs[1].outcome.completed);
+        assert_eq!(
+            runs[0].virtual_sla_violations,
+            runs[1].virtual_sla_violations
+        );
+        assert_eq!(runs[0].outcome.usage, runs[1].outcome.usage);
+    }
+}

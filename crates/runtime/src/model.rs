@@ -1,0 +1,396 @@
+//! The real serving model the runtime executes: per-feature embedding
+//! tables, per-feature DHE stacks behind the sharded MP-Cache, and a top
+//! MLP — a scaled-down DLRM-shaped inference stack whose math actually
+//! runs on the worker pool (unlike the simulator, which charges profiled
+//! latencies).
+
+use mprec_core::mpcache::{DecoderCache, EncoderCache, ShardedCacheConfig, ShardedMpCache};
+use mprec_data::{splitmix64, Zipf};
+use mprec_embed::{DheConfig, DheStack, EmbeddingTable};
+use mprec_nn::{Activation, Mlp};
+use mprec_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+use crate::{Result, RuntimeError};
+
+/// The embedding execution path a batch runs on (the runtime analogue of
+/// the paper's representation roles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PathKind {
+    /// All features gather from learned tables (latency-critical path).
+    Table,
+    /// All features run DHE through the sharded MP-Cache.
+    Dhe,
+    /// First half of the features gather tables, second half runs DHE
+    /// (accuracy-optimal path).
+    Hybrid,
+}
+
+impl std::fmt::Display for PathKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathKind::Table => write!(f, "table"),
+            PathKind::Dhe => write!(f, "dhe"),
+            PathKind::Hybrid => write!(f, "hybrid"),
+        }
+    }
+}
+
+/// Shape of the runtime's serving model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeModelConfig {
+    /// Number of sparse features (one table + one DHE stack each).
+    pub sparse_features: usize,
+    /// Rows per embedding table.
+    pub rows_per_feature: u64,
+    /// Embedding dimension (table row width and DHE output width).
+    pub emb_dim: usize,
+    /// DHE hash count `k`.
+    pub dhe_k: usize,
+    /// DHE decoder hidden width.
+    pub dhe_dnn: usize,
+    /// DHE decoder hidden layers.
+    pub dhe_h: usize,
+    /// Top-MLP hidden sizes (input `emb_dim`, output 1 appended).
+    pub top_hidden: Vec<usize>,
+    /// Zipf exponent of the ID popularity distribution.
+    pub zipf_exponent: f64,
+    /// Static encoder-tier byte budget of the MP-Cache.
+    pub encoder_cache_bytes: u64,
+    /// Decoder-tier centroids per feature (0 disables the tier).
+    pub decoder_centroids: usize,
+    /// Dynamic (online warm-up) cache entries across all shards.
+    pub dynamic_cache_entries: usize,
+    /// Accesses sampled offline to profile ID popularity for the static
+    /// encoder tier.
+    pub profile_accesses: usize,
+}
+
+impl Default for RuntimeModelConfig {
+    fn default() -> Self {
+        RuntimeModelConfig {
+            sparse_features: 8,
+            rows_per_feature: 50_000,
+            emb_dim: 8,
+            dhe_k: 16,
+            dhe_dnn: 32,
+            dhe_h: 2,
+            top_hidden: vec![32, 16],
+            zipf_exponent: 1.05,
+            encoder_cache_bytes: 64 * 1024,
+            decoder_centroids: 32,
+            dynamic_cache_entries: 4096,
+            profile_accesses: 40_000,
+        }
+    }
+}
+
+/// Result of executing one micro-batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchResult {
+    /// Samples executed.
+    pub samples: u64,
+    /// Sum of the top-MLP scores (keeps the math observable end-to-end
+    /// and defeats dead-code elimination in release benchmarks).
+    pub checksum: f64,
+}
+
+/// The serving model: immutable after build, shared by every worker via
+/// `Arc` (interior mutability lives only inside the sharded cache).
+#[derive(Debug)]
+pub struct RuntimeModel {
+    cfg: RuntimeModelConfig,
+    tables: Vec<EmbeddingTable>,
+    stacks: Vec<DheStack>,
+    cache: ShardedMpCache,
+    top: Mlp,
+    zipf: Zipf,
+    seed: u64,
+}
+
+impl RuntimeModel {
+    /// Builds tables, DHE stacks, the sharded MP-Cache (profiled static
+    /// tier + per-feature decoder tiers), and the top MLP.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::BadConfig`] on degenerate shapes and
+    /// propagates embedding/NN construction errors.
+    pub fn build(cfg: &RuntimeModelConfig, cache_shards: usize, seed: u64) -> Result<Self> {
+        if cfg.sparse_features == 0 || cfg.rows_per_feature == 0 || cfg.emb_dim == 0 {
+            return Err(RuntimeError::BadConfig(format!(
+                "model needs features/rows/dim > 0, got {cfg:?}"
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tables = Vec::with_capacity(cfg.sparse_features);
+        let mut stacks = Vec::with_capacity(cfg.sparse_features);
+        let dhe_cfg = DheConfig {
+            k: cfg.dhe_k,
+            dnn: cfg.dhe_dnn,
+            h: cfg.dhe_h,
+            out_dim: cfg.emb_dim,
+        };
+        for f in 0..cfg.sparse_features {
+            tables.push(EmbeddingTable::new(cfg.rows_per_feature, cfg.emb_dim, &mut rng)?);
+            stacks.push(DheStack::new(dhe_cfg, f, &mut rng)?);
+        }
+        let zipf = Zipf::new(cfg.rows_per_feature, cfg.zipf_exponent);
+
+        // Offline profiling pass: Zipf access counts per feature drive the
+        // static encoder tier (paper §4.3's frequency-based tier).
+        let mut profile_rng = StdRng::seed_from_u64(splitmix64(seed ^ 0xCAFE));
+        let per_feature = cfg.profile_accesses / cfg.sparse_features.max(1);
+        let mut counts: Vec<HashMap<u64, u64>> = vec![HashMap::new(); cfg.sparse_features];
+        for c in counts.iter_mut() {
+            for _ in 0..per_feature {
+                *c.entry(zipf.sample(&mut profile_rng)).or_insert(0) += 1;
+            }
+        }
+        let encoder = if cfg.encoder_cache_bytes > 0 {
+            Some(EncoderCache::build(
+                &counts,
+                cfg.emb_dim,
+                cfg.encoder_cache_bytes,
+                |f, id| {
+                    Ok(stacks[f]
+                        .infer(&[id])
+                        .map_err(mprec_core::CoreError::from)?
+                        .row(0)
+                        .to_vec())
+                },
+            )?)
+        } else {
+            None
+        };
+        // Per-feature decoder tiers: centroids over the feature's hottest
+        // IDs, outputs precomputed with that feature's own decoder.
+        let decoders: Vec<Option<DecoderCache>> = if cfg.decoder_centroids > 0 {
+            let mut out = Vec::with_capacity(cfg.sparse_features);
+            for (f, stack) in stacks.iter().enumerate() {
+                let mut hot: Vec<(u64, u64)> =
+                    counts[f].iter().map(|(&id, &c)| (c, id)).collect();
+                hot.sort_unstable_by_key(|&(c, id)| (std::cmp::Reverse(c), id));
+                hot.truncate(256.max(cfg.decoder_centroids * 2));
+                let ids: Vec<u64> = hot.iter().map(|&(_, id)| id).collect();
+                if ids.is_empty() {
+                    out.push(None);
+                    continue;
+                }
+                let codes = stack.encoder().encode_batch(&ids);
+                out.push(Some(DecoderCache::build(
+                    stack,
+                    &codes,
+                    cfg.decoder_centroids,
+                    4,
+                )?));
+            }
+            out
+        } else {
+            (0..cfg.sparse_features).map(|_| None).collect()
+        };
+        let cache = ShardedMpCache::with_feature_decoders(
+            encoder,
+            decoders,
+            ShardedCacheConfig {
+                shards: cache_shards,
+                dynamic_entries: cfg.dynamic_cache_entries,
+            },
+        );
+
+        let mut top_sizes = Vec::with_capacity(cfg.top_hidden.len() + 2);
+        top_sizes.push(cfg.emb_dim);
+        top_sizes.extend_from_slice(&cfg.top_hidden);
+        top_sizes.push(1);
+        let top = Mlp::new(&top_sizes, Activation::Relu, Activation::Identity, &mut rng)?;
+
+        Ok(RuntimeModel {
+            cfg: cfg.clone(),
+            tables,
+            stacks,
+            cache,
+            top,
+            zipf,
+            seed,
+        })
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &RuntimeModelConfig {
+        &self.cfg
+    }
+
+    /// The sharded MP-Cache (stats, shard layout).
+    pub fn cache(&self) -> &ShardedMpCache {
+        &self.cache
+    }
+
+    /// Whether `feature` runs through DHE on `path`.
+    fn uses_dhe(&self, path: PathKind, feature: usize) -> bool {
+        match path {
+            PathKind::Table => false,
+            PathKind::Dhe => true,
+            PathKind::Hybrid => feature >= self.cfg.sparse_features / 2,
+        }
+    }
+
+    /// Deterministically draws the sparse IDs of one query: per-query RNG
+    /// seeded from `(model seed, query id)`, so the same trace produces
+    /// the same lookups no matter which worker executes the batch.
+    fn query_ids(&self, query_id: u64, size: u64, per_feature: &mut [Vec<u64>]) {
+        let mut rng = StdRng::seed_from_u64(splitmix64(
+            self.seed ^ query_id.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ));
+        for _ in 0..size {
+            for ids in per_feature.iter_mut() {
+                ids.push(self.zipf.sample(&mut rng));
+            }
+        }
+    }
+
+    /// Executes one micro-batch (`(query id, size)` pairs) on `path`:
+    /// real embedding lookups (tables and/or cached DHE), sum pooling,
+    /// and the top MLP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table/stack/MLP execution errors.
+    pub fn execute(&self, path: PathKind, queries: &[(u64, u64)]) -> Result<BatchResult> {
+        let total: u64 = queries.iter().map(|&(_, s)| s).sum();
+        if total == 0 {
+            return Ok(BatchResult { samples: 0, checksum: 0.0 });
+        }
+        let f = self.cfg.sparse_features;
+        let mut per_feature: Vec<Vec<u64>> =
+            (0..f).map(|_| Vec::with_capacity(total as usize)).collect();
+        for &(qid, size) in queries {
+            self.query_ids(qid, size, &mut per_feature);
+        }
+        let mut pooled = Matrix::zeros(total as usize, self.cfg.emb_dim);
+        for (feature, ids) in per_feature.iter().enumerate() {
+            let emb = if self.uses_dhe(path, feature) {
+                self.cache
+                    .embed_batch(&self.stacks[feature], feature, ids)?
+            } else {
+                self.tables[feature].forward(ids)?
+            };
+            pooled.add_assign(&emb)?;
+        }
+        let scores = self.top.infer(&pooled)?;
+        let checksum = scores.as_slice().iter().map(|&v| v as f64).sum();
+        Ok(BatchResult { samples: total, checksum })
+    }
+
+    /// Analytic FLOPs per sample on `path` (drives the deterministic
+    /// virtual-time latency profiles the SLA-aware dispatcher routes on).
+    pub fn flops_per_sample(&self, path: PathKind) -> f64 {
+        let dim = self.cfg.emb_dim as f64;
+        // Table gather + pooling add.
+        let table_f = 2.0 * dim;
+        // Encoder hashes + decoder GEMMs.
+        let k = self.cfg.dhe_k as f64;
+        let dnn = self.cfg.dhe_dnn as f64;
+        let h = self.cfg.dhe_h.max(1) as f64;
+        let dhe_f = k + 2.0 * (k * dnn + dnn * dnn * (h - 1.0) + dnn * dim) + dim;
+        let f = self.cfg.sparse_features as f64;
+        let per_feature = match path {
+            PathKind::Table => table_f * f,
+            PathKind::Dhe => dhe_f * f,
+            PathKind::Hybrid => {
+                let dhe_feats = (self.cfg.sparse_features
+                    - self.cfg.sparse_features / 2) as f64;
+                table_f * (f - dhe_feats) + dhe_f * dhe_feats
+            }
+        };
+        let mut top = 0.0;
+        let mut prev = dim;
+        for &hsz in &self.cfg.top_hidden {
+            top += 2.0 * prev * hsz as f64;
+            prev = hsz as f64;
+        }
+        top += 2.0 * prev;
+        per_feature + top
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> RuntimeModelConfig {
+        RuntimeModelConfig {
+            sparse_features: 2,
+            rows_per_feature: 500,
+            emb_dim: 4,
+            dhe_k: 8,
+            dhe_dnn: 8,
+            dhe_h: 1,
+            top_hidden: vec![8],
+            encoder_cache_bytes: 1024,
+            decoder_centroids: 8,
+            dynamic_cache_entries: 64,
+            profile_accesses: 2_000,
+            ..RuntimeModelConfig::default()
+        }
+    }
+
+    #[test]
+    fn build_rejects_zero_features() {
+        let cfg = RuntimeModelConfig {
+            sparse_features: 0,
+            ..tiny_cfg()
+        };
+        assert!(RuntimeModel::build(&cfg, 4, 1).is_err());
+    }
+
+    #[test]
+    fn execute_counts_every_sample() {
+        let m = RuntimeModel::build(&tiny_cfg(), 4, 1).unwrap();
+        for path in [PathKind::Table, PathKind::Dhe, PathKind::Hybrid] {
+            let r = m.execute(path, &[(0, 3), (1, 5)]).unwrap();
+            assert_eq!(r.samples, 8, "path {path}");
+            assert!(r.checksum.is_finite());
+        }
+    }
+
+    #[test]
+    fn execution_is_deterministic_per_query_id() {
+        let m = RuntimeModel::build(&tiny_cfg(), 4, 9).unwrap();
+        let a = m.execute(PathKind::Hybrid, &[(7, 16)]).unwrap();
+        let b = m.execute(PathKind::Hybrid, &[(7, 16)]).unwrap();
+        assert_eq!(a.checksum, b.checksum, "same query id, same math");
+        let c = m.execute(PathKind::Hybrid, &[(8, 16)]).unwrap();
+        assert_ne!(a.checksum, c.checksum, "different query id, different ids");
+    }
+
+    #[test]
+    fn batch_split_does_not_change_results() {
+        // Executing [q0, q1] together equals executing them separately:
+        // queries never share per-query RNG state.
+        let m = RuntimeModel::build(&tiny_cfg(), 4, 5).unwrap();
+        let together = m.execute(PathKind::Table, &[(0, 4), (1, 6)]).unwrap();
+        let a = m.execute(PathKind::Table, &[(0, 4)]).unwrap();
+        let b = m.execute(PathKind::Table, &[(1, 6)]).unwrap();
+        assert!((together.checksum - (a.checksum + b.checksum)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dhe_costs_more_flops_than_table() {
+        let m = RuntimeModel::build(&tiny_cfg(), 4, 1).unwrap();
+        let t = m.flops_per_sample(PathKind::Table);
+        let d = m.flops_per_sample(PathKind::Dhe);
+        let h = m.flops_per_sample(PathKind::Hybrid);
+        assert!(d > h && h > t, "table {t} < hybrid {h} < dhe {d}");
+    }
+
+    #[test]
+    fn cache_serves_dhe_lookups() {
+        let m = RuntimeModel::build(&tiny_cfg(), 4, 2).unwrap();
+        let _ = m.execute(PathKind::Dhe, &[(0, 64)]).unwrap();
+        let stats = m.cache().stats();
+        assert_eq!(stats.lookups(), 64 * 2, "2 features x 64 samples");
+        assert!(stats.encoder_hits > 0, "hot zipf ids must hit the static tier");
+    }
+}

@@ -1,0 +1,169 @@
+//! Bounded MPMC work queue built on the vendored `parking_lot`
+//! `Mutex`/`Condvar`.
+//!
+//! The dispatcher pushes micro-batches; workers pop them. The bound is
+//! the runtime's backpressure mechanism: when workers fall behind, `push`
+//! blocks the dispatcher instead of letting the queue grow without limit
+//! (`std::sync::mpsc` channels are either unbounded or single-consumer,
+//! hence this small purpose-built queue).
+
+use std::collections::VecDeque;
+
+use parking_lot::{Condvar, Mutex};
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO queue.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// Whether the queue currently holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.state.lock().items.is_empty()
+    }
+
+    /// Blocks until there is room, then enqueues `item`. Returns `false`
+    /// (dropping the item) if the queue was closed.
+    pub fn push(&self, item: T) -> bool {
+        let mut s = self.state.lock();
+        while s.items.len() >= self.capacity && !s.closed {
+            self.not_full.wait(&mut s);
+        }
+        if s.closed {
+            return false;
+        }
+        s.items.push_back(item);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Blocks until an item is available and dequeues it; returns `None`
+    /// once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock();
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            self.not_empty.wait(&mut s);
+        }
+    }
+
+    /// Closes the queue: pending items remain poppable, further pushes
+    /// fail, and blocked poppers wake with `None` once drained.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = BoundedQueue::with_capacity(4);
+        assert!(q.push(1));
+        assert!(q.push(2));
+        q.close();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(!q.push(3), "push after close fails");
+    }
+
+    #[test]
+    fn bounded_push_blocks_until_pop() {
+        let q = Arc::new(BoundedQueue::with_capacity(1));
+        assert!(q.push(0));
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            // Blocks until the consumer below makes room.
+            assert!(q2.push(1));
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.len(), 1, "second push must be blocked");
+        assert_eq!(q.pop(), Some(0));
+        producer.join().unwrap();
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn mpmc_delivers_every_item_exactly_once() {
+        let q = Arc::new(BoundedQueue::with_capacity(8));
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..2)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        assert!(q.push(p * 1000 + i));
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut expected: Vec<u64> = (0..500).chain(1000..1500).collect();
+        expected.sort_unstable();
+        assert_eq!(all, expected);
+    }
+}

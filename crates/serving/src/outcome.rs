@@ -54,6 +54,61 @@ pub struct ServingOutcome {
 }
 
 impl ServingOutcome {
+    /// An all-zero outcome for `policy` (no queries completed) — what a
+    /// run reports when the policy's required paths don't exist.
+    pub fn empty(policy: impl Into<String>) -> Self {
+        ServingOutcome {
+            policy: policy.into(),
+            completed: 0,
+            samples: 0,
+            correct_samples: 0.0,
+            span_s: 0.0,
+            sla_violations: 0,
+            mean_latency_us: 0.0,
+            p95_latency_us: 0.0,
+            p99_latency_us: 0.0,
+            usage: PathUsage::default(),
+        }
+    }
+
+    /// Builds an outcome from raw per-query latencies, computing the
+    /// completed count, mean, and exact p95/p99 percentiles — the
+    /// simulator's aggregation path. `mprec-runtime` re-exports
+    /// [`ServingOutcome`] and fills the same shape, but derives its
+    /// percentiles from a streaming log-bucketed histogram (its
+    /// latencies are measured across worker threads, not collected into
+    /// one vector).
+    pub fn from_latency_samples(
+        policy: impl Into<String>,
+        mut latencies_us: Vec<f64>,
+        samples: u64,
+        correct_samples: f64,
+        sla_violations: u64,
+        span_s: f64,
+        usage: PathUsage,
+    ) -> Self {
+        let completed = latencies_us.len() as u64;
+        let mean = if latencies_us.is_empty() {
+            0.0
+        } else {
+            latencies_us.iter().sum::<f64>() / latencies_us.len() as f64
+        };
+        let p95 = percentile(&mut latencies_us, 0.95);
+        let p99 = percentile(&mut latencies_us, 0.99);
+        ServingOutcome {
+            policy: policy.into(),
+            completed,
+            samples,
+            correct_samples,
+            span_s,
+            sla_violations,
+            mean_latency_us: mean,
+            p95_latency_us: p95,
+            p99_latency_us: p99,
+            usage,
+        }
+    }
+
     /// Raw throughput (samples/s).
     pub fn raw_sps(&self) -> f64 {
         if self.span_s > 0.0 {

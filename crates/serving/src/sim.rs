@@ -7,7 +7,7 @@ use mprec_core::scheduler::{Scheduler, SchedulerConfig};
 use mprec_data::query::{QueryGenerator, QueryTraceConfig};
 use mprec_hwsim::{Op, Platform};
 
-use crate::outcome::{percentile, PathUsage, ServingOutcome};
+use crate::outcome::{PathUsage, ServingOutcome};
 use crate::Policy;
 
 /// MP-Cache effect applied to compute-path profiles during serving.
@@ -232,18 +232,7 @@ pub fn simulate(mappings: &MappingSet, policy: Policy, cfg: &ServingConfig) -> S
     let mut last_completion = 0.0f64;
 
     if set.mappings.is_empty() {
-        return ServingOutcome {
-            policy: policy.to_string(),
-            completed: 0,
-            samples: 0,
-            correct_samples: 0.0,
-            span_s: 0.0,
-            sla_violations: 0,
-            mean_latency_us: 0.0,
-            p95_latency_us: 0.0,
-            p99_latency_us: 0.0,
-            usage,
-        };
+        return ServingOutcome::empty(policy.to_string());
     }
 
     if let Policy::QuerySplit { cpu_fraction } = policy {
@@ -296,18 +285,7 @@ fn simulate_split(
         per_platform.first().copied().flatten(),
         per_platform.get(1).copied().flatten(),
     ) else {
-        return ServingOutcome {
-            policy: format!("query-split:{cpu_fraction:.2}"),
-            completed: 0,
-            samples: 0,
-            correct_samples: 0.0,
-            span_s: 0.0,
-            sla_violations: 0,
-            mean_latency_us: 0.0,
-            p95_latency_us: 0.0,
-            p99_latency_us: 0.0,
-            usage: PathUsage::default(),
-        };
+        return ServingOutcome::empty(format!("query-split:{cpu_fraction:.2}"));
     };
 
     let mut free = [0.0f64; 2];
@@ -358,36 +336,24 @@ fn simulate_split(
     )
 }
 
-#[allow(clippy::too_many_arguments)]
 fn finalize(
     policy: String,
-    mut latencies: Vec<f64>,
+    latencies: Vec<f64>,
     samples: u64,
     correct_samples: f64,
     sla_violations: u64,
     last_completion_us: f64,
     usage: PathUsage,
 ) -> ServingOutcome {
-    let completed = latencies.len() as u64;
-    let mean = if latencies.is_empty() {
-        0.0
-    } else {
-        latencies.iter().sum::<f64>() / latencies.len() as f64
-    };
-    let p95 = percentile(&mut latencies, 0.95);
-    let p99 = percentile(&mut latencies, 0.99);
-    ServingOutcome {
+    ServingOutcome::from_latency_samples(
         policy,
-        completed,
+        latencies,
         samples,
         correct_samples,
-        span_s: last_completion_us / 1e6,
         sla_violations,
-        mean_latency_us: mean,
-        p95_latency_us: p95,
-        p99_latency_us: p99,
+        last_completion_us / 1e6,
         usage,
-    }
+    )
 }
 
 #[cfg(test)]

@@ -25,3 +25,12 @@ lint:
 # Regenerate one paper figure/table, e.g. `just fig fig16_mpcache`.
 fig name:
     cargo run --release -p mprec-bench --bin {{name}}
+
+# Quick release-mode smoke of the multi-threaded serving runtime
+# (3K queries, 4 workers); writes BENCH_runtime.json. Mirrors the CI step.
+runtime-smoke:
+    timeout 300 cargo run --release -p mprec-bench --bin runtime_throughput -- --smoke
+
+# Full runtime throughput sweep (workers x QPS); writes BENCH_runtime.json.
+runtime-bench:
+    cargo run --release -p mprec-bench --bin runtime_throughput

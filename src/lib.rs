@@ -18,6 +18,7 @@
 //! | [`hwsim`] | `mprec-hwsim` | the Table-1 hardware performance model |
 //! | [`core`] | `mprec-core` | MP-Rec: offline planner, online scheduler, MP-Cache |
 //! | [`serving`] | `mprec-serving` | the query-serving simulator and policies |
+//! | [`runtime`] | `mprec-runtime` | the real multi-threaded serving runtime (worker pool, sharded MP-Cache, SLA-aware batching) |
 //! | [`scaling`] | `mprec-scaling` | the §6.9 multi-node scaling analysis |
 //!
 //! # Quickstart
@@ -55,6 +56,7 @@ pub use mprec_dlrm as dlrm;
 pub use mprec_embed as embed;
 pub use mprec_hwsim as hwsim;
 pub use mprec_nn as nn;
+pub use mprec_runtime as runtime;
 pub use mprec_scaling as scaling;
 pub use mprec_serving as serving;
 pub use mprec_tensor as tensor;

@@ -1,16 +1,31 @@
 //! Vendored shim exposing the `parking_lot` locking API on top of
 //! `std::sync`.
 //!
-//! The workspace builds offline, so this crate provides the two properties
-//! callers actually rely on — `lock()` without a poison `Result`, and `const`
-//! construction — while delegating the real synchronization to the standard
-//! library. Poisoned locks are recovered transparently, matching
-//! `parking_lot`'s "no poisoning" semantics closely enough for the cache
-//! statistics this workspace guards with it.
+//! The workspace builds offline, so this crate provides the properties
+//! callers actually rely on — `lock()` without a poison `Result`, `const`
+//! construction, and `Condvar::wait` taking `&mut MutexGuard` — while
+//! delegating the real synchronization to the standard library. Poisoned
+//! locks are recovered transparently, matching `parking_lot`'s
+//! "no poisoning" semantics closely enough for the cache statistics and
+//! serving-runtime queues this workspace guards with it.
+//!
+//! ## Supported API surface
+//!
+//! * [`Mutex`]: `new` (const), `lock`, `try_lock`, `get_mut`, `into_inner`.
+//! * [`RwLock`]: `new` (const), `read`, `write`, `into_inner`.
+//! * [`Condvar`]: `new` (const), `wait`, `wait_for`, `notify_one`,
+//!   `notify_all` (added for `mprec-runtime`'s bounded MPMC work queue).
+//!
+//! To make `Condvar::wait(&mut MutexGuard)` implementable without
+//! `unsafe`, [`MutexGuard`] is a thin newtype over
+//! `Option<std::sync::MutexGuard>` (always `Some` outside `wait`
+//! internals) instead of a re-export; it derefs to the protected value
+//! exactly like the real crate's guard. Swapping in the real
+//! `parking_lot` remains a one-line change in `[workspace.dependencies]`.
 
 use std::sync::PoisonError;
+use std::time::Duration;
 
-pub use std::sync::MutexGuard;
 pub use std::sync::RwLockReadGuard;
 pub use std::sync::RwLockWriteGuard;
 
@@ -18,6 +33,29 @@ pub use std::sync::RwLockWriteGuard;
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized> {
     inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+///
+/// Wraps the std guard in an `Option` so [`Condvar::wait`] can move the
+/// guard through `std::sync::Condvar::wait` by value and put it back —
+/// the only way to offer parking_lot's `&mut` wait signature without
+/// `unsafe` (which this workspace denies).
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized>(Option<std::sync::MutexGuard<'a, T>>);
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.0.as_ref().expect("guard present outside Condvar::wait")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_mut().expect("guard present outside Condvar::wait")
+    }
 }
 
 impl<T> Mutex<T> {
@@ -36,14 +74,18 @@ impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, recovering from poisoning instead of returning an
     /// error (parking_lot mutexes cannot be poisoned).
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        MutexGuard(Some(
+            self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+        ))
     }
 
     /// Attempts to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
-            Ok(guard) => Some(guard),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Ok(guard) => Some(MutexGuard(Some(guard))),
+            Err(std::sync::TryLockError::Poisoned(p)) => {
+                Some(MutexGuard(Some(p.into_inner())))
+            }
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -84,9 +126,74 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// Result of a [`Condvar::wait_for`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed (rather than a
+    /// notification).
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Condition variable with `parking_lot`'s `&mut MutexGuard` signatures.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar { inner: std::sync::Condvar::new() }
+    }
+
+    /// Blocks until notified, releasing `guard`'s mutex while waiting and
+    /// re-acquiring it before returning (spurious wakeups possible).
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard present before wait");
+        guard.0 = Some(
+            self.inner
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard present before wait");
+        let (inner, res) = self
+            .inner
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.0 = Some(inner);
+        WaitTimeoutResult { timed_out: res.timed_out() }
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiting threads.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
 
     #[test]
     fn lock_round_trips() {
@@ -101,5 +208,42 @@ mod tests {
         let l = RwLock::new(String::from("a"));
         l.write().push('b');
         assert_eq!(&*l.read(), "ab");
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let m = Mutex::new(1);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn condvar_hands_off_between_threads() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut ready = lock.lock();
+            *ready = true;
+            cv.notify_one();
+        });
+        let (lock, cv) = &*pair;
+        let mut ready = lock.lock();
+        while !*ready {
+            cv.wait(&mut ready);
+        }
+        assert!(*ready);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out_without_notification() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, Duration::from_millis(10));
+        assert!(res.timed_out());
     }
 }

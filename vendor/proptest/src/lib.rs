@@ -310,6 +310,20 @@ macro_rules! prop_assert_eq {
             )));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} ({:?} != {:?}): {}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right,
+                format!($($fmt)+)
+            )));
+        }
+    }};
 }
 
 /// Rejects the current case (it is regenerated and does not count).
