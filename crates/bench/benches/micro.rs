@@ -9,7 +9,7 @@ use mprec_core::scheduler::{Scheduler, SchedulerConfig};
 use mprec_data::DatasetSpec;
 use mprec_embed::{DheConfig, DheStack, EmbeddingTable};
 use mprec_nn::{Activation, Mlp};
-use mprec_tensor::Matrix;
+use mprec_tensor::{Kernel, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -20,6 +20,22 @@ fn bench_gemm(c: &mut Criterion) {
     let b = mprec_tensor::init::xavier_uniform(256, 64, &mut rng);
     c.bench_function("gemm_128x256x64", |bench| {
         bench.iter(|| a.matmul(&b).unwrap())
+    });
+}
+
+/// Naive vs tiled register-blocked GEMM at the acceptance shape
+/// (256x256x256), both through preallocated outputs so the comparison is
+/// pure kernel time.
+fn bench_gemm_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = mprec_tensor::init::xavier_uniform(256, 256, &mut rng);
+    let b = mprec_tensor::init::xavier_uniform(256, 256, &mut rng);
+    let mut out = Matrix::zeros(256, 256);
+    c.bench_function("gemm_256_naive", |bench| {
+        bench.iter(|| a.matmul_into_with(&b, &mut out, Kernel::Naive).unwrap())
+    });
+    c.bench_function("gemm_256_tiled", |bench| {
+        bench.iter(|| a.matmul_into_with(&b, &mut out, Kernel::Tiled).unwrap())
     });
 }
 
@@ -102,6 +118,6 @@ fn bench_scheduler(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_gemm, bench_embedding_gather, bench_dhe, bench_mlp_forward, bench_mpcache, bench_scheduler
+    targets = bench_gemm, bench_gemm_kernels, bench_embedding_gather, bench_dhe, bench_mlp_forward, bench_mpcache, bench_scheduler
 );
 criterion_main!(benches);

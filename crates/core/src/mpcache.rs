@@ -24,7 +24,9 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use mprec_data::SplitMixBuildHasher;
 use mprec_embed::DheStack;
+use mprec_nn::MlpScratch;
 use mprec_tensor::{ops, Matrix};
 use parking_lot::{Mutex, RwLock};
 
@@ -351,13 +353,17 @@ impl DecoderCache {
     }
 
     /// Nearest-centroid index for a code (dot product + argmax).
+    ///
+    /// The query is deliberately *not* normalized: dividing every dot
+    /// product by the same positive `||code||` cannot change the argmax,
+    /// so skipping it saves a copy + sqrt + divide per lookup and keeps
+    /// the hot path allocation-free. (A zero-norm code yields all-zero
+    /// dots either way.)
     pub fn nearest(&self, code: &[f32]) -> usize {
-        let mut unit = code.to_vec();
-        ops::normalize(&mut unit);
         let mut best = 0;
         let mut best_dot = f32::NEG_INFINITY;
         for c in 0..self.centroids.rows() {
-            let d = ops::dot(&unit, self.centroids.row(c));
+            let d = ops::dot(code, self.centroids.row(c));
             if d > best_dot {
                 best_dot = d;
                 best = c;
@@ -492,7 +498,7 @@ impl AtomicCacheStats {
 /// eviction at the per-shard entry budget.
 #[derive(Debug, Default)]
 struct DynamicTier {
-    entries: HashMap<(usize, u64), Vec<f32>>,
+    entries: HashMap<(usize, u64), Vec<f32>, SplitMixBuildHasher>,
     fifo: VecDeque<(usize, u64)>,
 }
 
@@ -500,7 +506,7 @@ struct DynamicTier {
 /// without any lock) plus a locked dynamic tier and an atomic stats block.
 #[derive(Debug)]
 struct CacheShard {
-    static_entries: HashMap<(usize, u64), Vec<f32>>,
+    static_entries: HashMap<(usize, u64), Vec<f32>, SplitMixBuildHasher>,
     dynamic: RwLock<DynamicTier>,
     stats: AtomicCacheStats,
 }
@@ -522,6 +528,30 @@ impl DecoderTier {
             DecoderTier::Shared(d) => Some(d),
             DecoderTier::PerFeature(v) => v.get(feature).and_then(Option::as_ref),
         }
+    }
+}
+
+/// Reusable buffers for [`ShardedMpCache::embed_batch_into`], owned by
+/// one worker and recycled across batches: the miss index, the batched
+/// encoder codes, the decoder ping-pong matrices, and the decoder-tier
+/// output arena. After warm-up, a batch whose misses fit the
+/// high-water marks performs no heap allocation outside dynamic-tier
+/// admission (which itself recycles evicted entries once the tier is
+/// full).
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    miss_slot_of: HashMap<u64, u32, SplitMixBuildHasher>,
+    miss_ids: Vec<u64>,
+    cold_rows: Vec<(u32, u32)>,
+    codes: Matrix,
+    computed: Matrix,
+    mlp: MlpScratch,
+}
+
+impl BatchScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -577,8 +607,8 @@ impl ShardedMpCache {
     fn build(encoder: Option<EncoderCache>, decoder: DecoderTier, cfg: ShardedCacheConfig) -> Self {
         let shards = cfg.shards.max(1).next_power_of_two();
         let mask = shards as u64 - 1;
-        let mut maps: Vec<HashMap<(usize, u64), Vec<f32>>> =
-            (0..shards).map(|_| HashMap::new()).collect();
+        let mut maps: Vec<HashMap<(usize, u64), Vec<f32>, SplitMixBuildHasher>> =
+            (0..shards).map(|_| HashMap::default()).collect();
         if let Some(enc) = encoder {
             for (key, v) in enc.into_entries() {
                 maps[(shard_hash(key.0, key.1) & mask) as usize].insert(key, v);
@@ -689,7 +719,7 @@ impl ShardedMpCache {
         }
         shard.stats.encoder_misses.fetch_add(1, Ordering::Relaxed);
         let v = self.compute_miss(stack, shard, feature, id)?;
-        self.admit(shard, key, v.clone());
+        self.admit(shard, key, &v);
         Ok(v)
     }
 
@@ -705,13 +735,38 @@ impl ShardedMpCache {
     ///
     /// Propagates stack execution errors.
     pub fn embed_batch(&self, stack: &DheStack, feature: usize, ids: &[u64]) -> Result<Matrix> {
+        let mut out = Matrix::zeros(ids.len(), stack.out_dim());
+        let mut scratch = BatchScratch::new();
+        self.embed_batch_into(stack, feature, ids, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`ShardedMpCache::embed_batch`] into caller-provided buffers: the
+    /// output arena is resized (reusing its allocation) and every
+    /// intermediate lives in `scratch`, so a warm worker serves batches
+    /// with zero steady-state heap allocations — hits are row copies out
+    /// of the cache tiers, and all misses share one batched encode plus
+    /// either one decoder-tier scan each or a single batched decoder
+    /// GEMM through the scratch ping-pong buffers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stack execution errors.
+    pub fn embed_batch_into(
+        &self,
+        stack: &DheStack,
+        feature: usize,
+        ids: &[u64],
+        scratch: &mut BatchScratch,
+        out: &mut Matrix,
+    ) -> Result<()> {
         let dim = stack.out_dim();
-        let mut out = Matrix::zeros(ids.len(), dim);
+        out.resize_zeroed(ids.len(), dim);
         // Unique cold IDs to compute, and for every output row of a cold
         // ID the slot its embedding comes from.
-        let mut miss_slot_of: HashMap<u64, usize> = HashMap::new();
-        let mut miss_ids: Vec<u64> = Vec::new();
-        let mut cold_rows: Vec<(usize, usize)> = Vec::new();
+        scratch.miss_slot_of.clear();
+        scratch.miss_ids.clear();
+        scratch.cold_rows.clear();
         for (row, &id) in ids.iter().enumerate() {
             let shard = self.shard(feature, id);
             let key = (feature, id);
@@ -727,7 +782,7 @@ impl ShardedMpCache {
                     continue;
                 }
             }
-            if let Some(&slot) = miss_slot_of.get(&id) {
+            if let Some(&slot) = scratch.miss_slot_of.get(&id) {
                 // Repeat of a cold ID already pending in this batch: the
                 // scalar path would have admitted it by now, so count a
                 // dynamic hit when the tier exists; with the tier
@@ -741,38 +796,41 @@ impl ShardedMpCache {
                         shard.stats.decoder_lookups.fetch_add(1, Ordering::Relaxed);
                     }
                 }
-                cold_rows.push((row, slot));
+                scratch.cold_rows.push((row as u32, slot));
                 continue;
             }
             shard.stats.encoder_misses.fetch_add(1, Ordering::Relaxed);
-            let slot = miss_ids.len();
-            miss_slot_of.insert(id, slot);
-            miss_ids.push(id);
-            cold_rows.push((row, slot));
+            let slot = scratch.miss_ids.len() as u32;
+            scratch.miss_slot_of.insert(id, slot);
+            scratch.miss_ids.push(id);
+            scratch.cold_rows.push((row as u32, slot));
         }
-        if miss_ids.is_empty() {
-            return Ok(out);
+        if scratch.miss_ids.is_empty() {
+            return Ok(());
         }
-        let codes = stack.encoder().encode_batch(&miss_ids);
-        let computed: Matrix = if let Some(dec) = self.decoder.for_feature(feature) {
-            let mut m = Matrix::zeros(miss_ids.len(), dim);
-            for (i, &id) in miss_ids.iter().enumerate() {
+        stack.encoder().encode_batch_into(&scratch.miss_ids, &mut scratch.codes);
+        let computed: &Matrix = if let Some(dec) = self.decoder.for_feature(feature) {
+            scratch.computed.resize_zeroed(scratch.miss_ids.len(), dim);
+            for (i, &id) in scratch.miss_ids.iter().enumerate() {
                 let shard = self.shard(feature, id);
                 shard.stats.decoder_lookups.fetch_add(1, Ordering::Relaxed);
-                m.row_mut(i).copy_from_slice(dec.lookup(codes.row(i)));
+                scratch
+                    .computed
+                    .row_mut(i)
+                    .copy_from_slice(dec.lookup(scratch.codes.row(i)));
             }
-            m
+            &scratch.computed
         } else {
-            stack.decode(&codes)?
+            stack.decode_scratch(&scratch.codes, &mut scratch.mlp)?
         };
-        for &(row, slot) in &cold_rows {
-            out.row_mut(row).copy_from_slice(computed.row(slot));
+        for &(row, slot) in &scratch.cold_rows {
+            out.row_mut(row as usize).copy_from_slice(computed.row(slot as usize));
         }
-        for (i, &id) in miss_ids.iter().enumerate() {
+        for (i, &id) in scratch.miss_ids.iter().enumerate() {
             let shard = self.shard(feature, id);
-            self.admit(shard, (feature, id), computed.row(i).to_vec());
+            self.admit(shard, (feature, id), computed.row(i));
         }
-        Ok(out)
+        Ok(())
     }
 
     fn compute_miss(
@@ -796,7 +854,11 @@ impl ShardedMpCache {
     /// Inserts a computed embedding into the shard's dynamic tier (FIFO
     /// eviction at the per-shard budget); no-op when the tier is disabled
     /// or another thread already inserted the key.
-    fn admit(&self, shard: &CacheShard, key: (usize, u64), v: Vec<f32>) {
+    ///
+    /// The evicted entry's buffer is recycled for the incoming value, so
+    /// once a shard's tier is full, admission stops allocating: the map
+    /// and FIFO stay at constant size and the embedding vector is reused.
+    fn admit(&self, shard: &CacheShard, key: (usize, u64), v: &[f32]) {
         if self.dynamic_per_shard == 0 {
             return;
         }
@@ -804,14 +866,18 @@ impl ShardedMpCache {
         if tier.entries.contains_key(&key) {
             return;
         }
+        let mut recycled: Option<Vec<f32>> = None;
         while tier.entries.len() >= self.dynamic_per_shard {
             let Some(oldest) = tier.fifo.pop_front() else {
                 break;
             };
-            tier.entries.remove(&oldest);
+            recycled = tier.entries.remove(&oldest);
             shard.stats.evictions.fetch_add(1, Ordering::Relaxed);
         }
-        tier.entries.insert(key, v);
+        let mut buf = recycled.unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(v);
+        tier.entries.insert(key, buf);
         tier.fifo.push_back(key);
     }
 }
@@ -1042,6 +1108,40 @@ mod tests {
                 "dynamic_entries = {dynamic_entries}"
             );
         }
+    }
+
+    #[test]
+    fn embed_batch_into_matches_embed_batch_and_reuses_buffers() {
+        for dynamic_entries in [0usize, 64] {
+            let (s, cache) = sharded(4, dynamic_entries);
+            let mut ids: Vec<u64> = (0..40).collect();
+            ids.extend([7, 33, 7]);
+            let (s2, cache2) = sharded(4, dynamic_entries);
+            let owned = cache2.embed_batch(&s2, 0, &ids).unwrap();
+            let mut scratch = BatchScratch::new();
+            let mut out = Matrix::zeros(0, 0);
+            cache.embed_batch_into(&s, 0, &ids, &mut scratch, &mut out).unwrap();
+            assert_eq!(out, owned, "dynamic_entries = {dynamic_entries}");
+            assert_eq!(cache.stats(), cache2.stats());
+            // Steady state: a second identical batch reuses the arena.
+            let ptr = out.as_slice().as_ptr();
+            cache.embed_batch_into(&s, 0, &ids, &mut scratch, &mut out).unwrap();
+            assert_eq!(out.as_slice().as_ptr(), ptr, "output arena reused");
+        }
+    }
+
+    #[test]
+    fn admit_recycles_evicted_buffers() {
+        // A full dynamic tier keeps serving correct values while staying
+        // at its budget (the recycled-allocation path).
+        let (s, cache) = sharded(1, 2);
+        for id in 500..510u64 {
+            let via = cache.embed(&s, 0, id).unwrap();
+            let exact = s.infer(&[id]).unwrap();
+            assert_eq!(via.as_slice(), exact.row(0), "id {id}");
+        }
+        assert_eq!(cache.dynamic_len(), 2, "tier pinned at budget");
+        assert_eq!(cache.stats().evictions, 8);
     }
 
     #[test]

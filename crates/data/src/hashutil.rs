@@ -21,6 +21,56 @@ pub fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// A [`std::hash::Hasher`] built on [`splitmix64`]: one mixer round per
+/// written word instead of SipHash's keyed rounds.
+///
+/// The serving hot path does several hash-map probes per embedding
+/// lookup (cache shards, batch dedup indexes); those maps key on small
+/// integers produced internally, so SipHash's DoS resistance buys
+/// nothing and its latency is pure overhead. Use via
+/// [`SplitMixBuildHasher`]:
+///
+/// ```
+/// use mprec_data::SplitMixBuildHasher;
+/// use std::collections::HashMap;
+/// let mut m: HashMap<u64, u32, SplitMixBuildHasher> = HashMap::default();
+/// m.insert(7, 1);
+/// assert_eq!(m.get(&7), Some(&1));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct SplitMixHasher {
+    state: u64,
+}
+
+impl std::hash::Hasher for SplitMixHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.state = splitmix64(self.state ^ u64::from_le_bytes(word));
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        self.state = splitmix64(self.state ^ x);
+    }
+
+    fn write_usize(&mut self, x: usize) {
+        self.write_u64(x as u64);
+    }
+
+    fn write_u32(&mut self, x: u32) {
+        self.write_u64(x as u64);
+    }
+}
+
+/// `BuildHasher` plugging [`SplitMixHasher`] into `HashMap`.
+pub type SplitMixBuildHasher = std::hash::BuildHasherDefault<SplitMixHasher>;
+
 /// Hashes `(seed, x)` to a uniform float in `[-1, 1]`.
 ///
 /// This is the normalization used by DHE encoders (uniform variant) and by

@@ -30,7 +30,9 @@ pub mod zipf;
 
 pub use batch::Batch;
 pub use criteo::{DatasetSpec, KAGGLE_CARDINALITIES, TERABYTE_CARDINALITIES};
-pub use hashutil::{gaussian_hash_f32, splitmix64, uniform_hash_f32};
+pub use hashutil::{
+    gaussian_hash_f32, splitmix64, uniform_hash_f32, SplitMixBuildHasher, SplitMixHasher,
+};
 pub use zipf::Zipf;
 
 use rand::rngs::StdRng;

@@ -15,7 +15,7 @@
 
 use mprec_data::teacher::{trait_input, trait_seed, NUM_TRAIT_FEATURES};
 use mprec_data::{splitmix64, uniform_hash_f32};
-use mprec_nn::{Activation, Mlp, Optimizer};
+use mprec_nn::{Activation, Mlp, MlpScratch, Optimizer};
 use mprec_tensor::Matrix;
 use rand::Rng;
 
@@ -78,10 +78,18 @@ impl DheEncoder {
     /// Encodes a batch of IDs into a `batch x k` matrix.
     pub fn encode_batch(&self, ids: &[u64]) -> Matrix {
         let mut m = Matrix::zeros(ids.len(), self.k());
-        for (i, &id) in ids.iter().enumerate() {
-            self.encode_into(id, m.row_mut(i));
-        }
+        self.encode_batch_into(ids, &mut m);
         m
+    }
+
+    /// Encodes a batch of IDs into a caller-provided matrix (resized to
+    /// `batch x k`, reusing its allocation) so warm callers encode
+    /// without touching the allocator.
+    pub fn encode_batch_into(&self, ids: &[u64], out: &mut Matrix) {
+        out.resize_zeroed(ids.len(), self.k());
+        for (i, &id) in ids.iter().enumerate() {
+            self.encode_into(id, out.row_mut(i));
+        }
     }
 }
 
@@ -188,6 +196,22 @@ impl DheStack {
     /// Propagates decoder shape errors.
     pub fn decode(&self, codes: &Matrix) -> Result<Matrix> {
         Ok(self.decoder.infer(codes)?)
+    }
+
+    /// Decodes pre-computed intermediate vectors through reusable
+    /// ping-pong buffers (see [`Mlp::infer_scratch`]): one batched GEMM
+    /// per decoder layer, zero steady-state allocations. Returns a
+    /// borrow of the scratch buffer holding the embeddings.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoder shape errors.
+    pub fn decode_scratch<'a>(
+        &self,
+        codes: &Matrix,
+        scratch: &'a mut MlpScratch,
+    ) -> Result<&'a Matrix> {
+        Ok(self.decoder.infer_scratch(codes, scratch)?)
     }
 
     /// Backward pass through the decoder (the encoder has no parameters,
@@ -317,5 +341,29 @@ mod tests {
         let ids = [1u64, 2, 3];
         let codes = s.encoder().encode_batch(&ids);
         assert_eq!(s.decode(&codes).unwrap(), s.infer(&ids).unwrap());
+    }
+
+    #[test]
+    fn decode_scratch_matches_decode() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = DheStack::new(cfg(), 2, &mut rng).unwrap();
+        let ids = [11u64, 22, 33, 22];
+        let codes = s.encoder().encode_batch(&ids);
+        let mut scratch = MlpScratch::new();
+        let via_scratch = s.decode_scratch(&codes, &mut scratch).unwrap();
+        assert_eq!(via_scratch, &s.decode(&codes).unwrap());
+    }
+
+    #[test]
+    fn encode_batch_into_matches_encode_batch() {
+        let e = DheEncoder::new(16, 1, 7).unwrap();
+        let ids = [5u64, 6, 5, 1000];
+        let owned = e.encode_batch(&ids);
+        let mut out = Matrix::zeros(0, 0);
+        e.encode_batch_into(&ids, &mut out);
+        assert_eq!(out, owned);
+        let ptr = out.as_slice().as_ptr();
+        e.encode_batch_into(&ids, &mut out);
+        assert_eq!(out.as_slice().as_ptr(), ptr, "encode arena reused");
     }
 }

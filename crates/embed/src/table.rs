@@ -1,9 +1,31 @@
 //! The storage representation: a learned embedding table (paper §2.1).
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use mprec_data::SplitMixBuildHasher;
 use mprec_tensor::{init, Matrix};
 use rand::Rng;
 
 use crate::{EmbedError, Result};
+
+/// Reusable duplicate-ID index for [`EmbeddingTable::forward_dedup_into`].
+///
+/// Holds the `id -> first output row` map across batches so the dedup
+/// gather allocates nothing in steady state (the map is cleared, not
+/// dropped, between batches). Hashing is one SplitMix64 round per probe,
+/// keeping the dedup overhead below the cost of a cold table-row read.
+#[derive(Debug, Default)]
+pub struct GatherScratch {
+    first_row: HashMap<u64, u32, SplitMixBuildHasher>,
+}
+
+impl GatherScratch {
+    /// Creates an empty scratch (the map grows on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// One learned embedding table with sparse-row training updates.
 ///
@@ -74,11 +96,67 @@ impl EmbeddingTable {
     /// Returns [`EmbedError::IdOutOfRange`] if any ID is invalid.
     pub fn forward(&self, ids: &[u64]) -> Result<Matrix> {
         let mut out = Matrix::zeros(ids.len(), self.dim);
+        self.forward_into(ids, &mut out)?;
+        Ok(out)
+    }
+
+    /// Gathers embeddings into a caller-provided arena (resized to
+    /// `batch x dim`, reusing its allocation): each row is one
+    /// `copy_from_slice` from the table, so a warm arena makes the gather
+    /// allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbedError::IdOutOfRange`] if any ID is invalid.
+    pub fn forward_into(&self, ids: &[u64], out: &mut Matrix) -> Result<()> {
+        out.resize_zeroed(ids.len(), self.dim);
         for (i, &id) in ids.iter().enumerate() {
             let row = self.row(id)?;
             out.row_mut(i).copy_from_slice(row);
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Gathers embeddings into a caller-provided arena, reading each
+    /// distinct ID from the table exactly once: repeats within the batch
+    /// are fanned out with an intra-arena row copy instead of a second
+    /// table gather. Power-law recommendation traffic repeats hot IDs
+    /// constantly, so the table (which may be large and cache-cold) is
+    /// touched only once per distinct ID.
+    ///
+    /// Output is identical to [`EmbeddingTable::forward_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbedError::IdOutOfRange`] if any ID is invalid.
+    pub fn forward_dedup_into(
+        &self,
+        ids: &[u64],
+        scratch: &mut GatherScratch,
+        out: &mut Matrix,
+    ) -> Result<()> {
+        out.resize_zeroed(ids.len(), self.dim);
+        scratch.first_row.clear();
+        let dim = self.dim;
+        for (i, &id) in ids.iter().enumerate() {
+            match scratch.first_row.entry(id) {
+                Entry::Occupied(first) => {
+                    let src = *first.get() as usize;
+                    out.as_mut_slice().copy_within(src * dim..(src + 1) * dim, i * dim);
+                }
+                Entry::Vacant(slot) => {
+                    if id >= self.weights.rows() as u64 {
+                        return Err(EmbedError::IdOutOfRange {
+                            id,
+                            rows: self.weights.rows() as u64,
+                        });
+                    }
+                    slot.insert(i as u32);
+                    out.row_mut(i).copy_from_slice(self.weights.row(id as usize));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Sparse Adagrad update: applies `grad` (a `batch x dim` gradient, one
@@ -162,6 +240,45 @@ mod tests {
         assert_eq!(out.row(0), t.row(3).unwrap());
         assert_eq!(out.row(1), t.row(3).unwrap());
         assert_eq!(out.row(2), t.row(7).unwrap());
+    }
+
+    #[test]
+    fn forward_dedup_matches_plain_gather() {
+        // Heavy duplication, including back-to-back and interleaved
+        // repeats: the dedup path must produce byte-identical output.
+        let t = table(50, 6);
+        let ids = [3u64, 17, 3, 3, 42, 17, 0, 42, 3, 49, 49, 0];
+        let plain = t.forward(&ids).unwrap();
+        let mut scratch = GatherScratch::new();
+        let mut deduped = Matrix::zeros(0, 0);
+        t.forward_dedup_into(&ids, &mut scratch, &mut deduped).unwrap();
+        assert_eq!(deduped, plain);
+    }
+
+    #[test]
+    fn forward_dedup_rejects_bad_id_and_reuses_scratch() {
+        let t = table(10, 4);
+        let mut scratch = GatherScratch::new();
+        let mut out = Matrix::zeros(0, 0);
+        assert!(matches!(
+            t.forward_dedup_into(&[1, 10], &mut scratch, &mut out),
+            Err(EmbedError::IdOutOfRange { id: 10, rows: 10 })
+        ));
+        // Scratch stays usable after an error.
+        t.forward_dedup_into(&[1, 1, 2], &mut scratch, &mut out).unwrap();
+        assert_eq!(out.row(0), out.row(1));
+        assert_eq!(out.row(0), t.row(1).unwrap());
+    }
+
+    #[test]
+    fn forward_into_reuses_arena() {
+        let t = table(20, 8);
+        let mut out = Matrix::zeros(0, 0);
+        t.forward_into(&[5, 6, 7, 5], &mut out).unwrap();
+        let ptr = out.as_slice().as_ptr();
+        t.forward_into(&[1, 2, 3, 4], &mut out).unwrap();
+        assert_eq!(out.as_slice().as_ptr(), ptr, "arena reused");
+        assert_eq!(out.row(2), t.row(3).unwrap());
     }
 
     #[test]

@@ -26,6 +26,49 @@ impl Activation {
         }
     }
 
+    /// Fused bias-add + activation: `m[r][c] = act(m[r][c] + bias[c])` in a
+    /// single pass over the output.
+    ///
+    /// This is the epilogue of [`crate::Linear::infer_into`]: the plain
+    /// forward path makes one pass to add the bias and a second to apply
+    /// the activation; fusing them halves the epilogue's memory traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `bias.len() != m.cols()`.
+    pub fn apply_with_bias(&self, m: &mut Matrix, bias: &[f32]) {
+        let cols = m.cols();
+        debug_assert_eq!(cols, bias.len(), "bias width must match output");
+        if cols == 0 {
+            // A zero-width output has nothing to bias or activate (and
+            // `chunks_exact_mut(0)` would panic).
+            return;
+        }
+        match self {
+            Activation::Relu => {
+                for row in m.as_mut_slice().chunks_exact_mut(cols) {
+                    for (v, &b) in row.iter_mut().zip(bias.iter()) {
+                        *v = (*v + b).max(0.0);
+                    }
+                }
+            }
+            Activation::Sigmoid => {
+                for row in m.as_mut_slice().chunks_exact_mut(cols) {
+                    for (v, &b) in row.iter_mut().zip(bias.iter()) {
+                        *v = ops::sigmoid(*v + b);
+                    }
+                }
+            }
+            Activation::Identity => {
+                for row in m.as_mut_slice().chunks_exact_mut(cols) {
+                    for (v, &b) in row.iter_mut().zip(bias.iter()) {
+                        *v += b;
+                    }
+                }
+            }
+        }
+    }
+
     /// Multiplies `grad` by the activation derivative, evaluated from the
     /// *activated output* `y` (all three supported activations admit this).
     ///
@@ -104,6 +147,31 @@ mod tests {
         let mut g = Matrix::from_vec(1, 1, vec![1.0]).unwrap();
         Activation::Sigmoid.backprop(&mut g, &y);
         assert!((g[(0, 0)] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn apply_with_bias_matches_two_pass() {
+        for act in [Activation::Relu, Activation::Sigmoid, Activation::Identity] {
+            let vals: Vec<f32> = (0..12).map(|i| (i as f32 - 6.0) * 0.4).collect();
+            let bias = [0.3f32, -0.8, 0.1];
+            let mut fused = Matrix::from_vec(4, 3, vals.clone()).unwrap();
+            act.apply_with_bias(&mut fused, &bias);
+            let mut two_pass = Matrix::from_vec(4, 3, vals).unwrap();
+            for r in 0..4 {
+                for (v, &b) in two_pass.row_mut(r).iter_mut().zip(bias.iter()) {
+                    *v += b;
+                }
+            }
+            act.apply(&mut two_pass);
+            assert_eq!(fused, two_pass, "activation {act}");
+        }
+    }
+
+    #[test]
+    fn apply_with_bias_tolerates_zero_width() {
+        let mut m = Matrix::zeros(3, 0);
+        Activation::Relu.apply_with_bias(&mut m, &[]);
+        assert_eq!(m.shape(), (3, 0));
     }
 
     #[test]

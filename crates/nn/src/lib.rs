@@ -35,7 +35,7 @@ mod optim;
 pub use activation::Activation;
 pub use linear::Linear;
 pub use loss::{bce_with_logits, bce_with_logits_grad, log_loss};
-pub use mlp::Mlp;
+pub use mlp::{Mlp, MlpScratch};
 pub use optim::{Adagrad, Optimizer, Sgd};
 
 use std::error::Error;

@@ -76,14 +76,8 @@ impl Linear {
     ///
     /// Returns a tensor shape error if `x.cols() != fan_in`.
     pub fn forward(&mut self, x: &Matrix) -> Result<Matrix> {
-        let mut y = x.matmul(&self.w)?;
-        for r in 0..y.rows() {
-            let row = y.row_mut(r);
-            for (v, b) in row.iter_mut().zip(self.b.iter()) {
-                *v += b;
-            }
-        }
-        self.act.apply(&mut y);
+        let mut y = Matrix::zeros(x.rows(), self.w.cols());
+        self.infer_into(x, &mut y)?;
         self.cached_input = Some(x.clone());
         self.cached_output = Some(y.clone());
         Ok(y)
@@ -96,15 +90,23 @@ impl Linear {
     ///
     /// Returns a tensor shape error if `x.cols() != fan_in`.
     pub fn infer(&self, x: &Matrix) -> Result<Matrix> {
-        let mut y = x.matmul(&self.w)?;
-        for r in 0..y.rows() {
-            let row = y.row_mut(r);
-            for (v, b) in row.iter_mut().zip(self.b.iter()) {
-                *v += b;
-            }
-        }
-        self.act.apply(&mut y);
+        let mut y = Matrix::zeros(x.rows(), self.w.cols());
+        self.infer_into(x, &mut y)?;
         Ok(y)
+    }
+
+    /// Fused inference into a caller-provided buffer: one GEMM writes
+    /// `out`, then a single pass applies bias and activation together.
+    /// `out` is resized (reusing its allocation) and fully overwritten —
+    /// the steady-state hot path touches the allocator zero times.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor shape error if `x.cols() != fan_in`.
+    pub fn infer_into(&self, x: &Matrix, out: &mut Matrix) -> Result<()> {
+        x.matmul_into(&self.w, out)?;
+        self.act.apply_with_bias(out, &self.b);
+        Ok(())
     }
 
     /// Backward pass: consumes the cached activations, accumulates weight
@@ -230,5 +232,19 @@ mod tests {
         let a = l.forward(&x).unwrap();
         let b = l.infer(&x).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn infer_into_matches_infer_and_reuses_buffer() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let l = Linear::new(6, 5, Activation::Sigmoid, &mut rng);
+        let x = Matrix::from_fn(3, 6, |r, c| ((r * 6 + c) as f32).cos());
+        let owned = l.infer(&x).unwrap();
+        let mut out = Matrix::zeros(8, 8);
+        l.infer_into(&x, &mut out).unwrap();
+        assert_eq!(out, owned);
+        let ptr = out.as_slice().as_ptr();
+        l.infer_into(&x, &mut out).unwrap();
+        assert_eq!(out.as_slice().as_ptr(), ptr, "steady state reuses the buffer");
     }
 }

@@ -3,6 +3,25 @@ use rand::Rng;
 
 use crate::{Activation, Linear, NnError, Optimizer, Result};
 
+/// Two reusable activation buffers an [`Mlp`] ping-pongs between during
+/// [`Mlp::infer_scratch`], instead of allocating one matrix per layer.
+///
+/// Create once per worker (or per call site) and reuse across batches:
+/// after the first call at the largest batch size the buffers never touch
+/// the allocator again.
+#[derive(Debug, Clone, Default)]
+pub struct MlpScratch {
+    ping: Matrix,
+    pong: Matrix,
+}
+
+impl MlpScratch {
+    /// Creates an empty scratch pair (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A stack of [`Linear`] layers.
 ///
 /// `sizes = [in, h1, ..., out]` creates `sizes.len() - 1` layers; all hidden
@@ -95,6 +114,32 @@ impl Mlp {
             h = layer.infer(&h)?;
         }
         Ok(h)
+    }
+
+    /// Inference forward pass that ping-pongs between the two scratch
+    /// matrices instead of allocating per layer; returns a borrow of the
+    /// scratch buffer holding the final layer's output.
+    ///
+    /// Each layer runs the fused [`Linear::infer_into`] (GEMM + bias +
+    /// activation in one output pass), so a steady-state call performs
+    /// zero heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying layers.
+    pub fn infer_scratch<'a>(&self, x: &Matrix, scratch: &'a mut MlpScratch) -> Result<&'a Matrix> {
+        let (first, rest) = self.layers.split_first().expect("mlp has >= 1 layer");
+        first.infer_into(x, &mut scratch.ping)?;
+        let mut in_ping = true;
+        for layer in rest {
+            if in_ping {
+                layer.infer_into(&scratch.ping, &mut scratch.pong)?;
+            } else {
+                layer.infer_into(&scratch.pong, &mut scratch.ping)?;
+            }
+            in_ping = !in_ping;
+        }
+        Ok(if in_ping { &scratch.ping } else { &scratch.pong })
     }
 
     /// Backward pass; returns the gradient w.r.t. the stack input.
@@ -201,5 +246,31 @@ mod tests {
             Mlp::new(&[4, 8, 2], Activation::Relu, Activation::Sigmoid, &mut rng).unwrap();
         let x = Matrix::from_fn(3, 4, |r, c| ((r * 4 + c) as f32).sin());
         assert_eq!(mlp.forward(&x).unwrap(), mlp.infer(&x).unwrap());
+    }
+
+    #[test]
+    fn infer_scratch_matches_infer_across_depths() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for sizes in [&[5usize, 3][..], &[5, 7, 3], &[5, 9, 6, 2]] {
+            let mlp = Mlp::new(sizes, Activation::Relu, Activation::Identity, &mut rng).unwrap();
+            let x = Matrix::from_fn(4, sizes[0], |r, c| ((r + 2 * c) as f32 * 0.3).sin());
+            let mut scratch = MlpScratch::new();
+            let via_scratch = mlp.infer_scratch(&x, &mut scratch).unwrap().clone();
+            assert_eq!(via_scratch, mlp.infer(&x).unwrap(), "depth {}", sizes.len() - 1);
+        }
+    }
+
+    #[test]
+    fn infer_scratch_reuses_buffers_across_batches() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mlp = Mlp::new(&[4, 16, 8, 1], Activation::Relu, Activation::Identity, &mut rng)
+            .unwrap();
+        let x = Matrix::from_fn(32, 4, |r, c| ((r * 4 + c) as f32).cos());
+        let mut scratch = MlpScratch::new();
+        let ptr = mlp.infer_scratch(&x, &mut scratch).unwrap().as_slice().as_ptr();
+        for _ in 0..3 {
+            let again = mlp.infer_scratch(&x, &mut scratch).unwrap();
+            assert_eq!(again.as_slice().as_ptr(), ptr, "no reallocation batch-to-batch");
+        }
     }
 }

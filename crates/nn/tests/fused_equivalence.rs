@@ -1,0 +1,62 @@
+//! Property tests: the fused inference paths (`Linear::infer_into`,
+//! `Mlp::infer_scratch`) produce exactly the results of the allocating
+//! `infer` across random layer shapes, activations, and batch sizes.
+//! Exact equality is the contract — fusion changes memory traffic, not
+//! arithmetic: `act(v + b)` in one pass computes the identical floats
+//! the bias pass + activation pass computed.
+
+use mprec_nn::{Activation, Linear, Mlp, MlpScratch};
+use mprec_tensor::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn activation(idx: u8) -> Activation {
+    match idx % 3 {
+        0 => Activation::Relu,
+        1 => Activation::Sigmoid,
+        _ => Activation::Identity,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn linear_infer_into_matches_infer(
+        batch in 1usize..24,
+        fan_in in 1usize..32,
+        fan_out in 1usize..32,
+        act_idx in 0u8..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layer = Linear::new(fan_in, fan_out, activation(act_idx), &mut rng);
+        let x = Matrix::from_fn(batch, fan_in, |_, _| rng.gen_range(-3.0f32..3.0));
+        let owned = layer.infer(&x).unwrap();
+        let mut out = Matrix::zeros(0, 0);
+        layer.infer_into(&x, &mut out).unwrap();
+        prop_assert_eq!(out, owned);
+    }
+
+    #[test]
+    fn mlp_infer_scratch_matches_infer(
+        batch in 1usize..16,
+        h1 in 1usize..24,
+        h2 in 1usize..24,
+        out_dim in 1usize..8,
+        act_idx in 0u8..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sizes = [7, h1, h2, out_dim];
+        let mlp = Mlp::new(&sizes, activation(act_idx), Activation::Identity, &mut rng)
+            .unwrap();
+        let x = Matrix::from_fn(batch, 7, |_, _| rng.gen_range(-2.0f32..2.0));
+        let mut scratch = MlpScratch::new();
+        // Two passes: the second runs against warm (recycled) buffers.
+        let _ = mlp.infer_scratch(&x, &mut scratch).unwrap();
+        let via_scratch = mlp.infer_scratch(&x, &mut scratch).unwrap().clone();
+        prop_assert_eq!(via_scratch, mlp.infer(&x).unwrap());
+    }
+}

@@ -508,9 +508,15 @@ fn worker_loop(
         last_done: start,
         error: None,
     };
+    // Persistent per-worker buffers: after the first few batches grow
+    // them to their high-water marks, the steady-state loop executes
+    // every batch without touching the allocator.
+    let mut scratch = model.make_scratch();
+    let mut specs: Vec<(u64, u64)> = Vec::new();
     while let Some(item) = queue.pop() {
-        let specs: Vec<(u64, u64)> = item.queries.iter().map(|q| (q.id, q.size)).collect();
-        match model.execute(item.path, &specs) {
+        specs.clear();
+        specs.extend(item.queries.iter().map(|q| (q.id, q.size)));
+        match model.execute_with(item.path, &specs, &mut scratch) {
             Ok(res) => {
                 let now = Instant::now();
                 for q in &item.queries {

@@ -55,8 +55,8 @@ mod queue;
 pub use engine::{
     serve, Engine, PathAccuracy, RoutePolicy, RuntimeConfig, RuntimeReport, SlaAccounting,
 };
-pub use histogram::LatencyHistogram;
-pub use model::{BatchResult, PathKind, RuntimeModel, RuntimeModelConfig};
+pub use histogram::{LatencyHistogram, DEFAULT_SUBS_PER_OCTAVE};
+pub use model::{BatchResult, PathKind, RuntimeModel, RuntimeModelConfig, ScratchSpace};
 pub use queue::BoundedQueue;
 // Re-exported so runtime and simulator callers share one outcome type
 // (and its aggregation code) instead of duplicating it.

@@ -4,16 +4,38 @@
 //! runs on the worker pool (unlike the simulator, which charges profiled
 //! latencies).
 
-use mprec_core::mpcache::{DecoderCache, EncoderCache, ShardedCacheConfig, ShardedMpCache};
+use mprec_core::mpcache::{
+    BatchScratch, DecoderCache, EncoderCache, ShardedCacheConfig, ShardedMpCache,
+};
 use mprec_data::{splitmix64, Zipf};
-use mprec_embed::{DheConfig, DheStack, EmbeddingTable};
-use mprec_nn::{Activation, Mlp};
+use mprec_embed::{DheConfig, DheStack, EmbeddingTable, GatherScratch};
+use mprec_nn::{Activation, Mlp, MlpScratch};
 use mprec_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 
 use crate::{Result, RuntimeError};
+
+/// Per-worker reusable execution buffers: the per-feature ID staging
+/// vectors, the embedding gather/compute arena, the pooled-input matrix,
+/// the table dedup index, the MP-Cache batch scratch, and the top-MLP
+/// ping-pong buffers.
+///
+/// One `ScratchSpace` per worker thread makes steady-state
+/// [`RuntimeModel::execute_with`] perform **zero heap allocations**: all
+/// buffers grow to the high-water mark of the first few batches and are
+/// recycled after that (asserted by the counting-allocator test in
+/// `tests/zero_alloc.rs`).
+#[derive(Debug, Default)]
+pub struct ScratchSpace {
+    per_feature: Vec<Vec<u64>>,
+    emb: Matrix,
+    pooled: Matrix,
+    gather: GatherScratch,
+    cache: BatchScratch,
+    top: MlpScratch,
+}
 
 /// The embedding execution path a batch runs on (the runtime analogue of
 /// the paper's representation roles).
@@ -250,14 +272,92 @@ impl RuntimeModel {
         }
     }
 
+    /// Creates a [`ScratchSpace`] sized for this model (buffers grow to
+    /// their steady-state capacity during the first batches).
+    pub fn make_scratch(&self) -> ScratchSpace {
+        ScratchSpace {
+            per_feature: vec![Vec::new(); self.cfg.sparse_features],
+            ..ScratchSpace::default()
+        }
+    }
+
     /// Executes one micro-batch (`(query id, size)` pairs) on `path`:
     /// real embedding lookups (tables and/or cached DHE), sum pooling,
     /// and the top MLP.
+    ///
+    /// Allocates a fresh [`ScratchSpace`] per call; workers that execute
+    /// many batches should hold one scratch and call
+    /// [`RuntimeModel::execute_with`] instead.
     ///
     /// # Errors
     ///
     /// Propagates table/stack/MLP execution errors.
     pub fn execute(&self, path: PathKind, queries: &[(u64, u64)]) -> Result<BatchResult> {
+        let mut scratch = self.make_scratch();
+        self.execute_with(path, queries, &mut scratch)
+    }
+
+    /// [`RuntimeModel::execute`] against a persistent [`ScratchSpace`]:
+    /// table features gather deduplicated rows into the scratch arena,
+    /// DHE features run the batched MP-Cache path through the scratch
+    /// buffers, pooling accumulates in the reusable pooled matrix, and
+    /// the top MLP ping-pongs between the scratch pair — zero
+    /// steady-state heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table/stack/MLP execution errors.
+    pub fn execute_with(
+        &self,
+        path: PathKind,
+        queries: &[(u64, u64)],
+        scratch: &mut ScratchSpace,
+    ) -> Result<BatchResult> {
+        let total: u64 = queries.iter().map(|&(_, s)| s).sum();
+        if total == 0 {
+            return Ok(BatchResult { samples: 0, checksum: 0.0 });
+        }
+        for ids in scratch.per_feature.iter_mut() {
+            ids.clear();
+        }
+        for &(qid, size) in queries {
+            self.query_ids(qid, size, &mut scratch.per_feature);
+        }
+        scratch.pooled.resize_zeroed(total as usize, self.cfg.emb_dim);
+        for (feature, ids) in scratch.per_feature.iter().enumerate() {
+            if self.uses_dhe(path, feature) {
+                self.cache.embed_batch_into(
+                    &self.stacks[feature],
+                    feature,
+                    ids,
+                    &mut scratch.cache,
+                    &mut scratch.emb,
+                )?;
+            } else {
+                self.tables[feature].forward_dedup_into(
+                    ids,
+                    &mut scratch.gather,
+                    &mut scratch.emb,
+                )?;
+            }
+            scratch.pooled.add_assign(&scratch.emb)?;
+        }
+        let scores = self.top.infer_scratch(&scratch.pooled, &mut scratch.top)?;
+        let checksum = scores.as_slice().iter().map(|&v| v as f64).sum();
+        Ok(BatchResult { samples: total, checksum })
+    }
+
+    /// The pre-optimization execution path, kept as the baseline the
+    /// `kernel_throughput` bench and the equivalence tests compare
+    /// against: fresh `Vec`/`Matrix` allocations per batch, no gather
+    /// dedup, per-batch cache allocation, allocating MLP inference.
+    /// Combine with [`mprec_tensor::kernels::set_global_kernel`]
+    /// (`Kernel::Naive`) to reproduce the original scalar GEMMs too.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table/stack/MLP execution errors.
+    pub fn execute_naive(&self, path: PathKind, queries: &[(u64, u64)]) -> Result<BatchResult> {
         let total: u64 = queries.iter().map(|&(_, s)| s).sum();
         if total == 0 {
             return Ok(BatchResult { samples: 0, checksum: 0.0 });
@@ -374,6 +474,27 @@ mod tests {
         let a = m.execute(PathKind::Table, &[(0, 4)]).unwrap();
         let b = m.execute(PathKind::Table, &[(1, 6)]).unwrap();
         assert!((together.checksum - (a.checksum + b.checksum)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn execute_with_matches_execute_naive_on_every_path() {
+        let m = RuntimeModel::build(&tiny_cfg(), 4, 7).unwrap();
+        let mut scratch = m.make_scratch();
+        let queries = [(0u64, 12u64), (1, 7), (2, 13)];
+        for path in [PathKind::Table, PathKind::Dhe, PathKind::Hybrid] {
+            let naive = m.execute_naive(path, &queries).unwrap();
+            // Run the scratch path twice so the second call exercises the
+            // fully warm (buffer-recycling) state.
+            let _ = m.execute_with(path, &queries, &mut scratch).unwrap();
+            let opt = m.execute_with(path, &queries, &mut scratch).unwrap();
+            assert_eq!(naive.samples, opt.samples, "path {path}");
+            assert!(
+                (naive.checksum - opt.checksum).abs() <= 1e-6 * (1.0 + naive.checksum.abs()),
+                "path {path}: naive {} vs scratch {}",
+                naive.checksum,
+                opt.checksum
+            );
+        }
     }
 
     #[test]

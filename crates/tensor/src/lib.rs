@@ -5,10 +5,13 @@
 //! variants needed for MLP forward/backward passes, free-standing vector
 //! kernels in [`ops`], and weight initializers in [`init`].
 //!
-//! The implementation is deliberately dependency-free (plain `f32` loops with
-//! an `ikj` blocked GEMM) so the reproduction runs anywhere a Rust toolchain
-//! does; it is fast enough to train the scaled-down DLRM variants used by the
-//! accuracy experiments in seconds.
+//! The implementation is deliberately dependency-free so the reproduction
+//! runs anywhere a Rust toolchain does. GEMM ships two selectable kernels
+//! (see [`kernels`]): the original scalar reference ([`Kernel::Naive`]) and
+//! cache-tiled, register-blocked kernels ([`Kernel::Tiled`], the default)
+//! whose 4x8 micro-tiles auto-vectorize. Every variant has an `_into` form
+//! that writes into a caller-provided buffer so serving hot paths can run
+//! allocation-free.
 //!
 //! # Examples
 //!
@@ -27,9 +30,11 @@ mod error;
 mod matrix;
 
 pub mod init;
+pub mod kernels;
 pub mod ops;
 
 pub use error::TensorError;
+pub use kernels::Kernel;
 pub use matrix::Matrix;
 
 /// Crate-wide result alias.

@@ -1,6 +1,7 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
+use crate::kernels::{self, Kernel};
 use crate::{Result, TensorError};
 
 /// A dense, row-major `f32` matrix.
@@ -169,15 +170,66 @@ impl Matrix {
         out
     }
 
-    /// `C = A * B` (standard GEMM).
+    /// Reshapes to `rows x cols`, zero-filling every element and reusing
+    /// the existing allocation when its capacity suffices.
     ///
-    /// Uses an `ikj` loop order so the innermost loop streams both `B` and
-    /// `C` rows sequentially, which is cache-friendly for row-major data.
+    /// This is the buffer-recycling primitive behind the `_into` GEMM
+    /// variants and the serving scratch spaces: after a warm-up call at
+    /// the largest shape, subsequent resizes never touch the allocator.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshapes without clearing retained elements — the caller must
+    /// fully overwrite the contents. Used by the GEMM `_into` paths,
+    /// whose kernels write (or zero) every output element themselves, so
+    /// the O(m*n) pre-memset of [`Matrix::resize_zeroed`] would be pure
+    /// waste on the hot path.
+    fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// `C = A * B` (standard GEMM) on the process-default [`Kernel`].
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.matmul_with(rhs, kernels::global_kernel())
+    }
+
+    /// `C = A * B` on an explicit [`Kernel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn matmul_with(&self, rhs: &Matrix, kernel: Kernel) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into_with(rhs, &mut out, kernel)?;
+        Ok(out)
+    }
+
+    /// `C = A * B` into a caller-provided buffer (resized as needed) on
+    /// the process-default [`Kernel`]. `out` is fully overwritten.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
+        self.matmul_into_with(rhs, out, kernels::global_kernel())
+    }
+
+    /// `C = A * B` into a caller-provided buffer on an explicit [`Kernel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn matmul_into_with(&self, rhs: &Matrix, out: &mut Matrix, kernel: Kernel) -> Result<()> {
         if self.cols != rhs.rows {
             return Err(TensorError::ShapeMismatch {
                 op: "matmul",
@@ -185,25 +237,18 @@ impl Matrix {
                 rhs: (rhs.rows, rhs.cols),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        let n = rhs.cols;
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let c_row = &mut out.data[i * n..(i + 1) * n];
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[k * n..(k + 1) * n];
-                for (c, &b) in c_row.iter_mut().zip(b_row.iter()) {
-                    *c += a_ik * b;
-                }
-            }
-        }
-        Ok(out)
+        out.resize_for_overwrite(self.rows, rhs.cols);
+        kernels::gemm_nn(
+            kernel,
+            (self.rows, self.cols, rhs.cols),
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
+        Ok(())
     }
 
-    /// `C = A * B^T`.
+    /// `C = A * B^T` on the process-default [`Kernel`].
     ///
     /// This is the shape used by MLP backward passes (`dX = dY * W^T` with
     /// `W` stored as `in x out`... the caller picks the variant that avoids
@@ -213,6 +258,35 @@ impl Matrix {
     ///
     /// Returns [`TensorError::ShapeMismatch`] if `self.cols() != rhs.cols()`.
     pub fn matmul_nt(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.matmul_nt_with(rhs, kernels::global_kernel())
+    }
+
+    /// `C = A * B^T` on an explicit [`Kernel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols() != rhs.cols()`.
+    pub fn matmul_nt_with(&self, rhs: &Matrix, kernel: Kernel) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_nt_into_with(rhs, &mut out, kernel)?;
+        Ok(out)
+    }
+
+    /// `C = A * B^T` into a caller-provided buffer (resized as needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols() != rhs.cols()`.
+    pub fn matmul_nt_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
+        self.matmul_nt_into_with(rhs, out, kernels::global_kernel())
+    }
+
+    /// `C = A * B^T` into a caller-provided buffer on an explicit [`Kernel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols() != rhs.cols()`.
+    pub fn matmul_nt_into_with(&self, rhs: &Matrix, out: &mut Matrix, kernel: Kernel) -> Result<()> {
         if self.cols != rhs.cols {
             return Err(TensorError::ShapeMismatch {
                 op: "matmul_nt",
@@ -220,22 +294,18 @@ impl Matrix {
                 rhs: (rhs.rows, rhs.cols),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..rhs.rows {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0f32;
-                for (a, b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                out.data[i * rhs.rows + j] = acc;
-            }
-        }
-        Ok(out)
+        out.resize_for_overwrite(self.rows, rhs.rows);
+        kernels::gemm_nt(
+            kernel,
+            (self.rows, self.cols, rhs.rows),
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
+        Ok(())
     }
 
-    /// `C = A^T * B`.
+    /// `C = A^T * B` on the process-default [`Kernel`].
     ///
     /// Used for weight gradients (`dW = X^T * dY`).
     ///
@@ -243,6 +313,35 @@ impl Matrix {
     ///
     /// Returns [`TensorError::ShapeMismatch`] if `self.rows() != rhs.rows()`.
     pub fn matmul_tn(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.matmul_tn_with(rhs, kernels::global_kernel())
+    }
+
+    /// `C = A^T * B` on an explicit [`Kernel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.rows() != rhs.rows()`.
+    pub fn matmul_tn_with(&self, rhs: &Matrix, kernel: Kernel) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        self.matmul_tn_into_with(rhs, &mut out, kernel)?;
+        Ok(out)
+    }
+
+    /// `C = A^T * B` into a caller-provided buffer (resized as needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.rows() != rhs.rows()`.
+    pub fn matmul_tn_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
+        self.matmul_tn_into_with(rhs, out, kernels::global_kernel())
+    }
+
+    /// `C = A^T * B` into a caller-provided buffer on an explicit [`Kernel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.rows() != rhs.rows()`.
+    pub fn matmul_tn_into_with(&self, rhs: &Matrix, out: &mut Matrix, kernel: Kernel) -> Result<()> {
         if self.rows != rhs.rows {
             return Err(TensorError::ShapeMismatch {
                 op: "matmul_tn",
@@ -250,22 +349,15 @@ impl Matrix {
                 rhs: (rhs.rows, rhs.cols),
             });
         }
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        let n = rhs.cols;
-        for k in 0..self.rows {
-            let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
-            let b_row = &rhs.data[k * n..(k + 1) * n];
-            for (i, &a_ki) in a_row.iter().enumerate() {
-                if a_ki == 0.0 {
-                    continue;
-                }
-                let c_row = &mut out.data[i * n..(i + 1) * n];
-                for (c, &b) in c_row.iter_mut().zip(b_row.iter()) {
-                    *c += a_ki * b;
-                }
-            }
-        }
-        Ok(out)
+        out.resize_for_overwrite(self.cols, rhs.cols);
+        kernels::gemm_tn(
+            kernel,
+            (self.cols, self.rows, rhs.cols),
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
+        Ok(())
     }
 
     /// Adds `rhs` element-wise in place.
@@ -350,6 +442,14 @@ impl Matrix {
     /// Frobenius norm of the matrix.
     pub fn frob_norm(&self) -> f32 {
         self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+impl Default for Matrix {
+    /// An empty `0 x 0` matrix — the natural seed for scratch buffers
+    /// that grow on first use via [`Matrix::resize_zeroed`].
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
     }
 }
 
@@ -505,6 +605,39 @@ mod tests {
     fn frob_norm_of_unit_rows() {
         let a = m(1, 4, &[3., 4., 0., 0.]);
         assert!((a.frob_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matmul_into_reuses_capacity() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let mut out = Matrix::zeros(8, 8); // larger than needed
+        let cap = {
+            a.matmul_into(&b, &mut out).unwrap();
+            out.as_slice().as_ptr()
+        };
+        assert_eq!(out.shape(), (2, 2));
+        assert_eq!(out.as_slice(), &[58., 64., 139., 154.]);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out.as_slice().as_ptr(), cap, "no reallocation on reuse");
+    }
+
+    #[test]
+    fn matmul_kernels_agree_on_known_values() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let naive = a.matmul_with(&b, Kernel::Naive).unwrap();
+        let tiled = a.matmul_with(&b, Kernel::Tiled).unwrap();
+        assert_eq!(naive.as_slice(), &[58., 64., 139., 154.]);
+        assert_eq!(naive, tiled);
+    }
+
+    #[test]
+    fn resize_zeroed_clears_and_reshapes() {
+        let mut a = m(2, 2, &[1., 2., 3., 4.]);
+        a.resize_zeroed(1, 3);
+        assert_eq!(a.shape(), (1, 3));
+        assert!(a.as_slice().iter().all(|&x| x == 0.0));
     }
 
     #[test]

@@ -1,0 +1,21 @@
+//! The process-wide kernel selector roundtrip, isolated in its own test
+//! binary: flipping the global default while other tests call the plain
+//! `matmul*` methods would make them silently execute the other kernel.
+
+use mprec_tensor::{kernels, Kernel, Matrix};
+
+#[test]
+fn global_kernel_roundtrip_redirects_plain_matmul() {
+    assert_eq!(kernels::global_kernel(), Kernel::Tiled);
+    let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+    let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]).unwrap();
+    let expected = &[58.0f32, 64.0, 139.0, 154.0];
+
+    kernels::set_global_kernel(Kernel::Naive);
+    assert_eq!(kernels::global_kernel(), Kernel::Naive);
+    assert_eq!(a.matmul(&b).unwrap().as_slice(), expected);
+
+    kernels::set_global_kernel(Kernel::Tiled);
+    assert_eq!(kernels::global_kernel(), Kernel::Tiled);
+    assert_eq!(a.matmul(&b).unwrap().as_slice(), expected);
+}

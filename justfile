@@ -34,3 +34,12 @@ runtime-smoke:
 # Full runtime throughput sweep (workers x QPS); writes BENCH_runtime.json.
 runtime-bench:
     cargo run --release -p mprec-bench --bin runtime_throughput
+
+# Kernel throughput sweep: naive vs tiled GEMM GFLOP/s, gather GB/s, DHE
+# encode rate, end-to-end before/after; writes BENCH_kernels.json.
+bench-kernels:
+    cargo run --release -p mprec-bench --bin kernel_throughput
+
+# Quick kernel smoke (equivalence + tiny shapes). Mirrors the CI step.
+kernel-smoke:
+    timeout 300 cargo run --release -p mprec-bench --bin kernel_throughput -- --smoke
