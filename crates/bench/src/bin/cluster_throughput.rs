@@ -1,0 +1,281 @@
+//! Cluster throughput sweep: feature-sharded multi-node serving across
+//! node counts x load scenarios, measuring aggregate samples/s, latency
+//! percentiles, SLA-violation rates, per-node (per-shard) cache hit
+//! rates and capacity split, plus 1 -> 8-node scaling ratios. Writes
+//! `BENCH_cluster.json` (the repo's scale-out trajectory artifact).
+//!
+//! The sweep runs in throughput mode (`pace_ingress = false`): the
+//! trace is fed as fast as the node pools drain it. Two scaling
+//! numbers are reported per scenario:
+//!
+//! * `measured_scaling_1_to_8` — wall-clock samples/s ratio. On a
+//!   single-CPU container every "node" shares one core, so this sits
+//!   near 1.0 by construction; interpret it on a multicore host.
+//! * `virtual_critical_path_speedup_1_to_8` — the deterministic
+//!   slowest-shard per-batch latency ratio from the router's profiles
+//!   (machine-independent: the co-design effect of sharding the
+//!   feature space).
+//!
+//! Usage:
+//!   cluster_throughput [num_queries]   full sweep (default 4000/cell)
+//!   cluster_throughput --smoke         CI smoke: one 2-node steady
+//!                                      cell, 1500 queries, asserts
+//!                                      completion
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use mprec_data::query::QueryTraceConfig;
+use mprec_data::scenario::LoadScenario;
+use mprec_runtime::{Cluster, ClusterConfig, ClusterReport, PathKind, RuntimeModelConfig};
+
+const SCENARIOS: [&str; 4] = ["steady", "diurnal", "flash", "hotkey"];
+const NODE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Cell {
+    nodes: usize,
+    scenario: &'static str,
+    report: ClusterReport,
+    /// Virtual per-batch latency of the DHE path at 4K samples (the
+    /// slowest-shard critical path the router sees).
+    dhe_critical_path_us: f64,
+    build_s: f64,
+    serve_s: f64,
+}
+
+fn cluster_cfg(nodes: usize, scenario: LoadScenario, num_queries: usize) -> ClusterConfig {
+    ClusterConfig {
+        nodes,
+        workers_per_node: 1,
+        trace: QueryTraceConfig {
+            num_queries,
+            qps: 1000.0,
+            mean_size: 32.0,
+            max_size: 512,
+            ..QueryTraceConfig::default()
+        },
+        scenario,
+        model: RuntimeModelConfig {
+            rows_per_feature: 20_000,
+            profile_accesses: 20_000,
+            ..RuntimeModelConfig::default()
+        },
+        ..ClusterConfig::default()
+    }
+}
+
+fn run_cell(nodes: usize, scenario: &'static str, num_queries: usize) -> Cell {
+    let sc = LoadScenario::default_of(scenario).expect("known scenario");
+    let t0 = Instant::now();
+    let cluster = Cluster::new(cluster_cfg(nodes, sc, num_queries)).expect("cluster builds");
+    let build_s = t0.elapsed().as_secs_f64();
+    let dhe_idx = cluster
+        .paths()
+        .iter()
+        .position(|&p| p == PathKind::Dhe)
+        .expect("mp-rec route keeps the dhe path");
+    let dhe_critical_path_us = cluster.mapping_set().mappings[dhe_idx]
+        .profile
+        .latency_us(4096);
+    let t1 = Instant::now();
+    let report = cluster.serve().expect("cluster serves");
+    let serve_s = t1.elapsed().as_secs_f64();
+    Cell {
+        nodes,
+        scenario,
+        report,
+        dhe_critical_path_us,
+        build_s,
+        serve_s,
+    }
+}
+
+/// Per-node analytic capacity of the owned feature shard (table rows).
+fn shard_capacity_mb(model: &RuntimeModelConfig, features: usize) -> f64 {
+    (model.rows_per_feature as f64 * model.emb_dim as f64 * 4.0 * features as f64) / 1e6
+}
+
+fn cell_json(c: &Cell, model: &RuntimeModelConfig) -> String {
+    let o = &c.report.outcome;
+    let completed = o.completed.max(1) as f64;
+    let mut per_node = String::from("[");
+    for (n, (&features, stats)) in c
+        .report
+        .per_node_features
+        .iter()
+        .zip(c.report.per_node_cache.iter())
+        .enumerate()
+    {
+        let sep = if n + 1 < c.report.per_node_features.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = write!(
+            per_node,
+            "{{\"features\":{},\"capacity_mb\":{:.2},\"cache_hit_rate\":{:.4},\"batches\":{}}}{}",
+            features,
+            shard_capacity_mb(model, features),
+            stats.encoder_hit_rate(),
+            c.report.per_node_batches[n],
+            sep
+        );
+    }
+    per_node.push(']');
+    format!(
+        concat!(
+            "{{\"nodes\":{},\"scenario\":\"{}\",\"completed\":{},\"samples\":{},",
+            "\"samples_per_s\":{:.1},\"correct_samples_per_s\":{:.1},\"span_s\":{:.4},",
+            "\"p50_us\":{:.1},\"p95_us\":{:.1},\"p99_us\":{:.1},",
+            "\"virtual_sla_violation_rate\":{:.5},\"measured_sla_violation_rate\":{:.5},",
+            "\"cache_hit_rate\":{:.4},\"dhe_critical_path_us_at_4k\":{:.1},",
+            "\"per_node\":{},\"build_s\":{:.3},\"serve_s\":{:.3}}}"
+        ),
+        c.nodes,
+        c.scenario,
+        o.completed,
+        o.samples,
+        o.raw_sps(),
+        o.correct_sps(),
+        o.span_s,
+        c.report.histogram.quantile_us(0.50),
+        o.p95_latency_us,
+        o.p99_latency_us,
+        c.report.virtual_sla_violations as f64 / completed,
+        c.report.measured_sla_violations as f64 / completed,
+        c.report.cache.encoder_hit_rate(),
+        c.dhe_critical_path_us,
+        per_node,
+        c.build_s,
+        c.serve_s,
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    mprec_bench::header(
+        "cluster_throughput",
+        "feature-sharded scale-out serving: capacity and the routing-visible \
+         critical path scale with the node count across traffic scenarios",
+    );
+
+    let cells: Vec<Cell> = if smoke {
+        let c = run_cell(2, "steady", 1500);
+        assert_eq!(
+            c.report.outcome.completed, 1500,
+            "smoke: every query must complete exactly once"
+        );
+        assert_eq!(
+            c.report.routed_queries, c.report.outcome.completed,
+            "smoke: routed == completed"
+        );
+        assert_eq!(
+            c.report.per_node_features.iter().sum::<usize>(),
+            8,
+            "smoke: every feature owned by exactly one node"
+        );
+        vec![c]
+    } else {
+        let num_queries = mprec_bench::arg_or(1, 4000usize);
+        let mut out = Vec::new();
+        for &scenario in &SCENARIOS {
+            for &nodes in &NODE_COUNTS {
+                out.push(run_cell(nodes, scenario, num_queries));
+            }
+        }
+        out
+    };
+
+    println!(
+        "\n{:>8} {:>8} {:>12} {:>10} {:>10} {:>8} {:>8} {:>10} {:>8}",
+        "scenario", "nodes", "samples/s", "p50 ms", "p99 ms", "viol %", "hit %", "crit us", "serve s"
+    );
+    for c in &cells {
+        let o = &c.report.outcome;
+        println!(
+            "{:>8} {:>8} {:>12.0} {:>10.2} {:>10.2} {:>8.2} {:>8.1} {:>10.0} {:>8.2}",
+            c.scenario,
+            c.nodes,
+            o.raw_sps(),
+            c.report.histogram.quantile_us(0.50) / 1000.0,
+            o.p99_latency_us / 1000.0,
+            100.0 * o.sla_violation_rate(),
+            100.0 * c.report.cache.encoder_hit_rate(),
+            c.dhe_critical_path_us,
+            c.serve_s,
+        );
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    // Scaling per scenario: measured samples/s and the deterministic
+    // critical-path speedup, 1 -> 8 nodes. `None` (JSON null) in smoke
+    // mode — a single cell measures nothing about scaling.
+    let mut scaling_rows: Vec<(String, Option<f64>, Option<f64>)> = Vec::new();
+    if !smoke {
+        for &scenario in &SCENARIOS {
+            let cell_of = |nodes: usize| {
+                cells
+                    .iter()
+                    .find(|c| c.scenario == scenario && c.nodes == nodes)
+            };
+            let (one, eight) = (cell_of(1), cell_of(8));
+            let measured = match (one, eight) {
+                (Some(a), Some(b)) if a.report.outcome.raw_sps() > 0.0 => {
+                    Some(b.report.outcome.raw_sps() / a.report.outcome.raw_sps())
+                }
+                _ => None,
+            };
+            let virtual_speedup = match (one, eight) {
+                (Some(a), Some(b)) if b.dhe_critical_path_us > 0.0 => {
+                    Some(a.dhe_critical_path_us / b.dhe_critical_path_us)
+                }
+                _ => None,
+            };
+            println!(
+                "{scenario}: measured 1->8 nodes {:.2}x, virtual critical path {:.2}x",
+                measured.unwrap_or(0.0),
+                virtual_speedup.unwrap_or(0.0)
+            );
+            scaling_rows.push((scenario.to_string(), measured, virtual_speedup));
+        }
+        if cores < 8 {
+            println!(
+                "note: host exposes only {cores} core(s); measured node scaling \
+                 cannot exceed ~1.0x here — the virtual critical-path ratio is \
+                 the machine-independent signal"
+            );
+        }
+    }
+
+    let model = cluster_cfg(1, LoadScenario::SteadyPoisson, 0).model;
+    let mut json = String::from("{\n  \"bench\": \"cluster_throughput\",\n");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"available_parallelism\": {cores},");
+    json.push_str("  \"scaling\": [\n");
+    for (i, (scenario, measured, virt)) in scaling_rows.iter().enumerate() {
+        let sep = if i + 1 < scaling_rows.len() { "," } else { "" };
+        let fmt_opt = |v: &Option<f64>| match v {
+            Some(x) => format!("{x:.3}"),
+            None => "null".into(),
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"scenario\":\"{}\",\"measured_scaling_1_to_8\":{},\"virtual_critical_path_speedup_1_to_8\":{}}}{}",
+            scenario,
+            fmt_opt(measured),
+            fmt_opt(virt),
+            sep
+        );
+    }
+    json.push_str("  ],\n  \"sweep\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let sep = if i + 1 < cells.len() { "," } else { "" };
+        let _ = writeln!(json, "    {}{}", cell_json(c, &model), sep);
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_cluster.json", &json).expect("write BENCH_cluster.json");
+    println!("\nwrote BENCH_cluster.json ({} cells)", cells.len());
+}

@@ -47,6 +47,7 @@ pub mod metrics;
 pub mod mpcache;
 pub mod planner;
 pub mod profile;
+pub mod ring;
 pub mod scheduler;
 
 pub use candidates::{AccuracyBook, CandidateRep, RepRole};
@@ -57,6 +58,7 @@ pub use mpcache::{
 };
 pub use planner::{plan, Mapping, MappingSet};
 pub use profile::LatencyProfile;
+pub use ring::HashRing;
 pub use scheduler::{RouteDecision, Scheduler, SchedulerConfig};
 
 use std::error::Error;

@@ -1,0 +1,202 @@
+//! Consistent-hash ring for feature sharding across cluster nodes.
+//!
+//! The scale-out runtime (`mprec-runtime::cluster`) partitions embedding
+//! tables across N nodes by hashing each sparse-feature index onto a
+//! ring of virtual node points. Consistent hashing gives the three
+//! properties the shard-rebalance property tests pin down
+//! (`crates/core/tests/ring.rs`):
+//!
+//! * **exactly-one owner** — every key maps to exactly one live node;
+//! * **minimal remapping** — adding a node moves only the ~K/N keys that
+//!   land on the new node's ring points (keys never move *between*
+//!   surviving nodes), and removing a node moves only the keys it owned;
+//! * **permutation invariance** — the assignment is a pure function of
+//!   the node *set*, not the insertion order, because ring points are
+//!   kept sorted by `(hash, node)` with the node id breaking ties.
+
+use mprec_data::splitmix64;
+
+/// Salt separating key hashes from ring-point hashes so a key can never
+/// alias the point of the node that owns it.
+const KEY_SALT: u64 = 0x5ca1_ab1e_0000_0001;
+
+/// Default virtual points per node: enough to keep the per-node key load
+/// within a few tens of percent of K/N for small clusters.
+pub const DEFAULT_VNODES: usize = 64;
+
+/// A consistent-hash ring over `u32` node ids with virtual nodes.
+///
+/// # Examples
+///
+/// ```
+/// use mprec_core::ring::HashRing;
+///
+/// let mut ring = HashRing::with_nodes(64, [0u32, 1, 2]);
+/// let owner = ring.assign(42).unwrap();
+/// // Removing an unrelated node never remaps keys owned by others.
+/// let other = ring.nodes().iter().copied().find(|&n| n != owner).unwrap();
+/// ring.remove_node(other);
+/// assert_eq!(ring.assign(42), Some(owner));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashRing {
+    /// Ring points sorted by `(hash, node)`.
+    points: Vec<(u64, u32)>,
+    /// Live node ids, sorted.
+    nodes: Vec<u32>,
+    /// Virtual points per node.
+    vnodes: usize,
+}
+
+/// Hash of one virtual point of a node.
+fn point_hash(node: u32, replica: usize) -> u64 {
+    splitmix64(((node as u64) << 32) ^ replica as u64 ^ 0x9E37_79B9_7F4A_7C15)
+}
+
+impl HashRing {
+    /// Creates an empty ring with `vnodes` virtual points per node
+    /// (clamped to at least 1).
+    pub fn new(vnodes: usize) -> Self {
+        HashRing {
+            points: Vec::new(),
+            nodes: Vec::new(),
+            vnodes: vnodes.max(1),
+        }
+    }
+
+    /// Creates a ring holding every node in `nodes` (duplicates ignored).
+    pub fn with_nodes(vnodes: usize, nodes: impl IntoIterator<Item = u32>) -> Self {
+        let mut ring = Self::new(vnodes);
+        for n in nodes {
+            ring.add_node(n);
+        }
+        ring
+    }
+
+    /// Virtual points per node.
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// Live node ids, sorted ascending.
+    pub fn nodes(&self) -> &[u32] {
+        &self.nodes
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the ring has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `node` is on the ring.
+    pub fn contains(&self, node: u32) -> bool {
+        self.nodes.binary_search(&node).is_ok()
+    }
+
+    /// Adds a node; returns `false` (and changes nothing) if it is
+    /// already present.
+    pub fn add_node(&mut self, node: u32) -> bool {
+        match self.nodes.binary_search(&node) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.nodes.insert(pos, node);
+                for replica in 0..self.vnodes {
+                    let p = (point_hash(node, replica), node);
+                    let at = self.points.partition_point(|q| *q < p);
+                    self.points.insert(at, p);
+                }
+                true
+            }
+        }
+    }
+
+    /// Removes a node; returns `false` if it was not present.
+    pub fn remove_node(&mut self, node: u32) -> bool {
+        match self.nodes.binary_search(&node) {
+            Err(_) => false,
+            Ok(pos) => {
+                self.nodes.remove(pos);
+                self.points.retain(|&(_, n)| n != node);
+                true
+            }
+        }
+    }
+
+    /// The node owning `key`, or `None` on an empty ring: the first ring
+    /// point at or after the key's hash, wrapping around.
+    pub fn assign(&self, key: u64) -> Option<u32> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = splitmix64(key ^ KEY_SALT);
+        let idx = self.points.partition_point(|&(ph, _)| ph < h);
+        let (_, node) = self.points[idx % self.points.len()];
+        Some(node)
+    }
+
+    /// Assigns `keys` 0..count (the feature-shard use: key = feature
+    /// index) and returns the owning node per key.
+    pub fn assign_range(&self, count: usize) -> Vec<Option<u32>> {
+        (0..count).map(|k| self.assign(k as u64)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ring_assigns_nothing() {
+        let ring = HashRing::new(8);
+        assert!(ring.is_empty());
+        assert_eq!(ring.assign(7), None);
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let ring = HashRing::with_nodes(8, [3u32]);
+        for k in 0..100 {
+            assert_eq!(ring.assign(k), Some(3));
+        }
+    }
+
+    #[test]
+    fn duplicate_add_is_a_no_op() {
+        let mut ring = HashRing::with_nodes(8, [1u32, 2]);
+        let before = ring.clone();
+        assert!(!ring.add_node(1));
+        assert_eq!(ring, before);
+        assert!(!ring.remove_node(9));
+        assert_eq!(ring, before);
+    }
+
+    #[test]
+    fn assignment_is_reasonably_balanced() {
+        let ring = HashRing::with_nodes(DEFAULT_VNODES, 0u32..4);
+        let mut counts = [0usize; 4];
+        let keys = 4000;
+        for k in 0..keys {
+            counts[ring.assign(k).unwrap() as usize] += 1;
+        }
+        let expected = keys as f64 / 4.0;
+        for (n, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) > 0.4 * expected && (c as f64) < 2.0 * expected,
+                "node {n} owns {c} of {keys} keys"
+            );
+        }
+    }
+
+    #[test]
+    fn points_are_sorted_and_sized() {
+        let ring = HashRing::with_nodes(16, [5u32, 1, 3]);
+        assert_eq!(ring.points.len(), 3 * 16);
+        assert!(ring.points.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(ring.nodes(), &[1, 3, 5]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Shard-rebalance property tests for the consistent-hash ring
+//! (`mprec_core::ring::HashRing`), the router the scale-out cluster
+//! runtime shards embedding features with:
+//!
+//! * every key maps to exactly one live node,
+//! * adding a node moves keys only *onto* the new node (and roughly
+//!   K/N of them), removing a node moves only the keys it owned,
+//! * assignment is a pure function of the node set — any permutation of
+//!   the insertion order yields the identical ring.
+
+use mprec_core::ring::HashRing;
+use proptest::prelude::*;
+
+/// Assignment of keys `0..keys` under `ring`, panicking on unassigned
+/// keys (the ring is never empty in these properties).
+fn assignments(ring: &HashRing, keys: u64) -> Vec<u32> {
+    (0..keys)
+        .map(|k| ring.assign(k).expect("non-empty ring assigns every key"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_key_has_exactly_one_live_owner(
+        node_count in 1usize..9,
+        vnodes in 16usize..128,
+        keys in 64u64..512,
+    ) {
+        let ring = HashRing::with_nodes(vnodes, 0..node_count as u32);
+        for (k, owner) in assignments(&ring, keys).iter().enumerate() {
+            prop_assert!(
+                ring.contains(*owner),
+                "key {} assigned to dead node {}",
+                k,
+                owner
+            );
+        }
+    }
+
+    #[test]
+    fn adding_a_node_moves_keys_only_onto_it_and_about_k_over_n(
+        node_count in 1usize..8,
+        keys in 256u64..1024,
+        new_node in 100u32..200,
+    ) {
+        let vnodes = 64;
+        let mut ring = HashRing::with_nodes(vnodes, 0..node_count as u32);
+        let before = assignments(&ring, keys);
+        prop_assert!(ring.add_node(new_node));
+        let after = assignments(&ring, keys);
+
+        let mut moved = 0u64;
+        for (k, (b, a)) in before.iter().zip(after.iter()).enumerate() {
+            if b != a {
+                prop_assert_eq!(
+                    *a,
+                    new_node,
+                    "key {} moved between surviving nodes {} -> {}",
+                    k,
+                    b,
+                    a
+                );
+                moved += 1;
+            }
+        }
+        // Expected remap is K/N for N nodes after the add; vnode variance
+        // leaves the realized count within a small factor of that.
+        let n_after = (node_count + 1) as f64;
+        let expected = keys as f64 / n_after;
+        prop_assert!(
+            (moved as f64) < 2.5 * expected + 16.0,
+            "moved {} of {} keys onto the new node, expected ~{:.0}",
+            moved,
+            keys,
+            expected
+        );
+    }
+
+    #[test]
+    fn removing_a_node_moves_only_its_own_keys(
+        node_count in 2usize..9,
+        keys in 256u64..1024,
+        victim_idx in 0usize..8,
+    ) {
+        let mut ring = HashRing::with_nodes(64, 0..node_count as u32);
+        let victim = (victim_idx % node_count) as u32;
+        let before = assignments(&ring, keys);
+        prop_assert!(ring.remove_node(victim));
+        let after = assignments(&ring, keys);
+        for (k, (b, a)) in before.iter().zip(after.iter()).enumerate() {
+            if *b == victim {
+                prop_assert!(ring.contains(*a), "key {} landed on a dead node", k);
+            } else {
+                prop_assert_eq!(
+                    *b,
+                    *a,
+                    "key {} not owned by the removed node moved {} -> {}",
+                    k,
+                    b,
+                    a
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_is_permutation_invariant(
+        node_count in 1usize..9,
+        vnodes in 8usize..96,
+        rot in 0usize..8,
+        keys in 64u64..256,
+    ) {
+        let forward: Vec<u32> = (0..node_count as u32).collect();
+        let mut rotated = forward.clone();
+        rotated.rotate_left(rot % node_count);
+        let mut reversed = forward.clone();
+        reversed.reverse();
+
+        let a = HashRing::with_nodes(vnodes, forward);
+        let b = HashRing::with_nodes(vnodes, rotated);
+        let c = HashRing::with_nodes(vnodes, reversed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+        prop_assert_eq!(assignments(&a, keys), assignments(&c, keys));
+    }
+
+    #[test]
+    fn add_then_remove_restores_the_original_assignment(
+        node_count in 1usize..8,
+        keys in 64u64..512,
+    ) {
+        let mut ring = HashRing::with_nodes(64, 0..node_count as u32);
+        let before = assignments(&ring, keys);
+        ring.add_node(77);
+        ring.remove_node(77);
+        prop_assert_eq!(before, assignments(&ring, keys));
+    }
+}

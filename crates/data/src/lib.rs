@@ -25,6 +25,7 @@ mod criteo;
 mod hashutil;
 
 pub mod query;
+pub mod scenario;
 pub mod teacher;
 pub mod zipf;
 
@@ -33,6 +34,7 @@ pub use criteo::{DatasetSpec, KAGGLE_CARDINALITIES, TERABYTE_CARDINALITIES};
 pub use hashutil::{
     gaussian_hash_f32, splitmix64, uniform_hash_f32, SplitMixBuildHasher, SplitMixHasher,
 };
+pub use scenario::LoadScenario;
 pub use zipf::Zipf;
 
 use rand::rngs::StdRng;

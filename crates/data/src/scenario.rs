@@ -1,0 +1,307 @@
+//! Scenario-diverse load generators for serving experiments.
+//!
+//! The paper's serving evaluation drives a single steady Poisson trace
+//! (§5.3); datacenter traffic is not steady. This module generates the
+//! scenario family the scale-out experiments sweep — each one a
+//! deterministic transform of the base [`QueryTraceConfig`]:
+//!
+//! * [`LoadScenario::SteadyPoisson`] — the paper's trace, bit-identical
+//!   to [`QueryGenerator`](crate::query::QueryGenerator) output;
+//! * [`LoadScenario::Diurnal`] — a sinusoidal day/night rate swing
+//!   around the target QPS (capacity planning: sustained peaks);
+//! * [`LoadScenario::FlashCrowd`] — a burst window at a rate multiple
+//!   (breaking-news spikes: SLA survival under transient overload);
+//! * [`LoadScenario::HotKeyDrift`] — steady arrivals whose *popular ID
+//!   set* rotates across epochs, encoded in the query-id epoch bits
+//!   (cache churn: the MP-Cache static tier goes stale as the hot set
+//!   moves).
+//!
+//! Hot-key drift travels inside [`Query::id`]: the top [`EPOCH_SHIFT`]
+//! bits carry the epoch, the low bits the sequential query number
+//! ([`with_epoch`], [`epoch_of`], [`sequence_of`]). Consumers that draw
+//! sparse IDs per query (the runtime's `RuntimeModel`) rotate their
+//! Zipf ranks by a per-epoch offset, so epoch 0 (every non-drift trace)
+//! reproduces the legacy ID stream exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::query::{Query, QueryGenerator, QueryTraceConfig};
+
+/// Bit position where the hot-key epoch lives inside a query id; the low
+/// 48 bits remain the sequential query number.
+pub const EPOCH_SHIFT: u32 = 48;
+
+/// Packs a sequential query number and a hot-key epoch into a query id.
+pub fn with_epoch(sequence: u64, epoch: u32) -> u64 {
+    debug_assert!(sequence < (1u64 << EPOCH_SHIFT));
+    sequence | ((epoch as u64) << EPOCH_SHIFT)
+}
+
+/// Hot-key epoch of a query id (0 for every non-drift trace).
+pub fn epoch_of(id: u64) -> u64 {
+    id >> EPOCH_SHIFT
+}
+
+/// Sequential query number of a query id.
+pub fn sequence_of(id: u64) -> u64 {
+    id & ((1u64 << EPOCH_SHIFT) - 1)
+}
+
+/// One load scenario: how arrivals (and for hot-key drift, ID
+/// popularity) evolve over the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum LoadScenario {
+    /// Constant-rate Poisson arrivals (the paper's §5.3 trace).
+    #[default]
+    SteadyPoisson,
+    /// Sinusoidal rate modulation: `rate(t) = qps * (1 + amplitude *
+    /// sin(2π * periods * t / span))`, floored at 5% of the base rate.
+    Diurnal {
+        /// Full sine periods across the trace span (e.g. 2.0 = two
+        /// day/night cycles).
+        periods: f64,
+        /// Swing around the base rate in [0, 1).
+        amplitude: f64,
+    },
+    /// A burst window at `multiplier`x the base rate.
+    FlashCrowd {
+        /// Burst start as a fraction of the nominal trace span.
+        start_frac: f64,
+        /// Burst length as a fraction of the nominal trace span.
+        duration_frac: f64,
+        /// Rate multiple inside the burst (>= 1).
+        multiplier: f64,
+    },
+    /// Steady arrivals whose hot ID set rotates `epochs` times across
+    /// the trace (epoch carried in the query-id high bits).
+    HotKeyDrift {
+        /// Number of distinct hot-set epochs across the trace.
+        epochs: u32,
+    },
+}
+
+impl LoadScenario {
+    /// Short stable label for benches and JSON artifacts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LoadScenario::SteadyPoisson => "steady",
+            LoadScenario::Diurnal { .. } => "diurnal",
+            LoadScenario::FlashCrowd { .. } => "flash",
+            LoadScenario::HotKeyDrift { .. } => "hotkey",
+        }
+    }
+
+    /// The default parameterization per scenario family, as swept by
+    /// `cluster_throughput`.
+    pub fn default_of(label: &str) -> Option<LoadScenario> {
+        match label {
+            "steady" => Some(LoadScenario::SteadyPoisson),
+            "diurnal" => Some(LoadScenario::Diurnal {
+                periods: 2.0,
+                amplitude: 0.8,
+            }),
+            "flash" => Some(LoadScenario::FlashCrowd {
+                start_frac: 0.4,
+                duration_frac: 0.15,
+                multiplier: 4.0,
+            }),
+            "hotkey" => Some(LoadScenario::HotKeyDrift { epochs: 8 }),
+            _ => None,
+        }
+    }
+
+    /// Instantaneous rate multiplier at `t_us` into a trace whose
+    /// nominal span is `span_us` (1.0 for scenarios that only reshape
+    /// IDs).
+    pub fn rate_multiplier(&self, t_us: f64, span_us: f64) -> f64 {
+        match *self {
+            LoadScenario::SteadyPoisson | LoadScenario::HotKeyDrift { .. } => 1.0,
+            LoadScenario::Diurnal { periods, amplitude } => {
+                let phase = 2.0 * std::f64::consts::PI * periods * t_us / span_us.max(1.0);
+                (1.0 + amplitude * phase.sin()).max(0.05)
+            }
+            LoadScenario::FlashCrowd {
+                start_frac,
+                duration_frac,
+                multiplier,
+            } => {
+                let start = start_frac * span_us;
+                let end = start + duration_frac * span_us;
+                if t_us >= start && t_us < end {
+                    multiplier.max(1.0)
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+}
+
+/// Generates a full scenario trace (sorted by arrival) for `base` under
+/// `scenario`, deterministically per seed.
+///
+/// [`LoadScenario::SteadyPoisson`] delegates to
+/// [`QueryGenerator`](crate::query::QueryGenerator) so steady scenario
+/// traces are bit-identical to the legacy generator's.
+pub fn generate(base: QueryTraceConfig, scenario: LoadScenario, seed: u64) -> Vec<Query> {
+    if scenario == LoadScenario::SteadyPoisson {
+        return QueryGenerator::new(base, seed).generate();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mu = base.mean_size.ln() - base.sigma * base.sigma / 2.0;
+    let span_us = base.num_queries as f64 * 1e6 / base.qps;
+    let base_gap_us = 1e6 / base.qps;
+    let mut t_us = 0.0f64;
+    let mut out = Vec::with_capacity(base.num_queries);
+    for seq in 0..base.num_queries {
+        let z = crate::standard_normal(&mut rng) as f64;
+        let size = (mu + base.sigma * z).exp();
+        let size = (size.round() as usize).clamp(1, base.max_size);
+        let gap = base_gap_us / scenario.rate_multiplier(t_us, span_us);
+        if base.poisson_arrivals {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t_us += -gap * u.ln();
+        } else {
+            t_us += gap;
+        }
+        let id = match scenario {
+            LoadScenario::HotKeyDrift { epochs } if epochs > 1 => {
+                let epoch = (seq as u64 * epochs as u64 / base.num_queries as u64) as u32;
+                with_epoch(seq as u64, epoch)
+            }
+            _ => seq as u64,
+        };
+        out.push(Query {
+            id,
+            size,
+            arrival_us: t_us as u64,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> QueryTraceConfig {
+        QueryTraceConfig {
+            num_queries: 4000,
+            qps: 1000.0,
+            ..QueryTraceConfig::default()
+        }
+    }
+
+    /// Achieved QPS inside a window [a, b) (fractions of the last
+    /// arrival).
+    fn window_rate(trace: &[Query], a: f64, b: f64) -> f64 {
+        let span = trace.last().unwrap().arrival_us as f64;
+        let (lo, hi) = (a * span, b * span);
+        let n = trace
+            .iter()
+            .filter(|q| (q.arrival_us as f64) >= lo && (q.arrival_us as f64) < hi)
+            .count();
+        n as f64 / ((hi - lo) / 1e6)
+    }
+
+    #[test]
+    fn steady_matches_the_legacy_generator_exactly() {
+        let a = generate(base(), LoadScenario::SteadyPoisson, 9);
+        let b = QueryGenerator::new(base(), 9).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_scenario_is_deterministic_and_monotone() {
+        for label in ["steady", "diurnal", "flash", "hotkey"] {
+            let sc = LoadScenario::default_of(label).unwrap();
+            let a = generate(base(), sc, 5);
+            let b = generate(base(), sc, 5);
+            assert_eq!(a, b, "{label}: deterministic per seed");
+            assert_eq!(a.len(), 4000, "{label}: full trace");
+            assert!(
+                a.windows(2).all(|w| w[0].arrival_us <= w[1].arrival_us),
+                "{label}: arrivals sorted"
+            );
+        }
+    }
+
+    #[test]
+    fn flash_crowd_spikes_the_rate_inside_the_window() {
+        let sc = LoadScenario::FlashCrowd {
+            start_frac: 0.4,
+            duration_frac: 0.2,
+            multiplier: 4.0,
+        };
+        let t = generate(base(), sc, 11);
+        // The burst compresses wall-clock: locate it by query index
+        // instead — queries 40%..60% arrive ~4x faster than the head.
+        let head_span =
+            (t[1599].arrival_us - t[0].arrival_us) as f64 / 1599.0;
+        let burst_span =
+            (t[2399].arrival_us - t[1600].arrival_us) as f64 / 799.0;
+        let speedup = head_span / burst_span;
+        assert!(
+            speedup > 2.5,
+            "burst gap should shrink ~4x, got {speedup:.2}x"
+        );
+    }
+
+    #[test]
+    fn diurnal_peak_rate_exceeds_trough_rate() {
+        let sc = LoadScenario::Diurnal {
+            periods: 1.0,
+            amplitude: 0.8,
+        };
+        let t = generate(base(), sc, 3);
+        // One full sine period: peak in the first half, trough in the
+        // second.
+        let peak = window_rate(&t, 0.05, 0.45);
+        let trough = window_rate(&t, 0.55, 0.95);
+        assert!(
+            peak > 1.5 * trough,
+            "peak {peak:.0} qps !> 1.5x trough {trough:.0} qps"
+        );
+    }
+
+    #[test]
+    fn hotkey_drift_packs_epochs_into_query_ids() {
+        let sc = LoadScenario::HotKeyDrift { epochs: 8 };
+        let t = generate(base(), sc, 7);
+        let mut seen = std::collections::BTreeSet::new();
+        for (seq, q) in t.iter().enumerate() {
+            assert_eq!(sequence_of(q.id), seq as u64);
+            seen.insert(epoch_of(q.id));
+        }
+        assert_eq!(seen.len(), 8, "all 8 epochs appear");
+        assert!(
+            t.windows(2).all(|w| epoch_of(w[0].id) <= epoch_of(w[1].id)),
+            "epochs advance monotonically"
+        );
+        // Non-drift scenarios leave the epoch bits zero.
+        let steady = generate(base(), LoadScenario::SteadyPoisson, 7);
+        assert!(steady.iter().all(|q| epoch_of(q.id) == 0));
+    }
+
+    #[test]
+    fn epoch_packing_roundtrips() {
+        let id = with_epoch(123_456, 7);
+        assert_eq!(sequence_of(id), 123_456);
+        assert_eq!(epoch_of(id), 7);
+        assert_eq!(with_epoch(5, 0), 5, "epoch 0 is the identity");
+    }
+
+    #[test]
+    fn scenario_sizes_keep_the_configured_mean() {
+        for label in ["diurnal", "flash", "hotkey"] {
+            let sc = LoadScenario::default_of(label).unwrap();
+            let t = generate(base(), sc, 13);
+            let mean = t.iter().map(|q| q.size as f64).sum::<f64>() / t.len() as f64;
+            assert!(
+                (mean - 128.0).abs() < 20.0,
+                "{label}: mean size {mean}"
+            );
+        }
+    }
+}

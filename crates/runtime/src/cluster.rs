@@ -1,0 +1,1063 @@
+//! Scale-out cluster serving: a feature-sharded multi-node runtime.
+//!
+//! A single [`Engine`](crate::Engine) tops out at one machine's worker
+//! pool and one MP-Cache. This module serves the same traces across `N`
+//! simulated nodes:
+//!
+//! * a **consistent-hash feature-shard router**
+//!   ([`FeatureShardPlan`], over [`mprec_core::ring::HashRing`])
+//!   partitions the sparse-feature space — each node owns the embedding
+//!   tables, DHE stacks, and `ShardedMpCache` state of its features
+//!   only, so embedding capacity and cache churn scale out with the
+//!   node count and rebalance minimally when nodes join or leave;
+//! * a **front-end** micro-batches and routes queries exactly like the
+//!   single-node engine (Algorithm 2 in deterministic virtual time),
+//!   then **scatters** each batch to every node, which computes the
+//!   partial sum-pooled embedding of its feature shard on its own
+//!   worker pool with its own scratch;
+//! * a **merger** **gathers** the partial pools, sums them, runs the
+//!   top MLP, and records measured latencies into a mergeable
+//!   histogram.
+//!
+//! Virtual-time latency accounting follows the slowest shard: the
+//! router's per-path profiles charge `max` over nodes of the per-node
+//! embedding FLOPs (plus the shared top-MLP merge cost and a
+//! scatter/gather network overhead), so SLA routing reacts to the
+//! critical path of the cluster, not its average.
+//!
+//! Every node builds its `RuntimeModel` from the same seed, so feature
+//! `f`'s weights are identical wherever `f` is assigned — the cluster's
+//! math (and, with an unsaturated dynamic tier, its aggregate cache hit
+//! counts) matches the single-node runtime on the same trace. The nodes
+//! are *simulated* (threads in one process, full weight replicas built
+//! per node, execution restricted to the owned shard); the per-node
+//! capacity split is reported analytically by `cluster_throughput`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mprec_core::mpcache::CacheStats;
+use mprec_core::planner::MappingSet;
+use mprec_core::ring::{HashRing, DEFAULT_VNODES};
+use mprec_core::scheduler::{Scheduler, SchedulerConfig};
+use mprec_data::query::{Query, QueryTraceConfig};
+use mprec_data::scenario::{self, LoadScenario};
+use mprec_nn::MlpScratch;
+use mprec_serving::{PathUsage, ServingOutcome};
+use mprec_tensor::Matrix;
+use parking_lot::Mutex;
+
+use crate::engine::{build_path_mappings, PathAccuracy, RoutePolicy};
+use crate::histogram::{LatencyHistogram, DEFAULT_SUBS_PER_OCTAVE};
+use crate::model::{BatchResult, PathKind, RuntimeModel, RuntimeModelConfig, ScratchSpace};
+use crate::queue::BoundedQueue;
+use crate::{Result, RuntimeError};
+
+/// Full cluster configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of nodes (each with its own worker pool, model replica,
+    /// and cache state).
+    pub nodes: usize,
+    /// Worker threads per node.
+    pub workers_per_node: usize,
+    /// Virtual points per node on the consistent-hash ring.
+    pub vnodes: usize,
+    /// MP-Cache shard count *inside* each node.
+    pub cache_shards: usize,
+    /// Query trace shape (sizes, arrivals, QPS).
+    pub trace: QueryTraceConfig,
+    /// Load scenario reshaping arrivals / the hot-key set.
+    pub scenario: LoadScenario,
+    /// Seed for the trace, the model weights, and per-query ID draws.
+    pub seed: u64,
+    /// SLA latency target in microseconds.
+    pub sla_us: f64,
+    /// Micro-batch sample budget.
+    pub max_batch_samples: usize,
+    /// Micro-batch deadline (µs after the oldest pending arrival).
+    pub max_batch_wait_us: f64,
+    /// Per-node work-queue depth (0 = `4 * workers_per_node`).
+    pub queue_depth: usize,
+    /// Pace ingress to the trace's arrival times (open-loop) instead of
+    /// feeding as fast as the cluster drains (throughput mode).
+    pub pace_ingress: bool,
+    /// Path-selection policy.
+    pub route: RoutePolicy,
+    /// Virtual compute rate per node (GFLOP/s) for the critical-path
+    /// latency profiles.
+    pub virtual_gflops: f64,
+    /// Fixed virtual per-batch dispatch overhead (µs).
+    pub dispatch_overhead_us: f64,
+    /// Virtual network overhead per scatter/gather round trip (µs),
+    /// charged once per batch on multi-node clusters.
+    pub net_overhead_us: f64,
+    /// Per-path accuracy book.
+    pub accuracy: PathAccuracy,
+    /// Per-node latency histogram resolution (sub-buckets per octave);
+    /// the merged report adopts it.
+    pub histogram_subs: u32,
+    /// Model shape (replicated weights, sharded execution).
+    pub model: RuntimeModelConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 4,
+            workers_per_node: 1,
+            vnodes: DEFAULT_VNODES,
+            cache_shards: 16,
+            trace: QueryTraceConfig {
+                num_queries: 10_000,
+                mean_size: 32.0,
+                sigma: 1.0,
+                max_size: 512,
+                qps: 1000.0,
+                poisson_arrivals: true,
+            },
+            scenario: LoadScenario::SteadyPoisson,
+            seed: 42,
+            sla_us: 10_000.0,
+            max_batch_samples: 256,
+            max_batch_wait_us: 2_000.0,
+            queue_depth: 0,
+            pace_ingress: false,
+            route: RoutePolicy::MpRec,
+            virtual_gflops: 2.0,
+            dispatch_overhead_us: 30.0,
+            net_overhead_us: 150.0,
+            accuracy: PathAccuracy::default(),
+            histogram_subs: DEFAULT_SUBS_PER_OCTAVE,
+            model: RuntimeModelConfig::default(),
+        }
+    }
+}
+
+/// The consistent-hash assignment of sparse features to nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureShardPlan {
+    node_of: Vec<usize>,
+    per_node: Vec<Vec<usize>>,
+}
+
+impl FeatureShardPlan {
+    /// Assigns `features` sparse features across the ring's live nodes.
+    /// Ring node ids must be the dense set `0..nodes` (the cluster's
+    /// convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is empty.
+    pub fn new(ring: &HashRing, features: usize) -> Self {
+        let mut per_node: Vec<Vec<usize>> = vec![Vec::new(); ring.len()];
+        let node_of: Vec<usize> = ring
+            .assign_range(features)
+            .into_iter()
+            .enumerate()
+            .map(|(f, owner)| {
+                let owner = owner.expect("ring has nodes") as usize;
+                per_node[owner].push(f);
+                owner
+            })
+            .collect();
+        FeatureShardPlan { node_of, per_node }
+    }
+
+    /// Builds the canonical plan for `nodes` nodes with `vnodes` virtual
+    /// points each.
+    pub fn for_cluster(nodes: usize, vnodes: usize, features: usize) -> Self {
+        let ring = HashRing::with_nodes(vnodes, 0..nodes as u32);
+        Self::new(&ring, features)
+    }
+
+    /// Number of nodes in the plan.
+    pub fn num_nodes(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// The node owning `feature`.
+    pub fn node_of(&self, feature: usize) -> usize {
+        self.node_of[feature]
+    }
+
+    /// The features owned by `node`, ascending.
+    pub fn features_of(&self, node: usize) -> &[usize] {
+        &self.per_node[node]
+    }
+
+    /// Feature count per node (the shard-balance view).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.per_node.iter().map(Vec::len).collect()
+    }
+}
+
+/// One simulated node: a full-weight model replica plus the feature
+/// shard it executes.
+#[derive(Debug)]
+struct ClusterNode {
+    model: Arc<RuntimeModel>,
+    features: Vec<usize>,
+}
+
+/// Reusable buffers for the synchronous scatter/gather path
+/// ([`Cluster::execute_with`]): one [`ScratchSpace`] and one partial
+/// matrix per node, the gathered pool, and the top-MLP scratch. With a
+/// warm `ClusterScratch`, an executed batch performs zero heap
+/// allocations (extended guard in `tests/zero_alloc.rs`).
+#[derive(Debug, Default)]
+pub struct ClusterScratch {
+    per_node: Vec<ScratchSpace>,
+    partials: Vec<Matrix>,
+    pooled: Matrix,
+    top: MlpScratch,
+}
+
+/// Everything one cluster serve produced.
+#[derive(Debug)]
+pub struct ClusterReport {
+    /// Aggregate results in the simulator's outcome shape.
+    pub outcome: ServingOutcome,
+    /// Merged MP-Cache stats across nodes.
+    pub cache: CacheStats,
+    /// Per-node MP-Cache stats (the per-shard hit-rate view).
+    pub per_node_cache: Vec<CacheStats>,
+    /// Features owned per node.
+    pub per_node_features: Vec<usize>,
+    /// Batches executed per node (summed over its workers).
+    pub per_node_batches: Vec<u64>,
+    /// Merged measured-latency histogram (at the configured
+    /// resolution).
+    pub histogram: LatencyHistogram,
+    /// Queries whose virtual-time completion exceeded the SLA.
+    pub virtual_sla_violations: u64,
+    /// Queries whose measured latency exceeded the SLA.
+    pub measured_sla_violations: u64,
+    /// Queries routed by the front-end (must equal
+    /// `outcome.completed`).
+    pub routed_queries: u64,
+    /// Path chosen per micro-batch, in dispatch order.
+    pub path_decisions: Vec<PathKind>,
+    /// Sum of all top-MLP scores.
+    pub checksum: f64,
+    /// Node count the run used.
+    pub nodes: usize,
+}
+
+/// One query inside a dispatched batch (front-end bookkeeping).
+#[derive(Debug, Clone, Copy)]
+struct WorkQuery {
+    size: u64,
+    real_arrival: Instant,
+}
+
+/// A scattered micro-batch, shared by all nodes and the merger.
+#[derive(Debug)]
+struct BatchShared {
+    path: PathKind,
+    specs: Vec<(u64, u64)>,
+    queries: Vec<WorkQuery>,
+    total: usize,
+    /// One partial-pool slot per node, filled by that node's worker.
+    partials: Vec<Mutex<Option<Matrix>>>,
+    /// Nodes still computing; the worker that drops this to zero hands
+    /// the batch to the merger.
+    pending: AtomicUsize,
+}
+
+#[derive(Debug)]
+struct NodeWorkerReport {
+    batches: u64,
+    error: Option<String>,
+}
+
+#[derive(Debug)]
+struct MergerReport {
+    histogram: LatencyHistogram,
+    completed: u64,
+    samples: u64,
+    measured_violations: u64,
+    checksum: f64,
+    last_done: Instant,
+    error: Option<String>,
+}
+
+/// Front-end (deterministic) tallies.
+#[derive(Debug, Default)]
+struct DispatchTally {
+    usage: PathUsage,
+    correct_samples: f64,
+    virtual_violations: u64,
+    routed: u64,
+    decisions: Vec<PathKind>,
+}
+
+/// The feature-sharded multi-node serving runtime: build once, serve a
+/// trace.
+#[derive(Debug)]
+pub struct Cluster {
+    cfg: ClusterConfig,
+    nodes: Vec<ClusterNode>,
+    plan: FeatureShardPlan,
+    mappings: MappingSet,
+    paths: Vec<PathKind>,
+    labels: Vec<String>,
+}
+
+impl Cluster {
+    /// Builds the shard plan, one model replica per node, and the
+    /// slowest-shard virtual-time mapping set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::BadConfig`] on degenerate configuration
+    /// and propagates model-construction errors.
+    pub fn new(cfg: ClusterConfig) -> Result<Self> {
+        if cfg.nodes == 0 {
+            return Err(RuntimeError::BadConfig("nodes must be >= 1".into()));
+        }
+        if cfg.workers_per_node == 0 {
+            return Err(RuntimeError::BadConfig(
+                "workers_per_node must be >= 1".into(),
+            ));
+        }
+        if cfg.max_batch_samples == 0 {
+            return Err(RuntimeError::BadConfig(
+                "max_batch_samples must be >= 1".into(),
+            ));
+        }
+        let plan =
+            FeatureShardPlan::for_cluster(cfg.nodes, cfg.vnodes, cfg.model.sparse_features);
+        let mut nodes = Vec::with_capacity(cfg.nodes);
+        for n in 0..cfg.nodes {
+            // Same seed on every node: feature f's table/stack weights
+            // are identical wherever f lands, so sharded execution
+            // reproduces single-node math.
+            let model = RuntimeModel::build(&cfg.model, cfg.cache_shards, cfg.seed)?;
+            nodes.push(ClusterNode {
+                model: Arc::new(model),
+                features: plan.features_of(n).to_vec(),
+            });
+        }
+        let (mappings, paths) = build_cluster_mappings(&cfg, &nodes)?;
+        let labels = mappings
+            .mappings
+            .iter()
+            .map(|m| m.label(&mappings.platforms))
+            .collect();
+        Ok(Cluster {
+            cfg,
+            nodes,
+            plan,
+            mappings,
+            paths,
+            labels,
+        })
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// The feature-shard assignment.
+    pub fn plan(&self) -> &FeatureShardPlan {
+        &self.plan
+    }
+
+    /// The slowest-shard virtual-time mapping set the front-end routes
+    /// on (shared with the replay simulator by differential tests).
+    pub fn mapping_set(&self) -> &MappingSet {
+        &self.mappings
+    }
+
+    /// Execution path per mapping index.
+    pub fn paths(&self) -> &[PathKind] {
+        &self.paths
+    }
+
+    /// Creates a [`ClusterScratch`] sized for this cluster.
+    pub fn make_scratch(&self) -> ClusterScratch {
+        ClusterScratch {
+            per_node: self.nodes.iter().map(|n| n.model.make_scratch()).collect(),
+            partials: self.nodes.iter().map(|_| Matrix::default()).collect(),
+            pooled: Matrix::default(),
+            top: MlpScratch::default(),
+        }
+    }
+
+    /// Synchronous scatter/gather execution of one micro-batch: every
+    /// node pools its feature shard into its partial matrix, the
+    /// partials are summed, and the top MLP scores the gathered pool.
+    /// Zero steady-state heap allocations with a warm scratch; the
+    /// threaded [`Cluster::serve`] runs the same math with the scatter
+    /// fanned out across node worker pools.
+    ///
+    /// # Errors
+    ///
+    /// Propagates node execution errors.
+    pub fn execute_with(
+        &self,
+        path: PathKind,
+        queries: &[(u64, u64)],
+        scratch: &mut ClusterScratch,
+    ) -> Result<BatchResult> {
+        let mut total = 0u64;
+        for (n, node) in self.nodes.iter().enumerate() {
+            total = node.model.pool_features_into(
+                path,
+                queries,
+                &node.features,
+                &mut scratch.per_node[n],
+                &mut scratch.partials[n],
+            )?;
+        }
+        if total == 0 {
+            return Ok(BatchResult {
+                samples: 0,
+                checksum: 0.0,
+            });
+        }
+        scratch
+            .pooled
+            .resize_zeroed(total as usize, self.cfg.model.emb_dim);
+        for partial in &scratch.partials {
+            scratch.pooled.add_assign(partial)?;
+        }
+        let checksum = self.nodes[0]
+            .model
+            .score_pooled(&scratch.pooled, &mut scratch.top)?;
+        Ok(BatchResult {
+            samples: total,
+            checksum,
+        })
+    }
+
+    /// Serves the configured trace across the node pools.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces any node- or merger-side execution error.
+    pub fn serve(&self) -> Result<ClusterReport> {
+        for node in &self.nodes {
+            node.model.cache().reset_stats();
+            node.model.cache().clear_dynamic();
+        }
+        let trace = scenario::generate(self.cfg.trace, self.cfg.scenario, self.cfg.seed);
+        let depth = if self.cfg.queue_depth == 0 {
+            self.cfg.workers_per_node * 4
+        } else {
+            self.cfg.queue_depth
+        };
+        let node_queues: Vec<Arc<BoundedQueue<Arc<BatchShared>>>> = (0..self.cfg.nodes)
+            .map(|_| Arc::new(BoundedQueue::with_capacity(depth)))
+            .collect();
+        let merge_queue: Arc<BoundedQueue<Arc<BatchShared>>> =
+            Arc::new(BoundedQueue::with_capacity((self.cfg.nodes * 4).max(8)));
+        let start = Instant::now();
+
+        let mut workers = Vec::with_capacity(self.cfg.nodes * self.cfg.workers_per_node);
+        for (n, node) in self.nodes.iter().enumerate() {
+            for _ in 0..self.cfg.workers_per_node {
+                let queue = Arc::clone(&node_queues[n]);
+                let merge = Arc::clone(&merge_queue);
+                let model = Arc::clone(&node.model);
+                let features = node.features.clone();
+                workers.push(std::thread::spawn(move || {
+                    node_worker_loop(&queue, &merge, &model, &features, n)
+                }));
+            }
+        }
+        let merger = {
+            let merge = Arc::clone(&merge_queue);
+            let model = Arc::clone(&self.nodes[0].model);
+            let sla_us = self.cfg.sla_us;
+            let subs = self.cfg.histogram_subs;
+            let emb_dim = self.cfg.model.emb_dim;
+            std::thread::spawn(move || merger_loop(&merge, &model, sla_us, subs, emb_dim, start))
+        };
+
+        let tally = self.dispatch(&trace, &node_queues, start);
+        for q in &node_queues {
+            q.close();
+        }
+        let mut node_batches = vec![0u64; self.cfg.nodes];
+        let mut worker_error: Option<String> = None;
+        for (i, w) in workers.into_iter().enumerate() {
+            let report = w.join().expect("node worker thread panicked");
+            node_batches[i / self.cfg.workers_per_node] += report.batches;
+            if worker_error.is_none() {
+                worker_error = report.error;
+            }
+        }
+        merge_queue.close();
+        let merged = merger.join().expect("merger thread panicked");
+        if let Some(msg) = worker_error {
+            return Err(RuntimeError::Worker(msg));
+        }
+        if let Some(msg) = merged.error {
+            return Err(RuntimeError::Worker(msg));
+        }
+        Ok(self.assemble(tally, merged, node_batches, start))
+    }
+
+    /// Front-end loop: virtual-time batching + routing + scatter.
+    fn dispatch(
+        &self,
+        trace: &[Query],
+        node_queues: &[Arc<BoundedQueue<Arc<BatchShared>>>],
+        start: Instant,
+    ) -> DispatchTally {
+        let mut sched = Scheduler::new(self.mappings.clone(), SchedulerConfig::default());
+        let mut tally = DispatchTally::default();
+        let mut pending: Vec<&Query> = Vec::new();
+        let mut pending_samples: u64 = 0;
+
+        let mut flush = |pending: &mut Vec<&Query>, pending_samples: &mut u64, flush_at_us: f64| {
+            if pending.is_empty() {
+                return;
+            }
+            let oldest_us = pending[0].arrival_us as f64;
+            sched.advance_to(flush_at_us);
+            let sla_remaining = (self.cfg.sla_us - (flush_at_us - oldest_us)).max(1.0);
+            let decision = sched
+                .route(*pending_samples, sla_remaining, 0)
+                .expect("mapping set is never empty");
+            let done_us = sched.commit(&decision);
+            let path = self.paths[decision.mapping_idx];
+            tally.decisions.push(path);
+            let accuracy = self.cfg.accuracy.of(path) as f64;
+            let label = &self.labels[decision.mapping_idx];
+            let now = Instant::now();
+            let mut specs = Vec::with_capacity(pending.len());
+            let mut queries = Vec::with_capacity(pending.len());
+            let mut total = 0usize;
+            for q in pending.iter() {
+                let virtual_latency = done_us - q.arrival_us as f64;
+                if virtual_latency > self.cfg.sla_us {
+                    tally.virtual_violations += 1;
+                }
+                tally.correct_samples += q.size as f64 * accuracy;
+                tally.usage.record(label, q.size as u64);
+                tally.routed += 1;
+                specs.push((q.id, q.size as u64));
+                total += q.size;
+                queries.push(WorkQuery {
+                    size: q.size as u64,
+                    real_arrival: if self.cfg.pace_ingress {
+                        start + Duration::from_micros(q.arrival_us)
+                    } else {
+                        now
+                    },
+                });
+            }
+            let shared = Arc::new(BatchShared {
+                path,
+                specs,
+                queries,
+                total,
+                partials: (0..self.cfg.nodes).map(|_| Mutex::new(None)).collect(),
+                pending: AtomicUsize::new(self.cfg.nodes),
+            });
+            for q in node_queues {
+                // push only fails when a panicking worker closed its
+                // queue; the join in serve() surfaces that panic.
+                let _ = q.push(Arc::clone(&shared));
+            }
+            pending.clear();
+            *pending_samples = 0;
+        };
+
+        for q in trace {
+            let arrival_us = q.arrival_us as f64;
+            if !pending.is_empty() {
+                let deadline = pending[0].arrival_us as f64 + self.cfg.max_batch_wait_us;
+                if arrival_us > deadline {
+                    if self.cfg.pace_ingress {
+                        sleep_until(start, deadline);
+                    }
+                    flush(&mut pending, &mut pending_samples, deadline);
+                }
+            }
+            if self.cfg.pace_ingress {
+                sleep_until(start, arrival_us);
+            }
+            if !pending.is_empty()
+                && pending_samples + q.size as u64 > self.cfg.max_batch_samples as u64
+            {
+                flush(&mut pending, &mut pending_samples, arrival_us);
+            }
+            pending.push(q);
+            pending_samples += q.size as u64;
+            if pending_samples >= self.cfg.max_batch_samples as u64 {
+                flush(&mut pending, &mut pending_samples, arrival_us);
+            }
+        }
+        if !pending.is_empty() {
+            let deadline = pending[0].arrival_us as f64 + self.cfg.max_batch_wait_us;
+            if self.cfg.pace_ingress {
+                sleep_until(start, deadline);
+            }
+            flush(&mut pending, &mut pending_samples, deadline);
+        }
+        tally
+    }
+
+    fn assemble(
+        &self,
+        tally: DispatchTally,
+        merged: MergerReport,
+        per_node_batches: Vec<u64>,
+        start: Instant,
+    ) -> ClusterReport {
+        let per_node_cache: Vec<CacheStats> =
+            self.nodes.iter().map(|n| n.model.cache().stats()).collect();
+        let cache = per_node_cache
+            .iter()
+            .fold(CacheStats::default(), |acc, s| acc.merged(s));
+        let outcome = ServingOutcome {
+            policy: format!(
+                "cluster:{}@{}n/{}w",
+                self.cfg.route, self.cfg.nodes, self.cfg.workers_per_node
+            ),
+            completed: merged.completed,
+            samples: merged.samples,
+            correct_samples: tally.correct_samples,
+            span_s: merged.last_done.duration_since(start).as_secs_f64(),
+            sla_violations: tally.virtual_violations,
+            mean_latency_us: merged.histogram.mean_us(),
+            p95_latency_us: merged.histogram.quantile_us(0.95),
+            p99_latency_us: merged.histogram.quantile_us(0.99),
+            usage: tally.usage,
+        };
+        ClusterReport {
+            outcome,
+            cache,
+            per_node_cache,
+            per_node_features: self.plan.shard_sizes(),
+            per_node_batches,
+            histogram: merged.histogram,
+            virtual_sla_violations: tally.virtual_violations,
+            measured_sla_violations: merged.measured_violations,
+            routed_queries: tally.routed,
+            path_decisions: tally.decisions,
+            checksum: merged.checksum,
+            nodes: self.cfg.nodes,
+        }
+    }
+}
+
+/// Convenience: build a cluster and serve once.
+///
+/// # Errors
+///
+/// Propagates [`Cluster::new`] and [`Cluster::serve`] errors.
+pub fn serve_cluster(cfg: ClusterConfig) -> Result<ClusterReport> {
+    Cluster::new(cfg)?.serve()
+}
+
+/// Closes a queue if the owning thread unwinds, so a panicking node
+/// worker (or merger) can never leave the front-end (or a node worker)
+/// blocked on a bounded `push` with no consumer.
+struct CloseOnPanic<'a>(&'a BoundedQueue<Arc<BatchShared>>);
+
+impl Drop for CloseOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.close();
+        }
+    }
+}
+
+fn node_worker_loop(
+    queue: &BoundedQueue<Arc<BatchShared>>,
+    merge: &BoundedQueue<Arc<BatchShared>>,
+    model: &RuntimeModel,
+    features: &[usize],
+    node_idx: usize,
+) -> NodeWorkerReport {
+    let _close_guard = CloseOnPanic(queue);
+    let _close_merge_guard = CloseOnPanic(merge);
+    let mut report = NodeWorkerReport {
+        batches: 0,
+        error: None,
+    };
+    let mut scratch = model.make_scratch();
+    while let Some(item) = queue.pop() {
+        let mut partial = Matrix::default();
+        match model.pool_features_into(
+            item.path,
+            &item.specs,
+            features,
+            &mut scratch,
+            &mut partial,
+        ) {
+            Ok(_) => {
+                *item.partials[node_idx].lock() = Some(partial);
+                report.batches += 1;
+                if item.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    // Last shard done: hand the batch to the merger
+                    // (push only fails if the merger died; its join
+                    // surfaces that).
+                    let _ = merge.push(item);
+                }
+            }
+            Err(e) => {
+                report.error = Some(format!(
+                    "node {node_idx} batch on path {}: {e}",
+                    item.path
+                ));
+                // Keep draining so the front-end's bounded pushes always
+                // make progress; the error surfaces after join.
+                while queue.pop().is_some() {}
+                break;
+            }
+        }
+    }
+    report
+}
+
+fn merger_loop(
+    queue: &BoundedQueue<Arc<BatchShared>>,
+    model: &RuntimeModel,
+    sla_us: f64,
+    histogram_subs: u32,
+    emb_dim: usize,
+    start: Instant,
+) -> MergerReport {
+    let _close_guard = CloseOnPanic(queue);
+    let mut report = MergerReport {
+        histogram: LatencyHistogram::with_subs_per_octave(histogram_subs),
+        completed: 0,
+        samples: 0,
+        measured_violations: 0,
+        checksum: 0.0,
+        last_done: start,
+        error: None,
+    };
+    let mut pooled = Matrix::default();
+    let mut top = MlpScratch::default();
+    while let Some(batch) = queue.pop() {
+        pooled.resize_zeroed(batch.total, emb_dim);
+        let mut failed = None;
+        for slot in &batch.partials {
+            let guard = slot.lock();
+            let partial = guard
+                .as_ref()
+                .expect("pending hit zero, all partials present");
+            if let Err(e) = pooled.add_assign(partial) {
+                failed = Some(format!("gather add: {e}"));
+                break;
+            }
+        }
+        let checksum = match failed {
+            None => match model.score_pooled(&pooled, &mut top) {
+                Ok(c) => c,
+                Err(e) => {
+                    report.error = Some(format!("merge top-mlp: {e}"));
+                    while queue.pop().is_some() {}
+                    break;
+                }
+            },
+            Some(msg) => {
+                report.error = Some(msg);
+                while queue.pop().is_some() {}
+                break;
+            }
+        };
+        let now = Instant::now();
+        for q in &batch.queries {
+            let latency_us = now.saturating_duration_since(q.real_arrival).as_secs_f64() * 1e6;
+            report.histogram.record(latency_us);
+            if latency_us > sla_us {
+                report.measured_violations += 1;
+            }
+            report.completed += 1;
+            report.samples += q.size;
+        }
+        report.checksum += checksum;
+        report.last_done = now;
+    }
+    report
+}
+
+fn sleep_until(start: Instant, virtual_us: f64) {
+    let target = start + Duration::from_secs_f64(virtual_us / 1e6);
+    let now = Instant::now();
+    if target > now {
+        std::thread::sleep(target - now);
+    }
+}
+
+/// Builds the cluster's virtual-time mapping set: per path, the
+/// per-sample cost is the **slowest shard's** embedding FLOPs plus the
+/// front-end's top-MLP merge cost, and the per-batch overhead adds one
+/// scatter/gather network round trip on multi-node clusters.
+fn build_cluster_mappings(
+    cfg: &ClusterConfig,
+    nodes: &[ClusterNode],
+) -> Result<(MappingSet, Vec<PathKind>)> {
+    let rate = cfg.virtual_gflops.max(1e-6) * 1e3;
+    let overhead = cfg.dispatch_overhead_us
+        + if cfg.nodes > 1 {
+            2.0 * cfg.net_overhead_us
+        } else {
+            0.0
+        };
+    build_path_mappings(&cfg.model, cfg.route, cfg.accuracy, overhead, |path| {
+        let slowest_shard = nodes
+            .iter()
+            .map(|n| n.model.flops_per_sample_features(path, &n.features))
+            .fold(0.0f64, f64::max);
+        (slowest_shard + nodes[0].model.top_flops_per_sample()) / rate
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(nodes: usize) -> ClusterConfig {
+        ClusterConfig {
+            nodes,
+            workers_per_node: 1,
+            cache_shards: 4,
+            trace: QueryTraceConfig {
+                num_queries: 300,
+                mean_size: 4.0,
+                sigma: 1.0,
+                max_size: 16,
+                qps: 5000.0,
+                poisson_arrivals: true,
+            },
+            model: RuntimeModelConfig {
+                sparse_features: 4,
+                rows_per_feature: 500,
+                emb_dim: 4,
+                dhe_k: 8,
+                dhe_dnn: 8,
+                dhe_h: 1,
+                top_hidden: vec![8],
+                encoder_cache_bytes: 1024,
+                decoder_centroids: 8,
+                dynamic_cache_entries: 256,
+                profile_accesses: 2_000,
+                ..RuntimeModelConfig::default()
+            },
+            max_batch_samples: 32,
+            ..ClusterConfig::default()
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        assert!(matches!(
+            Cluster::new(ClusterConfig {
+                nodes: 0,
+                ..quick_cfg(1)
+            }),
+            Err(RuntimeError::BadConfig(_))
+        ));
+        assert!(matches!(
+            Cluster::new(ClusterConfig {
+                workers_per_node: 0,
+                ..quick_cfg(2)
+            }),
+            Err(RuntimeError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn shard_plan_covers_every_feature_exactly_once() {
+        let plan = FeatureShardPlan::for_cluster(4, 64, 26);
+        let mut seen = [false; 26];
+        for n in 0..plan.num_nodes() {
+            for &f in plan.features_of(n) {
+                assert!(!seen[f], "feature {f} owned twice");
+                seen[f] = true;
+                assert_eq!(plan.node_of(f), n);
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every feature owned");
+        assert_eq!(plan.shard_sizes().iter().sum::<usize>(), 26);
+    }
+
+    #[test]
+    fn cluster_serves_every_query_exactly_once() {
+        let report = serve_cluster(quick_cfg(3)).unwrap();
+        assert_eq!(report.outcome.completed, 300);
+        assert_eq!(report.routed_queries, 300);
+        assert_eq!(report.histogram.count(), 300);
+        assert_eq!(
+            report.outcome.usage.queries.values().sum::<u64>(),
+            300
+        );
+        assert!(report.outcome.samples > 0);
+        assert!(report.checksum.is_finite());
+        assert_eq!(report.per_node_cache.len(), 3);
+        assert_eq!(report.per_node_features.iter().sum::<usize>(), 4);
+        let batches = report.path_decisions.len() as u64;
+        assert!(batches > 0);
+        assert_eq!(
+            report.per_node_batches,
+            vec![batches; 3],
+            "every node executes every batch's scatter"
+        );
+    }
+
+    #[test]
+    fn single_node_cluster_matches_the_engine_checksum() {
+        // nodes=1 collapses scatter/gather to the single-node execute
+        // path: same batching, same routing profile shape, same math.
+        let cluster = Cluster::new(ClusterConfig {
+            nodes: 1,
+            net_overhead_us: 0.0,
+            ..quick_cfg(1)
+        })
+        .unwrap();
+        let c = cluster.serve().unwrap();
+        let e = crate::engine::serve(crate::engine::RuntimeConfig {
+            workers: 1,
+            cache_shards: 4,
+            trace: cluster.config().trace,
+            model: cluster.config().model.clone(),
+            max_batch_samples: 32,
+            ..crate::engine::RuntimeConfig::default()
+        })
+        .unwrap();
+        assert_eq!(c.outcome.completed, e.outcome.completed);
+        assert_eq!(c.outcome.samples, e.outcome.samples);
+        assert_eq!(c.path_decisions, e.path_decisions);
+        assert_eq!(c.outcome.usage, e.outcome.usage);
+        assert!(
+            (c.checksum - e.checksum).abs() <= 1e-6 * (1.0 + e.checksum.abs()),
+            "cluster {} vs engine {}",
+            c.checksum,
+            e.checksum
+        );
+        assert_eq!(c.cache, e.cache, "same cache state on one node");
+    }
+
+    #[test]
+    fn scatter_gather_matches_engine_math_across_node_counts() {
+        // The synchronous scatter/gather path: partial pools summed
+        // across shards equal full execution, for every path and any
+        // node count.
+        let single = RuntimeModel::build(&quick_cfg(1).model, 4, 42).unwrap();
+        let queries = [(0u64, 6u64), (1, 3), (2, 8)];
+        for nodes in [2usize, 3, 4] {
+            let cluster = Cluster::new(quick_cfg(nodes)).unwrap();
+            let mut scratch = cluster.make_scratch();
+            for path in [PathKind::Table, PathKind::Dhe, PathKind::Hybrid] {
+                let got = cluster.execute_with(path, &queries, &mut scratch).unwrap();
+                let want = single.execute(path, &queries).unwrap();
+                assert_eq!(got.samples, want.samples);
+                assert!(
+                    (got.checksum - want.checksum).abs()
+                        <= 1e-5 * (1.0 + want.checksum.abs()),
+                    "{nodes} nodes, path {path}: {} vs {}",
+                    got.checksum,
+                    want.checksum
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn outcome_counts_are_worker_count_invariant() {
+        let base = quick_cfg(2);
+        let a = serve_cluster(ClusterConfig {
+            workers_per_node: 1,
+            ..base.clone()
+        })
+        .unwrap();
+        let b = serve_cluster(ClusterConfig {
+            workers_per_node: 3,
+            ..base
+        })
+        .unwrap();
+        assert_eq!(a.outcome.completed, b.outcome.completed);
+        assert_eq!(a.outcome.samples, b.outcome.samples);
+        assert_eq!(a.virtual_sla_violations, b.virtual_sla_violations);
+        assert_eq!(a.outcome.usage, b.outcome.usage);
+        assert_eq!(a.path_decisions, b.path_decisions);
+        assert_eq!(a.outcome.correct_samples, b.outcome.correct_samples);
+    }
+
+    #[test]
+    fn completion_counts_are_node_count_invariant() {
+        // Routing profiles legitimately change with the node count (the
+        // critical path shrinks), but no query may ever be lost or
+        // double-counted, and with the dynamic tier disabled the merged
+        // cache counters are a pure per-key function — identical across
+        // topologies.
+        let mk = |nodes| {
+            serve_cluster(ClusterConfig {
+                nodes,
+                model: RuntimeModelConfig {
+                    dynamic_cache_entries: 0,
+                    ..quick_cfg(1).model
+                },
+                ..quick_cfg(nodes)
+            })
+            .unwrap()
+        };
+        let reports: Vec<ClusterReport> = [1usize, 2, 4].iter().map(|&n| mk(n)).collect();
+        for r in &reports {
+            assert_eq!(r.outcome.completed, 300, "{} nodes", r.nodes);
+            assert_eq!(r.routed_queries, 300);
+        }
+        assert_eq!(reports[0].outcome.samples, reports[1].outcome.samples);
+        assert_eq!(reports[0].outcome.samples, reports[2].outcome.samples);
+        assert_eq!(
+            reports[0].cache, reports[1].cache,
+            "merged cache counters are topology-invariant (static tier)"
+        );
+        assert_eq!(reports[0].cache, reports[2].cache);
+    }
+
+    #[test]
+    fn more_nodes_shrink_the_virtual_critical_path() {
+        // The slowest-shard per-sample cost must fall as the feature
+        // space spreads: compare the hybrid profile at a large batch.
+        let lat = |nodes| {
+            let c = Cluster::new(ClusterConfig {
+                nodes,
+                model: RuntimeModelConfig {
+                    sparse_features: 8,
+                    ..quick_cfg(1).model
+                },
+                ..quick_cfg(nodes)
+            })
+            .unwrap();
+            let idx = c.paths().iter().position(|&p| p == PathKind::Dhe).unwrap();
+            c.mapping_set().mappings[idx].profile.latency_us(4096)
+        };
+        let one = lat(1);
+        let eight = lat(8);
+        assert!(
+            eight < one,
+            "8-node critical path {eight} !< 1-node {one}"
+        );
+    }
+
+    #[test]
+    fn hot_key_drift_degrades_the_cache_hit_rate() {
+        // The MP-Cache static tier is profiled on the epoch-0 hot set;
+        // drifting the hot keys must cut the hit rate (the scenario's
+        // entire point).
+        let steady = serve_cluster(quick_cfg(2)).unwrap();
+        let drift = serve_cluster(ClusterConfig {
+            scenario: LoadScenario::HotKeyDrift { epochs: 8 },
+            ..quick_cfg(2)
+        })
+        .unwrap();
+        let s = steady.cache.encoder_hit_rate();
+        let d = drift.cache.encoder_hit_rate();
+        assert!(
+            d < s,
+            "drifted hit rate {d:.3} !< steady hit rate {s:.3}"
+        );
+    }
+}

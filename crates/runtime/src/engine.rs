@@ -24,7 +24,8 @@ use mprec_core::mpcache::CacheStats;
 use mprec_core::planner::{Mapping, MappingSet};
 use mprec_core::profile::LatencyProfile;
 use mprec_core::scheduler::{Scheduler, SchedulerConfig};
-use mprec_data::query::{Query, QueryGenerator, QueryTraceConfig};
+use mprec_data::query::{Query, QueryTraceConfig};
+use mprec_data::scenario::{self, LoadScenario};
 use mprec_embed::{DheConfig, RepresentationConfig};
 use mprec_hwsim::{Platform, WorkloadBuilder};
 use mprec_serving::{PathUsage, ServingOutcome};
@@ -58,7 +59,8 @@ impl Default for PathAccuracy {
 }
 
 impl PathAccuracy {
-    fn of(&self, path: PathKind) -> f32 {
+    /// Accuracy of `path` under this book.
+    pub fn of(&self, path: PathKind) -> f32 {
         match path {
             PathKind::Table => self.table,
             PathKind::Dhe => self.dhe,
@@ -106,6 +108,10 @@ pub struct RuntimeConfig {
     pub cache_shards: usize,
     /// Query trace shape (sizes, arrivals, QPS).
     pub trace: QueryTraceConfig,
+    /// Load scenario reshaping the trace's arrivals / hot-key set
+    /// ([`LoadScenario::SteadyPoisson`] reproduces the legacy trace
+    /// bit-for-bit).
+    pub scenario: LoadScenario,
     /// Seed for the trace, the model weights, and per-query ID draws.
     pub seed: u64,
     /// SLA latency target in microseconds.
@@ -150,6 +156,7 @@ impl Default for RuntimeConfig {
                 qps: 1000.0,
                 poisson_arrivals: true,
             },
+            scenario: LoadScenario::SteadyPoisson,
             seed: 42,
             sla_us: 10_000.0,
             max_batch_samples: 256,
@@ -210,6 +217,10 @@ pub struct RuntimeReport {
     pub measured_sla_violations: u64,
     /// Queries routed by the dispatcher (must equal `outcome.completed`).
     pub routed_queries: u64,
+    /// Path chosen per dispatched micro-batch, in dispatch order — the
+    /// deterministic decision trail the differential sim-vs-runtime
+    /// tests compare against the replay simulator.
+    pub path_decisions: Vec<PathKind>,
     /// Batches executed per worker.
     pub worker_batches: Vec<u64>,
     /// Sum of all top-MLP scores (output checksum).
@@ -270,6 +281,19 @@ impl Engine {
         &self.model
     }
 
+    /// The virtual-time mapping set the dispatcher routes on — shared
+    /// with the replay simulator so sim-vs-runtime differential tests
+    /// route over identical latency profiles.
+    pub fn mapping_set(&self) -> &MappingSet {
+        &self.mappings
+    }
+
+    /// Execution path per mapping index (parallel to
+    /// [`Engine::mapping_set`]).
+    pub fn paths(&self) -> &[PathKind] {
+        &self.paths
+    }
+
     /// Serves the configured trace on the worker pool.
     ///
     /// # Errors
@@ -280,7 +304,7 @@ impl Engine {
         // report comparable (and reproducible) per-run cache stats.
         self.model.cache().reset_stats();
         self.model.cache().clear_dynamic();
-        let trace = QueryGenerator::new(self.cfg.trace, self.cfg.seed).generate();
+        let trace = scenario::generate(self.cfg.trace, self.cfg.scenario, self.cfg.seed);
         let depth = if self.cfg.queue_depth == 0 {
             self.cfg.workers * 4
         } else {
@@ -337,6 +361,7 @@ impl Engine {
                     .expect("mapping set is never empty");
                 let done_us = sched.commit(&decision);
                 let path = self.paths[decision.mapping_idx];
+                tally.decisions.push(path);
                 let accuracy = self.cfg.accuracy.of(path) as f64;
                 let label = &self.labels[decision.mapping_idx];
                 let now = Instant::now();
@@ -452,6 +477,7 @@ impl Engine {
             virtual_sla_violations: tally.virtual_violations,
             measured_sla_violations: measured_violations,
             routed_queries: tally.routed,
+            path_decisions: tally.decisions,
             worker_batches,
             checksum,
             workers: self.cfg.workers,
@@ -466,6 +492,7 @@ struct DispatchTally {
     correct_samples: f64,
     virtual_violations: u64,
     routed: u64,
+    decisions: Vec<PathKind>,
 }
 
 /// Convenience: build an engine and serve once.
@@ -562,7 +589,26 @@ fn build_mapping_set(
     cfg: &RuntimeConfig,
     model: &RuntimeModel,
 ) -> Result<(MappingSet, Vec<PathKind>)> {
-    let m = &cfg.model;
+    build_path_mappings(
+        &cfg.model,
+        cfg.route,
+        cfg.accuracy,
+        cfg.dispatch_overhead_us,
+        |path| model.flops_per_sample(path) / (cfg.virtual_gflops.max(1e-6) * 1e3),
+    )
+}
+
+/// Shared mapping-set builder for the single-node engine and the
+/// cluster front-end: one mapping per selected path, with a caller-
+/// supplied analytic per-sample virtual latency (the cluster passes its
+/// slowest-shard critical-path cost) and fixed per-batch overhead.
+pub(crate) fn build_path_mappings(
+    m: &RuntimeModelConfig,
+    route: RoutePolicy,
+    accuracy: PathAccuracy,
+    overhead_us: f64,
+    per_sample_us_of: impl Fn(PathKind) -> f64,
+) -> Result<(MappingSet, Vec<PathKind>)> {
     let builder = WorkloadBuilder::new(
         "runtime",
         vec![m.rows_per_feature; m.sparse_features],
@@ -579,7 +625,7 @@ fn build_mapping_set(
         (PathKind::Dhe, RepRole::Dhe),
         (PathKind::Table, RepRole::Table),
     ];
-    let selected: Vec<(PathKind, RepRole)> = match cfg.route {
+    let selected: Vec<(PathKind, RepRole)> = match route {
         RoutePolicy::MpRec => all.to_vec(),
         RoutePolicy::Fixed(p) => all.iter().copied().filter(|&(k, _)| k == p).collect(),
     };
@@ -600,12 +646,11 @@ fn build_mapping_set(
                 builder.hybrid(m.emb_dim, m.dhe_k, m.dhe_dnn, m.dhe_h, m.emb_dim)?,
             ),
         };
-        let per_sample_us =
-            model.flops_per_sample(path) / (cfg.virtual_gflops.max(1e-6) * 1e3);
+        let per_sample_us = per_sample_us_of(path);
         let sizes: Vec<u64> = vec![1, 16, 64, 256, 1024, 4096];
         let lats: Vec<f64> = sizes
             .iter()
-            .map(|&n| cfg.dispatch_overhead_us + n as f64 * per_sample_us)
+            .map(|&n| overhead_us + n as f64 * per_sample_us)
             .collect();
         mappings.push(Mapping {
             rep: CandidateRep {
@@ -613,7 +658,7 @@ fn build_mapping_set(
                 role,
                 config,
                 workload,
-                accuracy: cfg.accuracy.of(path),
+                accuracy: accuracy.of(path),
             },
             platform_idx: 0,
             profile: LatencyProfile::from_points(sizes, lats),

@@ -98,27 +98,69 @@ impl LatencyHistogram {
         self.max_us = self.max_us.max(us);
     }
 
-    /// Adds another histogram's counts into this one (exact merge).
+    /// Adds another histogram's counts into this one.
     ///
-    /// # Panics
-    ///
-    /// Panics if the two histograms were built with different
-    /// [`LatencyHistogram::subs_per_octave`] — their buckets cover
-    /// different latency ranges, so a bucket-wise sum would silently
-    /// corrupt quantiles.
+    /// Matching bucket resolutions merge exactly (bucket-wise addition).
+    /// Mismatched resolutions no longer panic: an *empty* aggregator
+    /// adopts the other histogram's configured growth factor verbatim
+    /// (so `LatencyHistogram::new()` fold-merges over per-node
+    /// histograms built `with_subs_per_octave(n)` without silently
+    /// coarsening them back to the default), and two non-empty
+    /// histograms rebucket to `gcd(self.subs, other.subs)` — every
+    /// fine bucket nests exactly inside one coarse bucket, so counts
+    /// are preserved and quantile error is bounded by the coarser
+    /// (still configured, never default) resolution.
     pub fn merge(&mut self, other: &LatencyHistogram) {
-        assert_eq!(
-            self.subs, other.subs,
-            "cannot merge histograms with different bucket resolutions ({} vs {})",
-            self.subs, other.subs
-        );
-        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *a += b;
+        if other.count == 0 {
+            // Nothing to add — and never let an empty (e.g. idle-shard)
+            // histogram's layout coarsen a populated aggregator.
+            return;
+        }
+        if self.subs != other.subs {
+            if self.count == 0 {
+                // Fresh aggregator: take the other side's layout so the
+                // configured growth factor survives the merge tree.
+                *self = Self::with_subs_per_octave(other.subs);
+            } else {
+                // After coarsening to the gcd, self's buckets nest the
+                // other side's exactly, so one fold pass suffices.
+                self.rebucket(gcd(self.subs, other.subs));
+            }
+        }
+        self.merge_same_layout(other, other.subs);
+    }
+
+    /// Bucket-wise merge of `other` (whose resolution is `other_subs`)
+    /// into `self`, folding each of the other histogram's buckets into
+    /// the enclosing bucket of `self`. Exact when `self.subs` divides
+    /// `other_subs` (callers guarantee it).
+    fn merge_same_layout(&mut self, other: &LatencyHistogram, other_subs: u32) {
+        debug_assert_eq!(other_subs % self.subs, 0);
+        let ratio = (other_subs / self.subs) as usize;
+        for (i, &b) in other.counts.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            let target = i.div_ceil(ratio).min(self.counts.len() - 1);
+            self.counts[target] += b;
         }
         self.count += other.count;
         self.sum_us += other.sum_us;
         self.min_us = self.min_us.min(other.min_us);
         self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Re-buckets this histogram to `new_subs` sub-buckets per octave
+    /// (`new_subs` must divide `self.subs`); each fine bucket's count
+    /// folds into the coarse bucket that fully contains its range.
+    fn rebucket(&mut self, new_subs: u32) {
+        if new_subs == self.subs {
+            return;
+        }
+        debug_assert_eq!(self.subs % new_subs, 0);
+        let mut coarse = Self::with_subs_per_octave(new_subs);
+        coarse.merge_same_layout(self, self.subs);
+        *self = coarse;
     }
 
     /// Number of recorded observations.
@@ -174,6 +216,14 @@ impl LatencyHistogram {
     pub fn count_above(&self, threshold_us: f64) -> u64 {
         self.counts[self.bucket_of(threshold_us)..].iter().sum()
     }
+}
+
+/// Greatest common divisor (both inputs are clamped bucket counts >= 1).
+fn gcd(mut a: u32, mut b: u32) -> u32 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a.max(1)
 }
 
 #[cfg(test)]
@@ -276,11 +326,92 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "different bucket resolutions")]
-    fn merge_rejects_mismatched_configs() {
-        let mut a = LatencyHistogram::with_subs_per_octave(4);
-        let b = LatencyHistogram::with_subs_per_octave(16);
+    fn empty_aggregator_adopts_the_configured_growth_factor() {
+        // The cross-node merge bug: a fresh `new()` aggregator (16
+        // subs/octave) folding in per-shard histograms built at 32
+        // subs/octave used to panic — and the obvious "just keep the
+        // default" workaround silently lost the configured resolution.
+        let mut shard = LatencyHistogram::with_subs_per_octave(32);
+        for us in 1..=1000 {
+            shard.record(us as f64);
+        }
+        let mut agg = LatencyHistogram::new();
+        agg.merge(&shard);
+        assert_eq!(agg.subs_per_octave(), 32, "configured factor survives");
+        assert_eq!(agg.count(), shard.count());
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(agg.quantile_us(q), shard.quantile_us(q));
+        }
+    }
+
+    #[test]
+    fn cross_shard_merge_sums_counts_across_resolutions() {
+        // Regression for the cluster report path: shards built at
+        // different (divisible) resolutions merge by rebucketing to the
+        // gcd; no observation is lost and quantiles stay within the
+        // coarser grid's error of an all-in-one reference.
+        let mut fine = LatencyHistogram::with_subs_per_octave(16);
+        let mut coarse = LatencyHistogram::with_subs_per_octave(8);
+        let mut reference = LatencyHistogram::with_subs_per_octave(8);
+        for i in 0..2000u64 {
+            let us = (37 * i % 50_000) as f64;
+            if i % 2 == 0 {
+                fine.record(us);
+            } else {
+                coarse.record(us);
+            }
+            reference.record(us);
+        }
+        let mut agg = LatencyHistogram::new();
+        agg.merge(&fine);
+        assert_eq!(agg.subs_per_octave(), 16);
+        agg.merge(&coarse);
+        assert_eq!(agg.subs_per_octave(), 8, "gcd(16, 8)");
+        assert_eq!(agg.count(), reference.count(), "no observation lost");
+        assert_eq!(agg.mean_us(), reference.mean_us());
+        assert_eq!(agg.min_us(), reference.min_us());
+        assert_eq!(agg.max_us(), reference.max_us());
+        for q in [0.5, 0.9, 0.99] {
+            let got = agg.quantile_us(q);
+            let want = reference.quantile_us(q);
+            // Rebucketing 16 -> 8 can promote an observation by at most
+            // one coarse bucket.
+            let tol = reference.growth_factor();
+            assert!(
+                got >= want / tol - 1e-9 && got <= want * tol + 1e-9,
+                "q{q}: merged {got} vs reference {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_never_coarsens_the_aggregator() {
+        // Regression: an idle shard's empty histogram at a foreign
+        // resolution (gcd(16, 9) = 1) must not destroy the populated
+        // aggregator's quantile resolution.
+        let mut agg = LatencyHistogram::with_subs_per_octave(16);
+        for us in 1..=1000 {
+            agg.record(us as f64);
+        }
+        let p50_before = agg.quantile_us(0.5);
+        agg.merge(&LatencyHistogram::with_subs_per_octave(9));
+        assert_eq!(agg.subs_per_octave(), 16, "layout untouched");
+        assert_eq!(agg.count(), 1000);
+        assert_eq!(agg.quantile_us(0.5), p50_before);
+    }
+
+    #[test]
+    fn coprime_resolutions_fold_to_the_gcd() {
+        let mut a = LatencyHistogram::with_subs_per_octave(9);
+        let mut b = LatencyHistogram::with_subs_per_octave(6);
+        for us in [10.0, 100.0, 1000.0] {
+            a.record(us);
+            b.record(us * 2.0);
+        }
         a.merge(&b);
+        assert_eq!(a.subs_per_octave(), 3, "gcd(9, 6)");
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.max_us(), 2000.0);
     }
 
     #[test]

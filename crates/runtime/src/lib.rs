@@ -47,11 +47,15 @@
 //! # Ok::<(), mprec_runtime::RuntimeError>(())
 //! ```
 
+pub mod cluster;
 mod engine;
 mod histogram;
 mod model;
 mod queue;
 
+pub use cluster::{
+    serve_cluster, Cluster, ClusterConfig, ClusterReport, ClusterScratch, FeatureShardPlan,
+};
 pub use engine::{
     serve, Engine, PathAccuracy, RoutePolicy, RuntimeConfig, RuntimeReport, SlaAccounting,
 };

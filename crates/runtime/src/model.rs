@@ -249,8 +249,11 @@ impl RuntimeModel {
         &self.cache
     }
 
-    /// Whether `feature` runs through DHE on `path`.
-    fn uses_dhe(&self, path: PathKind, feature: usize) -> bool {
+    /// Whether `feature` runs through DHE on `path` (hybrid splits the
+    /// feature space in half by *global* feature index, so a sharded
+    /// cluster node executing a feature subset agrees with the
+    /// single-node path assignment).
+    pub fn path_uses_dhe(&self, path: PathKind, feature: usize) -> bool {
         match path {
             PathKind::Table => false,
             PathKind::Dhe => true,
@@ -258,16 +261,39 @@ impl RuntimeModel {
         }
     }
 
-    /// Deterministically draws the sparse IDs of one query: per-query RNG
+    /// Deterministically draws the sparse IDs of one query into
+    /// `per_feature` (appending `size` IDs per feature): per-query RNG
     /// seeded from `(model seed, query id)`, so the same trace produces
-    /// the same lookups no matter which worker executes the batch.
-    fn query_ids(&self, query_id: u64, size: u64, per_feature: &mut [Vec<u64>]) {
+    /// the same lookups no matter which worker — or which cluster node —
+    /// executes the batch. Public so the differential sim-vs-runtime
+    /// harness can replay the exact ID stream against a twin cache.
+    ///
+    /// Hot-key-drift traces ([`mprec_data::scenario`]) carry an epoch in
+    /// the query id's high bits; a nonzero epoch rotates every Zipf draw
+    /// by a per-epoch offset, moving the hot ID set without touching the
+    /// RNG stream (epoch 0 reproduces the legacy IDs bit-for-bit).
+    pub fn draw_query_ids(&self, query_id: u64, size: u64, per_feature: &mut [Vec<u64>]) {
+        // Seed from the sequence number only: the epoch bits select the
+        // rotation below, so one query keeps one RNG stream across
+        // epochs and the hot set moves as a pure rotation.
+        let sequence = mprec_data::scenario::sequence_of(query_id);
         let mut rng = StdRng::seed_from_u64(splitmix64(
-            self.seed ^ query_id.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            self.seed ^ sequence.wrapping_mul(0x9E37_79B9_7F4A_7C15),
         ));
+        let epoch = mprec_data::scenario::epoch_of(query_id);
+        let rotation = if epoch == 0 {
+            0
+        } else {
+            splitmix64(epoch) % self.cfg.rows_per_feature
+        };
         for _ in 0..size {
             for ids in per_feature.iter_mut() {
-                ids.push(self.zipf.sample(&mut rng));
+                let id = self.zipf.sample(&mut rng);
+                ids.push(if rotation == 0 {
+                    id
+                } else {
+                    (id + rotation) % self.cfg.rows_per_feature
+                });
             }
         }
     }
@@ -321,11 +347,11 @@ impl RuntimeModel {
             ids.clear();
         }
         for &(qid, size) in queries {
-            self.query_ids(qid, size, &mut scratch.per_feature);
+            self.draw_query_ids(qid, size, &mut scratch.per_feature);
         }
         scratch.pooled.resize_zeroed(total as usize, self.cfg.emb_dim);
         for (feature, ids) in scratch.per_feature.iter().enumerate() {
-            if self.uses_dhe(path, feature) {
+            if self.path_uses_dhe(path, feature) {
                 self.cache.embed_batch_into(
                     &self.stacks[feature],
                     feature,
@@ -342,9 +368,110 @@ impl RuntimeModel {
             }
             scratch.pooled.add_assign(&scratch.emb)?;
         }
-        let scores = self.top.infer_scratch(&scratch.pooled, &mut scratch.top)?;
-        let checksum = scores.as_slice().iter().map(|&v| v as f64).sum();
+        let checksum = self.score_pooled(&scratch.pooled, &mut scratch.top)?;
         Ok(BatchResult { samples: total, checksum })
+    }
+
+    /// Scatter half of the cluster's scatter/gather execution: pools the
+    /// embeddings of the given *global* feature indices only, writing the
+    /// partial sum into `out` (resized to `total x emb_dim`, zeroed).
+    /// Every feature's ID stream is still drawn (the per-query RNG is one
+    /// sequential stream across features, so skipping draws would change
+    /// sibling features' IDs); only `features` execute real lookups. The
+    /// caller sums partials across nodes and runs
+    /// [`RuntimeModel::score_pooled`] — zero steady-state allocations
+    /// with a warm scratch, like [`RuntimeModel::execute_with`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates table/stack execution errors.
+    pub fn pool_features_into(
+        &self,
+        path: PathKind,
+        queries: &[(u64, u64)],
+        features: &[usize],
+        scratch: &mut ScratchSpace,
+        out: &mut Matrix,
+    ) -> Result<u64> {
+        let total: u64 = queries.iter().map(|&(_, s)| s).sum();
+        out.resize_zeroed(total as usize, self.cfg.emb_dim);
+        if total == 0 {
+            return Ok(0);
+        }
+        for ids in scratch.per_feature.iter_mut() {
+            ids.clear();
+        }
+        for &(qid, size) in queries {
+            self.draw_query_ids(qid, size, &mut scratch.per_feature);
+        }
+        for &feature in features {
+            let ids = &scratch.per_feature[feature];
+            if self.path_uses_dhe(path, feature) {
+                self.cache.embed_batch_into(
+                    &self.stacks[feature],
+                    feature,
+                    ids,
+                    &mut scratch.cache,
+                    &mut scratch.emb,
+                )?;
+            } else {
+                self.tables[feature].forward_dedup_into(
+                    ids,
+                    &mut scratch.gather,
+                    &mut scratch.emb,
+                )?;
+            }
+            out.add_assign(&scratch.emb)?;
+        }
+        Ok(total)
+    }
+
+    /// Gather half of the cluster's scatter/gather execution: runs the
+    /// top MLP over a pooled embedding matrix and returns the score
+    /// checksum (zero steady-state allocations with a warm scratch).
+    ///
+    /// # Errors
+    ///
+    /// Propagates MLP execution errors.
+    pub fn score_pooled(&self, pooled: &Matrix, top: &mut MlpScratch) -> Result<f64> {
+        let scores = self.top.infer_scratch(pooled, top)?;
+        Ok(scores.as_slice().iter().map(|&v| v as f64).sum())
+    }
+
+    /// Replays only the MP-Cache accesses of one micro-batch, in the
+    /// exact order [`RuntimeModel::execute_with`] performs them (features
+    /// ascending, each feature's IDs batched). The differential
+    /// sim-vs-runtime harness uses this on a *twin* model to predict the
+    /// live runtime's cache hit/miss counters without re-running the
+    /// pooling or top-MLP math.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stack execution errors.
+    pub fn replay_cache_accesses(
+        &self,
+        path: PathKind,
+        queries: &[(u64, u64)],
+        scratch: &mut ScratchSpace,
+    ) -> Result<()> {
+        for ids in scratch.per_feature.iter_mut() {
+            ids.clear();
+        }
+        for &(qid, size) in queries {
+            self.draw_query_ids(qid, size, &mut scratch.per_feature);
+        }
+        for (feature, ids) in scratch.per_feature.iter().enumerate() {
+            if self.path_uses_dhe(path, feature) {
+                self.cache.embed_batch_into(
+                    &self.stacks[feature],
+                    feature,
+                    ids,
+                    &mut scratch.cache,
+                    &mut scratch.emb,
+                )?;
+            }
+        }
+        Ok(())
     }
 
     /// The pre-optimization execution path, kept as the baseline the
@@ -366,11 +493,11 @@ impl RuntimeModel {
         let mut per_feature: Vec<Vec<u64>> =
             (0..f).map(|_| Vec::with_capacity(total as usize)).collect();
         for &(qid, size) in queries {
-            self.query_ids(qid, size, &mut per_feature);
+            self.draw_query_ids(qid, size, &mut per_feature);
         }
         let mut pooled = Matrix::zeros(total as usize, self.cfg.emb_dim);
         for (feature, ids) in per_feature.iter().enumerate() {
-            let emb = if self.uses_dhe(path, feature) {
+            let emb = if self.path_uses_dhe(path, feature) {
                 self.cache
                     .embed_batch(&self.stacks[feature], feature, ids)?
             } else {
@@ -383,35 +510,52 @@ impl RuntimeModel {
         Ok(BatchResult { samples: total, checksum })
     }
 
-    /// Analytic FLOPs per sample on `path` (drives the deterministic
-    /// virtual-time latency profiles the SLA-aware dispatcher routes on).
-    pub fn flops_per_sample(&self, path: PathKind) -> f64 {
+    /// Analytic embedding FLOPs per sample for one feature on `path`:
+    /// a table gather + pooling add, or the DHE encoder hashes + decoder
+    /// GEMMs, depending on the path's feature assignment.
+    fn feature_flops(&self, path: PathKind, feature: usize) -> f64 {
         let dim = self.cfg.emb_dim as f64;
-        // Table gather + pooling add.
-        let table_f = 2.0 * dim;
-        // Encoder hashes + decoder GEMMs.
-        let k = self.cfg.dhe_k as f64;
-        let dnn = self.cfg.dhe_dnn as f64;
-        let h = self.cfg.dhe_h.max(1) as f64;
-        let dhe_f = k + 2.0 * (k * dnn + dnn * dnn * (h - 1.0) + dnn * dim) + dim;
-        let f = self.cfg.sparse_features as f64;
-        let per_feature = match path {
-            PathKind::Table => table_f * f,
-            PathKind::Dhe => dhe_f * f,
-            PathKind::Hybrid => {
-                let dhe_feats = (self.cfg.sparse_features
-                    - self.cfg.sparse_features / 2) as f64;
-                table_f * (f - dhe_feats) + dhe_f * dhe_feats
-            }
-        };
+        if self.path_uses_dhe(path, feature) {
+            let k = self.cfg.dhe_k as f64;
+            let dnn = self.cfg.dhe_dnn as f64;
+            let h = self.cfg.dhe_h.max(1) as f64;
+            k + 2.0 * (k * dnn + dnn * dnn * (h - 1.0) + dnn * dim) + dim
+        } else {
+            2.0 * dim
+        }
+    }
+
+    /// Analytic top-MLP FLOPs per sample (the gather-side merge cost a
+    /// cluster front-end pays once per sample regardless of sharding).
+    pub fn top_flops_per_sample(&self) -> f64 {
         let mut top = 0.0;
-        let mut prev = dim;
+        let mut prev = self.cfg.emb_dim as f64;
         for &hsz in &self.cfg.top_hidden {
             top += 2.0 * prev * hsz as f64;
             prev = hsz as f64;
         }
-        top += 2.0 * prev;
-        per_feature + top
+        top + 2.0 * prev
+    }
+
+    /// Analytic embedding FLOPs per sample on `path` restricted to a
+    /// feature subset — the per-node scatter cost the cluster's
+    /// slowest-shard critical-path latency profiles are built from
+    /// (excludes the top MLP; see
+    /// [`RuntimeModel::top_flops_per_sample`]).
+    pub fn flops_per_sample_features(&self, path: PathKind, features: &[usize]) -> f64 {
+        features
+            .iter()
+            .map(|&f| self.feature_flops(path, f))
+            .sum()
+    }
+
+    /// Analytic FLOPs per sample on `path` (drives the deterministic
+    /// virtual-time latency profiles the SLA-aware dispatcher routes on).
+    pub fn flops_per_sample(&self, path: PathKind) -> f64 {
+        (0..self.cfg.sparse_features)
+            .map(|f| self.feature_flops(path, f))
+            .sum::<f64>()
+            + self.top_flops_per_sample()
     }
 }
 
@@ -493,6 +637,73 @@ mod tests {
                 "path {path}: naive {} vs scratch {}",
                 naive.checksum,
                 opt.checksum
+            );
+        }
+    }
+
+    #[test]
+    fn partial_pools_sum_to_the_full_execution() {
+        // Scatter/gather invariant: splitting the feature space across
+        // "nodes" and summing the partial pools reproduces execute_with
+        // exactly (same per-feature IDs, same math, same top MLP input).
+        let m = RuntimeModel::build(&tiny_cfg(), 4, 11).unwrap();
+        let queries = [(0u64, 5u64), (1, 9), (2, 2)];
+        for path in [PathKind::Table, PathKind::Dhe, PathKind::Hybrid] {
+            let mut s0 = m.make_scratch();
+            let mut s1 = m.make_scratch();
+            let mut p0 = Matrix::default();
+            let mut p1 = Matrix::default();
+            m.pool_features_into(path, &queries, &[0], &mut s0, &mut p0)
+                .unwrap();
+            m.pool_features_into(path, &queries, &[1], &mut s1, &mut p1)
+                .unwrap();
+            p0.add_assign(&p1).unwrap();
+            let mut top = MlpScratch::default();
+            let gathered = m.score_pooled(&p0, &mut top).unwrap();
+            // Fresh model so cache stats/dynamic state match the partial
+            // run's access pattern.
+            let full_model = RuntimeModel::build(&tiny_cfg(), 4, 11).unwrap();
+            let full = full_model.execute(path, &queries).unwrap();
+            assert!(
+                (gathered - full.checksum).abs() <= 1e-6 * (1.0 + full.checksum.abs()),
+                "path {path}: gathered {gathered} vs full {}",
+                full.checksum
+            );
+        }
+    }
+
+    #[test]
+    fn hot_key_epochs_rotate_the_id_stream() {
+        let m = RuntimeModel::build(&tiny_cfg(), 4, 3).unwrap();
+        let mut base = vec![Vec::new(); 2];
+        let mut drifted = vec![Vec::new(); 2];
+        m.draw_query_ids(7, 64, &mut base);
+        m.draw_query_ids(mprec_data::scenario::with_epoch(7, 3), 64, &mut drifted);
+        // Same RNG stream, shifted hot set: ids differ by a constant
+        // rotation mod rows.
+        let rows = tiny_cfg().rows_per_feature;
+        let delta = (drifted[0][0] + rows - base[0][0]) % rows;
+        assert_ne!(delta, 0, "epoch must move the hot set");
+        for (b, d) in base.iter().flatten().zip(drifted.iter().flatten()) {
+            assert_eq!((d + rows - b) % rows, delta, "uniform rotation");
+        }
+        // Epoch 0 is the identity (legacy traces unchanged).
+        let mut again = vec![Vec::new(); 2];
+        m.draw_query_ids(7, 64, &mut again);
+        assert_eq!(base, again);
+    }
+
+    #[test]
+    fn subset_flops_recompose_the_full_estimate() {
+        let m = RuntimeModel::build(&tiny_cfg(), 4, 1).unwrap();
+        for path in [PathKind::Table, PathKind::Dhe, PathKind::Hybrid] {
+            let split = m.flops_per_sample_features(path, &[0])
+                + m.flops_per_sample_features(path, &[1])
+                + m.top_flops_per_sample();
+            let full = m.flops_per_sample(path);
+            assert!(
+                (split - full).abs() < 1e-9,
+                "path {path}: {split} vs {full}"
             );
         }
     }

@@ -14,7 +14,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use mprec_runtime::{PathKind, RuntimeModel, RuntimeModelConfig};
+use mprec_runtime::{Cluster, ClusterConfig, PathKind, RuntimeModel, RuntimeModelConfig};
 
 struct CountingAllocator;
 
@@ -92,6 +92,43 @@ fn steady_state_execute_makes_zero_heap_allocations() {
         assert_eq!(
             min_delta, 0,
             "path {path}: every 5-batch window performed >= {min_delta} heap allocations"
+        );
+    }
+
+    // The cluster router's scatter/gather steady state: per-node scratch
+    // and partial matrices are reused, the gathered pool and top-MLP
+    // scratch recycle, so an executed batch allocates nothing either.
+    let cluster = Cluster::new(ClusterConfig {
+        nodes: 2,
+        cache_shards: 1,
+        model: cfg,
+        ..ClusterConfig::default()
+    })
+    .unwrap();
+    let mut cluster_scratch = cluster.make_scratch();
+    for path in [PathKind::Table, PathKind::Dhe, PathKind::Hybrid] {
+        for _ in 0..3 {
+            cluster
+                .execute_with(path, &queries, &mut cluster_scratch)
+                .unwrap();
+        }
+        let mut min_delta = u64::MAX;
+        let mut checksum = 0.0;
+        for _ in 0..4 {
+            let before = allocations();
+            for _ in 0..5 {
+                let res = cluster
+                    .execute_with(path, &queries, &mut cluster_scratch)
+                    .unwrap();
+                checksum += res.checksum;
+            }
+            min_delta = min_delta.min(allocations() - before);
+        }
+        assert!(checksum.is_finite());
+        assert_eq!(
+            min_delta, 0,
+            "cluster scatter/gather on path {path}: every 5-batch window \
+             performed >= {min_delta} heap allocations"
         );
     }
 }

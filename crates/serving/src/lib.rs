@@ -35,8 +35,10 @@
 
 mod outcome;
 mod policy;
+pub mod replay;
 mod sim;
 
 pub use outcome::{PathUsage, ServingOutcome};
 pub use policy::Policy;
-pub use sim::{simulate, MpCacheEffect, ServingConfig};
+pub use replay::{replay, ReplayBatch, ReplayConfig, ReplayResult};
+pub use sim::{simulate, simulate_trace, MpCacheEffect, ServingConfig};

@@ -1,0 +1,293 @@
+//! Discrete-event replay of the *runtime's* serving semantics.
+//!
+//! [`crate::simulate`] models the paper's per-query serving experiments;
+//! the multi-threaded runtime (`mprec-runtime`) instead micro-batches
+//! queries under an SLA-aware deadline/size policy and routes whole
+//! batches. This module is the simulator-side counterpart of that
+//! contract: given the *same* trace and the *same* virtual-time mapping
+//! set, [`replay`] reproduces — by an independent discrete-event
+//! implementation — the batch boundaries, the per-batch path decisions,
+//! the virtual completion times, and the aggregate outcome counts the
+//! runtime's dispatcher produces.
+//!
+//! The differential harness (`tests/sim_vs_runtime.rs`) holds the two
+//! implementations to exact agreement on outcome counts, decision
+//! trails, and (via a twin MP-Cache replay) cache hit counters, so the
+//! simulated and real serving stacks cannot drift apart silently.
+
+use mprec_core::planner::MappingSet;
+use mprec_core::scheduler::{Scheduler, SchedulerConfig};
+use mprec_data::query::Query;
+
+use crate::outcome::{PathUsage, ServingOutcome};
+
+/// Micro-batching policy mirrored from the runtime engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayConfig {
+    /// SLA latency target in microseconds.
+    pub sla_us: f64,
+    /// Sample budget: a pending batch flushes at this size.
+    pub max_batch_samples: usize,
+    /// Deadline: a pending batch flushes this long after its oldest
+    /// query arrived.
+    pub max_batch_wait_us: f64,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            sla_us: 10_000.0,
+            max_batch_samples: 256,
+            max_batch_wait_us: 2_000.0,
+        }
+    }
+}
+
+/// One routed micro-batch of the replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayBatch {
+    /// Index into `mappings.mappings` of the routed path.
+    pub mapping_idx: usize,
+    /// `(query id, size)` pairs in arrival order.
+    pub queries: Vec<(u64, u64)>,
+    /// Virtual completion time of the batch (µs).
+    pub done_us: f64,
+}
+
+/// Everything one replay produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayResult {
+    /// Aggregate outcome; latencies are *virtual* (completion minus
+    /// arrival), directly comparable to the runtime's virtual-time SLA
+    /// accounting but not to its measured histogram.
+    pub outcome: ServingOutcome,
+    /// The full batch/decision trail, in dispatch order.
+    pub batches: Vec<ReplayBatch>,
+}
+
+impl ReplayResult {
+    /// Mapping index per batch — the decision trail differential tests
+    /// compare against `RuntimeReport::path_decisions`.
+    pub fn decisions(&self) -> Vec<usize> {
+        self.batches.iter().map(|b| b.mapping_idx).collect()
+    }
+}
+
+/// Replays `trace` through the runtime's micro-batching + routing
+/// contract over `mappings` in deterministic virtual time.
+///
+/// Semantics (kept in lockstep with `mprec-runtime`'s dispatcher, and
+/// pinned by the differential tests):
+///
+/// 1. a pending batch flushes at `oldest arrival + max_batch_wait_us`
+///    when the next arrival lies beyond that deadline;
+/// 2. a query that would push the pending batch over
+///    `max_batch_samples` flushes the batch first (at the query's
+///    arrival time);
+/// 3. reaching `max_batch_samples` flushes immediately;
+/// 4. the final partial batch flushes at its deadline;
+/// 5. each flush routes via Algorithm 2 (`Scheduler::route`) with the
+///    batch's remaining SLA budget, measured from the oldest query.
+pub fn replay(mappings: &MappingSet, trace: &[Query], cfg: &ReplayConfig) -> ReplayResult {
+    let labels: Vec<String> = mappings
+        .mappings
+        .iter()
+        .map(|m| m.label(&mappings.platforms))
+        .collect();
+    let mut sched = Scheduler::new(mappings.clone(), SchedulerConfig::default());
+    let mut batches: Vec<ReplayBatch> = Vec::new();
+    let mut usage = PathUsage::default();
+    let mut latencies: Vec<f64> = Vec::with_capacity(trace.len());
+    let mut samples = 0u64;
+    let mut correct = 0.0f64;
+    let mut violations = 0u64;
+    let mut last_completion = 0.0f64;
+
+    let mut pending: Vec<&Query> = Vec::new();
+    let mut pending_samples: u64 = 0;
+
+    let mut flush = |pending: &mut Vec<&Query>, pending_samples: &mut u64, flush_at_us: f64| {
+        if pending.is_empty() {
+            return;
+        }
+        let oldest_us = pending[0].arrival_us as f64;
+        sched.advance_to(flush_at_us);
+        let sla_remaining = (cfg.sla_us - (flush_at_us - oldest_us)).max(1.0);
+        let decision = sched
+            .route(*pending_samples, sla_remaining, 0)
+            .expect("mapping set is never empty");
+        let done_us = sched.commit(&decision);
+        let accuracy = mappings.mappings[decision.mapping_idx].rep.accuracy as f64;
+        let label = &labels[decision.mapping_idx];
+        let mut queries = Vec::with_capacity(pending.len());
+        for q in pending.iter() {
+            let latency = done_us - q.arrival_us as f64;
+            if latency > cfg.sla_us {
+                violations += 1;
+            }
+            latencies.push(latency);
+            samples += q.size as u64;
+            correct += q.size as f64 * accuracy;
+            usage.record(label, q.size as u64);
+            queries.push((q.id, q.size as u64));
+        }
+        last_completion = last_completion.max(done_us);
+        batches.push(ReplayBatch {
+            mapping_idx: decision.mapping_idx,
+            queries,
+            done_us,
+        });
+        pending.clear();
+        *pending_samples = 0;
+    };
+
+    for q in trace {
+        let arrival_us = q.arrival_us as f64;
+        if !pending.is_empty() {
+            let deadline = pending[0].arrival_us as f64 + cfg.max_batch_wait_us;
+            if arrival_us > deadline {
+                flush(&mut pending, &mut pending_samples, deadline);
+            }
+        }
+        if !pending.is_empty()
+            && pending_samples + q.size as u64 > cfg.max_batch_samples as u64
+        {
+            flush(&mut pending, &mut pending_samples, arrival_us);
+        }
+        pending.push(q);
+        pending_samples += q.size as u64;
+        if pending_samples >= cfg.max_batch_samples as u64 {
+            flush(&mut pending, &mut pending_samples, arrival_us);
+        }
+    }
+    if !pending.is_empty() {
+        let deadline = pending[0].arrival_us as f64 + cfg.max_batch_wait_us;
+        flush(&mut pending, &mut pending_samples, deadline);
+    }
+
+    let outcome = ServingOutcome::from_latency_samples(
+        "replay",
+        latencies,
+        samples,
+        correct,
+        violations,
+        last_completion / 1e6,
+        usage,
+    );
+    ReplayResult { outcome, batches }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mprec_core::candidates::{CandidateRep, RepRole};
+    use mprec_core::planner::Mapping;
+    use mprec_core::profile::LatencyProfile;
+    use mprec_data::query::{QueryGenerator, QueryTraceConfig};
+    use mprec_hwsim::{Platform, WorkloadBuilder};
+
+    /// A two-path mapping set with analytic profiles: a slow accurate
+    /// path and a fast fallback.
+    fn two_path_mappings() -> MappingSet {
+        let builder = WorkloadBuilder::new("replay-test", vec![1000, 1000], 8);
+        let sizes: Vec<u64> = vec![1, 16, 64, 256, 1024, 4096];
+        let mk = |name: &str, role, per_sample_us: f64, accuracy| Mapping {
+            rep: CandidateRep {
+                name: name.into(),
+                role,
+                config: mprec_embed::RepresentationConfig::table(8),
+                workload: builder.table(8).expect("workload"),
+                accuracy,
+            },
+            platform_idx: 0,
+            profile: LatencyProfile::from_points(
+                sizes.clone(),
+                sizes.iter().map(|&n| 30.0 + n as f64 * per_sample_us).collect(),
+            ),
+        };
+        MappingSet {
+            platforms: vec![Platform::cpu()],
+            mappings: vec![
+                mk("hybrid", RepRole::Hybrid, 40.0, 0.79),
+                mk("table", RepRole::Table, 2.0, 0.78),
+            ],
+        }
+    }
+
+    fn trace() -> Vec<Query> {
+        QueryGenerator::new(
+            QueryTraceConfig {
+                num_queries: 400,
+                mean_size: 6.0,
+                sigma: 1.0,
+                max_size: 24,
+                qps: 4000.0,
+                poisson_arrivals: true,
+            },
+            7,
+        )
+        .generate()
+    }
+
+    #[test]
+    fn replay_completes_every_query_exactly_once() {
+        let cfg = ReplayConfig {
+            sla_us: 5_000.0,
+            max_batch_samples: 48,
+            max_batch_wait_us: 2_000.0,
+        };
+        let r = replay(&two_path_mappings(), &trace(), &cfg);
+        assert_eq!(r.outcome.completed, 400);
+        let batched: u64 = r.batches.iter().map(|b| b.queries.len() as u64).sum();
+        assert_eq!(batched, 400, "batch trail covers the trace");
+        assert_eq!(
+            r.outcome.usage.queries.values().sum::<u64>(),
+            400,
+            "usage covers the trace"
+        );
+        assert!(r.outcome.samples > 0);
+    }
+
+    #[test]
+    fn batches_respect_the_sample_budget() {
+        let cfg = ReplayConfig {
+            max_batch_samples: 32,
+            ..ReplayConfig::default()
+        };
+        let r = replay(&two_path_mappings(), &trace(), &cfg);
+        for b in &r.batches {
+            let head_sizeless: u64 =
+                b.queries.iter().map(|&(_, s)| s).sum::<u64>() - b.queries.last().unwrap().1;
+            assert!(
+                head_sizeless < 32,
+                "a batch only exceeds the budget by its final query"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let cfg = ReplayConfig::default();
+        let maps = two_path_mappings();
+        let t = trace();
+        assert_eq!(replay(&maps, &t, &cfg), replay(&maps, &t, &cfg));
+    }
+
+    #[test]
+    fn overload_falls_back_to_the_fast_path() {
+        // Saturate the slow path: under a tight SLA the scheduler must
+        // route later batches to the table fallback.
+        let cfg = ReplayConfig {
+            sla_us: 1_000.0,
+            ..ReplayConfig::default()
+        };
+        let r = replay(&two_path_mappings(), &trace(), &cfg);
+        let table_queries = r.outcome.usage.queries.get("table@CPU").copied().unwrap_or(0);
+        assert!(
+            table_queries > r.outcome.completed / 2,
+            "tight SLA should fall back: {} of {}",
+            table_queries,
+            r.outcome.completed
+        );
+    }
+}

@@ -210,13 +210,28 @@ fn working_set(
     )
 }
 
-/// Runs the serving simulation for one policy.
+/// Runs the serving simulation for one policy over the configured
+/// steady trace.
 ///
 /// Returns an all-zero outcome (0 completed queries) when the policy's
 /// required paths don't exist in the mapping set — e.g. a static table
 /// deployment on a device the table doesn't fit.
 pub fn simulate(mappings: &MappingSet, policy: Policy, cfg: &ServingConfig) -> ServingOutcome {
     let trace = QueryGenerator::new(cfg.trace, cfg.seed).generate();
+    simulate_trace(mappings, policy, cfg, &trace)
+}
+
+/// [`simulate`] over an explicit, caller-supplied trace — the entry
+/// point the scenario-diverse load generators
+/// ([`mprec_data::scenario`]) drive: any arrival pattern (diurnal,
+/// flash-crowd, hot-key drift) runs through the same discrete-event
+/// policy machinery.
+pub fn simulate_trace(
+    mappings: &MappingSet,
+    policy: Policy,
+    cfg: &ServingConfig,
+    trace: &[mprec_data::query::Query],
+) -> ServingOutcome {
     let (set, sched_cfg) = working_set(mappings, policy, cfg);
     let labels: Vec<String> = set
         .mappings
@@ -236,11 +251,11 @@ pub fn simulate(mappings: &MappingSet, policy: Policy, cfg: &ServingConfig) -> S
     }
 
     if let Policy::QuerySplit { cpu_fraction } = policy {
-        return simulate_split(&set, &trace, cfg, cpu_fraction);
+        return simulate_split(&set, trace, cfg, cpu_fraction);
     }
 
     let mut sched = Scheduler::new(set, sched_cfg);
-    for q in &trace {
+    for q in trace {
         let arrival = q.arrival_us as f64;
         sched.advance_to(arrival);
         let Some(decision) = sched.route(q.size as u64, cfg.sla_us, 0) else {

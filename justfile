@@ -43,3 +43,13 @@ bench-kernels:
 # Quick kernel smoke (equivalence + tiny shapes). Mirrors the CI step.
 kernel-smoke:
     timeout 300 cargo run --release -p mprec-bench --bin kernel_throughput -- --smoke
+
+# Cluster scale-out sweep: scenarios x {1,2,4,8} nodes, per-node cache
+# hit rates and critical-path scaling; writes BENCH_cluster.json.
+bench-cluster:
+    cargo run --release -p mprec-bench --bin cluster_throughput
+
+# Quick cluster smoke (2 nodes, steady trace, completion asserted).
+# Mirrors the CI step.
+cluster-smoke:
+    timeout 300 cargo run --release -p mprec-bench --bin cluster_throughput -- --smoke

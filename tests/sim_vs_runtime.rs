@@ -1,0 +1,298 @@
+//! Differential sim-vs-runtime harness: the discrete-event replay
+//! simulator (`mprec-serving::replay`) and the real multi-threaded
+//! runtime (`mprec-runtime`) implement the *same serving contract*
+//! (micro-batching, Algorithm-2 routing, virtual-time SLA accounting)
+//! independently. On identical traces and configs they must agree
+//! exactly on:
+//!
+//! * outcome counts — completed queries, samples, virtual SLA
+//!   violations, per-path usage, correct samples (bit-equal: both sides
+//!   accumulate in dispatch order);
+//! * the per-batch path-selection decision trail;
+//! * MP-Cache hit/miss/eviction counters, predicted by replaying the
+//!   simulator's batch trail against a twin cache with the runtime's
+//!   own deterministic ID draws.
+//!
+//! Any drift between the simulated and executed serving stacks fails
+//! here before it can skew a paper figure.
+
+use mprec::data::query::QueryTraceConfig;
+use mprec::data::scenario::{self, LoadScenario};
+use mprec::runtime::{
+    serve, Cluster, ClusterConfig, PathKind, RuntimeConfig, RuntimeModel, RuntimeModelConfig,
+    RuntimeReport,
+};
+use mprec::serving::replay::{replay, ReplayConfig, ReplayResult};
+
+fn model_cfg(dynamic_entries: usize) -> RuntimeModelConfig {
+    RuntimeModelConfig {
+        sparse_features: 3,
+        rows_per_feature: 800,
+        emb_dim: 4,
+        dhe_k: 8,
+        dhe_dnn: 8,
+        dhe_h: 1,
+        top_hidden: vec![8],
+        encoder_cache_bytes: 2_048,
+        decoder_centroids: 8,
+        dynamic_cache_entries: dynamic_entries,
+        profile_accesses: 3_000,
+        ..RuntimeModelConfig::default()
+    }
+}
+
+fn runtime_cfg(workers: usize, dynamic_entries: usize) -> RuntimeConfig {
+    RuntimeConfig {
+        workers,
+        cache_shards: 4,
+        trace: QueryTraceConfig {
+            num_queries: 600,
+            mean_size: 5.0,
+            sigma: 1.0,
+            max_size: 20,
+            qps: 4000.0,
+            poisson_arrivals: true,
+        },
+        model: model_cfg(dynamic_entries),
+        max_batch_samples: 40,
+        seed: 17,
+        // Slow virtual compute + a tight SLA so routing actually
+        // switches paths (hybrid early, table under backlog) and
+        // violations occur — the agreement is then non-trivial.
+        virtual_gflops: 0.01,
+        sla_us: 2_500.0,
+        ..RuntimeConfig::default()
+    }
+}
+
+/// Runs the runtime engine and the replay simulator on one config and
+/// returns both results plus the path list of the shared mapping set.
+fn run_both(cfg: RuntimeConfig) -> (RuntimeReport, ReplayResult, Vec<PathKind>) {
+    let engine = mprec::runtime::Engine::new(cfg.clone()).expect("engine builds");
+    let report = engine.serve().expect("runtime serves");
+    let trace = scenario::generate(cfg.trace, cfg.scenario, cfg.seed);
+    let sim = replay(
+        engine.mapping_set(),
+        &trace,
+        &ReplayConfig {
+            sla_us: cfg.sla_us,
+            max_batch_samples: cfg.max_batch_samples,
+            max_batch_wait_us: cfg.max_batch_wait_us,
+        },
+    );
+    (report, sim, engine.paths().to_vec())
+}
+
+/// Asserts the deterministic (virtual-time) agreement contract.
+fn assert_agreement(report: &RuntimeReport, sim: &ReplayResult, paths: &[PathKind]) {
+    assert_eq!(report.outcome.completed, sim.outcome.completed, "completed");
+    assert_eq!(report.outcome.samples, sim.outcome.samples, "samples");
+    assert_eq!(
+        report.virtual_sla_violations, sim.outcome.sla_violations,
+        "virtual SLA violations"
+    );
+    assert_eq!(report.outcome.usage, sim.outcome.usage, "per-path usage");
+    assert_eq!(
+        report.outcome.correct_samples, sim.outcome.correct_samples,
+        "correct samples accumulate identically"
+    );
+    let sim_decisions: Vec<PathKind> =
+        sim.decisions().iter().map(|&idx| paths[idx]).collect();
+    assert_eq!(
+        report.path_decisions, sim_decisions,
+        "per-batch path-selection trail"
+    );
+}
+
+/// Predicts the runtime's cache counters by replaying the simulator's
+/// batch trail (path + query specs, in dispatch order) against a twin
+/// model's cache with the same deterministic ID draws.
+fn twin_cache_stats(
+    cfg: &RuntimeConfig,
+    sim: &ReplayResult,
+    paths: &[PathKind],
+) -> mprec::core::CacheStats {
+    let twin =
+        RuntimeModel::build(&cfg.model, cfg.cache_shards, cfg.seed).expect("twin builds");
+    let mut scratch = twin.make_scratch();
+    for batch in &sim.batches {
+        twin.replay_cache_accesses(paths[batch.mapping_idx], &batch.queries, &mut scratch)
+            .expect("twin replay");
+    }
+    twin.cache().stats()
+}
+
+#[test]
+fn single_worker_runtime_agrees_with_replay_including_dynamic_cache() {
+    // One worker executes batches in dispatch order, so even the
+    // order-sensitive dynamic tier must match the sequential replay.
+    let cfg = runtime_cfg(1, 256);
+    let (report, sim, paths) = run_both(cfg.clone());
+    assert_eq!(report.outcome.completed, 600);
+    assert!(
+        report.virtual_sla_violations > 0,
+        "config must exercise violations (got none; tighten the SLA)"
+    );
+    assert!(
+        report
+            .path_decisions
+            .iter()
+            .any(|&p| p != report.path_decisions[0]),
+        "config must exercise path switching"
+    );
+    assert_agreement(&report, &sim, &paths);
+    assert_eq!(
+        report.cache,
+        twin_cache_stats(&cfg, &sim, &paths),
+        "cache hit/miss/eviction counters"
+    );
+}
+
+#[test]
+fn multi_worker_runtime_agrees_with_replay_on_static_cache_counts() {
+    // With the dynamic tier disabled the cache counters are a pure
+    // per-key function, so they are worker-interleaving-invariant and
+    // must still match the sequential twin exactly.
+    let cfg = runtime_cfg(3, 0);
+    let (report, sim, paths) = run_both(cfg.clone());
+    assert_agreement(&report, &sim, &paths);
+    assert_eq!(
+        report.cache,
+        twin_cache_stats(&cfg, &sim, &paths),
+        "static-tier counters are interleaving-invariant"
+    );
+}
+
+#[test]
+fn agreement_holds_across_load_scenarios() {
+    for scenario_label in ["diurnal", "flash", "hotkey"] {
+        let cfg = RuntimeConfig {
+            scenario: LoadScenario::default_of(scenario_label).expect("known scenario"),
+            ..runtime_cfg(2, 0)
+        };
+        let (report, sim, paths) = run_both(cfg.clone());
+        assert_eq!(
+            report.outcome.completed, 600,
+            "{scenario_label}: all queries complete"
+        );
+        assert_agreement(&report, &sim, &paths);
+        assert_eq!(
+            report.cache,
+            twin_cache_stats(&cfg, &sim, &paths),
+            "{scenario_label}: cache counters"
+        );
+    }
+}
+
+#[test]
+fn cluster_runtime_agrees_with_replay_over_its_critical_path_profiles() {
+    // The cluster front-end routes over slowest-shard profiles; feeding
+    // those same profiles to the replay simulator must reproduce its
+    // decision trail and outcome counts, and a single twin model (the
+    // whole feature space, dynamic tier disabled) must predict the
+    // *merged* per-node cache counters.
+    let cfg = ClusterConfig {
+        nodes: 3,
+        workers_per_node: 2,
+        cache_shards: 4,
+        trace: QueryTraceConfig {
+            num_queries: 500,
+            mean_size: 5.0,
+            sigma: 1.0,
+            max_size: 20,
+            qps: 4000.0,
+            poisson_arrivals: true,
+        },
+        model: model_cfg(0),
+        max_batch_samples: 40,
+        seed: 23,
+        virtual_gflops: 0.005,
+        sla_us: 2_500.0,
+        ..ClusterConfig::default()
+    };
+    let cluster = Cluster::new(cfg.clone()).expect("cluster builds");
+    let report = cluster.serve().expect("cluster serves");
+    let trace = scenario::generate(cfg.trace, cfg.scenario, cfg.seed);
+    let sim = replay(
+        cluster.mapping_set(),
+        &trace,
+        &ReplayConfig {
+            sla_us: cfg.sla_us,
+            max_batch_samples: cfg.max_batch_samples,
+            max_batch_wait_us: cfg.max_batch_wait_us,
+        },
+    );
+    assert_eq!(report.outcome.completed, sim.outcome.completed);
+    assert_eq!(report.outcome.samples, sim.outcome.samples);
+    assert_eq!(report.virtual_sla_violations, sim.outcome.sla_violations);
+    assert_eq!(report.outcome.usage, sim.outcome.usage);
+    assert_eq!(report.outcome.correct_samples, sim.outcome.correct_samples);
+    let sim_decisions: Vec<PathKind> = sim
+        .decisions()
+        .iter()
+        .map(|&idx| cluster.paths()[idx])
+        .collect();
+    assert_eq!(report.path_decisions, sim_decisions);
+
+    let twin = RuntimeModel::build(&cfg.model, cfg.cache_shards, cfg.seed).expect("twin");
+    let mut scratch = twin.make_scratch();
+    for batch in &sim.batches {
+        twin.replay_cache_accesses(
+            cluster.paths()[batch.mapping_idx],
+            &batch.queries,
+            &mut scratch,
+        )
+        .expect("twin replay");
+    }
+    assert_eq!(
+        report.cache,
+        twin.cache().stats(),
+        "merged per-node counters equal the whole-feature-space twin"
+    );
+}
+
+#[test]
+fn runtime_and_replay_stay_in_lockstep_across_worker_counts() {
+    // The replay simulator is worker-oblivious; the runtime must agree
+    // with it for every worker count (i.e. worker-count invariance of
+    // the deterministic contract, stated differentially).
+    let reference = {
+        let (_, sim, paths) = run_both(runtime_cfg(1, 0));
+        (sim, paths)
+    };
+    for workers in [2usize, 4] {
+        let report = serve(runtime_cfg(workers, 0)).expect("runtime serves");
+        assert_agreement(&report, &reference.0, &reference.1);
+    }
+}
+
+#[test]
+fn replay_sees_scenario_load_shapes_through_the_shared_trace() {
+    // Same mapping set, different scenarios: the flash-crowd burst must
+    // raise virtual SLA violations over steady in *both* stacks (sanity
+    // that the differential harness isn't vacuously comparing empty
+    // behavior).
+    let steady_cfg = runtime_cfg(1, 0);
+    let flash_cfg = RuntimeConfig {
+        scenario: LoadScenario::FlashCrowd {
+            start_frac: 0.3,
+            duration_frac: 0.3,
+            multiplier: 6.0,
+        },
+        ..steady_cfg.clone()
+    };
+    let (steady_rt, steady_sim, _) = run_both(steady_cfg);
+    let (flash_rt, flash_sim, _) = run_both(flash_cfg);
+    assert!(
+        flash_rt.virtual_sla_violations > steady_rt.virtual_sla_violations,
+        "runtime: flash {} !> steady {}",
+        flash_rt.virtual_sla_violations,
+        steady_rt.virtual_sla_violations
+    );
+    assert!(
+        flash_sim.outcome.sla_violations > steady_sim.outcome.sla_violations,
+        "sim: flash {} !> steady {}",
+        flash_sim.outcome.sla_violations,
+        steady_sim.outcome.sla_violations
+    );
+}
