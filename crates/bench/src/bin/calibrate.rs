@@ -3,7 +3,7 @@
 //! and learning rates can be tuned to land near the paper's Table 2.
 //!
 //! Usage:
-//!   cargo run --release -p mprec-bench --bin calibrate [steps] [scale] [eval]
+//!   cargo run --release -p mprec-bench --bin calibrate \[steps\] \[scale\] \[eval\]
 //! Env knobs:
 //!   MPREC_SIGMA_IDIO, MPREC_SIGMA_SHARED, MPREC_ZIPF, MPREC_DATASET=kaggle|terabyte,
 //!   MPREC_K, MPREC_DNN, MPREC_SEEDS (averaged)

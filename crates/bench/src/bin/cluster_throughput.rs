@@ -1,7 +1,10 @@
 //! Cluster throughput sweep: feature-sharded multi-node serving across
 //! node counts x load scenarios, measuring aggregate samples/s, latency
 //! percentiles, SLA-violation rates, per-node (per-shard) cache hit
-//! rates and capacity split, plus 1 -> 8-node scaling ratios. Writes
+//! rates and capacity split, plus 1 -> 8-node scaling ratios — and a
+//! **failure/recovery sweep** driving the canonical node-churn schedule
+//! (one failure at 40% of the trace, one join at 70%) to record
+//! per-epoch hit rates: the post-rebalance dip and its recovery. Writes
 //! `BENCH_cluster.json` (the repo's scale-out trajectory artifact).
 //!
 //! The sweep runs in throughput mode (`pace_ingress = false`): the
@@ -17,16 +20,23 @@
 //!   feature space).
 //!
 //! Usage:
-//!   cluster_throughput [num_queries]   full sweep (default 4000/cell)
+//!   cluster_throughput \[num_queries\]  full sweep incl. the
+//!                                      failure/recovery churn cells
+//!                                      (default 4000/cell)
 //!   cluster_throughput --smoke         CI smoke: one 2-node steady
 //!                                      cell, 1500 queries, asserts
 //!                                      completion
+//!   cluster_throughput --smoke --churn CI elastic-path guard: the
+//!                                      smoke cell plus one churn cell
+//!                                      (1 failure + 1 join, fault
+//!                                      model asserted); --churn has
+//!                                      no effect without --smoke
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use mprec_data::query::QueryTraceConfig;
-use mprec_data::scenario::LoadScenario;
+use mprec_data::scenario::{self, LoadScenario};
 use mprec_runtime::{Cluster, ClusterConfig, ClusterReport, PathKind, RuntimeModelConfig};
 
 const SCENARIOS: [&str; 4] = ["steady", "diurnal", "flash", "hotkey"];
@@ -151,15 +161,72 @@ fn cell_json(c: &Cell, model: &RuntimeModelConfig) -> String {
     )
 }
 
+struct ChurnCell {
+    nodes: usize,
+    report: ClusterReport,
+    serve_s: f64,
+}
+
+/// Runs one elastic cell: the steady trace under the canonical
+/// node-churn schedule (fail the highest node at 40% of the span, join
+/// a fresh one at 70%).
+fn run_churn_cell(nodes: usize, num_queries: usize) -> ChurnCell {
+    let mut cfg = cluster_cfg(nodes, LoadScenario::SteadyPoisson, num_queries);
+    let span = scenario::nominal_span_us(num_queries, cfg.trace.qps);
+    cfg.churn = scenario::node_churn(nodes, span);
+    let cluster = Cluster::new(cfg).expect("elastic cluster builds");
+    let t0 = Instant::now();
+    let report = cluster.serve().expect("elastic cluster serves");
+    ChurnCell {
+        nodes,
+        report,
+        serve_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+fn churn_cell_json(c: &ChurnCell) -> String {
+    let mut epochs = String::from("[");
+    for (i, e) in c.report.epochs.iter().enumerate() {
+        let sep = if i + 1 < c.report.epochs.len() { "," } else { "" };
+        let _ = write!(
+            epochs,
+            "{{\"start_us\":{:.0},\"live\":{:?},\"batches\":{},\"hit_rate\":{:.4}}}{}",
+            e.start_us,
+            e.live,
+            e.batches,
+            e.hit_rate(),
+            sep
+        );
+    }
+    epochs.push(']');
+    format!(
+        concat!(
+            "{{\"nodes\":{},\"completed\":{},\"retried_batches\":{},",
+            "\"retried_queries\":{},\"virtual_sla_violation_rate\":{:.5},",
+            "\"cache_hit_rate\":{:.4},\"epochs\":{},\"serve_s\":{:.3}}}"
+        ),
+        c.nodes,
+        c.report.outcome.completed,
+        c.report.retried_batches,
+        c.report.retried_queries,
+        c.report.virtual_sla_violations as f64 / c.report.outcome.completed.max(1) as f64,
+        c.report.cache.encoder_hit_rate(),
+        epochs,
+        c.serve_s,
+    )
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let churn_flag = std::env::args().any(|a| a == "--churn");
     mprec_bench::header(
         "cluster_throughput",
         "feature-sharded scale-out serving: capacity and the routing-visible \
-         critical path scale with the node count across traffic scenarios",
+         critical path scale with the node count across traffic scenarios, \
+         and the elastic path survives node failure with a bounded hit-rate dip",
     );
 
-    let cells: Vec<Cell> = if smoke {
+    let (cells, churn_cells): (Vec<Cell>, Vec<ChurnCell>) = if smoke {
         let c = run_cell(2, "steady", 1500);
         assert_eq!(
             c.report.outcome.completed, 1500,
@@ -174,7 +241,32 @@ fn main() {
             8,
             "smoke: every feature owned by exactly one node"
         );
-        vec![c]
+        let churn = if churn_flag {
+            // The CI elastic-path guard: 1 failure + 1 join in a short
+            // trace, asserting the fault model end to end.
+            let cc = run_churn_cell(2, 1500);
+            assert_eq!(
+                cc.report.outcome.completed, 1500,
+                "churn smoke: node churn must lose no query"
+            );
+            assert_eq!(cc.report.epochs.len(), 3, "boot + fail + join epochs");
+            let failed = cc
+                .report
+                .node_ids
+                .iter()
+                .position(|&id| id == 1)
+                .expect("node 1 is the canonical victim on a 2-node cluster");
+            assert_eq!(
+                cc.report.epochs[1].per_node_cache[failed].lookups()
+                    + cc.report.epochs[2].per_node_cache[failed].lookups(),
+                0,
+                "churn smoke: the failed node serves nothing post-failure"
+            );
+            vec![cc]
+        } else {
+            Vec::new()
+        };
+        (vec![c], churn)
     } else {
         let num_queries = mprec_bench::arg_or(1, 4000usize);
         let mut out = Vec::new();
@@ -183,7 +275,11 @@ fn main() {
                 out.push(run_cell(nodes, scenario, num_queries));
             }
         }
-        out
+        let churn = [2usize, 4, 8]
+            .iter()
+            .map(|&n| run_churn_cell(n, num_queries))
+            .collect();
+        (out, churn)
     };
 
     println!(
@@ -250,6 +346,32 @@ fn main() {
         }
     }
 
+    if !churn_cells.is_empty() {
+        println!(
+            "\nfailure/recovery sweep (fail highest node @40%, join fresh node @70%):"
+        );
+        println!(
+            "{:>8} {:>10} {:>10} {:>14} {:>14} {:>14}",
+            "nodes", "completed", "retried", "hit% pre-fail", "hit% post-fail", "hit% post-join"
+        );
+        for c in &churn_cells {
+            let e = &c.report.epochs;
+            println!(
+                "{:>8} {:>10} {:>10} {:>14.1} {:>14.1} {:>14.1}",
+                c.nodes,
+                c.report.outcome.completed,
+                c.report.retried_batches,
+                100.0 * e[0].hit_rate(),
+                100.0 * e[1].hit_rate(),
+                100.0 * e[2].hit_rate(),
+            );
+        }
+        println!(
+            "(post-fail epoch: rebalanced shards start cold on their new owners; \
+             post-join epoch shows them re-warming while the joiner warms from zero)"
+        );
+    }
+
     let model = cluster_cfg(1, LoadScenario::SteadyPoisson, 0).model;
     let mut json = String::from("{\n  \"bench\": \"cluster_throughput\",\n");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
@@ -275,7 +397,16 @@ fn main() {
         let sep = if i + 1 < cells.len() { "," } else { "" };
         let _ = writeln!(json, "    {}{}", cell_json(c, &model), sep);
     }
+    json.push_str("  ],\n  \"churn_sweep\": [\n");
+    for (i, c) in churn_cells.iter().enumerate() {
+        let sep = if i + 1 < churn_cells.len() { "," } else { "" };
+        let _ = writeln!(json, "    {}{}", churn_cell_json(c), sep);
+    }
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_cluster.json", &json).expect("write BENCH_cluster.json");
-    println!("\nwrote BENCH_cluster.json ({} cells)", cells.len());
+    println!(
+        "\nwrote BENCH_cluster.json ({} cells + {} churn cells)",
+        cells.len(),
+        churn_cells.len()
+    );
 }

@@ -5,7 +5,7 @@
 //! `BENCH_kernels.json` (the repo's kernel-perf trajectory artifact).
 //!
 //! Usage:
-//!   kernel_throughput [reps]   full sweep (default 9 reps/cell, best-of)
+//!   kernel_throughput \[reps\]  full sweep (default 9 reps/cell, best-of)
 //!   kernel_throughput --smoke  CI smoke: tiny shapes, asserts the tiled
 //!                              kernel matches naive, still writes JSON
 

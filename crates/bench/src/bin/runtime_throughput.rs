@@ -9,7 +9,7 @@
 //! micro-batch formation and routing.
 //!
 //! Usage:
-//!   runtime_throughput [num_queries]   full sweep (default 10000/cell)
+//!   runtime_throughput \[num_queries\]  full sweep (default 10000/cell)
 //!   runtime_throughput --smoke         CI smoke: one 4-worker cell,
 //!                                      3000 queries, asserts completion
 

@@ -42,6 +42,8 @@
 //! # Ok::<(), mprec_core::CoreError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod candidates;
 pub mod metrics;
 pub mod mpcache;
@@ -58,8 +60,8 @@ pub use mpcache::{
 };
 pub use planner::{plan, Mapping, MappingSet};
 pub use profile::LatencyProfile;
-pub use ring::HashRing;
-pub use scheduler::{RouteDecision, Scheduler, SchedulerConfig};
+pub use ring::{FeatureShardPlan, HashRing, KeyMove, RemapDiff};
+pub use scheduler::{select_mapping, RouteDecision, Scheduler, SchedulerConfig};
 
 use std::error::Error;
 use std::fmt;

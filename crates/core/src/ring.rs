@@ -13,6 +13,13 @@
 //! * **permutation invariance** — the assignment is a pure function of
 //!   the node *set*, not the insertion order, because ring points are
 //!   kept sorted by `(hash, node)` with the node id breaking ties.
+//!
+//! Elastic clusters rebalance through the **remap-diff API**:
+//! [`HashRing::diff`] lists exactly the keys whose owner changed between
+//! two ring states, and [`FeatureShardPlan::apply`] replays that diff
+//! onto a materialized shard plan, yielding the plan of the new ring
+//! without reassigning the untouched keys (property-tested in
+//! `crates/core/tests/ring.rs`).
 
 use mprec_data::splitmix64;
 
@@ -144,6 +151,237 @@ impl HashRing {
     pub fn assign_range(&self, count: usize) -> Vec<Option<u32>> {
         (0..count).map(|k| self.assign(k as u64)).collect()
     }
+
+    /// The remap diff from `old` to `self` over keys `0..keys`: exactly
+    /// the keys whose owner changed, plus the node-set delta. Applying
+    /// the result to `old`'s [`FeatureShardPlan`] via
+    /// [`FeatureShardPlan::apply`] yields `self`'s plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either ring is empty (an empty ring owns nothing, so a
+    /// diff against it is meaningless).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mprec_core::ring::HashRing;
+    ///
+    /// let old = HashRing::with_nodes(64, [0u32, 1, 2]);
+    /// let mut new = old.clone();
+    /// new.remove_node(2);
+    /// let diff = new.diff(&old, 26);
+    /// assert_eq!(diff.removed_nodes(), &[2]);
+    /// // Every move drains node 2; survivors keep their keys.
+    /// assert!(diff.moves().iter().all(|m| m.from == 2 && m.to != 2));
+    /// ```
+    pub fn diff(&self, old: &HashRing, keys: u64) -> RemapDiff {
+        assert!(
+            !self.is_empty() && !old.is_empty(),
+            "diff requires non-empty rings"
+        );
+        let moves = (0..keys)
+            .filter_map(|k| {
+                let from = old.assign(k).expect("non-empty old ring");
+                let to = self.assign(k).expect("non-empty new ring");
+                (from != to).then_some(KeyMove { key: k, from, to })
+            })
+            .collect();
+        let added = self
+            .nodes
+            .iter()
+            .copied()
+            .filter(|n| !old.contains(*n))
+            .collect();
+        let removed = old
+            .nodes
+            .iter()
+            .copied()
+            .filter(|n| !self.contains(*n))
+            .collect();
+        RemapDiff {
+            moves,
+            added,
+            removed,
+        }
+    }
+}
+
+/// One key whose owner changed between two ring states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyMove {
+    /// The remapped key (feature index in the cluster use).
+    pub key: u64,
+    /// The owner under the old ring.
+    pub from: u32,
+    /// The owner under the new ring.
+    pub to: u32,
+}
+
+/// The difference between two ring states over a key range: exactly the
+/// keys whose owner changed (consistent hashing keeps this at ~K/N of
+/// the keys per node change) plus the node-set delta. Produced by
+/// [`HashRing::diff`], consumed by [`FeatureShardPlan::apply`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemapDiff {
+    moves: Vec<KeyMove>,
+    added: Vec<u32>,
+    removed: Vec<u32>,
+}
+
+impl RemapDiff {
+    /// The remapped keys, ascending; keys not listed kept their owner.
+    pub fn moves(&self) -> &[KeyMove] {
+        &self.moves
+    }
+
+    /// Nodes present in the new ring but not the old, ascending.
+    pub fn added_nodes(&self) -> &[u32] {
+        &self.added
+    }
+
+    /// Nodes present in the old ring but not the new, ascending.
+    pub fn removed_nodes(&self) -> &[u32] {
+        &self.removed
+    }
+
+    /// Whether the diff changes nothing (same node set, no moved keys).
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty() && self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// A materialized assignment of sparse features (keys `0..features`) to
+/// the live nodes of a [`HashRing`] — the cluster's shard map.
+///
+/// Node ids are the ring's (arbitrary, sparse) `u32` ids; an elastic
+/// cluster that failed node 1 and admitted node 9 simply has
+/// `nodes() == [0, 2, 9]`. Incremental rebalancing goes through
+/// [`FeatureShardPlan::apply`]:
+///
+/// # Examples
+///
+/// ```
+/// use mprec_core::ring::{FeatureShardPlan, HashRing};
+///
+/// let old_ring = HashRing::with_nodes(64, [0u32, 1, 2]);
+/// let mut plan = FeatureShardPlan::new(&old_ring, 26);
+///
+/// let mut new_ring = old_ring.clone();
+/// new_ring.remove_node(1); // node 1 fails
+/// new_ring.add_node(3); //    a fresh node joins
+/// plan.apply(&new_ring.diff(&old_ring, 26));
+///
+/// assert_eq!(plan, FeatureShardPlan::new(&new_ring, 26));
+/// assert_eq!(plan.nodes(), &[0, 2, 3]);
+/// assert!(plan.features_of(1).is_empty(), "failed node owns nothing");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureShardPlan {
+    /// Owning node id per feature.
+    node_of: Vec<u32>,
+    /// Live node ids, sorted ascending.
+    nodes: Vec<u32>,
+    /// Features owned per node, parallel to `nodes`, each ascending.
+    per_node: Vec<Vec<usize>>,
+}
+
+impl FeatureShardPlan {
+    /// Assigns `features` sparse features across the ring's live nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is empty.
+    pub fn new(ring: &HashRing, features: usize) -> Self {
+        let nodes = ring.nodes().to_vec();
+        let node_of: Vec<u32> = ring
+            .assign_range(features)
+            .into_iter()
+            .map(|owner| owner.expect("ring has nodes"))
+            .collect();
+        let mut plan = FeatureShardPlan {
+            node_of,
+            nodes,
+            per_node: Vec::new(),
+        };
+        plan.rebuild_per_node();
+        plan
+    }
+
+    /// Builds the canonical plan for the dense node set `0..nodes` with
+    /// `vnodes` virtual points each (the cluster's boot layout).
+    pub fn for_cluster(nodes: usize, vnodes: usize, features: usize) -> Self {
+        let ring = HashRing::with_nodes(vnodes, 0..nodes as u32);
+        Self::new(&ring, features)
+    }
+
+    /// Replays a [`RemapDiff`] onto this plan: moved features change
+    /// owner, added nodes appear (initially owning whatever moved onto
+    /// them), removed nodes disappear. The result equals
+    /// [`FeatureShardPlan::new`] on the diff's new ring — pinned by the
+    /// remap-diff property tests in `crates/core/tests/ring.rs`.
+    pub fn apply(&mut self, diff: &RemapDiff) {
+        for m in diff.moves() {
+            self.node_of[m.key as usize] = m.to;
+        }
+        for &n in diff.added_nodes() {
+            if let Err(pos) = self.nodes.binary_search(&n) {
+                self.nodes.insert(pos, n);
+            }
+        }
+        for &n in diff.removed_nodes() {
+            if let Ok(pos) = self.nodes.binary_search(&n) {
+                self.nodes.remove(pos);
+            }
+        }
+        self.rebuild_per_node();
+    }
+
+    fn rebuild_per_node(&mut self) {
+        self.per_node = vec![Vec::new(); self.nodes.len()];
+        for (f, owner) in self.node_of.iter().enumerate() {
+            let slot = self
+                .nodes
+                .binary_search(owner)
+                .expect("feature owned by a live node");
+            self.per_node[slot].push(f);
+        }
+    }
+
+    /// Number of live nodes in the plan.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Live node ids, sorted ascending.
+    pub fn nodes(&self) -> &[u32] {
+        &self.nodes
+    }
+
+    /// Number of features the plan covers.
+    pub fn num_features(&self) -> usize {
+        self.node_of.len()
+    }
+
+    /// The node owning `feature`.
+    pub fn node_of(&self, feature: usize) -> u32 {
+        self.node_of[feature]
+    }
+
+    /// The features owned by node id `node`, ascending (empty for a node
+    /// not in the plan).
+    pub fn features_of(&self, node: u32) -> &[usize] {
+        match self.nodes.binary_search(&node) {
+            Ok(slot) => &self.per_node[slot],
+            Err(_) => &[],
+        }
+    }
+
+    /// Feature count per live node, parallel to
+    /// [`FeatureShardPlan::nodes`] (the shard-balance view).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.per_node.iter().map(Vec::len).collect()
+    }
 }
 
 #[cfg(test)]
@@ -198,5 +436,58 @@ mod tests {
         assert_eq!(ring.points.len(), 3 * 16);
         assert!(ring.points.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(ring.nodes(), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn diff_of_identical_rings_is_empty() {
+        let ring = HashRing::with_nodes(32, 0u32..4);
+        let diff = ring.diff(&ring, 500);
+        assert!(diff.is_empty());
+        assert!(diff.moves().is_empty());
+        assert!(diff.added_nodes().is_empty());
+        assert!(diff.removed_nodes().is_empty());
+    }
+
+    #[test]
+    fn diff_records_join_and_fail_node_deltas() {
+        let old = HashRing::with_nodes(32, 0u32..3);
+        let mut new = old.clone();
+        new.remove_node(0);
+        new.add_node(7);
+        let diff = new.diff(&old, 64);
+        assert_eq!(diff.added_nodes(), &[7]);
+        assert_eq!(diff.removed_nodes(), &[0]);
+        for m in diff.moves() {
+            assert!(m.from == 0 || m.to == 7, "move {m:?} is unforced");
+        }
+    }
+
+    #[test]
+    fn plan_with_sparse_node_ids_covers_every_feature() {
+        let ring = HashRing::with_nodes(32, [2u32, 9, 40]);
+        let plan = FeatureShardPlan::new(&ring, 26);
+        assert_eq!(plan.nodes(), &[2, 9, 40]);
+        assert_eq!(plan.num_features(), 26);
+        assert_eq!(plan.shard_sizes().iter().sum::<usize>(), 26);
+        for f in 0..26 {
+            let owner = plan.node_of(f);
+            assert!(plan.features_of(owner).contains(&f));
+        }
+        assert!(plan.features_of(5).is_empty(), "unknown node owns nothing");
+    }
+
+    #[test]
+    fn applying_a_diff_tracks_the_new_ring() {
+        let old = HashRing::with_nodes(64, 0u32..4);
+        let mut plan = FeatureShardPlan::new(&old, 26);
+        let mut ring = old.clone();
+        ring.remove_node(3);
+        plan.apply(&ring.diff(&old, 26));
+        assert_eq!(plan, FeatureShardPlan::new(&ring, 26));
+        let prev = ring.clone();
+        ring.add_node(4);
+        plan.apply(&ring.diff(&prev, 26));
+        assert_eq!(plan, FeatureShardPlan::new(&ring, 26));
+        assert_eq!(plan.nodes(), &[0, 1, 2, 4]);
     }
 }

@@ -94,68 +94,30 @@ impl Scheduler {
     /// when the mapping set is empty.
     pub fn route(&mut self, size: u64, sla_us: f64, min_accuracy: u32) -> Option<RouteDecision> {
         let _ = min_accuracy;
-        let mut candidates: Vec<(usize, f64)> = Vec::new();
-        for (i, m) in self.mappings.mappings.iter().enumerate() {
-            let exec = m.profile.latency_us(size) * self.cfg.latency_margin;
-            candidates.push((i, exec));
-        }
-        if candidates.is_empty() {
-            return None;
-        }
-
-        let decision_of = |idx: usize, exec: f64, backlog: f64| {
-            let m = &self.mappings.mappings[idx];
-            RouteDecision {
-                mapping_idx: idx,
-                platform_idx: m.platform_idx,
-                exec_us: exec,
-                expected_completion_us: backlog + exec,
-                accuracy: m.rep.accuracy,
-            }
-        };
-
-        if self.cfg.accuracy_first {
-            // Sort by accuracy (desc), then by expected completion (asc).
-            let mut order: Vec<usize> = (0..candidates.len()).collect();
-            order.sort_by(|&a, &b| {
-                let (ia, ea) = candidates[a];
-                let (ib, eb) = candidates[b];
-                let acc_a = self.mappings.mappings[ia].rep.accuracy;
-                let acc_b = self.mappings.mappings[ib].rep.accuracy;
-                acc_b
-                    .partial_cmp(&acc_a)
-                    .expect("finite accuracy")
-                    .then(
-                        (self.backlog_us(self.mappings.mappings[ia].platform_idx) + ea)
-                            .partial_cmp(
-                                &(self.backlog_us(self.mappings.mappings[ib].platform_idx) + eb),
-                            )
-                            .expect("finite latency"),
-                    )
-            });
-            // First (most accurate) path that completes within the SLA.
-            for &c in &order {
-                let (idx, exec) = candidates[c];
-                let backlog = self.backlog_us(self.mappings.mappings[idx].platform_idx);
-                if backlog + exec <= sla_us {
-                    return Some(decision_of(idx, exec, backlog));
-                }
-            }
-        }
-        // Fallback (and the entire policy for accuracy_first = false):
-        // fastest expected completion, i.e. the latency-critical table
-        // path on the least-loaded device.
-        let best = candidates
+        let execs: Vec<f64> = self
+            .mappings
+            .mappings
             .iter()
-            .min_by(|(ia, ea), (ib, eb)| {
-                let ca = self.backlog_us(self.mappings.mappings[*ia].platform_idx) + ea;
-                let cb = self.backlog_us(self.mappings.mappings[*ib].platform_idx) + eb;
-                ca.partial_cmp(&cb).expect("finite latency")
-            })
-            .copied();
-        best.map(|(idx, exec)| {
-            let backlog = self.backlog_us(self.mappings.mappings[idx].platform_idx);
-            decision_of(idx, exec, backlog)
+            .map(|m| m.profile.latency_us(size) * self.cfg.latency_margin)
+            .collect();
+        let completions: Vec<f64> = execs
+            .iter()
+            .zip(self.mappings.mappings.iter())
+            .map(|(exec, m)| self.backlog_us(m.platform_idx) + exec)
+            .collect();
+        let idx = select_mapping(
+            &self.mappings,
+            &completions,
+            sla_us,
+            self.cfg.accuracy_first,
+        )?;
+        let m = &self.mappings.mappings[idx];
+        Some(RouteDecision {
+            mapping_idx: idx,
+            platform_idx: m.platform_idx,
+            exec_us: execs[idx],
+            expected_completion_us: completions[idx],
+            accuracy: m.rep.accuracy,
         })
     }
 
@@ -170,6 +132,11 @@ impl Scheduler {
 
     /// Convenience: route + commit, returning `(decision, completion)`.
     ///
+    /// See [`select_mapping`] for the bare selection rule when the
+    /// caller tracks its own backlogs (the cluster front-end and its
+    /// replay twin route over per-node queues this scheduler does not
+    /// model).
+    ///
     /// # Errors
     ///
     /// Returns [`crate::CoreError::NoFeasibleMapping`] when the mapping
@@ -181,6 +148,65 @@ impl Scheduler {
         let done = self.commit(&d);
         Ok((d, done))
     }
+}
+
+/// Algorithm 2's bare selection rule over precomputed expected
+/// completions: the most accurate mapping whose
+/// `expected_completion_us` fits inside `sla_us` (ties broken by lower
+/// completion, then mapping order), falling back to the fastest
+/// expected completion when nothing fits (or when `accuracy_first` is
+/// false — the table-only switching baseline).
+///
+/// [`Scheduler::route`] is this rule fed with `platform backlog +
+/// profiled latency`; callers with richer queueing models (the elastic
+/// cluster charges per-*node* backlogs over per-path scatter target
+/// sets) compute `expected_completion_us` themselves and share the
+/// exact same decision logic, so the runtime and its replay simulator
+/// cannot disagree on tie-breaking.
+///
+/// Returns `None` only when the mapping set is empty.
+///
+/// # Panics
+///
+/// Panics if `expected_completion_us` is shorter than the mapping list
+/// or contains non-finite values.
+pub fn select_mapping(
+    mappings: &MappingSet,
+    expected_completion_us: &[f64],
+    sla_us: f64,
+    accuracy_first: bool,
+) -> Option<usize> {
+    let n = mappings.mappings.len();
+    if n == 0 {
+        return None;
+    }
+    if accuracy_first {
+        // Sort by accuracy (desc), then by expected completion (asc).
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            let acc_a = mappings.mappings[a].rep.accuracy;
+            let acc_b = mappings.mappings[b].rep.accuracy;
+            acc_b.partial_cmp(&acc_a).expect("finite accuracy").then(
+                expected_completion_us[a]
+                    .partial_cmp(&expected_completion_us[b])
+                    .expect("finite latency"),
+            )
+        });
+        // First (most accurate) path that completes within the SLA.
+        for &idx in &order {
+            if expected_completion_us[idx] <= sla_us {
+                return Some(idx);
+            }
+        }
+    }
+    // Fallback (and the entire policy for accuracy_first = false):
+    // fastest expected completion, i.e. the latency-critical table
+    // path on the least-loaded device.
+    (0..n).min_by(|&a, &b| {
+        expected_completion_us[a]
+            .partial_cmp(&expected_completion_us[b])
+            .expect("finite latency")
+    })
 }
 
 #[cfg(test)]

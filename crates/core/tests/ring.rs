@@ -6,9 +6,13 @@
 //! * adding a node moves keys only *onto* the new node (and roughly
 //!   K/N of them), removing a node moves only the keys it owned,
 //! * assignment is a pure function of the node set — any permutation of
-//!   the insertion order yields the identical ring.
+//!   the insertion order yields the identical ring,
+//! * the remap-diff API (`HashRing::diff` + `FeatureShardPlan::apply`)
+//!   lists *exactly* the keys whose owner changed, and replaying the
+//!   diff onto the old plan reproduces the new ring's plan — the
+//!   incremental-rebalance contract the elastic cluster runs on.
 
-use mprec_core::ring::HashRing;
+use mprec_core::ring::{FeatureShardPlan, HashRing};
 use proptest::prelude::*;
 
 /// Assignment of keys `0..keys` under `ring`, panicking on unassigned
@@ -136,5 +140,81 @@ proptest! {
         ring.add_node(77);
         ring.remove_node(77);
         prop_assert_eq!(before, assignments(&ring, keys));
+    }
+
+    #[test]
+    fn diff_lists_exactly_the_remapped_keys(
+        node_count in 2usize..8,
+        keys in 128u64..512,
+        victim_idx in 0usize..8,
+        joiner in 100u32..200,
+    ) {
+        // One failure plus one join — the elastic cluster's canonical
+        // churn — diffed in one step.
+        let old = HashRing::with_nodes(64, 0..node_count as u32);
+        let mut new = old.clone();
+        new.remove_node((victim_idx % node_count) as u32);
+        new.add_node(joiner);
+        let diff = new.diff(&old, keys);
+
+        let before = assignments(&old, keys);
+        let after = assignments(&new, keys);
+        let mut moved_keys = std::collections::BTreeSet::new();
+        for m in diff.moves() {
+            prop_assert_eq!(before[m.key as usize], m.from, "diff from-owner");
+            prop_assert_eq!(after[m.key as usize], m.to, "diff to-owner");
+            prop_assert!(m.from != m.to);
+            moved_keys.insert(m.key);
+        }
+        // Exactness: every key NOT in the diff kept its owner.
+        for k in 0..keys {
+            if !moved_keys.contains(&k) {
+                prop_assert_eq!(
+                    before[k as usize],
+                    after[k as usize],
+                    "key {} remapped but missing from the diff",
+                    k
+                );
+            }
+        }
+        // Consistent hashing keeps the diff near K/N per changed node.
+        let expected = 2.0 * keys as f64 / node_count as f64;
+        prop_assert!(
+            (diff.moves().len() as f64) < 2.5 * expected + 16.0,
+            "{} of {} keys moved, expected ~{:.0}",
+            diff.moves().len(),
+            keys,
+            expected
+        );
+    }
+
+    #[test]
+    fn applying_the_diff_to_the_old_plan_yields_the_new_plan(
+        node_count in 2usize..8,
+        keys in 64usize..256,
+        victim_idx in 0usize..8,
+        joiner in 100u32..200,
+        vnodes in 16usize..96,
+    ) {
+        let old = HashRing::with_nodes(vnodes, 0..node_count as u32);
+        let mut plan = FeatureShardPlan::new(&old, keys);
+
+        // Fail one node, apply incrementally.
+        let mut mid = old.clone();
+        mid.remove_node((victim_idx % node_count) as u32);
+        plan.apply(&mid.diff(&old, keys as u64));
+        prop_assert_eq!(&plan, &FeatureShardPlan::new(&mid, keys));
+
+        // Then join a fresh one, apply incrementally again.
+        let mut newest = mid.clone();
+        newest.add_node(joiner);
+        plan.apply(&newest.diff(&mid, keys as u64));
+        prop_assert_eq!(&plan, &FeatureShardPlan::new(&newest, keys));
+
+        // The plan still covers every key exactly once.
+        prop_assert_eq!(plan.shard_sizes().iter().sum::<usize>(), keys);
+        for k in 0..keys {
+            prop_assert!(plan.features_of(plan.node_of(k)).contains(&k));
+        }
     }
 }

@@ -6,7 +6,7 @@
 //! deterministic transform of the base [`QueryTraceConfig`]:
 //!
 //! * [`LoadScenario::SteadyPoisson`] — the paper's trace, bit-identical
-//!   to [`QueryGenerator`](crate::query::QueryGenerator) output;
+//!   to [`QueryGenerator`] output;
 //! * [`LoadScenario::Diurnal`] — a sinusoidal day/night rate swing
 //!   around the target QPS (capacity planning: sustained peaks);
 //! * [`LoadScenario::FlashCrowd`] — a burst window at a rate multiple
@@ -138,11 +138,74 @@ impl LoadScenario {
     }
 }
 
+/// What happens to a cluster node at a churn event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnAction {
+    /// The node fails: its shard state is lost, its features remap to
+    /// the surviving nodes, in-flight batches to it are retried.
+    Fail,
+    /// A fresh node joins: ~K/N features remap onto it, arriving with a
+    /// cold cache.
+    Join,
+}
+
+/// One node-churn event on a cluster's virtual-time axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnEvent {
+    /// Virtual time of the event (µs from trace start). Events take
+    /// effect at the first batch flush at or after this instant.
+    pub at_us: f64,
+    /// The node id failing or joining.
+    pub node: u32,
+    /// Whether the node fails or joins.
+    pub action: ChurnAction,
+}
+
+/// The canonical **node-churn** scenario for an `initial_nodes`-node
+/// cluster over a trace whose nominal span is `span_us`: the
+/// highest-numbered node fails at 40% of the span, and a fresh node
+/// (id `initial_nodes`) joins at 70% — one full
+/// fail → rebalance → recover → join → rebalance cycle, the schedule
+/// `cluster_throughput --churn` and the differential churn tests run.
+///
+/// # Examples
+///
+/// ```
+/// use mprec_data::scenario::{node_churn, ChurnAction};
+///
+/// let events = node_churn(4, 1_000_000.0);
+/// assert_eq!(events.len(), 2);
+/// assert_eq!((events[0].node, events[0].action), (3, ChurnAction::Fail));
+/// assert_eq!((events[1].node, events[1].action), (4, ChurnAction::Join));
+/// assert!(events[0].at_us < events[1].at_us);
+/// ```
+pub fn node_churn(initial_nodes: usize, span_us: f64) -> Vec<ChurnEvent> {
+    let last = initial_nodes.saturating_sub(1) as u32;
+    vec![
+        ChurnEvent {
+            at_us: 0.4 * span_us,
+            node: last,
+            action: ChurnAction::Fail,
+        },
+        ChurnEvent {
+            at_us: 0.7 * span_us,
+            node: initial_nodes as u32,
+            action: ChurnAction::Join,
+        },
+    ]
+}
+
+/// Nominal span (µs) of a trace config: `num_queries / qps` — the time
+/// axis churn schedules and scenario windows are phrased against.
+pub fn nominal_span_us(num_queries: usize, qps: f64) -> f64 {
+    num_queries as f64 * 1e6 / qps.max(1e-9)
+}
+
 /// Generates a full scenario trace (sorted by arrival) for `base` under
 /// `scenario`, deterministically per seed.
 ///
 /// [`LoadScenario::SteadyPoisson`] delegates to
-/// [`QueryGenerator`](crate::query::QueryGenerator) so steady scenario
+/// [`QueryGenerator`] so steady scenario
 /// traces are bit-identical to the legacy generator's.
 pub fn generate(base: QueryTraceConfig, scenario: LoadScenario, seed: u64) -> Vec<Query> {
     if scenario == LoadScenario::SteadyPoisson {
@@ -290,6 +353,19 @@ mod tests {
         assert_eq!(sequence_of(id), 123_456);
         assert_eq!(epoch_of(id), 7);
         assert_eq!(with_epoch(5, 0), 5, "epoch 0 is the identity");
+    }
+
+    #[test]
+    fn canonical_churn_is_one_fail_then_one_join_inside_the_span() {
+        let span = nominal_span_us(4000, 1000.0);
+        let events = node_churn(4, span);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].action, ChurnAction::Fail);
+        assert_eq!(events[0].node, 3, "highest-numbered node fails");
+        assert_eq!(events[1].action, ChurnAction::Join);
+        assert_eq!(events[1].node, 4, "joiner takes the next dense id");
+        assert!(events[0].at_us < events[1].at_us);
+        assert!(events[1].at_us < span, "both events inside the trace");
     }
 
     #[test]

@@ -76,7 +76,7 @@ impl Zipf {
     /// Draws one rank.
     ///
     /// Two-level search: under a power law most draws land in the first
-    /// [`HEAD`] ranks, whose CDF prefix (2 KB) stays cache-resident, so
+    /// `HEAD` ranks, whose CDF prefix (2 KB) stays cache-resident, so
     /// the common case never touches the cold middle of the full CDF the
     /// way a plain binary search's first probes do. Both levels are
     /// binary searches over the same array, so the rank drawn for a

@@ -11,7 +11,7 @@
 //!   constants (gather efficiency, host-offload overhead, kernel launch
 //!   cost, GEMM utilization ramp);
 //! * [`Op`] describes the operators a representation executes (gathers,
-//!   GEMMs, hashing, interactions) and [`DeviceSpec::op_time_us`] prices
+//!   GEMMs, hashing, interactions) and [`cost::op_cost`] prices
 //!   each with a roofline rule `max(compute, memory) + overhead`;
 //! * platform mechanisms from the paper's observations O1–O4 are modeled
 //!   explicitly: TPUEmbedding's sharded, pipelined lookups (O1), the IPU's

@@ -1,52 +1,115 @@
-//! Scale-out cluster serving: a feature-sharded multi-node runtime.
+//! Elastic scale-out cluster serving: a feature-sharded multi-node
+//! runtime that survives node failures, rebalances live, and prunes its
+//! scatter to the nodes a batch actually needs.
 //!
 //! A single [`Engine`](crate::Engine) tops out at one machine's worker
-//! pool and one MP-Cache. This module serves the same traces across `N`
-//! simulated nodes:
+//! pool and one MP-Cache. This module serves the same traces across a
+//! *changing* set of simulated nodes:
 //!
 //! * a **consistent-hash feature-shard router**
-//!   ([`FeatureShardPlan`], over [`mprec_core::ring::HashRing`])
+//!   ([`FeatureShardPlan`] over [`mprec_core::ring::HashRing`])
 //!   partitions the sparse-feature space — each node owns the embedding
 //!   tables, DHE stacks, and `ShardedMpCache` state of its features
-//!   only, so embedding capacity and cache churn scale out with the
-//!   node count and rebalance minimally when nodes join or leave;
+//!   only. Node churn ([`ClusterConfig::churn`], or the
+//!   [`Cluster::fail_node`] / [`Cluster::add_node`] schedule builders)
+//!   re-owns only the ~K/N remapped features, computed incrementally
+//!   through the ring's remap-diff API ([`HashRing::diff`] +
+//!   [`FeatureShardPlan::apply`]);
 //! * a **front-end** micro-batches and routes queries exactly like the
-//!   single-node engine (Algorithm 2 in deterministic virtual time),
-//!   then **scatters** each batch to every node, which computes the
-//!   partial sum-pooled embedding of its feature shard on its own
-//!   worker pool with its own scratch;
-//! * a **merger** **gathers** the partial pools, sums them, runs the
-//!   top MLP, and records measured latencies into a mergeable
-//!   histogram.
+//!   single-node engine (Algorithm 2 in deterministic virtual time, via
+//!   the shared [`mprec_core::scheduler::select_mapping`] rule), then
+//!   **scatters** each batch to the *pruned* target set of the routed
+//!   path — only the nodes whose per-node cache state the path touches,
+//!   plus one designated executor for replicated table-only work;
+//! * a **merger** gathers the partial pools, sums them, runs the top
+//!   MLP, and records measured latencies into a mergeable histogram.
 //!
-//! Virtual-time latency accounting follows the slowest shard: the
-//! router's per-path profiles charge `max` over nodes of the per-node
-//! embedding FLOPs (plus the shared top-MLP merge cost and a
-//! scatter/gather network overhead), so SLA routing reacts to the
-//! critical path of the cluster, not its average.
+//! # Virtual-time accounting
 //!
-//! Every node builds its `RuntimeModel` from the same seed, so feature
-//! `f`'s weights are identical wherever `f` is assigned — the cluster's
-//! math (and, with an unsaturated dynamic tier, its aggregate cache hit
-//! counts) matches the single-node runtime on the same trace. The nodes
-//! are *simulated* (threads in one process, full weight replicas built
-//! per node, execution restricted to the owned shard); the per-node
-//! capacity split is reported analytically by `cluster_throughput`.
+//! Routing runs on the trace's virtual clock and is a pure function of
+//! `(config, seed)`:
+//!
+//! * each path's **execution latency** comes from a per-epoch profile
+//!   charging the *slowest shard* — the max over the path's scatter
+//!   targets of that node's per-sample embedding FLOPs scaled by its
+//!   capacity budget ([`ClusterConfig::node_capacity_gflops`]) — plus
+//!   the shared top-MLP merge cost and a per-batch network overhead of
+//!   0, 1, or 2 × [`ClusterConfig::net_overhead_us`] for colocated,
+//!   single-target (pruned), and fan-out scatters respectively;
+//! * each node carries a **virtual backlog**: a dispatched batch
+//!   occupies every scatter target until the batch's merge completes,
+//!   so an overloaded shard back-pressures Algorithm 2 toward cheaper
+//!   paths (table/cache) instead of queueing unboundedly;
+//! * a **churn event** takes effect at the first batch flush at or
+//!   after its timestamp. A batch in flight to a node that fails is
+//!   **retried**: it re-executes under the post-failure plan starting
+//!   at the failure instant, and its queries are charged the *full*
+//!   latency — original attempt plus retry leg — in the virtual
+//!   histogram and SLA accounting.
+//!
+//! The replay simulator (`mprec_serving::replay::replay_cluster`)
+//! re-implements this contract independently; `tests/sim_vs_runtime.rs`
+//! pins exact agreement, including across node churn.
+//!
+//! # Examples
+//!
+//! A 3-node cluster that loses a node mid-trace and admits a fresh one:
+//!
+//! ```
+//! use mprec_runtime::{Cluster, ClusterConfig, RuntimeModelConfig};
+//! use mprec_data::query::QueryTraceConfig;
+//!
+//! let mut cluster = Cluster::new(ClusterConfig {
+//!     nodes: 3,
+//!     trace: QueryTraceConfig {
+//!         num_queries: 150,
+//!         mean_size: 4.0,
+//!         max_size: 16,
+//!         qps: 5_000.0,
+//!         ..QueryTraceConfig::default()
+//!     },
+//!     model: RuntimeModelConfig {
+//!         sparse_features: 4,
+//!         rows_per_feature: 300,
+//!         emb_dim: 4,
+//!         dhe_k: 8,
+//!         dhe_dnn: 8,
+//!         dhe_h: 1,
+//!         top_hidden: vec![8],
+//!         decoder_centroids: 0,
+//!         profile_accesses: 500,
+//!         ..RuntimeModelConfig::default()
+//!     },
+//!     ..ClusterConfig::default()
+//! })?;
+//! cluster.fail_node(2, 10_000.0)?; // node 2 dies 10ms in
+//! cluster.add_node(3, 20_000.0)?; // a cold node joins at 20ms
+//! assert_eq!(cluster.epochs().len(), 3);
+//!
+//! let report = cluster.serve()?;
+//! assert_eq!(report.outcome.completed, 150);
+//! // The failed node owns nothing in the final epoch.
+//! assert!(cluster.epochs()[2].plan.features_of(2).is_empty());
+//! # Ok::<(), mprec_runtime::RuntimeError>(())
+//! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::AtomicUsize;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mprec_core::mpcache::CacheStats;
 use mprec_core::planner::MappingSet;
 use mprec_core::ring::{HashRing, DEFAULT_VNODES};
-use mprec_core::scheduler::{Scheduler, SchedulerConfig};
+use mprec_core::scheduler::select_mapping;
 use mprec_data::query::{Query, QueryTraceConfig};
-use mprec_data::scenario::{self, LoadScenario};
+use mprec_data::scenario::{self, ChurnAction, ChurnEvent, LoadScenario};
 use mprec_nn::MlpScratch;
 use mprec_serving::{PathUsage, ServingOutcome};
 use mprec_tensor::Matrix;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
+
+pub use mprec_core::ring::FeatureShardPlan;
 
 use crate::engine::{build_path_mappings, PathAccuracy, RoutePolicy};
 use crate::histogram::{LatencyHistogram, DEFAULT_SUBS_PER_OCTAVE};
@@ -57,8 +120,8 @@ use crate::{Result, RuntimeError};
 /// Full cluster configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
-    /// Number of nodes (each with its own worker pool, model replica,
-    /// and cache state).
+    /// Number of initial nodes (ids `0..nodes`), each with its own
+    /// worker pool, model replica, and cache state.
     pub nodes: usize,
     /// Worker threads per node.
     pub workers_per_node: usize,
@@ -70,6 +133,18 @@ pub struct ClusterConfig {
     pub trace: QueryTraceConfig,
     /// Load scenario reshaping arrivals / the hot-key set.
     pub scenario: LoadScenario,
+    /// Node-churn schedule on the virtual-time axis: failures and joins
+    /// in strictly increasing time order (see
+    /// [`mprec_data::scenario::node_churn`] for the canonical one).
+    /// Each event starts a new [`ClusterEpoch`].
+    pub churn: Vec<ChurnEvent>,
+    /// Per-node-id virtual compute budgets (GFLOP/s) enforced by the
+    /// router's backlog accounting; indexed by node id, with missing or
+    /// non-positive entries defaulting to
+    /// [`ClusterConfig::virtual_gflops`]. An undersized node inflates
+    /// every path profile whose scatter targets it, back-pressuring
+    /// routing toward cheaper paths.
+    pub node_capacity_gflops: Vec<f64>,
     /// Seed for the trace, the model weights, and per-query ID draws.
     pub seed: u64,
     /// SLA latency target in microseconds.
@@ -85,13 +160,14 @@ pub struct ClusterConfig {
     pub pace_ingress: bool,
     /// Path-selection policy.
     pub route: RoutePolicy,
-    /// Virtual compute rate per node (GFLOP/s) for the critical-path
-    /// latency profiles.
+    /// Default virtual compute rate per node (GFLOP/s) for the
+    /// critical-path latency profiles.
     pub virtual_gflops: f64,
     /// Fixed virtual per-batch dispatch overhead (µs).
     pub dispatch_overhead_us: f64,
-    /// Virtual network overhead per scatter/gather round trip (µs),
-    /// charged once per batch on multi-node clusters.
+    /// Virtual network overhead per hop (µs): a fan-out scatter/gather
+    /// charges two hops per batch, a shard-pruned single-target batch
+    /// one, a single-node colocated cluster zero.
     pub net_overhead_us: f64,
     /// Per-path accuracy book.
     pub accuracy: PathAccuracy,
@@ -118,6 +194,8 @@ impl Default for ClusterConfig {
                 poisson_arrivals: true,
             },
             scenario: LoadScenario::SteadyPoisson,
+            churn: Vec::new(),
+            node_capacity_gflops: Vec::new(),
             seed: 42,
             sla_us: 10_000.0,
             max_batch_samples: 256,
@@ -135,76 +213,48 @@ impl Default for ClusterConfig {
     }
 }
 
-/// The consistent-hash assignment of sparse features to nodes.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct FeatureShardPlan {
-    node_of: Vec<usize>,
-    per_node: Vec<Vec<usize>>,
-}
-
-impl FeatureShardPlan {
-    /// Assigns `features` sparse features across the ring's live nodes.
-    /// Ring node ids must be the dense set `0..nodes` (the cluster's
-    /// convention).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the ring is empty.
-    pub fn new(ring: &HashRing, features: usize) -> Self {
-        let mut per_node: Vec<Vec<usize>> = vec![Vec::new(); ring.len()];
-        let node_of: Vec<usize> = ring
-            .assign_range(features)
-            .into_iter()
-            .enumerate()
-            .map(|(f, owner)| {
-                let owner = owner.expect("ring has nodes") as usize;
-                per_node[owner].push(f);
-                owner
-            })
-            .collect();
-        FeatureShardPlan { node_of, per_node }
-    }
-
-    /// Builds the canonical plan for `nodes` nodes with `vnodes` virtual
-    /// points each.
-    pub fn for_cluster(nodes: usize, vnodes: usize, features: usize) -> Self {
-        let ring = HashRing::with_nodes(vnodes, 0..nodes as u32);
-        Self::new(&ring, features)
-    }
-
-    /// Number of nodes in the plan.
-    pub fn num_nodes(&self) -> usize {
-        self.per_node.len()
-    }
-
-    /// The node owning `feature`.
-    pub fn node_of(&self, feature: usize) -> usize {
-        self.node_of[feature]
-    }
-
-    /// The features owned by `node`, ascending.
-    pub fn features_of(&self, node: usize) -> &[usize] {
-        &self.per_node[node]
-    }
-
-    /// Feature count per node (the shard-balance view).
-    pub fn shard_sizes(&self) -> Vec<usize> {
-        self.per_node.iter().map(Vec::len).collect()
-    }
-}
-
-/// One simulated node: a full-weight model replica plus the feature
-/// shard it executes.
+/// One simulated node: a full-weight model replica (so any feature can
+/// execute anywhere after a rebalance) plus its capacity budget.
 #[derive(Debug)]
 struct ClusterNode {
+    id: u32,
     model: Arc<RuntimeModel>,
-    features: Vec<usize>,
+    capacity_gflops: f64,
+}
+
+/// One interval of cluster membership between churn events: the live
+/// node set, its shard plan, the per-path pruned scatter assignments,
+/// and the capacity-aware slowest-shard routing profiles.
+#[derive(Debug)]
+pub struct ClusterEpoch {
+    /// Virtual start time of the epoch (0 for the boot epoch, the churn
+    /// event's timestamp afterwards).
+    pub start_us: f64,
+    /// Live node ids, ascending.
+    pub live: Vec<u32>,
+    /// The feature-shard assignment in force.
+    pub plan: FeatureShardPlan,
+    /// Virtual-time mapping set the front-end routes on (shared with
+    /// the replay simulator by the differential tests).
+    pub mappings: MappingSet,
+    /// Per mapping index: the pruned scatter assignment — `(node id,
+    /// features that node pools for a batch on this path)`. DHE-cached
+    /// features always execute on their shard owner; replicated
+    /// table-only features fold onto the first target.
+    pub assignments: Vec<Vec<(u32, Arc<Vec<usize>>)>>,
+}
+
+impl ClusterEpoch {
+    /// The scatter target node ids of mapping `idx`, ascending.
+    pub fn targets(&self, idx: usize) -> Vec<u32> {
+        self.assignments[idx].iter().map(|&(id, _)| id).collect()
+    }
 }
 
 /// Reusable buffers for the synchronous scatter/gather path
 /// ([`Cluster::execute_with`]): one [`ScratchSpace`] and one partial
-/// matrix per node, the gathered pool, and the top-MLP scratch. With a
-/// warm `ClusterScratch`, an executed batch performs zero heap
+/// matrix per scatter slot, the gathered pool, and the top-MLP scratch.
+/// With a warm `ClusterScratch`, an executed batch performs zero heap
 /// allocations (extended guard in `tests/zero_alloc.rs`).
 #[derive(Debug, Default)]
 pub struct ClusterScratch {
@@ -214,22 +264,57 @@ pub struct ClusterScratch {
     top: MlpScratch,
 }
 
+/// Per-epoch slice of a cluster serve: what this membership interval
+/// dispatched and how each node's cache fared during it.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// Virtual start time of the epoch (µs).
+    pub start_us: f64,
+    /// Live node ids during the epoch, ascending.
+    pub live: Vec<u32>,
+    /// Micro-batches dispatched while this epoch was current.
+    pub batches: u64,
+    /// Cache-counter delta per replica over this epoch, parallel to
+    /// [`ClusterReport::node_ids`]. A rebalanced shard's new owner
+    /// starts cold here — the post-failure hit-rate dip and its
+    /// recovery are read off consecutive epochs.
+    pub per_node_cache: Vec<CacheStats>,
+}
+
+impl EpochReport {
+    /// Merged encoder hit rate across all replicas for this epoch.
+    pub fn hit_rate(&self) -> f64 {
+        self.per_node_cache
+            .iter()
+            .fold(CacheStats::default(), |acc, s| acc.merged(s))
+            .encoder_hit_rate()
+    }
+}
+
 /// Everything one cluster serve produced.
 #[derive(Debug)]
 pub struct ClusterReport {
     /// Aggregate results in the simulator's outcome shape.
     pub outcome: ServingOutcome,
-    /// Merged MP-Cache stats across nodes.
+    /// Merged MP-Cache stats across all replicas.
     pub cache: CacheStats,
-    /// Per-node MP-Cache stats (the per-shard hit-rate view).
+    /// Replica node ids, in construction order (initial nodes, then
+    /// joiners); every `per_node_*` vector below is parallel to this.
+    pub node_ids: Vec<u32>,
+    /// Per-replica MP-Cache stats (the per-shard hit-rate view).
     pub per_node_cache: Vec<CacheStats>,
-    /// Features owned per node.
+    /// Features owned per replica under the final epoch's plan (0 for
+    /// failed nodes).
     pub per_node_features: Vec<usize>,
-    /// Batches executed per node (summed over its workers).
+    /// Scatter jobs executed per replica (summed over its workers).
     pub per_node_batches: Vec<u64>,
     /// Merged measured-latency histogram (at the configured
     /// resolution).
     pub histogram: LatencyHistogram,
+    /// Deterministic virtual-time latency histogram: per query,
+    /// completion minus arrival — for retried batches the *full*
+    /// latency including the failed attempt, not just the retry leg.
+    pub virtual_histogram: LatencyHistogram,
     /// Queries whose virtual-time completion exceeded the SLA.
     pub virtual_sla_violations: u64,
     /// Queries whose measured latency exceeded the SLA.
@@ -239,9 +324,16 @@ pub struct ClusterReport {
     pub routed_queries: u64,
     /// Path chosen per micro-batch, in dispatch order.
     pub path_decisions: Vec<PathKind>,
+    /// Batches whose in-flight node failed and were re-executed on the
+    /// remapped owners (each failure of one batch counts once).
+    pub retried_batches: u64,
+    /// Queries inside retried batches.
+    pub retried_queries: u64,
+    /// Per-epoch slices: membership, dispatch counts, cache deltas.
+    pub epochs: Vec<EpochReport>,
     /// Sum of all top-MLP scores.
     pub checksum: f64,
-    /// Node count the run used.
+    /// Initial node count the run was configured with.
     pub nodes: usize,
 }
 
@@ -252,18 +344,28 @@ struct WorkQuery {
     real_arrival: Instant,
 }
 
-/// A scattered micro-batch, shared by all nodes and the merger.
+/// A scattered micro-batch, shared by its target nodes and the merger.
 #[derive(Debug)]
 struct BatchShared {
     path: PathKind,
     specs: Vec<(u64, u64)>,
     queries: Vec<WorkQuery>,
     total: usize,
-    /// One partial-pool slot per node, filled by that node's worker.
+    /// One partial-pool slot per scatter target, filled by that node's
+    /// worker.
     partials: Vec<Mutex<Option<Matrix>>>,
-    /// Nodes still computing; the worker that drops this to zero hands
-    /// the batch to the merger.
+    /// Targets still computing; the worker that drops this to zero
+    /// hands the batch to the merger.
     pending: AtomicUsize,
+}
+
+/// One unit of scatter work on a node's queue: which slot of which
+/// batch, pooling which features.
+#[derive(Debug)]
+struct ScatterJob {
+    shared: Arc<BatchShared>,
+    slot: usize,
+    features: Arc<Vec<usize>>,
 }
 
 #[derive(Debug)]
@@ -283,36 +385,106 @@ struct MergerReport {
     error: Option<String>,
 }
 
+/// Cross-thread progress ledger: how many batches the merger has fully
+/// gathered, plus a failure flag. The front-end blocks on it at epoch
+/// boundaries (quiescence barrier) so cache snapshots and queue
+/// teardown happen with no batch in flight.
+#[derive(Debug)]
+struct Progress {
+    state: Mutex<(u64, bool)>,
+    cv: Condvar,
+}
+
+impl Progress {
+    fn new() -> Self {
+        Progress {
+            state: Mutex::new((0, false)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn batch_done(&self) {
+        self.state.lock().0 += 1;
+        self.cv.notify_all();
+    }
+
+    fn fail(&self) {
+        self.state.lock().1 = true;
+        self.cv.notify_all();
+    }
+
+    fn failed(&self) -> bool {
+        self.state.lock().1
+    }
+
+    /// Blocks until `target` batches completed; returns `false` if a
+    /// worker or the merger failed first.
+    fn wait_for_batches(&self, target: u64) -> bool {
+        let mut guard = self.state.lock();
+        loop {
+            if guard.1 {
+                return false;
+            }
+            if guard.0 >= target {
+                return true;
+            }
+            self.cv.wait_for(&mut guard, Duration::from_millis(25));
+        }
+    }
+}
+
+/// Marks the run failed if the owning thread unwinds, so the
+/// front-end's quiescence barrier can never hang on a panicked worker.
+struct FailOnPanic<'a>(&'a Progress);
+
+impl Drop for FailOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.fail();
+        }
+    }
+}
+
 /// Front-end (deterministic) tallies.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct DispatchTally {
     usage: PathUsage,
     correct_samples: f64,
     virtual_violations: u64,
     routed: u64,
     decisions: Vec<PathKind>,
+    virtual_histogram: LatencyHistogram,
+    retried_batches: u64,
+    retried_queries: u64,
+    epoch_batches: Vec<u64>,
+    /// Per-replica cache snapshots taken at each processed epoch
+    /// boundary (quiescent).
+    epoch_snapshots: Vec<Vec<CacheStats>>,
+    aborted: bool,
 }
 
-/// The feature-sharded multi-node serving runtime: build once, serve a
-/// trace.
+/// The elastic feature-sharded multi-node serving runtime: build once
+/// (optionally scheduling churn), serve a trace.
 #[derive(Debug)]
 pub struct Cluster {
     cfg: ClusterConfig,
     nodes: Vec<ClusterNode>,
-    plan: FeatureShardPlan,
-    mappings: MappingSet,
+    epochs: Vec<ClusterEpoch>,
     paths: Vec<PathKind>,
     labels: Vec<String>,
 }
 
 impl Cluster {
-    /// Builds the shard plan, one model replica per node, and the
-    /// slowest-shard virtual-time mapping set.
+    /// Builds the replicas, the per-epoch shard plans (walking the churn
+    /// schedule through the ring's remap-diff API), and the
+    /// capacity-aware slowest-shard mapping set of every epoch.
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::BadConfig`] on degenerate configuration
-    /// and propagates model-construction errors.
+    /// Returns [`RuntimeError::BadConfig`] on degenerate configuration —
+    /// zero nodes/workers/batch budget, an unsorted churn schedule,
+    /// failing an unknown or last-remaining node, joining a live node,
+    /// or reusing a node id — and propagates model-construction errors.
     pub fn new(cfg: ClusterConfig) -> Result<Self> {
         if cfg.nodes == 0 {
             return Err(RuntimeError::BadConfig("nodes must be >= 1".into()));
@@ -327,33 +499,172 @@ impl Cluster {
                 "max_batch_samples must be >= 1".into(),
             ));
         }
-        let plan =
-            FeatureShardPlan::for_cluster(cfg.nodes, cfg.vnodes, cfg.model.sparse_features);
-        let mut nodes = Vec::with_capacity(cfg.nodes);
-        for n in 0..cfg.nodes {
+        let mut ids: Vec<u32> = (0..cfg.nodes as u32).collect();
+        for ev in &cfg.churn {
+            if ev.action == ChurnAction::Join {
+                if ids.contains(&ev.node) {
+                    return Err(RuntimeError::BadConfig(format!(
+                        "node id {} reused by a join (ids are never recycled)",
+                        ev.node
+                    )));
+                }
+                ids.push(ev.node);
+            }
+        }
+        let mut nodes = Vec::with_capacity(ids.len());
+        for id in ids {
             // Same seed on every node: feature f's table/stack weights
             // are identical wherever f lands, so sharded execution
-            // reproduces single-node math.
+            // reproduces single-node math even after a rebalance.
             let model = RuntimeModel::build(&cfg.model, cfg.cache_shards, cfg.seed)?;
             nodes.push(ClusterNode {
+                id,
                 model: Arc::new(model),
-                features: plan.features_of(n).to_vec(),
+                capacity_gflops: capacity_of(&cfg, id),
             });
         }
-        let (mappings, paths) = build_cluster_mappings(&cfg, &nodes)?;
-        let labels = mappings
-            .mappings
-            .iter()
-            .map(|m| m.label(&mappings.platforms))
-            .collect();
+        Self::from_parts(cfg, nodes)
+    }
+
+    /// Rebuilds epochs over existing replicas (used by `new` and the
+    /// [`Cluster::fail_node`] / [`Cluster::add_node`] schedule
+    /// builders).
+    fn from_parts(cfg: ClusterConfig, nodes: Vec<ClusterNode>) -> Result<Self> {
+        let features = cfg.model.sparse_features;
+        let mut ring = HashRing::with_nodes(cfg.vnodes, 0..cfg.nodes as u32);
+        let mut plan = FeatureShardPlan::new(&ring, features);
+        let mut epochs = Vec::with_capacity(cfg.churn.len() + 1);
+        epochs.push(build_epoch(&cfg, &nodes, 0.0, &plan)?);
+        let mut last_at = 0.0f64;
+        for ev in &cfg.churn {
+            if ev.at_us <= last_at {
+                return Err(RuntimeError::BadConfig(format!(
+                    "churn events must have strictly increasing positive times, got {} after {}",
+                    ev.at_us, last_at
+                )));
+            }
+            last_at = ev.at_us;
+            let old = ring.clone();
+            match ev.action {
+                ChurnAction::Fail => {
+                    if !ring.contains(ev.node) {
+                        return Err(RuntimeError::BadConfig(format!(
+                            "cannot fail node {}: not live at t={}us",
+                            ev.node, ev.at_us
+                        )));
+                    }
+                    if ring.len() == 1 {
+                        return Err(RuntimeError::BadConfig(
+                            "cannot fail the last live node".into(),
+                        ));
+                    }
+                    ring.remove_node(ev.node);
+                }
+                ChurnAction::Join => {
+                    if ring.contains(ev.node) {
+                        return Err(RuntimeError::BadConfig(format!(
+                            "cannot join node {}: already live at t={}us",
+                            ev.node, ev.at_us
+                        )));
+                    }
+                    ring.add_node(ev.node);
+                }
+            }
+            // Incremental rebalance: only the ~K/N remapped features
+            // change owner (the diff), everything else keeps its shard.
+            plan.apply(&ring.diff(&old, features as u64));
+            debug_assert_eq!(plan, FeatureShardPlan::new(&ring, features));
+            epochs.push(build_epoch(&cfg, &nodes, ev.at_us, &plan)?);
+        }
+        let (paths, labels) = {
+            let m = &epochs[0].mappings;
+            let labels = m
+                .mappings
+                .iter()
+                .map(|mp| mp.label(&m.platforms))
+                .collect();
+            (path_order(cfg.route), labels)
+        };
         Ok(Cluster {
             cfg,
             nodes,
-            plan,
-            mappings,
+            epochs,
             paths,
             labels,
         })
+    }
+
+    /// Schedules a node failure at virtual time `at_us` (after every
+    /// already-scheduled event) and rebuilds the epoch sequence. The
+    /// failed node's features remap to the survivors; batches in flight
+    /// to it at the failure instant are retried on the new owners with
+    /// the failure charged to virtual time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::BadConfig`] if the node is not live at
+    /// `at_us`, is the last live node, or `at_us` does not extend the
+    /// schedule.
+    pub fn fail_node(&mut self, node: u32, at_us: f64) -> Result<()> {
+        self.push_event(ChurnEvent {
+            at_us,
+            node,
+            action: ChurnAction::Fail,
+        })
+    }
+
+    /// Schedules a fresh node joining at virtual time `at_us` (after
+    /// every already-scheduled event) and rebuilds the epoch sequence.
+    /// The joiner takes ownership of ~K/N features and starts with a
+    /// cold cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::BadConfig`] if the id is already in use
+    /// or `at_us` does not extend the schedule.
+    pub fn add_node(&mut self, node: u32, at_us: f64) -> Result<()> {
+        self.push_event(ChurnEvent {
+            at_us,
+            node,
+            action: ChurnAction::Join,
+        })
+    }
+
+    fn push_event(&mut self, ev: ChurnEvent) -> Result<()> {
+        let mut cfg = self.cfg.clone();
+        cfg.churn.push(ev);
+        // Reuse the existing replicas (models are pure functions of the
+        // seed, so rebuilding them would only waste time); on error the
+        // cluster is left exactly as it was.
+        let mut nodes: Vec<ClusterNode> = self
+            .nodes
+            .iter()
+            .map(|n| ClusterNode {
+                id: n.id,
+                model: Arc::clone(&n.model),
+                capacity_gflops: n.capacity_gflops,
+            })
+            .collect();
+        if ev.action == ChurnAction::Join {
+            // Match Cluster::new's validation: an id that ever had a
+            // replica (initial node or earlier joiner) is never
+            // recycled — a "rejoining" replica would resurrect the old
+            // warm cache and contradict the cold-start fault model.
+            if nodes.iter().any(|n| n.id == ev.node) {
+                return Err(RuntimeError::BadConfig(format!(
+                    "node id {} reused by a join (ids are never recycled)",
+                    ev.node
+                )));
+            }
+            let model = RuntimeModel::build(&cfg.model, cfg.cache_shards, cfg.seed)?;
+            nodes.push(ClusterNode {
+                id: ev.node,
+                model: Arc::new(model),
+                capacity_gflops: capacity_of(&cfg, ev.node),
+            });
+        }
+        *self = Self::from_parts(cfg, nodes)?;
+        Ok(())
     }
 
     /// The cluster configuration.
@@ -361,20 +672,73 @@ impl Cluster {
         &self.cfg
     }
 
-    /// The feature-shard assignment.
+    /// The boot epoch's feature-shard assignment.
     pub fn plan(&self) -> &FeatureShardPlan {
-        &self.plan
+        &self.epochs[0].plan
     }
 
-    /// The slowest-shard virtual-time mapping set the front-end routes
-    /// on (shared with the replay simulator by differential tests).
+    /// The full epoch sequence: boot membership plus one epoch per
+    /// churn event, each with its plan, pruned scatter assignments, and
+    /// routing profiles.
+    pub fn epochs(&self) -> &[ClusterEpoch] {
+        &self.epochs
+    }
+
+    /// The boot epoch's virtual-time mapping set (shared with the
+    /// replay simulator by differential tests; per-epoch sets live in
+    /// [`Cluster::epochs`]).
     pub fn mapping_set(&self) -> &MappingSet {
-        &self.mappings
+        &self.epochs[0].mappings
     }
 
-    /// Execution path per mapping index.
+    /// Execution path per mapping index (identical across epochs).
     pub fn paths(&self) -> &[PathKind] {
         &self.paths
+    }
+
+    /// Replica node ids in construction order (initial nodes, then
+    /// joiners) — the axis of every per-node report vector.
+    pub fn node_ids(&self) -> Vec<u32> {
+        self.nodes.iter().map(|n| n.id).collect()
+    }
+
+    /// The cluster's serving contract as the replay simulator consumes
+    /// it: per-epoch routing profiles and pruned scatter target sets,
+    /// plus the churn events separating epochs. Feeding this to
+    /// [`mprec_serving::replay::replay_cluster`] with the same trace
+    /// must reproduce this cluster's decision trail exactly
+    /// (`tests/sim_vs_runtime.rs`).
+    pub fn replay_spec(&self) -> mprec_serving::replay::ClusterReplaySpec {
+        mprec_serving::replay::ClusterReplaySpec {
+            epochs: self
+                .epochs
+                .iter()
+                .map(|e| mprec_serving::replay::ClusterEpochSpec {
+                    mappings: e.mappings.clone(),
+                    targets: e
+                        .assignments
+                        .iter()
+                        .map(|a| a.iter().map(|&(id, _)| id).collect())
+                        .collect(),
+                })
+                .collect(),
+            events: self
+                .cfg
+                .churn
+                .iter()
+                .map(|ev| mprec_serving::replay::ClusterChurnSpec {
+                    at_us: ev.at_us,
+                    failed: (ev.action == ChurnAction::Fail).then_some(ev.node),
+                })
+                .collect(),
+        }
+    }
+
+    fn slot_of(&self, id: u32) -> usize {
+        self.nodes
+            .iter()
+            .position(|n| n.id == id)
+            .expect("assignments only reference built replicas")
     }
 
     /// Creates a [`ClusterScratch`] sized for this cluster.
@@ -387,12 +751,13 @@ impl Cluster {
         }
     }
 
-    /// Synchronous scatter/gather execution of one micro-batch: every
-    /// node pools its feature shard into its partial matrix, the
-    /// partials are summed, and the top MLP scores the gathered pool.
-    /// Zero steady-state heap allocations with a warm scratch; the
-    /// threaded [`Cluster::serve`] runs the same math with the scatter
-    /// fanned out across node worker pools.
+    /// Synchronous scatter/gather execution of one micro-batch under
+    /// the boot epoch's pruned assignment: every target node pools its
+    /// assigned features into its partial matrix, the partials are
+    /// summed, and the top MLP scores the gathered pool. Zero
+    /// steady-state heap allocations with a warm scratch; the threaded
+    /// [`Cluster::serve`] runs the same math with the scatter fanned
+    /// out across node worker pools.
     ///
     /// # Errors
     ///
@@ -403,14 +768,21 @@ impl Cluster {
         queries: &[(u64, u64)],
         scratch: &mut ClusterScratch,
     ) -> Result<BatchResult> {
+        let idx = self
+            .paths
+            .iter()
+            .position(|&p| p == path)
+            .ok_or_else(|| RuntimeError::BadConfig(format!("path {path} not routed")))?;
+        let assignment = &self.epochs[0].assignments[idx];
         let mut total = 0u64;
-        for (n, node) in self.nodes.iter().enumerate() {
+        for (slot, (node_id, feats)) in assignment.iter().enumerate() {
+            let node = &self.nodes[self.slot_of(*node_id)];
             total = node.model.pool_features_into(
                 path,
                 queries,
-                &node.features,
-                &mut scratch.per_node[n],
-                &mut scratch.partials[n],
+                feats,
+                &mut scratch.per_node[slot],
+                &mut scratch.partials[slot],
             )?;
         }
         if total == 0 {
@@ -422,7 +794,7 @@ impl Cluster {
         scratch
             .pooled
             .resize_zeroed(total as usize, self.cfg.model.emb_dim);
-        for partial in &scratch.partials {
+        for partial in scratch.partials.iter().take(assignment.len()) {
             scratch.pooled.add_assign(partial)?;
         }
         let checksum = self.nodes[0]
@@ -434,7 +806,8 @@ impl Cluster {
         })
     }
 
-    /// Serves the configured trace across the node pools.
+    /// Serves the configured trace across the node pools, applying the
+    /// churn schedule as virtual time passes.
     ///
     /// # Errors
     ///
@@ -450,39 +823,44 @@ impl Cluster {
         } else {
             self.cfg.queue_depth
         };
-        let node_queues: Vec<Arc<BoundedQueue<Arc<BatchShared>>>> = (0..self.cfg.nodes)
+        let node_queues: Vec<Arc<BoundedQueue<ScatterJob>>> = (0..self.nodes.len())
             .map(|_| Arc::new(BoundedQueue::with_capacity(depth)))
             .collect();
         let merge_queue: Arc<BoundedQueue<Arc<BatchShared>>> =
-            Arc::new(BoundedQueue::with_capacity((self.cfg.nodes * 4).max(8)));
+            Arc::new(BoundedQueue::with_capacity((self.nodes.len() * 4).max(8)));
+        let progress = Arc::new(Progress::new());
         let start = Instant::now();
 
-        let mut workers = Vec::with_capacity(self.cfg.nodes * self.cfg.workers_per_node);
+        let mut workers = Vec::with_capacity(self.nodes.len() * self.cfg.workers_per_node);
         for (n, node) in self.nodes.iter().enumerate() {
             for _ in 0..self.cfg.workers_per_node {
                 let queue = Arc::clone(&node_queues[n]);
                 let merge = Arc::clone(&merge_queue);
                 let model = Arc::clone(&node.model);
-                let features = node.features.clone();
+                let progress = Arc::clone(&progress);
+                let id = node.id;
                 workers.push(std::thread::spawn(move || {
-                    node_worker_loop(&queue, &merge, &model, &features, n)
+                    node_worker_loop(&queue, &merge, &model, &progress, id)
                 }));
             }
         }
         let merger = {
             let merge = Arc::clone(&merge_queue);
             let model = Arc::clone(&self.nodes[0].model);
+            let progress = Arc::clone(&progress);
             let sla_us = self.cfg.sla_us;
             let subs = self.cfg.histogram_subs;
             let emb_dim = self.cfg.model.emb_dim;
-            std::thread::spawn(move || merger_loop(&merge, &model, sla_us, subs, emb_dim, start))
+            std::thread::spawn(move || {
+                merger_loop(&merge, &model, &progress, sla_us, subs, emb_dim, start)
+            })
         };
 
-        let tally = self.dispatch(&trace, &node_queues, start);
+        let tally = self.dispatch(&trace, &node_queues, &progress, start);
         for q in &node_queues {
             q.close();
         }
-        let mut node_batches = vec![0u64; self.cfg.nodes];
+        let mut node_batches = vec![0u64; self.nodes.len()];
         let mut worker_error: Option<String> = None;
         for (i, w) in workers.into_iter().enumerate() {
             let report = w.join().expect("node worker thread panicked");
@@ -499,42 +877,150 @@ impl Cluster {
         if let Some(msg) = merged.error {
             return Err(RuntimeError::Worker(msg));
         }
+        if tally.aborted {
+            return Err(RuntimeError::Worker(
+                "cluster run aborted at an epoch barrier".into(),
+            ));
+        }
         Ok(self.assemble(tally, merged, node_batches, start))
     }
 
-    /// Front-end loop: virtual-time batching + routing + scatter.
+    /// Front-end loop: virtual-time batching + routing + pruned
+    /// scatter, walking the churn schedule as flush times pass events.
     fn dispatch(
         &self,
         trace: &[Query],
-        node_queues: &[Arc<BoundedQueue<Arc<BatchShared>>>],
+        node_queues: &[Arc<BoundedQueue<ScatterJob>>],
+        progress: &Progress,
         start: Instant,
     ) -> DispatchTally {
-        let mut sched = Scheduler::new(self.mappings.clone(), SchedulerConfig::default());
-        let mut tally = DispatchTally::default();
+        let mut tally = DispatchTally {
+            usage: PathUsage::default(),
+            correct_samples: 0.0,
+            virtual_violations: 0,
+            routed: 0,
+            decisions: Vec::new(),
+            virtual_histogram: LatencyHistogram::with_subs_per_octave(self.cfg.histogram_subs),
+            retried_batches: 0,
+            retried_queries: 0,
+            epoch_batches: vec![0; self.epochs.len()],
+            epoch_snapshots: Vec::new(),
+            aborted: false,
+        };
+        let mut free_at = vec![0.0f64; self.nodes.len()];
+        let mut cur_epoch = 0usize;
+        let mut dispatched = 0u64;
         let mut pending: Vec<&Query> = Vec::new();
         let mut pending_samples: u64 = 0;
 
-        let mut flush = |pending: &mut Vec<&Query>, pending_samples: &mut u64, flush_at_us: f64| {
+        macro_rules! advance_epochs {
+            ($t:expr) => {
+                while cur_epoch < self.cfg.churn.len()
+                    && self.cfg.churn[cur_epoch].at_us <= $t
+                    && !tally.aborted
+                {
+                    // Quiescence barrier: every dispatched batch is
+                    // merged before the snapshot and teardown, so the
+                    // per-epoch cache deltas are exact and a failed
+                    // node's queue is provably drained.
+                    if !progress.wait_for_batches(dispatched) {
+                        tally.aborted = true;
+                        break;
+                    }
+                    tally
+                        .epoch_snapshots
+                        .push(self.nodes.iter().map(|n| n.model.cache().stats()).collect());
+                    let ev = self.cfg.churn[cur_epoch];
+                    if ev.action == ChurnAction::Fail {
+                        node_queues[self.slot_of(ev.node)].close();
+                    }
+                    cur_epoch += 1;
+                }
+            };
+        }
+
+        let flush = |pending: &mut Vec<&Query>,
+                         pending_samples: &mut u64,
+                         flush_at_us: f64,
+                         tally: &mut DispatchTally,
+                         free_at: &mut Vec<f64>,
+                         cur_epoch: &mut usize,
+                         dispatched: &mut u64| {
             if pending.is_empty() {
                 return;
             }
+            if tally.aborted || progress.failed() {
+                tally.aborted = true;
+                pending.clear();
+                *pending_samples = 0;
+                return;
+            }
+            let e = *cur_epoch;
             let oldest_us = pending[0].arrival_us as f64;
-            sched.advance_to(flush_at_us);
             let sla_remaining = (self.cfg.sla_us - (flush_at_us - oldest_us)).max(1.0);
-            let decision = sched
-                .route(*pending_samples, sla_remaining, 0)
-                .expect("mapping set is never empty");
-            let done_us = sched.commit(&decision);
-            let path = self.paths[decision.mapping_idx];
+            let samples = *pending_samples;
+
+            // Route under the current epoch's capacity-aware profiles
+            // with per-node queue depth visible to Algorithm 2.
+            let (idx, exec, start_us) =
+                self.route_in_epoch(e, samples, sla_remaining, flush_at_us, free_at);
+            let mut done_us = start_us + exec;
+            for &(id, _) in &self.epochs[e].assignments[idx] {
+                let slot = self.slot_of(id);
+                free_at[slot] = free_at[slot].max(flush_at_us) + exec;
+            }
+
+            // Failure retries: a fail event inside this batch's flight
+            // window whose victim is one of its targets restarts the
+            // batch — at the failure instant, under the post-failure
+            // plan — and the queries carry both legs' latency.
+            let mut exec_epoch = e;
+            let mut retried = false;
+            let mut scan = e;
+            while scan < self.cfg.churn.len() {
+                let ev = self.cfg.churn[scan];
+                if ev.at_us >= done_us {
+                    break;
+                }
+                if ev.action == ChurnAction::Fail
+                    && self.epochs[exec_epoch].assignments[idx]
+                        .iter()
+                        .any(|&(id, _)| id == ev.node)
+                {
+                    exec_epoch = scan + 1;
+                    retried = true;
+                    tally.retried_batches += 1;
+                    let retry_exec =
+                        self.epochs[exec_epoch].mappings.mappings[idx].profile.latency_us(samples);
+                    let retry_start = self.epochs[exec_epoch].assignments[idx]
+                        .iter()
+                        .map(|&(id, _)| free_at[self.slot_of(id)])
+                        .fold(f64::NEG_INFINITY, f64::max)
+                        .max(ev.at_us);
+                    done_us = retry_start + retry_exec;
+                    for &(id, _) in &self.epochs[exec_epoch].assignments[idx] {
+                        let slot = self.slot_of(id);
+                        free_at[slot] = free_at[slot].max(ev.at_us) + retry_exec;
+                    }
+                }
+                scan += 1;
+            }
+
+            let path = self.paths[idx];
             tally.decisions.push(path);
+            tally.epoch_batches[e] += 1;
+            if retried {
+                tally.retried_queries += pending.len() as u64;
+            }
             let accuracy = self.cfg.accuracy.of(path) as f64;
-            let label = &self.labels[decision.mapping_idx];
+            let label = &self.labels[idx];
             let now = Instant::now();
             let mut specs = Vec::with_capacity(pending.len());
             let mut queries = Vec::with_capacity(pending.len());
             let mut total = 0usize;
             for q in pending.iter() {
                 let virtual_latency = done_us - q.arrival_us as f64;
+                tally.virtual_histogram.record(virtual_latency);
                 if virtual_latency > self.cfg.sla_us {
                     tally.virtual_violations += 1;
                 }
@@ -552,19 +1038,30 @@ impl Cluster {
                     },
                 });
             }
+            // Real execution happens once, under the final (post-retry)
+            // epoch's pruned assignment — the wasted attempt exists
+            // only in virtual time, so sharded math and cache state
+            // stay deterministic.
+            let assignment = &self.epochs[exec_epoch].assignments[idx];
             let shared = Arc::new(BatchShared {
                 path,
                 specs,
                 queries,
                 total,
-                partials: (0..self.cfg.nodes).map(|_| Mutex::new(None)).collect(),
-                pending: AtomicUsize::new(self.cfg.nodes),
+                partials: (0..assignment.len()).map(|_| Mutex::new(None)).collect(),
+                pending: AtomicUsize::new(assignment.len()),
             });
-            for q in node_queues {
+            for (slot, (node_id, feats)) in assignment.iter().enumerate() {
+                let qslot = self.slot_of(*node_id);
                 // push only fails when a panicking worker closed its
                 // queue; the join in serve() surfaces that panic.
-                let _ = q.push(Arc::clone(&shared));
+                let _ = node_queues[qslot].push(ScatterJob {
+                    shared: Arc::clone(&shared),
+                    slot,
+                    features: Arc::clone(feats),
+                });
             }
+            *dispatched += 1;
             pending.clear();
             *pending_samples = 0;
         };
@@ -577,7 +1074,16 @@ impl Cluster {
                     if self.cfg.pace_ingress {
                         sleep_until(start, deadline);
                     }
-                    flush(&mut pending, &mut pending_samples, deadline);
+                    advance_epochs!(deadline);
+                    flush(
+                        &mut pending,
+                        &mut pending_samples,
+                        deadline,
+                        &mut tally,
+                        &mut free_at,
+                        &mut cur_epoch,
+                        &mut dispatched,
+                    );
                 }
             }
             if self.cfg.pace_ingress {
@@ -586,12 +1092,30 @@ impl Cluster {
             if !pending.is_empty()
                 && pending_samples + q.size as u64 > self.cfg.max_batch_samples as u64
             {
-                flush(&mut pending, &mut pending_samples, arrival_us);
+                advance_epochs!(arrival_us);
+                flush(
+                    &mut pending,
+                    &mut pending_samples,
+                    arrival_us,
+                    &mut tally,
+                    &mut free_at,
+                    &mut cur_epoch,
+                    &mut dispatched,
+                );
             }
             pending.push(q);
             pending_samples += q.size as u64;
             if pending_samples >= self.cfg.max_batch_samples as u64 {
-                flush(&mut pending, &mut pending_samples, arrival_us);
+                advance_epochs!(arrival_us);
+                flush(
+                    &mut pending,
+                    &mut pending_samples,
+                    arrival_us,
+                    &mut tally,
+                    &mut free_at,
+                    &mut cur_epoch,
+                    &mut dispatched,
+                );
             }
         }
         if !pending.is_empty() {
@@ -599,23 +1123,88 @@ impl Cluster {
             if self.cfg.pace_ingress {
                 sleep_until(start, deadline);
             }
-            flush(&mut pending, &mut pending_samples, deadline);
+            advance_epochs!(deadline);
+            flush(
+                &mut pending,
+                &mut pending_samples,
+                deadline,
+                &mut tally,
+                &mut free_at,
+                &mut cur_epoch,
+                &mut dispatched,
+            );
         }
+        // Process any trailing events so every epoch gets its boundary
+        // snapshot even when the schedule outlives the trace.
+        advance_epochs!(f64::INFINITY);
         tally
+    }
+
+    /// Algorithm 2 in the current epoch: per path, expected execution
+    /// from the capacity-aware slowest-shard profile, plus the queueing
+    /// wait of its most-backlogged scatter target. Returns `(mapping
+    /// idx, exec_us, start_us)` with `start_us >= now_us`.
+    fn route_in_epoch(
+        &self,
+        epoch: usize,
+        samples: u64,
+        sla_remaining_us: f64,
+        now_us: f64,
+        free_at: &[f64],
+    ) -> (usize, f64, f64) {
+        let ep = &self.epochs[epoch];
+        let n = ep.mappings.mappings.len();
+        let mut execs = Vec::with_capacity(n);
+        let mut starts = Vec::with_capacity(n);
+        let mut completions = Vec::with_capacity(n);
+        for i in 0..n {
+            let exec = ep.mappings.mappings[i].profile.latency_us(samples);
+            let busiest = ep.assignments[i]
+                .iter()
+                .map(|&(id, _)| free_at[self.slot_of(id)])
+                .fold(f64::NEG_INFINITY, f64::max);
+            let start = busiest.max(now_us);
+            execs.push(exec);
+            starts.push(start);
+            completions.push((start - now_us) + exec);
+        }
+        let idx = select_mapping(&ep.mappings, &completions, sla_remaining_us, true)
+            .expect("mapping set is never empty");
+        (idx, execs[idx], starts[idx])
     }
 
     fn assemble(
         &self,
-        tally: DispatchTally,
+        mut tally: DispatchTally,
         merged: MergerReport,
         per_node_batches: Vec<u64>,
         start: Instant,
     ) -> ClusterReport {
         let per_node_cache: Vec<CacheStats> =
             self.nodes.iter().map(|n| n.model.cache().stats()).collect();
+        // Final epoch closes at end-of-serve: its delta runs from the
+        // last boundary snapshot to the final counters.
+        tally.epoch_snapshots.push(per_node_cache.clone());
+        let mut epochs = Vec::with_capacity(self.epochs.len());
+        let mut prev: Vec<CacheStats> = self.nodes.iter().map(|_| CacheStats::default()).collect();
+        for (e, snapshot) in tally.epoch_snapshots.iter().enumerate() {
+            let deltas = snapshot
+                .iter()
+                .zip(prev.iter())
+                .map(|(now, before)| stats_delta(now, before))
+                .collect();
+            epochs.push(EpochReport {
+                start_us: self.epochs[e].start_us,
+                live: self.epochs[e].live.clone(),
+                batches: tally.epoch_batches[e],
+                per_node_cache: deltas,
+            });
+            prev = snapshot.clone();
+        }
         let cache = per_node_cache
             .iter()
             .fold(CacheStats::default(), |acc, s| acc.merged(s));
+        let final_plan = &self.epochs[self.epochs.len() - 1].plan;
         let outcome = ServingOutcome {
             policy: format!(
                 "cluster:{}@{}n/{}w",
@@ -634,14 +1223,23 @@ impl Cluster {
         ClusterReport {
             outcome,
             cache,
+            node_ids: self.node_ids(),
             per_node_cache,
-            per_node_features: self.plan.shard_sizes(),
+            per_node_features: self
+                .nodes
+                .iter()
+                .map(|n| final_plan.features_of(n.id).len())
+                .collect(),
             per_node_batches,
             histogram: merged.histogram,
+            virtual_histogram: tally.virtual_histogram,
             virtual_sla_violations: tally.virtual_violations,
             measured_sla_violations: merged.measured_violations,
             routed_queries: tally.routed,
             path_decisions: tally.decisions,
+            retried_batches: tally.retried_batches,
+            retried_queries: tally.retried_queries,
+            epochs,
             checksum: merged.checksum,
             nodes: self.cfg.nodes,
         }
@@ -657,12 +1255,147 @@ pub fn serve_cluster(cfg: ClusterConfig) -> Result<ClusterReport> {
     Cluster::new(cfg)?.serve()
 }
 
+/// The default per-node capacity lookup: entry by node id, falling back
+/// to the uniform `virtual_gflops` budget.
+fn capacity_of(cfg: &ClusterConfig, id: u32) -> f64 {
+    cfg.node_capacity_gflops
+        .get(id as usize)
+        .copied()
+        .filter(|&c| c > 0.0)
+        .unwrap_or(cfg.virtual_gflops)
+}
+
+/// Field-wise difference of two cumulative counter snapshots.
+fn stats_delta(now: &CacheStats, before: &CacheStats) -> CacheStats {
+    CacheStats {
+        encoder_hits: now.encoder_hits - before.encoder_hits,
+        encoder_misses: now.encoder_misses - before.encoder_misses,
+        decoder_lookups: now.decoder_lookups - before.decoder_lookups,
+        dynamic_hits: now.dynamic_hits - before.dynamic_hits,
+        evictions: now.evictions - before.evictions,
+    }
+}
+
+/// Path order the mapping builder emits for a policy.
+fn path_order(route: RoutePolicy) -> Vec<PathKind> {
+    match route {
+        RoutePolicy::MpRec => vec![PathKind::Hybrid, PathKind::Dhe, PathKind::Table],
+        RoutePolicy::Fixed(p) => vec![p],
+    }
+}
+
+/// The pruned scatter assignment of one path under one plan: DHE-cached
+/// features go to their shard owner (that node's cache holds their warm
+/// state); the target set is exactly those owners. A path touching no
+/// per-node cache state (table-only) folds onto a single designated
+/// executor — the owner of feature 0 — because table weights are
+/// replicated everywhere. Table features whose owner is already a
+/// target stay with it; the rest fold onto the first target.
+fn path_assignment(
+    model: &RuntimeModel,
+    plan: &FeatureShardPlan,
+    path: PathKind,
+) -> Vec<(u32, Arc<Vec<usize>>)> {
+    let features = plan.num_features();
+    let mut targets: Vec<u32> = (0..features)
+        .filter(|&f| model.path_uses_dhe(path, f))
+        .map(|f| plan.node_of(f))
+        .collect();
+    targets.sort_unstable();
+    targets.dedup();
+    if targets.is_empty() {
+        targets.push(plan.node_of(0));
+    }
+    let mut groups: Vec<(u32, Vec<usize>)> =
+        targets.iter().map(|&t| (t, Vec::new())).collect();
+    for f in 0..features {
+        // A miss means a replicated table feature whose owner is not a
+        // target: fold it onto the first (smallest-id) target.
+        let slot = targets.binary_search(&plan.node_of(f)).unwrap_or_default();
+        groups[slot].1.push(f);
+    }
+    groups
+        .into_iter()
+        .map(|(id, feats)| (id, Arc::new(feats)))
+        .collect()
+}
+
+/// Builds one epoch: the pruned per-path assignments and the
+/// capacity-aware slowest-shard mapping set. Per path, the per-sample
+/// cost is the max over its scatter targets of the target's embedding
+/// FLOPs scaled by `virtual_gflops / capacity`, plus the shared top-MLP
+/// merge; the per-batch overhead adds one network hop for a pruned
+/// single-target scatter and two for a fan-out (zero on a colocated
+/// never-churned single-node cluster).
+fn build_epoch(
+    cfg: &ClusterConfig,
+    nodes: &[ClusterNode],
+    start_us: f64,
+    plan: &FeatureShardPlan,
+) -> Result<ClusterEpoch> {
+    let model = &nodes[0].model;
+    let rate = cfg.virtual_gflops.max(1e-6) * 1e3;
+    let distributed = cfg.nodes > 1 || !cfg.churn.is_empty();
+    let capacity = |id: u32| {
+        nodes
+            .iter()
+            .find(|n| n.id == id)
+            .map(|n| n.capacity_gflops)
+            .unwrap_or(cfg.virtual_gflops)
+    };
+    let order = path_order(cfg.route);
+    let assignments: Vec<Vec<(u32, Arc<Vec<usize>>)>> = order
+        .iter()
+        .map(|&p| path_assignment(model, plan, p))
+        .collect();
+    let assignment_of = |path: PathKind| {
+        &assignments[order
+            .iter()
+            .position(|&p| p == path)
+            .expect("builder only asks for routed paths")]
+    };
+    let (mappings, paths) = build_path_mappings(
+        &cfg.model,
+        cfg.route,
+        cfg.accuracy,
+        |path| {
+            let targets = assignment_of(path).len();
+            let hops = if !distributed {
+                0.0
+            } else if targets == 1 {
+                1.0
+            } else {
+                2.0
+            };
+            cfg.dispatch_overhead_us + hops * cfg.net_overhead_us
+        },
+        |path| {
+            let slowest = assignment_of(path)
+                .iter()
+                .map(|(id, feats)| {
+                    model.flops_per_sample_features(path, feats)
+                        * (cfg.virtual_gflops / capacity(*id))
+                })
+                .fold(0.0f64, f64::max);
+            (slowest + model.top_flops_per_sample()) / rate
+        },
+    )?;
+    debug_assert_eq!(paths, order);
+    Ok(ClusterEpoch {
+        start_us,
+        live: plan.nodes().to_vec(),
+        plan: plan.clone(),
+        mappings,
+        assignments,
+    })
+}
+
 /// Closes a queue if the owning thread unwinds, so a panicking node
 /// worker (or merger) can never leave the front-end (or a node worker)
 /// blocked on a bounded `push` with no consumer.
-struct CloseOnPanic<'a>(&'a BoundedQueue<Arc<BatchShared>>);
+struct CloseOnPanic<'a, T>(&'a BoundedQueue<T>);
 
-impl Drop for CloseOnPanic<'_> {
+impl<T> Drop for CloseOnPanic<'_, T> {
     fn drop(&mut self) {
         if std::thread::panicking() {
             self.0.close();
@@ -671,43 +1404,45 @@ impl Drop for CloseOnPanic<'_> {
 }
 
 fn node_worker_loop(
-    queue: &BoundedQueue<Arc<BatchShared>>,
+    queue: &BoundedQueue<ScatterJob>,
     merge: &BoundedQueue<Arc<BatchShared>>,
     model: &RuntimeModel,
-    features: &[usize],
-    node_idx: usize,
+    progress: &Progress,
+    node_id: u32,
 ) -> NodeWorkerReport {
     let _close_guard = CloseOnPanic(queue);
     let _close_merge_guard = CloseOnPanic(merge);
+    let _fail_guard = FailOnPanic(progress);
     let mut report = NodeWorkerReport {
         batches: 0,
         error: None,
     };
     let mut scratch = model.make_scratch();
-    while let Some(item) = queue.pop() {
+    while let Some(job) = queue.pop() {
         let mut partial = Matrix::default();
         match model.pool_features_into(
-            item.path,
-            &item.specs,
-            features,
+            job.shared.path,
+            &job.shared.specs,
+            &job.features,
             &mut scratch,
             &mut partial,
         ) {
             Ok(_) => {
-                *item.partials[node_idx].lock() = Some(partial);
+                *job.shared.partials[job.slot].lock() = Some(partial);
                 report.batches += 1;
-                if item.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                if job.shared.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
                     // Last shard done: hand the batch to the merger
                     // (push only fails if the merger died; its join
                     // surfaces that).
-                    let _ = merge.push(item);
+                    let _ = merge.push(Arc::clone(&job.shared));
                 }
             }
             Err(e) => {
                 report.error = Some(format!(
-                    "node {node_idx} batch on path {}: {e}",
-                    item.path
+                    "node {node_id} batch on path {}: {e}",
+                    job.shared.path
                 ));
+                progress.fail();
                 // Keep draining so the front-end's bounded pushes always
                 // make progress; the error surfaces after join.
                 while queue.pop().is_some() {}
@@ -721,12 +1456,14 @@ fn node_worker_loop(
 fn merger_loop(
     queue: &BoundedQueue<Arc<BatchShared>>,
     model: &RuntimeModel,
+    progress: &Progress,
     sla_us: f64,
     histogram_subs: u32,
     emb_dim: usize,
     start: Instant,
 ) -> MergerReport {
     let _close_guard = CloseOnPanic(queue);
+    let _fail_guard = FailOnPanic(progress);
     let mut report = MergerReport {
         histogram: LatencyHistogram::with_subs_per_octave(histogram_subs),
         completed: 0,
@@ -756,12 +1493,14 @@ fn merger_loop(
                 Ok(c) => c,
                 Err(e) => {
                     report.error = Some(format!("merge top-mlp: {e}"));
+                    progress.fail();
                     while queue.pop().is_some() {}
                     break;
                 }
             },
             Some(msg) => {
                 report.error = Some(msg);
+                progress.fail();
                 while queue.pop().is_some() {}
                 break;
             }
@@ -778,6 +1517,7 @@ fn merger_loop(
         }
         report.checksum += checksum;
         report.last_done = now;
+        progress.batch_done();
     }
     report
 }
@@ -788,30 +1528,6 @@ fn sleep_until(start: Instant, virtual_us: f64) {
     if target > now {
         std::thread::sleep(target - now);
     }
-}
-
-/// Builds the cluster's virtual-time mapping set: per path, the
-/// per-sample cost is the **slowest shard's** embedding FLOPs plus the
-/// front-end's top-MLP merge cost, and the per-batch overhead adds one
-/// scatter/gather network round trip on multi-node clusters.
-fn build_cluster_mappings(
-    cfg: &ClusterConfig,
-    nodes: &[ClusterNode],
-) -> Result<(MappingSet, Vec<PathKind>)> {
-    let rate = cfg.virtual_gflops.max(1e-6) * 1e3;
-    let overhead = cfg.dispatch_overhead_us
-        + if cfg.nodes > 1 {
-            2.0 * cfg.net_overhead_us
-        } else {
-            0.0
-        };
-    build_path_mappings(&cfg.model, cfg.route, cfg.accuracy, overhead, |path| {
-        let slowest_shard = nodes
-            .iter()
-            .map(|n| n.model.flops_per_sample_features(path, &n.features))
-            .fold(0.0f64, f64::max);
-        (slowest_shard + nodes[0].model.top_flops_per_sample()) / rate
-    })
 }
 
 #[cfg(test)]
@@ -850,6 +1566,14 @@ mod tests {
         }
     }
 
+    /// The canonical fail-at-40% / join-at-70% schedule for `cfg`.
+    fn with_churn(mut cfg: ClusterConfig) -> ClusterConfig {
+        let span =
+            scenario::nominal_span_us(cfg.trace.num_queries, cfg.trace.qps);
+        cfg.churn = scenario::node_churn(cfg.nodes, span);
+        cfg
+    }
+
     #[test]
     fn rejects_degenerate_configs() {
         assert!(matches!(
@@ -869,10 +1593,100 @@ mod tests {
     }
 
     #[test]
+    fn rejects_inconsistent_churn_schedules() {
+        let bad = |churn: Vec<ChurnEvent>| {
+            assert!(matches!(
+                Cluster::new(ClusterConfig {
+                    churn,
+                    ..quick_cfg(2)
+                }),
+                Err(RuntimeError::BadConfig(_))
+            ));
+        };
+        // Failing a node that is not live.
+        bad(vec![ChurnEvent {
+            at_us: 100.0,
+            node: 9,
+            action: ChurnAction::Fail,
+        }]);
+        // Joining a node that is already live.
+        bad(vec![ChurnEvent {
+            at_us: 100.0,
+            node: 1,
+            action: ChurnAction::Join,
+        }]);
+        // Failing every node.
+        bad(vec![
+            ChurnEvent {
+                at_us: 100.0,
+                node: 0,
+                action: ChurnAction::Fail,
+            },
+            ChurnEvent {
+                at_us: 200.0,
+                node: 1,
+                action: ChurnAction::Fail,
+            },
+        ]);
+        // Out-of-order events.
+        bad(vec![
+            ChurnEvent {
+                at_us: 200.0,
+                node: 1,
+                action: ChurnAction::Fail,
+            },
+            ChurnEvent {
+                at_us: 100.0,
+                node: 2,
+                action: ChurnAction::Join,
+            },
+        ]);
+        // Recycling a failed node's id.
+        bad(vec![
+            ChurnEvent {
+                at_us: 100.0,
+                node: 1,
+                action: ChurnAction::Fail,
+            },
+            ChurnEvent {
+                at_us: 200.0,
+                node: 1,
+                action: ChurnAction::Join,
+            },
+        ]);
+    }
+
+    #[test]
+    fn schedule_builders_extend_and_validate() {
+        let mut cluster = Cluster::new(quick_cfg(3)).unwrap();
+        cluster.fail_node(2, 1_000.0).unwrap();
+        cluster.add_node(3, 2_000.0).unwrap();
+        assert_eq!(cluster.epochs().len(), 3);
+        assert_eq!(cluster.node_ids(), vec![0, 1, 2, 3]);
+        // Out-of-order extension is rejected and leaves the schedule
+        // untouched.
+        assert!(cluster.fail_node(0, 1_500.0).is_err());
+        assert_eq!(cluster.epochs().len(), 3);
+        assert_eq!(cluster.config().churn.len(), 2);
+        // Recycling the failed node's id is rejected here too (the
+        // builder must never produce a config Cluster::new would
+        // refuse, and a "rejoined" replica would carry a warm cache).
+        assert!(matches!(
+            cluster.add_node(2, 3_000.0),
+            Err(RuntimeError::BadConfig(_))
+        ));
+        assert_eq!(cluster.config().churn.len(), 2);
+        assert!(
+            Cluster::new(cluster.config().clone()).is_ok(),
+            "builder-produced configs round-trip through Cluster::new"
+        );
+    }
+
+    #[test]
     fn shard_plan_covers_every_feature_exactly_once() {
         let plan = FeatureShardPlan::for_cluster(4, 64, 26);
         let mut seen = [false; 26];
-        for n in 0..plan.num_nodes() {
+        for &n in plan.nodes() {
             for &f in plan.features_of(n) {
                 assert!(!seen[f], "feature {f} owned twice");
                 seen[f] = true;
@@ -884,32 +1698,102 @@ mod tests {
     }
 
     #[test]
+    fn rebalance_epochs_track_the_ring() {
+        let cluster = Cluster::new(with_churn(quick_cfg(3))).unwrap();
+        let features = cluster.config().model.sparse_features;
+        let e = cluster.epochs();
+        assert_eq!(e.len(), 3);
+        assert_eq!(e[0].live, vec![0, 1, 2]);
+        assert_eq!(e[1].live, vec![0, 1], "node 2 failed");
+        assert_eq!(e[2].live, vec![0, 1, 3], "node 3 joined");
+        for ep in e {
+            assert_eq!(
+                ep.plan.shard_sizes().iter().sum::<usize>(),
+                features,
+                "every epoch covers the feature space"
+            );
+        }
+        assert!(e[1].plan.features_of(2).is_empty());
+        // Features that never belonged to the churned nodes never move
+        // (consistent hashing's minimal-remap guarantee, end to end).
+        for f in 0..features {
+            let (o0, o1) = (e[0].plan.node_of(f), e[1].plan.node_of(f));
+            if o0 != 2 {
+                assert_eq!(o0, o1, "feature {f} moved off a survivor");
+            }
+            let o2 = e[2].plan.node_of(f);
+            if o2 != 3 {
+                assert_eq!(o1, o2, "feature {f} moved between survivors");
+            }
+        }
+    }
+
+    #[test]
+    fn table_scatter_is_pruned_to_one_node() {
+        let cluster = Cluster::new(quick_cfg(4)).unwrap();
+        let e0 = &cluster.epochs()[0];
+        let idx_of = |p: PathKind| cluster.paths().iter().position(|&q| q == p).unwrap();
+        // Table weights are replicated: one designated executor.
+        assert_eq!(e0.targets(idx_of(PathKind::Table)).len(), 1);
+        // DHE paths scatter to every owner of a DHE feature.
+        let dhe_targets = e0.targets(idx_of(PathKind::Dhe));
+        assert!(dhe_targets.len() > 1, "4 features over 4 nodes fan out");
+        // Hybrid only fans out to owners of the DHE half.
+        let hybrid_targets = e0.targets(idx_of(PathKind::Hybrid));
+        assert!(hybrid_targets.len() <= dhe_targets.len());
+        // Every assignment covers the whole feature space exactly once.
+        for (i, _) in cluster.paths().iter().enumerate() {
+            let mut seen = [false; 4];
+            for (_, feats) in &e0.assignments[i] {
+                for &f in feats.iter() {
+                    assert!(!seen[f]);
+                    seen[f] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
     fn cluster_serves_every_query_exactly_once() {
-        let report = serve_cluster(quick_cfg(3)).unwrap();
+        let cluster = Cluster::new(quick_cfg(3)).unwrap();
+        let report = cluster.serve().unwrap();
         assert_eq!(report.outcome.completed, 300);
         assert_eq!(report.routed_queries, 300);
         assert_eq!(report.histogram.count(), 300);
-        assert_eq!(
-            report.outcome.usage.queries.values().sum::<u64>(),
-            300
-        );
+        assert_eq!(report.virtual_histogram.count(), 300);
+        assert_eq!(report.outcome.usage.queries.values().sum::<u64>(), 300);
         assert!(report.outcome.samples > 0);
         assert!(report.checksum.is_finite());
         assert_eq!(report.per_node_cache.len(), 3);
         assert_eq!(report.per_node_features.iter().sum::<usize>(), 4);
-        let batches = report.path_decisions.len() as u64;
-        assert!(batches > 0);
+        // Pruned scatter: each batch reaches exactly its path's target
+        // set, so total jobs = sum of target-set sizes per decision.
+        let e0 = &cluster.epochs()[0];
+        let expected_jobs: u64 = report
+            .path_decisions
+            .iter()
+            .map(|&p| {
+                let idx = cluster.paths().iter().position(|&q| q == p).unwrap();
+                e0.assignments[idx].len() as u64
+            })
+            .sum();
         assert_eq!(
-            report.per_node_batches,
-            vec![batches; 3],
-            "every node executes every batch's scatter"
+            report.per_node_batches.iter().sum::<u64>(),
+            expected_jobs,
+            "jobs match the pruned scatter plan"
+        );
+        assert!(
+            expected_jobs < report.path_decisions.len() as u64 * 3,
+            "pruning must beat scatter-to-everyone"
         );
     }
 
     #[test]
     fn single_node_cluster_matches_the_engine_checksum() {
-        // nodes=1 collapses scatter/gather to the single-node execute
-        // path: same batching, same routing profile shape, same math.
+        // nodes=1 collapses pruned scatter/gather to the single-node
+        // execute path: same batching, same routing profiles, same
+        // backlog model, same math.
         let cluster = Cluster::new(ClusterConfig {
             nodes: 1,
             net_overhead_us: 0.0,
@@ -930,6 +1814,10 @@ mod tests {
         assert_eq!(c.outcome.samples, e.outcome.samples);
         assert_eq!(c.path_decisions, e.path_decisions);
         assert_eq!(c.outcome.usage, e.outcome.usage);
+        assert_eq!(
+            c.virtual_sla_violations, e.virtual_sla_violations,
+            "identical virtual completions"
+        );
         assert!(
             (c.checksum - e.checksum).abs() <= 1e-6 * (1.0 + e.checksum.abs()),
             "cluster {} vs engine {}",
@@ -942,8 +1830,8 @@ mod tests {
     #[test]
     fn scatter_gather_matches_engine_math_across_node_counts() {
         // The synchronous scatter/gather path: partial pools summed
-        // across shards equal full execution, for every path and any
-        // node count.
+        // across the pruned target set equal full execution, for every
+        // path and any node count.
         let single = RuntimeModel::build(&quick_cfg(1).model, 4, 42).unwrap();
         let queries = [(0u64, 6u64), (1, 3), (2, 8)];
         for nodes in [2usize, 3, 4] {
@@ -965,8 +1853,8 @@ mod tests {
     }
 
     #[test]
-    fn outcome_counts_are_worker_count_invariant() {
-        let base = quick_cfg(2);
+    fn outcome_counts_are_worker_count_invariant_even_under_churn() {
+        let base = with_churn(quick_cfg(3));
         let a = serve_cluster(ClusterConfig {
             workers_per_node: 1,
             ..base.clone()
@@ -983,6 +1871,7 @@ mod tests {
         assert_eq!(a.outcome.usage, b.outcome.usage);
         assert_eq!(a.path_decisions, b.path_decisions);
         assert_eq!(a.outcome.correct_samples, b.outcome.correct_samples);
+        assert_eq!(a.retried_batches, b.retried_batches);
     }
 
     #[test]
@@ -991,7 +1880,8 @@ mod tests {
         // critical path shrinks), but no query may ever be lost or
         // double-counted, and with the dynamic tier disabled the merged
         // cache counters are a pure per-key function — identical across
-        // topologies.
+        // topologies even though pruned scatter changes who executes
+        // the replicated table features.
         let mk = |nodes| {
             serve_cluster(ClusterConfig {
                 nodes,
@@ -1020,7 +1910,7 @@ mod tests {
     #[test]
     fn more_nodes_shrink_the_virtual_critical_path() {
         // The slowest-shard per-sample cost must fall as the feature
-        // space spreads: compare the hybrid profile at a large batch.
+        // space spreads: compare the DHE profile at a large batch.
         let lat = |nodes| {
             let c = Cluster::new(ClusterConfig {
                 nodes,
@@ -1036,9 +1926,102 @@ mod tests {
         };
         let one = lat(1);
         let eight = lat(8);
+        assert!(eight < one, "8-node critical path {eight} !< 1-node {one}");
+    }
+
+    #[test]
+    fn undersized_node_capacity_back_pressures_toward_the_table_path() {
+        // Cripple one node's FLOPs budget: every DHE/hybrid profile that
+        // scatters to it inflates, and its queue drains slower, so
+        // Algorithm 2 sheds load to the (pruned, replicated) table
+        // path. The capacity split is now *enforced* by routing, not
+        // just reported.
+        let base = ClusterConfig {
+            sla_us: 2_000.0,
+            ..quick_cfg(3)
+        };
+        // Cripple whichever node owns a hybrid-half DHE feature, so the
+        // accuracy-preferred paths actually route through it.
+        let probe = Cluster::new(base.clone()).unwrap();
+        let victim = probe.plan().node_of(base.model.sparse_features - 1);
+        let mut capacities = vec![base.virtual_gflops; 3];
+        capacities[victim as usize] = 0.002;
+        let table_fraction = |capacities: Vec<f64>| {
+            let report = serve_cluster(ClusterConfig {
+                node_capacity_gflops: capacities,
+                ..base.clone()
+            })
+            .unwrap();
+            report
+                .outcome
+                .usage
+                .queries
+                .iter()
+                .filter(|(k, _)| k.starts_with("table@"))
+                .map(|(_, &v)| v as f64)
+                .sum::<f64>()
+                / report.outcome.completed as f64
+        };
+        let uniform = table_fraction(vec![]);
+        let skewed = table_fraction(capacities);
         assert!(
-            eight < one,
-            "8-node critical path {eight} !< 1-node {one}"
+            skewed > uniform,
+            "crippled node {victim} must push load to table: {skewed} !> {uniform}"
+        );
+    }
+
+    #[test]
+    fn failover_dips_the_hit_rate_and_the_rebalanced_shards_rewarm() {
+        // Dynamic-tier-only cache: rebalanced shards start cold on
+        // their new owners, so churn costs hit rate vs an identical
+        // steady run — but the post-rebalance epochs re-warm (the run
+        // stays well above a cold cache).
+        let base = ClusterConfig {
+            workers_per_node: 1,
+            model: RuntimeModelConfig {
+                encoder_cache_bytes: 0,
+                decoder_centroids: 0,
+                dynamic_cache_entries: 4096,
+                ..quick_cfg(3).model
+            },
+            ..quick_cfg(3)
+        };
+        let steady = serve_cluster(base.clone()).unwrap();
+        let churned = serve_cluster(with_churn(base)).unwrap();
+        assert_eq!(churned.outcome.completed, 300);
+        let s = steady.cache.encoder_hit_rate();
+        let c = churned.cache.encoder_hit_rate();
+        assert!(c < s, "rebalancing must cost hit rate: {c:.3} !< {s:.3}");
+        assert!(
+            c > 0.5 * s,
+            "rebalanced shards must re-warm, not stay cold: {c:.3} vs {s:.3}"
+        );
+        assert_eq!(churned.epochs.len(), 3);
+        // The failed node stops serving at its epoch boundary...
+        let failed_slot = churned
+            .node_ids
+            .iter()
+            .position(|&id| id == 2)
+            .unwrap();
+        assert_eq!(
+            churned.epochs[1].per_node_cache[failed_slot].lookups()
+                + churned.epochs[2].per_node_cache[failed_slot].lookups(),
+            0,
+            "failed node sees no post-failure lookups"
+        );
+        // ...and the joiner starts cold but serves (and hits) by the end.
+        let join_slot = churned.node_ids.iter().position(|&id| id == 3).unwrap();
+        assert_eq!(
+            churned.epochs[0].per_node_cache[join_slot].lookups()
+                + churned.epochs[1].per_node_cache[join_slot].lookups(),
+            0,
+            "joiner is idle before its epoch"
+        );
+        let joiner_final = &churned.epochs[2].per_node_cache[join_slot];
+        assert!(joiner_final.lookups() > 0, "joiner serves after joining");
+        assert!(
+            joiner_final.encoder_hit_rate() > 0.0,
+            "joiner's cold cache warms up"
         );
     }
 
@@ -1055,9 +2038,6 @@ mod tests {
         .unwrap();
         let s = steady.cache.encoder_hit_rate();
         let d = drift.cache.encoder_hit_rate();
-        assert!(
-            d < s,
-            "drifted hit rate {d:.3} !< steady hit rate {s:.3}"
-        );
+        assert!(d < s, "drifted hit rate {d:.3} !< steady hit rate {s:.3}");
     }
 }

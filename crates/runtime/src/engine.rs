@@ -593,20 +593,22 @@ fn build_mapping_set(
         &cfg.model,
         cfg.route,
         cfg.accuracy,
-        cfg.dispatch_overhead_us,
+        |_| cfg.dispatch_overhead_us,
         |path| model.flops_per_sample(path) / (cfg.virtual_gflops.max(1e-6) * 1e3),
     )
 }
 
 /// Shared mapping-set builder for the single-node engine and the
-/// cluster front-end: one mapping per selected path, with a caller-
-/// supplied analytic per-sample virtual latency (the cluster passes its
-/// slowest-shard critical-path cost) and fixed per-batch overhead.
+/// cluster front-end: one mapping per selected path, with caller-
+/// supplied analytic per-sample virtual latency and per-batch overhead
+/// (the cluster passes its slowest-shard critical-path cost, and an
+/// overhead that charges fewer network hops to paths whose pruned
+/// scatter reaches a single node).
 pub(crate) fn build_path_mappings(
     m: &RuntimeModelConfig,
     route: RoutePolicy,
     accuracy: PathAccuracy,
-    overhead_us: f64,
+    overhead_us_of: impl Fn(PathKind) -> f64,
     per_sample_us_of: impl Fn(PathKind) -> f64,
 ) -> Result<(MappingSet, Vec<PathKind>)> {
     let builder = WorkloadBuilder::new(
@@ -647,6 +649,7 @@ pub(crate) fn build_path_mappings(
             ),
         };
         let per_sample_us = per_sample_us_of(path);
+        let overhead_us = overhead_us_of(path);
         let sizes: Vec<u64> = vec![1, 16, 64, 256, 1024, 4096];
         let lats: Vec<f64> = sizes
             .iter()

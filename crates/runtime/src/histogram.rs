@@ -168,6 +168,14 @@ impl LatencyHistogram {
         self.count
     }
 
+    /// Exact sum of all recorded latencies in microseconds (tracked
+    /// outside the buckets, so it carries no quantization error) — what
+    /// the retry-latency regression test pins against the replay
+    /// simulator's virtual-time totals.
+    pub fn sum_us(&self) -> f64 {
+        self.sum_us
+    }
+
     /// Mean latency in microseconds (0 when empty).
     pub fn mean_us(&self) -> f64 {
         if self.count == 0 {

@@ -47,6 +47,8 @@
 //! # Ok::<(), mprec_runtime::RuntimeError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cluster;
 mod engine;
 mod histogram;
@@ -54,7 +56,8 @@ mod model;
 mod queue;
 
 pub use cluster::{
-    serve_cluster, Cluster, ClusterConfig, ClusterReport, ClusterScratch, FeatureShardPlan,
+    serve_cluster, Cluster, ClusterConfig, ClusterEpoch, ClusterReport, ClusterScratch,
+    EpochReport, FeatureShardPlan,
 };
 pub use engine::{
     serve, Engine, PathAccuracy, RoutePolicy, RuntimeConfig, RuntimeReport, SlaAccounting,

@@ -474,6 +474,43 @@ impl RuntimeModel {
         Ok(())
     }
 
+    /// [`RuntimeModel::replay_cache_accesses`] restricted to a feature
+    /// subset, in the exact order [`RuntimeModel::pool_features_into`]
+    /// performs them — the per-*node* twin the elastic-cluster
+    /// differential tests replay a node's pruned scatter assignment
+    /// against (every feature's IDs are still drawn to keep the RNG
+    /// stream shared; only `features` touch the cache).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stack execution errors.
+    pub fn replay_cache_accesses_features(
+        &self,
+        path: PathKind,
+        queries: &[(u64, u64)],
+        features: &[usize],
+        scratch: &mut ScratchSpace,
+    ) -> Result<()> {
+        for ids in scratch.per_feature.iter_mut() {
+            ids.clear();
+        }
+        for &(qid, size) in queries {
+            self.draw_query_ids(qid, size, &mut scratch.per_feature);
+        }
+        for &feature in features {
+            if self.path_uses_dhe(path, feature) {
+                self.cache.embed_batch_into(
+                    &self.stacks[feature],
+                    feature,
+                    &scratch.per_feature[feature],
+                    &mut scratch.cache,
+                    &mut scratch.emb,
+                )?;
+            }
+        }
+        Ok(())
+    }
+
     /// The pre-optimization execution path, kept as the baseline the
     /// `kernel_throughput` bench and the equivalence tests compare
     /// against: fresh `Vec`/`Matrix` allocations per batch, no gather

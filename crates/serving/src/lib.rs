@@ -40,5 +40,8 @@ mod sim;
 
 pub use outcome::{PathUsage, ServingOutcome};
 pub use policy::Policy;
-pub use replay::{replay, ReplayBatch, ReplayConfig, ReplayResult};
+pub use replay::{
+    replay, replay_cluster, ClusterChurnSpec, ClusterEpochSpec, ClusterReplayBatch,
+    ClusterReplayResult, ClusterReplaySpec, ReplayBatch, ReplayConfig, ReplayResult,
+};
 pub use sim::{simulate, simulate_trace, MpCacheEffect, ServingConfig};

@@ -15,8 +15,10 @@
 //! trails, and (via a twin MP-Cache replay) cache hit counters, so the
 //! simulated and real serving stacks cannot drift apart silently.
 
+use std::collections::BTreeMap;
+
 use mprec_core::planner::MappingSet;
-use mprec_core::scheduler::{Scheduler, SchedulerConfig};
+use mprec_core::scheduler::{select_mapping, Scheduler, SchedulerConfig};
 use mprec_data::query::Query;
 
 use crate::outcome::{PathUsage, ServingOutcome};
@@ -103,13 +105,7 @@ pub fn replay(mappings: &MappingSet, trace: &[Query], cfg: &ReplayConfig) -> Rep
     let mut violations = 0u64;
     let mut last_completion = 0.0f64;
 
-    let mut pending: Vec<&Query> = Vec::new();
-    let mut pending_samples: u64 = 0;
-
-    let mut flush = |pending: &mut Vec<&Query>, pending_samples: &mut u64, flush_at_us: f64| {
-        if pending.is_empty() {
-            return;
-        }
+    let flush = |pending: &mut Vec<&Query>, pending_samples: &mut u64, flush_at_us: f64| {
         let oldest_us = pending[0].arrival_us as f64;
         sched.advance_to(flush_at_us);
         let sla_remaining = (cfg.sla_us - (flush_at_us - oldest_us)).max(1.0);
@@ -140,7 +136,36 @@ pub fn replay(mappings: &MappingSet, trace: &[Query], cfg: &ReplayConfig) -> Rep
         pending.clear();
         *pending_samples = 0;
     };
+    drive_batches(trace, cfg, flush);
 
+    let outcome = ServingOutcome::from_latency_samples(
+        "replay",
+        latencies,
+        samples,
+        correct,
+        violations,
+        last_completion / 1e6,
+        usage,
+    );
+    ReplayResult { outcome, batches }
+}
+
+/// The runtime dispatcher's micro-batching rules (deadline flush,
+/// size-overflow flush, exact-budget flush, end-of-trace flush),
+/// invoking `flush(pending, pending_samples, flush_at_us)` at every
+/// batch boundary with a non-empty `pending`.
+///
+/// Shared by [`replay`] and [`replay_cluster`]: the independence
+/// contract is between this crate and `mprec-runtime`, not between the
+/// two sims — a batching-rule change must reach both at once or the
+/// differential tests would pin one twin to stale semantics.
+fn drive_batches<'t>(
+    trace: &'t [Query],
+    cfg: &ReplayConfig,
+    mut flush: impl FnMut(&mut Vec<&'t Query>, &mut u64, f64),
+) {
+    let mut pending: Vec<&Query> = Vec::new();
+    let mut pending_samples: u64 = 0;
     for q in trace {
         let arrival_us = q.arrival_us as f64;
         if !pending.is_empty() {
@@ -164,9 +189,204 @@ pub fn replay(mappings: &MappingSet, trace: &[Query], cfg: &ReplayConfig) -> Rep
         let deadline = pending[0].arrival_us as f64 + cfg.max_batch_wait_us;
         flush(&mut pending, &mut pending_samples, deadline);
     }
+}
+
+/// One epoch of an elastic cluster as the replay simulator sees it: the
+/// routing profiles in force and, per mapping, the pruned scatter
+/// target node ids (ascending, matching the runtime's assignment
+/// order).
+#[derive(Debug, Clone)]
+pub struct ClusterEpochSpec {
+    /// Capacity-aware slowest-shard mapping set of the epoch.
+    pub mappings: MappingSet,
+    /// Per mapping index: the scatter target node ids.
+    pub targets: Vec<Vec<u32>>,
+}
+
+/// One churn event separating two epochs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterChurnSpec {
+    /// Virtual time of the event (µs); takes effect at the first flush
+    /// at or after it.
+    pub at_us: f64,
+    /// `Some(node)` for a failure (in-flight batches to it retry under
+    /// the next epoch), `None` for a join (no retries).
+    pub failed: Option<u32>,
+}
+
+/// Everything the cluster replay needs: the epoch sequence and the
+/// events between consecutive epochs (`events.len() ==
+/// epochs.len() - 1`). Produced by `mprec-runtime`'s
+/// `Cluster::replay_spec`, consumed by [`replay_cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterReplaySpec {
+    /// Epoch descriptions, boot epoch first.
+    pub epochs: Vec<ClusterEpochSpec>,
+    /// The churn events separating consecutive epochs.
+    pub events: Vec<ClusterChurnSpec>,
+}
+
+/// One routed micro-batch of a cluster replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReplayBatch {
+    /// Index into the epoch's `mappings.mappings` of the routed path.
+    pub mapping_idx: usize,
+    /// The epoch whose plan the batch finally *executed* under (differs
+    /// from its dispatch epoch only for failure retries).
+    pub epoch_idx: usize,
+    /// `(query id, size)` pairs in arrival order.
+    pub queries: Vec<(u64, u64)>,
+    /// Virtual completion time of the batch (µs) — after the retry leg
+    /// for batches whose node failed in flight.
+    pub done_us: f64,
+    /// Whether an in-flight node failure forced a retry.
+    pub retried: bool,
+}
+
+/// Everything one cluster replay produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReplayResult {
+    /// Aggregate outcome over *virtual* latencies; for retried batches
+    /// each query carries the full latency (failed attempt + retry).
+    pub outcome: ServingOutcome,
+    /// The full batch trail, in dispatch order.
+    pub batches: Vec<ClusterReplayBatch>,
+    /// Batches that retried after an in-flight node failure.
+    pub retried_batches: u64,
+}
+
+/// Replays `trace` through the **elastic cluster's** serving contract:
+/// the runtime's micro-batching (identical to [`replay`]), Algorithm-2
+/// routing over per-*node* backlogs (a dispatched batch occupies every
+/// scatter target until its merge completes; the router sees the
+/// busiest target's queue), epoch switching at churn events, and
+/// failure retries — an in-flight batch whose target fails restarts at
+/// the failure instant under the next epoch's profiles, its queries
+/// charged both legs' latency.
+///
+/// This is an independent re-implementation of
+/// `mprec-runtime::cluster`'s dispatcher; `tests/sim_vs_runtime.rs`
+/// pins the two to exact agreement, node churn included.
+pub fn replay_cluster(
+    spec: &ClusterReplaySpec,
+    trace: &[Query],
+    cfg: &ReplayConfig,
+) -> ClusterReplayResult {
+    assert_eq!(
+        spec.events.len() + 1,
+        spec.epochs.len(),
+        "one event between consecutive epochs"
+    );
+    let labels: Vec<String> = spec.epochs[0]
+        .mappings
+        .mappings
+        .iter()
+        .map(|m| m.label(&spec.epochs[0].mappings.platforms))
+        .collect();
+    let mut batches: Vec<ClusterReplayBatch> = Vec::new();
+    let mut usage = PathUsage::default();
+    let mut latencies: Vec<f64> = Vec::with_capacity(trace.len());
+    let mut samples = 0u64;
+    let mut correct = 0.0f64;
+    let mut violations = 0u64;
+    let mut retried_batches = 0u64;
+    let mut last_completion = 0.0f64;
+    let mut free_at: BTreeMap<u32, f64> = BTreeMap::new();
+    let mut cur_epoch = 0usize;
+
+    let flush = |pending: &mut Vec<&Query>, pending_samples: &mut u64, flush_at_us: f64| {
+        while cur_epoch < spec.events.len() && spec.events[cur_epoch].at_us <= flush_at_us {
+            cur_epoch += 1;
+        }
+        let e = cur_epoch;
+        let ep = &spec.epochs[e];
+        let oldest_us = pending[0].arrival_us as f64;
+        let sla_remaining = (cfg.sla_us - (flush_at_us - oldest_us)).max(1.0);
+        let size = *pending_samples;
+
+        let n = ep.mappings.mappings.len();
+        let mut execs = Vec::with_capacity(n);
+        let mut starts = Vec::with_capacity(n);
+        let mut completions = Vec::with_capacity(n);
+        for i in 0..n {
+            let exec = ep.mappings.mappings[i].profile.latency_us(size);
+            let busiest = ep.targets[i]
+                .iter()
+                .map(|id| free_at.get(id).copied().unwrap_or(0.0))
+                .fold(f64::NEG_INFINITY, f64::max);
+            let start = busiest.max(flush_at_us);
+            execs.push(exec);
+            starts.push(start);
+            completions.push((start - flush_at_us) + exec);
+        }
+        let idx = select_mapping(&ep.mappings, &completions, sla_remaining, true)
+            .expect("mapping set is never empty");
+        let mut done_us = starts[idx] + execs[idx];
+        for id in &ep.targets[idx] {
+            let f = free_at.entry(*id).or_insert(0.0);
+            *f = f.max(flush_at_us) + execs[idx];
+        }
+
+        // Failure retries, mirroring the runtime's fault model exactly.
+        let mut exec_epoch = e;
+        let mut retried = false;
+        let mut scan = e;
+        while scan < spec.events.len() {
+            let ev = spec.events[scan];
+            if ev.at_us >= done_us {
+                break;
+            }
+            if let Some(failed) = ev.failed {
+                if spec.epochs[exec_epoch].targets[idx].contains(&failed) {
+                    exec_epoch = scan + 1;
+                    retried = true;
+                    retried_batches += 1;
+                    let retry_ep = &spec.epochs[exec_epoch];
+                    let retry_exec = retry_ep.mappings.mappings[idx].profile.latency_us(size);
+                    let retry_start = retry_ep.targets[idx]
+                        .iter()
+                        .map(|id| free_at.get(id).copied().unwrap_or(0.0))
+                        .fold(f64::NEG_INFINITY, f64::max)
+                        .max(ev.at_us);
+                    done_us = retry_start + retry_exec;
+                    for id in &retry_ep.targets[idx] {
+                        let f = free_at.entry(*id).or_insert(0.0);
+                        *f = f.max(ev.at_us) + retry_exec;
+                    }
+                }
+            }
+            scan += 1;
+        }
+
+        let accuracy = ep.mappings.mappings[idx].rep.accuracy as f64;
+        let label = &labels[idx];
+        let mut queries = Vec::with_capacity(pending.len());
+        for q in pending.iter() {
+            let latency = done_us - q.arrival_us as f64;
+            if latency > cfg.sla_us {
+                violations += 1;
+            }
+            latencies.push(latency);
+            samples += q.size as u64;
+            correct += q.size as f64 * accuracy;
+            usage.record(label, q.size as u64);
+            queries.push((q.id, q.size as u64));
+        }
+        last_completion = last_completion.max(done_us);
+        batches.push(ClusterReplayBatch {
+            mapping_idx: idx,
+            epoch_idx: exec_epoch,
+            queries,
+            done_us,
+            retried,
+        });
+        pending.clear();
+        *pending_samples = 0;
+    };
+    drive_batches(trace, cfg, flush);
 
     let outcome = ServingOutcome::from_latency_samples(
-        "replay",
+        "replay-cluster",
         latencies,
         samples,
         correct,
@@ -174,7 +394,11 @@ pub fn replay(mappings: &MappingSet, trace: &[Query], cfg: &ReplayConfig) -> Rep
         last_completion / 1e6,
         usage,
     );
-    ReplayResult { outcome, batches }
+    ClusterReplayResult {
+        outcome,
+        batches,
+        retried_batches,
+    }
 }
 
 #[cfg(test)]

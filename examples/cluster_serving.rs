@@ -1,12 +1,16 @@
-//! Scale-out cluster serving with `mprec-runtime::cluster`: the sparse
-//! feature space is consistent-hash-sharded across 4 simulated nodes
-//! (each with its own worker, model replica, and MP-Cache state), a
-//! front-end scatters every micro-batch, the nodes compute partial
+//! Elastic scale-out cluster serving with `mprec-runtime::cluster`:
+//! the sparse feature space is consistent-hash-sharded across 4
+//! simulated nodes (each with its own worker, model replica, and
+//! MP-Cache state), a front-end scatters every micro-batch to the
+//! *pruned* target set of its routed path, the nodes compute partial
 //! pooled embeddings, and a merger gathers them through the top MLP.
-//! Runs two traffic scenarios — steady Poisson and hot-key drift — and
-//! prints the shard layout, per-node cache hit rates (drift visibly
-//! cools the caches), and the slowest-shard critical path the router
-//! SLA-routes on.
+//! Runs two traffic scenarios — steady Poisson and hot-key drift —
+//! printing the shard layout, per-node cache hit rates (drift visibly
+//! cools the caches; a node owning only replicated table-half features
+//! may idle entirely — that's shard pruning), and the slowest-shard
+//! critical path the router SLA-routes on. A final run schedules node
+//! churn (one failure + one join mid-trace) and prints the per-epoch
+//! hit rates: the post-rebalance dip and its recovery.
 //!
 //! Run with: `cargo run --release --example cluster_serving`
 
@@ -43,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cluster = Cluster::new(cfg(scenario))?;
         if scenario == LoadScenario::SteadyPoisson {
             println!("== shard layout (consistent hash, 4 nodes) ==");
-            for n in 0..cluster.plan().num_nodes() {
+            for &n in cluster.plan().nodes() {
                 println!(
                     "node {n}: features {:?}",
                     cluster.plan().features_of(n)
@@ -84,6 +88,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "merged cache hit rate: {:.1} %\n",
             100.0 * report.cache.encoder_hit_rate()
+        );
+    }
+
+    // Elasticity: fail node 3 at 40% of the trace, admit a cold node 4
+    // at 70%, and watch the rebalanced shards dip and re-warm.
+    let mut elastic = Cluster::new(cfg(LoadScenario::SteadyPoisson))?;
+    let span = mprec::data::scenario::nominal_span_us(4_000, 2_000.0);
+    elastic.fail_node(3, 0.4 * span)?;
+    elastic.add_node(4, 0.7 * span)?;
+    let report = elastic.serve()?;
+    println!("== node churn: fail node 3 @40%, join node 4 @70% ==");
+    println!(
+        "completed queries    : {} ({} batches retried after the failure)",
+        report.outcome.completed, report.retried_batches
+    );
+    for (i, epoch) in report.epochs.iter().enumerate() {
+        println!(
+            "epoch {i} (t={:>7.0} us, live {:?}): hit rate {:.1} % over {} batches",
+            epoch.start_us,
+            epoch.live,
+            100.0 * epoch.hit_rate(),
+            epoch.batches
         );
     }
     Ok(())

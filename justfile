@@ -22,6 +22,11 @@ bench:
 lint:
     cargo clippy --workspace --all-targets -- -D warnings
 
+# Rustdoc gate used by CI: zero warnings, with missing_docs enforced on
+# mprec-core and mprec-runtime (crate-level #![warn(missing_docs)]).
+doc:
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
 # Regenerate one paper figure/table, e.g. `just fig fig16_mpcache`.
 fig name:
     cargo run --release -p mprec-bench --bin {{name}}
@@ -45,11 +50,12 @@ kernel-smoke:
     timeout 300 cargo run --release -p mprec-bench --bin kernel_throughput -- --smoke
 
 # Cluster scale-out sweep: scenarios x {1,2,4,8} nodes, per-node cache
-# hit rates and critical-path scaling; writes BENCH_cluster.json.
+# hit rates, critical-path scaling, and the failure/recovery churn
+# sweep (per-epoch hit rates); writes BENCH_cluster.json.
 bench-cluster:
     cargo run --release -p mprec-bench --bin cluster_throughput
 
-# Quick cluster smoke (2 nodes, steady trace, completion asserted).
-# Mirrors the CI step.
+# Quick cluster smoke (2 nodes, steady trace, completion asserted) plus
+# the elastic path: 1 failure + 1 join mid-trace. Mirrors the CI step.
 cluster-smoke:
-    timeout 300 cargo run --release -p mprec-bench --bin cluster_throughput -- --smoke
+    timeout 300 cargo run --release -p mprec-bench --bin cluster_throughput -- --smoke --churn

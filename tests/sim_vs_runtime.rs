@@ -19,10 +19,12 @@
 use mprec::data::query::QueryTraceConfig;
 use mprec::data::scenario::{self, LoadScenario};
 use mprec::runtime::{
-    serve, Cluster, ClusterConfig, PathKind, RuntimeConfig, RuntimeModel, RuntimeModelConfig,
-    RuntimeReport,
+    serve, Cluster, ClusterConfig, ClusterReport, PathKind, RuntimeConfig, RuntimeModel,
+    RuntimeModelConfig, RuntimeReport,
 };
-use mprec::serving::replay::{replay, ReplayConfig, ReplayResult};
+use mprec::serving::replay::{
+    replay, replay_cluster, ClusterReplayResult, ReplayConfig, ReplayResult,
+};
 
 fn model_cfg(dynamic_entries: usize) -> RuntimeModelConfig {
     RuntimeModelConfig {
@@ -184,16 +186,10 @@ fn agreement_holds_across_load_scenarios() {
     }
 }
 
-#[test]
-fn cluster_runtime_agrees_with_replay_over_its_critical_path_profiles() {
-    // The cluster front-end routes over slowest-shard profiles; feeding
-    // those same profiles to the replay simulator must reproduce its
-    // decision trail and outcome counts, and a single twin model (the
-    // whole feature space, dynamic tier disabled) must predict the
-    // *merged* per-node cache counters.
-    let cfg = ClusterConfig {
-        nodes: 3,
-        workers_per_node: 2,
+fn cluster_cfg(nodes: usize, workers_per_node: usize, dynamic_entries: usize) -> ClusterConfig {
+    ClusterConfig {
+        nodes,
+        workers_per_node,
         cache_shards: 4,
         trace: QueryTraceConfig {
             num_queries: 500,
@@ -203,18 +199,32 @@ fn cluster_runtime_agrees_with_replay_over_its_critical_path_profiles() {
             qps: 4000.0,
             poisson_arrivals: true,
         },
-        model: model_cfg(0),
+        model: model_cfg(dynamic_entries),
         max_batch_samples: 40,
         seed: 23,
+        // Slow virtual compute + a tight SLA: per-node backlogs build up
+        // and Algorithm 2 actually switches paths.
         virtual_gflops: 0.005,
         sla_us: 2_500.0,
         ..ClusterConfig::default()
-    };
+    }
+}
+
+/// The canonical churn schedule for these tests: the highest node fails
+/// at 40% of the nominal span, a fresh node joins at 70%.
+fn churned(mut cfg: ClusterConfig) -> ClusterConfig {
+    let span = scenario::nominal_span_us(cfg.trace.num_queries, cfg.trace.qps);
+    cfg.churn = scenario::node_churn(cfg.nodes, span);
+    cfg
+}
+
+/// Runs the elastic cluster and its replay twin on one config.
+fn run_cluster_both(cfg: ClusterConfig) -> (Cluster, ClusterReport, ClusterReplayResult) {
     let cluster = Cluster::new(cfg.clone()).expect("cluster builds");
     let report = cluster.serve().expect("cluster serves");
     let trace = scenario::generate(cfg.trace, cfg.scenario, cfg.seed);
-    let sim = replay(
-        cluster.mapping_set(),
+    let sim = replay_cluster(
+        &cluster.replay_spec(),
         &trace,
         &ReplayConfig {
             sla_us: cfg.sla_us,
@@ -222,18 +232,48 @@ fn cluster_runtime_agrees_with_replay_over_its_critical_path_profiles() {
             max_batch_wait_us: cfg.max_batch_wait_us,
         },
     );
-    assert_eq!(report.outcome.completed, sim.outcome.completed);
-    assert_eq!(report.outcome.samples, sim.outcome.samples);
-    assert_eq!(report.virtual_sla_violations, sim.outcome.sla_violations);
-    assert_eq!(report.outcome.usage, sim.outcome.usage);
-    assert_eq!(report.outcome.correct_samples, sim.outcome.correct_samples);
-    let sim_decisions: Vec<PathKind> = sim
-        .decisions()
-        .iter()
-        .map(|&idx| cluster.paths()[idx])
-        .collect();
-    assert_eq!(report.path_decisions, sim_decisions);
+    (cluster, report, sim)
+}
 
+/// Asserts the cluster's deterministic (virtual-time) agreement
+/// contract against the replay twin.
+fn assert_cluster_agreement(cluster: &Cluster, report: &ClusterReport, sim: &ClusterReplayResult) {
+    assert_eq!(report.outcome.completed, sim.outcome.completed, "completed");
+    assert_eq!(report.outcome.samples, sim.outcome.samples, "samples");
+    assert_eq!(
+        report.virtual_sla_violations, sim.outcome.sla_violations,
+        "virtual SLA violations"
+    );
+    assert_eq!(report.outcome.usage, sim.outcome.usage, "per-path usage");
+    assert_eq!(
+        report.outcome.correct_samples, sim.outcome.correct_samples,
+        "correct samples accumulate identically"
+    );
+    let sim_decisions: Vec<PathKind> = sim
+        .batches
+        .iter()
+        .map(|b| cluster.paths()[b.mapping_idx])
+        .collect();
+    assert_eq!(
+        report.path_decisions, sim_decisions,
+        "per-batch path-selection trail"
+    );
+    assert_eq!(
+        report.retried_batches, sim.retried_batches,
+        "failure-retry accounting"
+    );
+}
+
+/// Predicts the cluster's *merged* cache counters with one
+/// whole-feature-space twin: every batch executes each feature exactly
+/// once somewhere, and with the dynamic tier disabled the counters are
+/// per-key pure functions, so the per-node split is invisible to the
+/// merged sum — even across churn.
+fn merged_twin_stats(
+    cfg: &ClusterConfig,
+    cluster: &Cluster,
+    sim: &ClusterReplayResult,
+) -> mprec::core::CacheStats {
     let twin = RuntimeModel::build(&cfg.model, cfg.cache_shards, cfg.seed).expect("twin");
     let mut scratch = twin.make_scratch();
     for batch in &sim.batches {
@@ -244,11 +284,135 @@ fn cluster_runtime_agrees_with_replay_over_its_critical_path_profiles() {
         )
         .expect("twin replay");
     }
+    twin.cache().stats()
+}
+
+#[test]
+fn cluster_runtime_agrees_with_replay_over_its_critical_path_profiles() {
+    // The static (no-churn) cluster: the front-end routes over
+    // capacity-aware slowest-shard profiles with per-node backlogs and
+    // pruned scatter; the replay twin must reproduce its decision trail
+    // and outcome counts exactly, and a single merged twin model must
+    // predict the summed per-node cache counters.
+    let cfg = cluster_cfg(3, 2, 0);
+    let (cluster, report, sim) = run_cluster_both(cfg.clone());
+    assert_eq!(report.outcome.completed, 500);
+    assert!(
+        report
+            .path_decisions
+            .iter()
+            .any(|&p| p != report.path_decisions[0]),
+        "config must exercise path switching"
+    );
+    assert_cluster_agreement(&cluster, &report, &sim);
+    assert_eq!(report.cache, merged_twin_stats(&cfg, &cluster, &sim));
+}
+
+#[test]
+fn elastic_cluster_agrees_with_replay_across_node_churn() {
+    // One failure + one join mid-trace: epoch switching, shard
+    // rebalancing, in-flight retry accounting, and the merged cache
+    // counters must all stay in exact sim/runtime lockstep.
+    let cfg = churned(cluster_cfg(3, 2, 0));
+    let (cluster, report, sim) = run_cluster_both(cfg.clone());
+    assert_eq!(report.outcome.completed, 500, "churn loses no query");
+    assert_eq!(cluster.epochs().len(), 3, "boot + fail + join epochs");
+    assert!(
+        report.retried_batches > 0,
+        "schedule must catch a batch in flight (tune the fail time)"
+    );
+    assert_cluster_agreement(&cluster, &report, &sim);
     assert_eq!(
         report.cache,
-        twin.cache().stats(),
-        "merged per-node counters equal the whole-feature-space twin"
+        merged_twin_stats(&cfg, &cluster, &sim),
+        "merged counters survive churn (static tier is replica-pure)"
     );
+}
+
+#[test]
+fn per_node_caches_match_per_node_twins_across_churn() {
+    // The strongest cache pin: with one worker per node each node
+    // executes its scatter jobs in dispatch order, so replaying every
+    // batch's *final* (post-retry) per-node assignment against per-node
+    // twin models predicts each replica's counters exactly — dynamic
+    // tier included, across a failure and a join.
+    let cfg = churned(cluster_cfg(3, 1, 256));
+    let (cluster, report, sim) = run_cluster_both(cfg.clone());
+    assert_cluster_agreement(&cluster, &report, &sim);
+
+    let ids = cluster.node_ids();
+    let twins: Vec<RuntimeModel> = ids
+        .iter()
+        .map(|_| RuntimeModel::build(&cfg.model, cfg.cache_shards, cfg.seed).expect("twin"))
+        .collect();
+    let mut scratches: Vec<_> = twins.iter().map(|t| t.make_scratch()).collect();
+    for batch in &sim.batches {
+        let path = cluster.paths()[batch.mapping_idx];
+        let assignment = &cluster.epochs()[batch.epoch_idx].assignments[batch.mapping_idx];
+        for (node_id, feats) in assignment {
+            let slot = ids.iter().position(|i| i == node_id).expect("replica");
+            twins[slot]
+                .replay_cache_accesses_features(
+                    path,
+                    &batch.queries,
+                    feats,
+                    &mut scratches[slot],
+                )
+                .expect("per-node twin replay");
+        }
+    }
+    for (slot, twin) in twins.iter().enumerate() {
+        assert_eq!(
+            report.per_node_cache[slot],
+            twin.cache().stats(),
+            "node {} counters",
+            ids[slot]
+        );
+    }
+}
+
+#[test]
+fn retried_batches_are_charged_both_latency_legs() {
+    // Regression for the histogram fault-model fix: a retried batch's
+    // queries must record the *full* virtual latency (failed attempt +
+    // retry leg), not just the retry leg. The runtime's virtual
+    // histogram sum is pinned to the replay's per-query totals.
+    let cfg = churned(cluster_cfg(3, 2, 0));
+    let (cluster, report, sim) = run_cluster_both(cfg.clone());
+    assert!(report.retried_batches > 0, "needs an in-flight failure");
+    let fail_at = cfg.churn[0].at_us;
+    let trace = scenario::generate(cfg.trace, cfg.scenario, cfg.seed);
+    let arrival_of: std::collections::HashMap<u64, f64> = trace
+        .iter()
+        .map(|q| (q.id, q.arrival_us as f64))
+        .collect();
+    let mut full_sum = 0.0f64;
+    let mut retry_leg_only_sum = 0.0f64;
+    for batch in &sim.batches {
+        for &(qid, _) in &batch.queries {
+            let arrival = arrival_of[&qid];
+            full_sum += batch.done_us - arrival;
+            retry_leg_only_sum += if batch.retried {
+                // The buggy accounting: as if the query only existed
+                // from the failure instant onward.
+                batch.done_us - fail_at.max(arrival)
+            } else {
+                batch.done_us - arrival
+            };
+        }
+    }
+    let recorded = report.virtual_histogram.sum_us();
+    assert!(
+        (recorded - full_sum).abs() <= 1e-6 * full_sum.abs().max(1.0),
+        "virtual histogram sum {recorded} != both-legs sum {full_sum}"
+    );
+    assert!(
+        full_sum > retry_leg_only_sum + 1.0,
+        "full accounting must exceed the retry-leg-only sum \
+         ({full_sum} vs {retry_leg_only_sum})"
+    );
+    assert_eq!(report.virtual_histogram.count(), 500, "one sample per query");
+    let _ = cluster;
 }
 
 #[test]
