@@ -188,13 +188,15 @@ fn churn_cell_json(c: &ChurnCell) -> String {
     let mut epochs = String::from("[");
     for (i, e) in c.report.epochs.iter().enumerate() {
         let sep = if i + 1 < c.report.epochs.len() { "," } else { "" };
+        let disk_hits: u64 = e.per_node_cache.iter().map(|s| s.disk_hits).sum();
         let _ = write!(
             epochs,
-            "{{\"start_us\":{:.0},\"live\":{:?},\"batches\":{},\"hit_rate\":{:.4}}}{}",
+            "{{\"start_us\":{:.0},\"live\":{:?},\"batches\":{},\"hit_rate\":{:.4},\"disk_hits\":{}}}{}",
             e.start_us,
             e.live,
             e.batches,
             e.hit_rate(),
+            disk_hits,
             sep
         );
     }
@@ -203,7 +205,7 @@ fn churn_cell_json(c: &ChurnCell) -> String {
         concat!(
             "{{\"nodes\":{},\"completed\":{},\"retried_batches\":{},",
             "\"retried_queries\":{},\"virtual_sla_violation_rate\":{:.5},",
-            "\"cache_hit_rate\":{:.4},\"epochs\":{},\"serve_s\":{:.3}}}"
+            "\"cache_hit_rate\":{:.4},\"disk_hits\":{},\"epochs\":{},\"serve_s\":{:.3}}}"
         ),
         c.nodes,
         c.report.outcome.completed,
@@ -211,6 +213,7 @@ fn churn_cell_json(c: &ChurnCell) -> String {
         c.report.retried_queries,
         c.report.virtual_sla_violations as f64 / c.report.outcome.completed.max(1) as f64,
         c.report.cache.encoder_hit_rate(),
+        c.report.cache.disk_hits,
         epochs,
         c.serve_s,
     )
@@ -351,24 +354,33 @@ fn main() {
             "\nfailure/recovery sweep (fail highest node @40%, join fresh node @70%):"
         );
         println!(
-            "{:>8} {:>10} {:>10} {:>14} {:>14} {:>14}",
-            "nodes", "completed", "retried", "hit% pre-fail", "hit% post-fail", "hit% post-join"
+            "{:>8} {:>10} {:>10} {:>14} {:>14} {:>14} {:>10}",
+            "nodes",
+            "completed",
+            "retried",
+            "hit% pre-fail",
+            "hit% post-fail",
+            "hit% post-join",
+            "disk hits"
         );
         for c in &churn_cells {
             let e = &c.report.epochs;
             println!(
-                "{:>8} {:>10} {:>10} {:>14.1} {:>14.1} {:>14.1}",
+                "{:>8} {:>10} {:>10} {:>14.1} {:>14.1} {:>14.1} {:>10}",
                 c.nodes,
                 c.report.outcome.completed,
                 c.report.retried_batches,
                 100.0 * e[0].hit_rate(),
                 100.0 * e[1].hit_rate(),
                 100.0 * e[2].hit_rate(),
+                c.report.cache.disk_hits,
             );
         }
         println!(
             "(post-fail epoch: rebalanced shards start cold on their new owners; \
-             post-join epoch shows them re-warming while the joiner warms from zero)"
+             post-join epoch: the joiner is warm-started over the remap diff — \
+             its inherited entries serve from the shipped disk tier instead of \
+             rewarming from traffic, so the dip recovers faster)"
         );
     }
 

@@ -15,11 +15,12 @@
 //!   most accurate representation-hardware path that can finish under the
 //!   SLA latency target given current device backlogs, falling back to the
 //!   table path so throughput and latency floors always hold.
-//! * **MP-Cache** ([`mpcache`], §4.3): a two-tier cache that makes the
+//! * **MP-Cache** ([`mpcache`], §4.3): a tiered cache that makes the
 //!   compute-heavy paths viable — `MP-Cache_encoder` pins final embeddings
 //!   of hot IDs (power-law access), `MP-Cache_decoder` replaces decoder
 //!   MLP runs with a nearest-centroid lookup over profiled intermediate
-//!   vectors.
+//!   vectors, and a persistent disk tier ([`persist`]) survives process
+//!   restarts and warm-starts joining cluster nodes.
 //!
 //! # Examples
 //!
@@ -47,6 +48,7 @@
 pub mod candidates;
 pub mod metrics;
 pub mod mpcache;
+pub mod persist;
 pub mod planner;
 pub mod profile;
 pub mod ring;
@@ -55,9 +57,10 @@ pub mod scheduler;
 pub use candidates::{AccuracyBook, CandidateRep, RepRole};
 pub use metrics::CorrectPredictionThroughput;
 pub use mpcache::{
-    CacheStats, DecoderCache, EncoderCache, LruEncoderCache, MpCache, MpCacheConfig,
-    ShardedCacheConfig, ShardedMpCache,
+    CacheStats, DecoderCache, EncoderCache, FifoEncoderCache, LruEncoderCache, MpCache,
+    MpCacheConfig, SegmentedLruEncoderCache, ShardedCacheConfig, ShardedMpCache,
 };
+pub use persist::{Segment, SegmentError};
 pub use planner::{plan, Mapping, MappingSet};
 pub use profile::LatencyProfile;
 pub use ring::{FeatureShardPlan, HashRing, KeyMove, RemapDiff};

@@ -20,8 +20,19 @@
 //! shards keyed by a `(feature, id)` hash, each shard pairing an
 //! immutable (lock-free) static map with an online dynamic tier behind a
 //! `parking_lot::RwLock` and an atomic hit/miss/eviction stats block.
+//!
+//! Each shard also carries a **persistent disk tier**
+//! ([`crate::persist::Segment`]): an append-only record log with an
+//! in-memory `(feature, id) → offset` index, consulted only after both RAM
+//! tiers miss. Disk hits copy the embedding out, count as `disk_hits`, and
+//! promote the entry into the dynamic tier. The tier is fed by
+//! [`ShardedMpCache::load_disk_segment`] (cluster warm-start on node join)
+//! and by [`ShardedMpCache::restore_dynamic`]'s segment files
+//! (snapshot/restore across process restarts).
 
 use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use mprec_data::SplitMixBuildHasher;
@@ -30,6 +41,7 @@ use mprec_nn::MlpScratch;
 use mprec_tensor::{ops, Matrix};
 use parking_lot::{Mutex, RwLock};
 
+use crate::persist::Segment;
 use crate::{CoreError, Result};
 
 /// Configuration of both cache tiers.
@@ -64,15 +76,18 @@ pub struct CacheStats {
     pub decoder_lookups: u64,
     /// Dynamic-tier hits (online warm entries; [`ShardedMpCache`] only).
     pub dynamic_hits: u64,
+    /// Disk-tier hits (persistent segment entries promoted on access;
+    /// [`ShardedMpCache`] only).
+    pub disk_hits: u64,
     /// Dynamic-tier evictions ([`ShardedMpCache`] only).
     pub evictions: u64,
 }
 
 impl CacheStats {
-    /// Encoder hit rate in [0, 1]: hits of either encoder tier (static or
-    /// dynamic) over all lookups.
+    /// Encoder hit rate in [0, 1]: hits of any encoder tier (static,
+    /// dynamic, or disk) over all lookups.
     pub fn encoder_hit_rate(&self) -> f64 {
-        let hits = self.encoder_hits + self.dynamic_hits;
+        let hits = self.encoder_hits + self.dynamic_hits + self.disk_hits;
         let total = hits + self.encoder_misses;
         if total == 0 {
             0.0
@@ -81,9 +96,13 @@ impl CacheStats {
         }
     }
 
-    /// Total lookups observed.
+    /// Total lookups observed. Every access lands in exactly one of the
+    /// four buckets, so
+    /// `encoder_hits + dynamic_hits + disk_hits + encoder_misses` equals
+    /// the number of accesses (property-tested in
+    /// `crates/core/tests/sharded_mpcache.rs`).
     pub fn lookups(&self) -> u64 {
-        self.encoder_hits + self.dynamic_hits + self.encoder_misses
+        self.encoder_hits + self.dynamic_hits + self.disk_hits + self.encoder_misses
     }
 
     /// Field-wise sum of two snapshots (merging per-shard stats).
@@ -93,6 +112,7 @@ impl CacheStats {
             encoder_misses: self.encoder_misses + other.encoder_misses,
             decoder_lookups: self.decoder_lookups + other.decoder_lookups,
             dynamic_hits: self.dynamic_hits + other.dynamic_hits,
+            disk_hits: self.disk_hits + other.disk_hits,
             evictions: self.evictions + other.evictions,
         }
     }
@@ -196,13 +216,15 @@ pub struct LruEncoderCache {
 
 impl LruEncoderCache {
     /// Creates an LRU cache with the same byte budget semantics as
-    /// [`EncoderCache::build`].
+    /// [`EncoderCache::build`]: the budget rounds *down* to whole entries,
+    /// so a sub-entry budget yields `max_entries == 0` — a disabled tier
+    /// that computes every access — rather than silently rounding up to
+    /// one entry and comparing a bigger budget than the static cell.
     pub fn new(emb_dim: usize, capacity_bytes: u64) -> Self {
-        let entry_bytes = 16 + emb_dim as u64 * 4;
         LruEncoderCache {
             entries: HashMap::new(),
             clock: 0,
-            max_entries: (capacity_bytes / entry_bytes.max(1)).max(1) as usize,
+            max_entries: budget_entries(emb_dim, capacity_bytes),
             hits: 0,
             misses: 0,
         }
@@ -250,12 +272,220 @@ impl LruEncoderCache {
         self.misses += 1;
         let out = stack.infer(&[id])?;
         let v = out.row(0).to_vec();
+        // A zero budget disables the tier: compute without caching.
+        if self.max_entries == 0 {
+            return Ok(v);
+        }
         if self.entries.len() >= self.max_entries {
             if let Some((&oldest, _)) = self.entries.iter().min_by_key(|(_, (s, _))| *s) {
                 self.entries.remove(&oldest);
             }
         }
         self.entries.insert((feature, id), (clock, v.clone()));
+        Ok(v)
+    }
+}
+
+/// Shared byte-budget arithmetic for the online encoder-cache variants:
+/// identical to [`EncoderCache::build`] (round down; 0 bytes ⇒ disabled
+/// tier) so ablation cells across policies compare equal budgets.
+fn budget_entries(emb_dim: usize, capacity_bytes: u64) -> usize {
+    let entry_bytes = 16 + emb_dim as u64 * 4;
+    (capacity_bytes / entry_bytes.max(1)) as usize
+}
+
+/// An online FIFO alternative to the static frequency cache (ablation:
+/// cheapest possible eviction bookkeeping — insertion order only — at the
+/// cost of evicting hot IDs as readily as cold ones).
+#[derive(Debug)]
+pub struct FifoEncoderCache {
+    entries: HashMap<(usize, u64), Vec<f32>>,
+    fifo: VecDeque<(usize, u64)>,
+    max_entries: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl FifoEncoderCache {
+    /// Creates a FIFO cache with the same byte budget semantics as
+    /// [`EncoderCache::build`] (round down; 0 bytes ⇒ disabled tier).
+    pub fn new(emb_dim: usize, capacity_bytes: u64) -> Self {
+        FifoEncoderCache {
+            entries: HashMap::new(),
+            fifo: VecDeque::new(),
+            max_entries: budget_entries(emb_dim, capacity_bytes),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Maximum entries the byte budget allows.
+    pub fn max_entries(&self) -> usize {
+        self.max_entries
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit rate so far.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Serves one embedding, computing and inserting on miss (evicting the
+    /// oldest-inserted entry at capacity).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stack execution errors.
+    pub fn embed(&mut self, stack: &DheStack, feature: usize, id: u64) -> Result<Vec<f32>> {
+        if let Some(v) = self.entries.get(&(feature, id)) {
+            self.hits += 1;
+            return Ok(v.clone());
+        }
+        self.misses += 1;
+        let out = stack.infer(&[id])?;
+        let v = out.row(0).to_vec();
+        if self.max_entries == 0 {
+            return Ok(v);
+        }
+        while self.entries.len() >= self.max_entries {
+            let Some(oldest) = self.fifo.pop_front() else {
+                break;
+            };
+            self.entries.remove(&oldest);
+        }
+        self.entries.insert((feature, id), v.clone());
+        self.fifo.push_back((feature, id));
+        Ok(v)
+    }
+}
+
+/// An online segmented-LRU (SLRU) alternative: new entries enter a
+/// *probation* segment; a probation hit promotes to a *protected* segment
+/// (4/5 of the budget) whose overflow demotes back to probation. Scan
+/// traffic churns only probation, so hot IDs survive one-shot floods —
+/// the classic middle ground between FIFO and full LRU.
+#[derive(Debug)]
+pub struct SegmentedLruEncoderCache {
+    /// `key → (stamp, protected?, embedding)`; segments share one map and
+    /// are distinguished by the flag, keeping lookups to a single probe.
+    entries: HashMap<(usize, u64), (u64, bool, Vec<f32>)>,
+    clock: u64,
+    max_entries: usize,
+    protected_cap: usize,
+    protected_len: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl SegmentedLruEncoderCache {
+    /// Creates an SLRU cache with the same byte budget semantics as
+    /// [`EncoderCache::build`] (round down; 0 bytes ⇒ disabled tier).
+    pub fn new(emb_dim: usize, capacity_bytes: u64) -> Self {
+        let max_entries = budget_entries(emb_dim, capacity_bytes);
+        SegmentedLruEncoderCache {
+            entries: HashMap::new(),
+            clock: 0,
+            max_entries,
+            protected_cap: max_entries * 4 / 5,
+            protected_len: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Maximum entries the byte budget allows.
+    pub fn max_entries(&self) -> usize {
+        self.max_entries
+    }
+
+    /// Current entry count across both segments.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit rate so far.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Least-recently-used key within one segment.
+    fn lru_of(&self, protected: bool) -> Option<(usize, u64)> {
+        self.entries
+            .iter()
+            .filter(|(_, (_, p, _))| *p == protected)
+            .min_by_key(|(_, (s, _, _))| *s)
+            .map(|(&k, _)| k)
+    }
+
+    /// Serves one embedding, computing on miss; misses enter probation and
+    /// probation hits promote to the protected segment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stack execution errors.
+    pub fn embed(&mut self, stack: &DheStack, feature: usize, id: u64) -> Result<Vec<f32>> {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some((stamp, protected, v)) = self.entries.get_mut(&(feature, id)) {
+            *stamp = clock;
+            self.hits += 1;
+            let out = v.clone();
+            if !*protected && self.protected_cap > 0 {
+                *protected = true;
+                self.protected_len += 1;
+                if self.protected_len > self.protected_cap {
+                    // Demote the protected LRU back to probation.
+                    if let Some(lru) = self.lru_of(true) {
+                        if let Some((_, p, _)) = self.entries.get_mut(&lru) {
+                            *p = false;
+                            self.protected_len -= 1;
+                        }
+                    }
+                }
+            }
+            return Ok(out);
+        }
+        self.misses += 1;
+        let out = stack.infer(&[id])?;
+        let v = out.row(0).to_vec();
+        if self.max_entries == 0 {
+            return Ok(v);
+        }
+        if self.entries.len() >= self.max_entries {
+            // Evict from probation first; fall back to protected only
+            // when probation is empty.
+            let victim = self.lru_of(false).or_else(|| self.lru_of(true));
+            if let Some(k) = victim {
+                if let Some((_, true, _)) = self.entries.remove(&k) {
+                    self.protected_len -= 1;
+                }
+            }
+        }
+        self.entries.insert((feature, id), (clock, false, v.clone()));
         Ok(v)
     }
 }
@@ -469,6 +699,7 @@ pub struct AtomicCacheStats {
     encoder_misses: AtomicU64,
     decoder_lookups: AtomicU64,
     dynamic_hits: AtomicU64,
+    disk_hits: AtomicU64,
     evictions: AtomicU64,
 }
 
@@ -481,6 +712,7 @@ impl AtomicCacheStats {
             encoder_misses: self.encoder_misses.load(Ordering::Relaxed),
             decoder_lookups: self.decoder_lookups.load(Ordering::Relaxed),
             dynamic_hits: self.dynamic_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
@@ -490,6 +722,7 @@ impl AtomicCacheStats {
         self.encoder_misses.store(0, Ordering::Relaxed);
         self.decoder_lookups.store(0, Ordering::Relaxed);
         self.dynamic_hits.store(0, Ordering::Relaxed);
+        self.disk_hits.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
     }
 }
@@ -503,11 +736,13 @@ struct DynamicTier {
 }
 
 /// One cache shard: an immutable slice of the static encoder tier (read
-/// without any lock) plus a locked dynamic tier and an atomic stats block.
+/// without any lock) plus a locked dynamic tier, a locked persistent disk
+/// tier (consulted only on a RAM miss), and an atomic stats block.
 #[derive(Debug)]
 struct CacheShard {
     static_entries: HashMap<(usize, u64), Vec<f32>, SplitMixBuildHasher>,
     dynamic: RwLock<DynamicTier>,
+    disk: RwLock<Segment>,
     stats: AtomicCacheStats,
 }
 
@@ -546,6 +781,7 @@ pub struct BatchScratch {
     codes: Matrix,
     computed: Matrix,
     mlp: MlpScratch,
+    disk_row: Vec<f32>,
 }
 
 impl BatchScratch {
@@ -628,6 +864,7 @@ impl ShardedMpCache {
                 .map(|static_entries| CacheShard {
                     static_entries,
                     dynamic: RwLock::new(DynamicTier::default()),
+                    disk: RwLock::new(Segment::new()),
                     stats: AtomicCacheStats::default(),
                 })
                 .collect(),
@@ -697,9 +934,130 @@ impl ShardedMpCache {
         }
     }
 
+    /// Entries currently indexed by the disk tier across all shards.
+    pub fn disk_len(&self) -> usize {
+        self.shards.iter().map(|s| s.disk.read().len()).sum()
+    }
+
+    /// Empties every shard's persistent disk tier (e.g. between serving
+    /// runs, so warm-start segments loaded mid-run do not leak into the
+    /// next run).
+    pub fn clear_disk(&self) {
+        for s in &self.shards {
+            *s.disk.write() = Segment::new();
+        }
+    }
+
+    /// Exports the dynamic-tier entries whose feature satisfies `keep` as
+    /// one segment byte stream (shard index order, FIFO order within a
+    /// shard — deterministic for a deterministically-warmed cache). This
+    /// is the cluster warm-start hand-off: old owners export the moved
+    /// features' warm entries for the joining node.
+    pub fn export_dynamic_segment(&self, mut keep: impl FnMut(usize) -> bool) -> Vec<u8> {
+        let mut seg = Segment::new();
+        for shard in &self.shards {
+            let tier = shard.dynamic.read();
+            for key in &tier.fifo {
+                if keep(key.0) {
+                    if let Some(v) = tier.entries.get(key) {
+                        seg.append(key.0, key.1, v);
+                    }
+                }
+            }
+        }
+        seg.to_bytes()
+    }
+
+    /// Loads segment bytes into the per-shard disk tiers (each record is
+    /// routed to its owning shard by key hash), returning the number of
+    /// records loaded. Torn trailing records are tolerated and dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] when the bytes do not start with a
+    /// valid segment header.
+    pub fn load_disk_segment(&self, bytes: &[u8]) -> Result<usize> {
+        let seg = Segment::from_bytes(bytes)
+            .map_err(|e| CoreError::BadConfig(format!("disk segment: {e}")))?;
+        let mut loaded = 0;
+        for (feature, id, values) in seg.iter() {
+            self.shard(feature, id)
+                .disk
+                .write()
+                .append(feature, id, &values);
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+
+    /// Snapshots the dynamic tier to `dir` as one segment file per shard
+    /// (`shard-NNNN.seg`), each written durably (tmp file + rename), so a
+    /// crash mid-snapshot leaves every shard file at either the previous
+    /// or the new snapshot — never a torn one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn snapshot_dynamic(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let mut seg = Segment::new();
+            {
+                let tier = shard.dynamic.read();
+                for key in &tier.fifo {
+                    if let Some(v) = tier.entries.get(key) {
+                        seg.append(key.0, key.1, v);
+                    }
+                }
+            }
+            seg.write_to(&dir.join(format!("shard-{i:04}.seg")))?;
+        }
+        Ok(())
+    }
+
+    /// Restores the dynamic tier from a [`ShardedMpCache::snapshot_dynamic`]
+    /// directory, replacing current dynamic contents. Records are routed
+    /// to shards by key hash (so a snapshot survives a shard-count
+    /// change), keep their FIFO order, respect the per-shard budget, and
+    /// leave the stats counters untouched. Returns the number of entries
+    /// restored. Stray `.tmp` files from an interrupted snapshot are
+    /// ignored, so recovery always lands on the last durable snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; a file that is not a valid segment
+    /// surfaces as [`io::ErrorKind::InvalidData`].
+    pub fn restore_dynamic(&self, dir: &Path) -> io::Result<usize> {
+        let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "seg"))
+            .collect();
+        files.sort();
+        self.clear_dynamic();
+        let mut restored = 0;
+        for path in files {
+            let seg = Segment::read_from(&path)?;
+            for (feature, id, values) in seg.iter() {
+                let shard = self.shard(feature, id);
+                let mut tier = shard.dynamic.write();
+                if self.dynamic_per_shard == 0 || tier.entries.len() >= self.dynamic_per_shard {
+                    continue;
+                }
+                if tier.entries.insert((feature, id), values).is_none() {
+                    tier.fifo.push_back((feature, id));
+                    restored += 1;
+                }
+            }
+        }
+        Ok(restored)
+    }
+
     /// Serves one embedding through the sharded hierarchy: static tier
-    /// (lock-free) -> dynamic tier (shared read lock) -> encode + decoder
-    /// tier or full decoder, inserting the result into the dynamic tier.
+    /// (lock-free) -> dynamic tier (shared read lock) -> disk tier
+    /// (persistent segment, RAM misses only) -> encode + decoder tier or
+    /// full decoder, inserting the result into the dynamic tier. A disk
+    /// hit copies the embedding out, counts `disk_hits`, and promotes the
+    /// entry into the dynamic tier so repeats hit RAM.
     ///
     /// # Errors
     ///
@@ -716,6 +1074,12 @@ impl ShardedMpCache {
                 shard.stats.dynamic_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(hit.clone());
             }
+        }
+        let mut v = Vec::new();
+        if shard.disk.read().get_into(feature, id, &mut v) {
+            shard.stats.disk_hits.fetch_add(1, Ordering::Relaxed);
+            self.admit(shard, key, &v);
+            return Ok(v);
         }
         shard.stats.encoder_misses.fetch_add(1, Ordering::Relaxed);
         let v = self.compute_miss(stack, shard, feature, id)?;
@@ -781,6 +1145,17 @@ impl ShardedMpCache {
                     out.row_mut(row).copy_from_slice(hit);
                     continue;
                 }
+            }
+            // Disk tier: segments are immutable during a batch (admits go
+            // to the dynamic tier), so a disk-resident ID can never also
+            // be a pending cold ID — check before the repeat map. With
+            // the dynamic tier enabled the promoted entry turns repeats
+            // into dynamic hits, exactly like the scalar path.
+            if shard.disk.read().get_into(feature, id, &mut scratch.disk_row) {
+                shard.stats.disk_hits.fetch_add(1, Ordering::Relaxed);
+                out.row_mut(row).copy_from_slice(&scratch.disk_row);
+                self.admit(shard, key, &scratch.disk_row);
+                continue;
             }
             if let Some(&slot) = scratch.miss_slot_of.get(&id) {
                 // Repeat of a cold ID already pending in this batch: the
@@ -1152,6 +1527,164 @@ mod tests {
         let _ = cache.embed(&s, 0, 900).unwrap(); // cold -> admitted
         let _ = cache.embed(&s, 0, 900).unwrap(); // warm hit
         assert_eq!(cache.stats().dynamic_hits, 1);
+    }
+
+    #[test]
+    fn online_cache_budgets_match_static_build_semantics() {
+        // Regression for the ablation's budget parity: every online policy
+        // must round the byte budget *down* to whole entries exactly like
+        // EncoderCache::build — a sub-entry budget disables the tier
+        // instead of silently granting one entry.
+        let s = stack();
+        for (bytes, want) in [(0u64, 0usize), (47, 0), (144, 3), (192, 4)] {
+            let built = EncoderCache::build(&counts_single_feature(1), 8, bytes, |_, id| {
+                Ok(s.infer(&[id]).unwrap().row(0).to_vec())
+            })
+            .unwrap();
+            assert_eq!(built.len(), want, "{bytes} B static");
+            assert_eq!(LruEncoderCache::new(8, bytes).max_entries(), want, "{bytes} B lru");
+            assert_eq!(FifoEncoderCache::new(8, bytes).max_entries(), want, "{bytes} B fifo");
+            assert_eq!(
+                SegmentedLruEncoderCache::new(8, bytes).max_entries(),
+                want,
+                "{bytes} B slru"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_budget_online_caches_stay_empty_but_serve() {
+        let s = stack();
+        let mut lru = LruEncoderCache::new(8, 10);
+        let mut fifo = FifoEncoderCache::new(8, 10);
+        let mut slru = SegmentedLruEncoderCache::new(8, 10);
+        let exact = s.infer(&[42]).unwrap();
+        for _ in 0..2 {
+            assert_eq!(lru.embed(&s, 0, 42).unwrap().as_slice(), exact.row(0));
+            assert_eq!(fifo.embed(&s, 0, 42).unwrap().as_slice(), exact.row(0));
+            assert_eq!(slru.embed(&s, 0, 42).unwrap().as_slice(), exact.row(0));
+        }
+        assert_eq!(lru.len(), 0, "disabled tier never stores");
+        assert_eq!(fifo.len(), 0);
+        assert_eq!(slru.len(), 0);
+        assert_eq!(lru.hit_rate(), 0.0, "repeats recompute, never hit");
+    }
+
+    #[test]
+    fn fifo_cache_evicts_in_insertion_order() {
+        let s = stack();
+        let mut fifo = FifoEncoderCache::new(8, 48 * 2);
+        assert_eq!(fifo.max_entries(), 2);
+        let _ = fifo.embed(&s, 0, 1).unwrap();
+        let _ = fifo.embed(&s, 0, 2).unwrap();
+        let _ = fifo.embed(&s, 0, 1).unwrap(); // hit; FIFO order unchanged
+        let _ = fifo.embed(&s, 0, 3).unwrap(); // evicts 1 (oldest inserted)
+        assert_eq!(fifo.len(), 2);
+        let before = fifo.hit_rate();
+        let _ = fifo.embed(&s, 0, 1).unwrap();
+        assert!(fifo.hit_rate() < before, "1 was evicted despite its reuse");
+    }
+
+    #[test]
+    fn slru_protects_reused_ids_from_scan_floods() {
+        let s = stack();
+        let mut slru = SegmentedLruEncoderCache::new(8, 48 * 5);
+        let _ = slru.embed(&s, 0, 0).unwrap();
+        let _ = slru.embed(&s, 0, 0).unwrap(); // probation hit -> protected
+        for id in 1..=100u64 {
+            let _ = slru.embed(&s, 0, id).unwrap(); // one-shot scan flood
+        }
+        assert!(slru.len() <= 5);
+        let before = slru.hit_rate();
+        let _ = slru.embed(&s, 0, 0).unwrap();
+        assert!(slru.hit_rate() > before, "protected id survived the scan");
+    }
+
+    #[test]
+    fn disk_tier_hits_promote_and_count() {
+        let (sd, donor) = sharded(4, 64);
+        for id in 200..210u64 {
+            let _ = donor.embed(&sd, 0, id).unwrap();
+        }
+        let seg = donor.export_dynamic_segment(|_| true);
+        let (s, cache) = sharded(4, 64);
+        let loaded = cache.load_disk_segment(&seg).unwrap();
+        assert_eq!(loaded, donor.dynamic_len());
+        assert_eq!(cache.disk_len(), loaded);
+        let via = cache.embed(&s, 0, 205).unwrap();
+        let exact = s.infer(&[205]).unwrap();
+        assert_eq!(via.as_slice(), exact.row(0), "disk hit is byte-exact");
+        let stats = cache.stats();
+        assert_eq!(stats.disk_hits, 1);
+        assert_eq!(stats.encoder_misses, 0);
+        // Promotion: the repeat hits the dynamic tier in RAM.
+        let _ = cache.embed(&s, 0, 205).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.dynamic_hits, 1);
+        assert_eq!(stats.lookups(), 2);
+        cache.clear_disk();
+        assert_eq!(cache.disk_len(), 0);
+    }
+
+    #[test]
+    fn sharded_batch_matches_scalar_with_disk_tier() {
+        for dynamic_entries in [0usize, 64] {
+            let (sd, donor) = sharded(4, 64);
+            for id in 0..20u64 {
+                let _ = donor.embed(&sd, 0, id).unwrap();
+            }
+            let seg = donor.export_dynamic_segment(|_| true);
+            let (s, cache) = sharded(4, dynamic_entries);
+            cache.load_disk_segment(&seg).unwrap();
+            let (s2, cache2) = sharded(4, dynamic_entries);
+            cache2.load_disk_segment(&seg).unwrap();
+            let mut ids: Vec<u64> = (0..32).collect();
+            ids.extend([21, 25, 21, 5, 5]);
+            let batch = cache.embed_batch(&s, 0, &ids).unwrap();
+            for (i, &id) in ids.iter().enumerate() {
+                let scalar = cache2.embed(&s2, 0, id).unwrap();
+                assert_eq!(batch.row(i), scalar.as_slice(), "id {id}");
+            }
+            assert_eq!(
+                cache.stats(),
+                cache2.stats(),
+                "dynamic_entries = {dynamic_entries}"
+            );
+            assert!(cache.stats().disk_hits > 0, "disk tier served lookups");
+        }
+    }
+
+    #[test]
+    fn export_respects_the_feature_filter() {
+        let s = stack();
+        let enc = EncoderCache::build(&counts_single_feature(3), 8, 0, |_, id| {
+            Ok(s.infer(&[id]).unwrap().row(0).to_vec())
+        })
+        .unwrap();
+        let cache = ShardedMpCache::new(
+            Some(enc),
+            None,
+            ShardedCacheConfig { shards: 2, dynamic_entries: 32 },
+        );
+        for id in 0..8u64 {
+            let _ = cache.embed(&s, 0, id).unwrap();
+            let _ = cache.embed(&s, 1, id).unwrap();
+        }
+        let seg = cache.export_dynamic_segment(|f| f == 1);
+        let (_, fresh) = sharded(2, 32);
+        assert_eq!(fresh.load_disk_segment(&seg).unwrap(), 8);
+        let mut buf = Vec::new();
+        // Only feature 1 entries were shipped.
+        assert_eq!(fresh.disk_len(), 8);
+        for id in 0..8u64 {
+            let hit = fresh
+                .shard(1, id)
+                .disk
+                .read()
+                .get_into(1, id, &mut buf);
+            assert!(hit, "feature 1 id {id} shipped");
+            assert!(!fresh.shard(0, id).disk.read().get_into(0, id, &mut buf));
+        }
     }
 
     #[test]

@@ -92,6 +92,23 @@ impl LatencyProfile {
             latencies_us: self.latencies_us.iter().map(|l| l / factor).collect(),
         }
     }
+
+    /// Adds a per-sample latency penalty (`n × penalty_us` at each point),
+    /// preserving the profile's shape and extrapolation slope. Used to
+    /// charge MP-Cache *disk-tier* hits on a freshly warm-started node:
+    /// the epoch right after a join prices the cold RAM tiers into the
+    /// joiner's paths so Algorithm 2 can route around the cold tier.
+    pub fn plus_per_sample(&self, penalty_us: f64) -> LatencyProfile {
+        LatencyProfile {
+            sizes: self.sizes.clone(),
+            latencies_us: self
+                .latencies_us
+                .iter()
+                .zip(&self.sizes)
+                .map(|(l, &n)| l + n as f64 * penalty_us)
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +159,18 @@ mod tests {
     fn scaled_divides_latency() {
         let p = profile().scaled(2.0);
         assert_eq!(p.latency_us(10), 25.0);
+    }
+
+    #[test]
+    fn per_sample_penalty_grows_linearly_and_extrapolates() {
+        let p = profile().plus_per_sample(2.0);
+        assert_eq!(p.latency_us(1), 12.0);
+        assert_eq!(p.latency_us(10), 70.0);
+        assert_eq!(p.latency_us(100), 600.0);
+        // Extrapolation keeps the penalized slope: base 350/90 + 2.0.
+        let above = p.latency_us(190);
+        let expected = 600.0 + (350.0 / 90.0 + 2.0) * 90.0;
+        assert!((above - expected).abs() < 1e-6, "{above} vs {expected}");
     }
 
     #[test]

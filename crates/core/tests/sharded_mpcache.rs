@@ -101,6 +101,63 @@ proptest! {
     }
 
     #[test]
+    fn three_tier_counters_partition_accesses_under_concurrent_admits(
+        disk_ids in prop::collection::vec(0u64..150, 0..32),
+        per_thread in prop::collection::vec(
+            prop::collection::vec(0u64..150, 1..120),
+            1..5,
+        ),
+    ) {
+        // Every access resolves in exactly one tier, so the per-tier
+        // counters must partition the access count even while threads
+        // race through the admit() recycle path (which drains the FIFO
+        // and bumps `evictions` mid-admit). A deliberately tiny dynamic
+        // budget keeps that path hot, and a preloaded disk tier makes
+        // `disk_hits` a live term in the sum.
+        let s = stack();
+        let cache = ShardedMpCache::new(
+            Some(static_cache(&s, &[1, 2, 3], 3)),
+            None,
+            ShardedCacheConfig { shards: 4, dynamic_entries: 8 },
+        );
+        let mut seg = mprec_core::Segment::new();
+        for &id in &disk_ids {
+            seg.append(0, id, s.infer(&[id]).expect("infer").row(0));
+        }
+        cache.load_disk_segment(&seg.to_bytes()).expect("segment loads");
+
+        let total: u64 = per_thread.iter().map(|v| v.len() as u64).sum();
+        std::thread::scope(|scope| {
+            for ids in &per_thread {
+                let (cache, s) = (&cache, &s);
+                scope.spawn(move || {
+                    for &id in ids {
+                        let _ = cache.embed(s, 0, id).expect("embed");
+                    }
+                });
+            }
+        });
+        let st = cache.stats();
+        prop_assert_eq!(
+            st.encoder_hits + st.dynamic_hits + st.disk_hits + st.encoder_misses,
+            total,
+            "tier counters must partition accesses: {:?}",
+            st
+        );
+        prop_assert_eq!(st.lookups(), total);
+        prop_assert!(
+            st.decoder_lookups <= st.encoder_misses,
+            "decoder consults only on encoder misses: {:?}",
+            st
+        );
+        prop_assert!(
+            st.evictions <= st.encoder_misses + st.disk_hits,
+            "every eviction is caused by an admit (miss or promotion): {:?}",
+            st
+        );
+    }
+
+    #[test]
     fn merged_shard_stats_equal_whole_cache_stats(
         accesses in prop::collection::vec(0u64..100, 1..200),
         shard_pow in 0u32..5,

@@ -93,6 +93,7 @@
 //! # Ok::<(), mprec_runtime::RuntimeError>(())
 //! ```
 
+use std::collections::BTreeMap;
 use std::sync::atomic::AtomicUsize;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -169,6 +170,15 @@ pub struct ClusterConfig {
     /// charges two hops per batch, a shard-pruned single-target batch
     /// one, a single-node colocated cluster zero.
     pub net_overhead_us: f64,
+    /// Virtual per-sample penalty (µs) charged to a path whose scatter
+    /// targets a node serving DHE features with cold RAM tiers — i.e. in
+    /// the epoch right after that node joined, when its lookups are
+    /// served by the warm-started persistent disk tier instead of RAM.
+    /// The penalty is folded into the epoch's latency profiles, so
+    /// Algorithm 2 routes around the cold tier and the twin replay
+    /// (which receives the same profiles) agrees exactly. 0 disables the
+    /// charge.
+    pub disk_hit_us: f64,
     /// Per-path accuracy book.
     pub accuracy: PathAccuracy,
     /// Per-node latency histogram resolution (sub-buckets per octave);
@@ -206,6 +216,7 @@ impl Default for ClusterConfig {
             virtual_gflops: 2.0,
             dispatch_overhead_us: 30.0,
             net_overhead_us: 150.0,
+            disk_hit_us: 2.0,
             accuracy: PathAccuracy::default(),
             histogram_subs: DEFAULT_SUBS_PER_OCTAVE,
             model: RuntimeModelConfig::default(),
@@ -534,7 +545,7 @@ impl Cluster {
         let mut ring = HashRing::with_nodes(cfg.vnodes, 0..cfg.nodes as u32);
         let mut plan = FeatureShardPlan::new(&ring, features);
         let mut epochs = Vec::with_capacity(cfg.churn.len() + 1);
-        epochs.push(build_epoch(&cfg, &nodes, 0.0, &plan)?);
+        epochs.push(build_epoch(&cfg, &nodes, 0.0, &plan, None)?);
         let mut last_at = 0.0f64;
         for ev in &cfg.churn {
             if ev.at_us <= last_at {
@@ -574,7 +585,11 @@ impl Cluster {
             // change owner (the diff), everything else keeps its shard.
             plan.apply(&ring.diff(&old, features as u64));
             debug_assert_eq!(plan, FeatureShardPlan::new(&ring, features));
-            epochs.push(build_epoch(&cfg, &nodes, ev.at_us, &plan)?);
+            // A join opens an epoch where the new node's RAM tiers are
+            // cold (its lookups come from the warm-started disk tier):
+            // charge its paths the disk-hit penalty for this epoch only.
+            let joined = (ev.action == ChurnAction::Join).then_some(ev.node);
+            epochs.push(build_epoch(&cfg, &nodes, ev.at_us, &plan, joined)?);
         }
         let (paths, labels) = {
             let m = &epochs[0].mappings;
@@ -816,6 +831,9 @@ impl Cluster {
         for node in &self.nodes {
             node.model.cache().reset_stats();
             node.model.cache().clear_dynamic();
+            // Warm-start segments are loaded mid-run (at join barriers);
+            // drop them so repeated serves start identical.
+            node.model.cache().clear_disk();
         }
         let trace = scenario::generate(self.cfg.trace, self.cfg.scenario, self.cfg.seed);
         let depth = if self.cfg.queue_depth == 0 {
@@ -885,6 +903,40 @@ impl Cluster {
         Ok(self.assemble(tally, merged, node_batches, start))
     }
 
+    /// Ships a joining node its owned features' dynamic-tier entries via
+    /// the remap diff: every feature the new plan (`epoch_idx`) assigns
+    /// to the joiner moved off some old owner (the joiner owned nothing
+    /// before), so each old owner exports those features' warm entries
+    /// as a persistent segment and the joiner loads them into its disk
+    /// tier. First traffic then hits disk (charged
+    /// [`ClusterConfig::disk_hit_us`] via the epoch profiles) and
+    /// promotes into RAM — no cold rewarm from scratch. Owners are
+    /// visited in ascending id order so the hand-off is deterministic.
+    ///
+    /// Must be called at a quiescence barrier (no in-flight batches).
+    fn warm_start_joiner(&self, joiner: u32, epoch_idx: usize) {
+        let new_plan = &self.epochs[epoch_idx].plan;
+        let old_plan = &self.epochs[epoch_idx - 1].plan;
+        let moved = new_plan.features_of(joiner);
+        if moved.is_empty() {
+            return;
+        }
+        let mut by_owner: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        for &f in moved {
+            by_owner.entry(old_plan.node_of(f)).or_default().push(f);
+        }
+        let joiner_cache = self.nodes[self.slot_of(joiner)].model.cache();
+        for (owner, feats) in by_owner {
+            let seg = self.nodes[self.slot_of(owner)]
+                .model
+                .cache()
+                .export_dynamic_segment(|f| feats.contains(&f));
+            joiner_cache
+                .load_disk_segment(&seg)
+                .expect("own export is always a valid segment");
+        }
+    }
+
     /// Front-end loop: virtual-time batching + routing + pruned
     /// scatter, walking the churn schedule as flush times pass events.
     fn dispatch(
@@ -933,6 +985,12 @@ impl Cluster {
                     let ev = self.cfg.churn[cur_epoch];
                     if ev.action == ChurnAction::Fail {
                         node_queues[self.slot_of(ev.node)].close();
+                    } else {
+                        // Warm-start: ship the joiner its owned features'
+                        // warm cache entries instead of rewarming from
+                        // traffic. Safe here: the quiescence barrier
+                        // means no worker is touching any cache.
+                        self.warm_start_joiner(ev.node, cur_epoch + 1);
                     }
                     cur_epoch += 1;
                 }
@@ -1272,6 +1330,7 @@ fn stats_delta(now: &CacheStats, before: &CacheStats) -> CacheStats {
         encoder_misses: now.encoder_misses - before.encoder_misses,
         decoder_lookups: now.decoder_lookups - before.decoder_lookups,
         dynamic_hits: now.dynamic_hits - before.dynamic_hits,
+        disk_hits: now.disk_hits - before.disk_hits,
         evictions: now.evictions - before.evictions,
     }
 }
@@ -1327,11 +1386,18 @@ fn path_assignment(
 /// merge; the per-batch overhead adds one network hop for a pruned
 /// single-target scatter and two for a fan-out (zero on a colocated
 /// never-churned single-node cluster).
+///
+/// When the epoch was opened by a node join (`joined`), every path that
+/// scatters DHE-cached features to the joiner gets
+/// [`ClusterConfig::disk_hit_us`] added per sample: the joiner's RAM
+/// tiers are cold and its warm-started lookups are served from the
+/// persistent disk tier until traffic promotes them.
 fn build_epoch(
     cfg: &ClusterConfig,
     nodes: &[ClusterNode],
     start_us: f64,
     plan: &FeatureShardPlan,
+    joined: Option<u32>,
 ) -> Result<ClusterEpoch> {
     let model = &nodes[0].model;
     let rate = cfg.virtual_gflops.max(1e-6) * 1e3;
@@ -1354,7 +1420,7 @@ fn build_epoch(
             .position(|&p| p == path)
             .expect("builder only asks for routed paths")]
     };
-    let (mappings, paths) = build_path_mappings(
+    let (mut mappings, paths) = build_path_mappings(
         &cfg.model,
         cfg.route,
         cfg.accuracy,
@@ -1381,6 +1447,19 @@ fn build_epoch(
         },
     )?;
     debug_assert_eq!(paths, order);
+    if let Some(j) = joined {
+        if cfg.disk_hit_us > 0.0 {
+            for (i, &path) in order.iter().enumerate() {
+                let cold = assignments[i].iter().any(|(id, feats)| {
+                    *id == j && feats.iter().any(|&f| model.path_uses_dhe(path, f))
+                });
+                if cold {
+                    mappings.mappings[i].profile =
+                        mappings.mappings[i].profile.plus_per_sample(cfg.disk_hit_us);
+                }
+            }
+        }
+    }
     Ok(ClusterEpoch {
         start_us,
         live: plan.nodes().to_vec(),

@@ -14,6 +14,19 @@
 //! implementations to exact agreement on outcome counts, decision
 //! trails, and (via a twin MP-Cache replay) cache hit counters, so the
 //! simulated and real serving stacks cannot drift apart silently.
+//!
+//! # Three-tier cache accounting
+//!
+//! The MP-Cache's persistent disk tier needs no special-casing here:
+//! its latency cost reaches the replay through the mapping profiles
+//! themselves (a warm-started joiner's paths arrive pre-penalized via
+//! `LatencyProfile::plus_per_sample`, shipped in the cluster's
+//! `replay_spec()`), so routing and virtual times agree with the
+//! runtime automatically. The *hit accounting* is pinned by the twin
+//! replay instead: the harness mirrors the warm-start hand-off (old
+//! owners' dynamic exports loaded into the joiner twin's disk tier at
+//! the join barrier) and then demands exact per-node equality of
+//! static/dynamic/disk hit counters.
 
 use std::collections::BTreeMap;
 

@@ -51,7 +51,8 @@ kernel-smoke:
 
 # Cluster scale-out sweep: scenarios x {1,2,4,8} nodes, per-node cache
 # hit rates, critical-path scaling, and the failure/recovery churn
-# sweep (per-epoch hit rates); writes BENCH_cluster.json.
+# sweep (per-epoch hit rates + warm-start disk hits); writes
+# BENCH_cluster.json.
 bench-cluster:
     cargo run --release -p mprec-bench --bin cluster_throughput
 
@@ -59,3 +60,16 @@ bench-cluster:
 # the elastic path: 1 failure + 1 join mid-trace. Mirrors the CI step.
 cluster-smoke:
     timeout 300 cargo run --release -p mprec-bench --bin cluster_throughput -- --smoke --churn
+
+# Cache-policy ablation: the paper's static top-K cache vs online
+# FIFO / LRU / segmented-LRU at equal byte budgets (shared round-down
+# budget rule) on one power-law trace.
+bench-cache-policy:
+    cargo run --release -p mprec-bench --bin ablation_cache_policy
+
+# Persistence smoke: the crash-restart suite for the MP-Cache disk tier
+# (snapshot/restore round trip, torn-tmp recovery, truncated-tail
+# tolerance). Tests create unique dirs under $TMPDIR and remove them on
+# exit. Mirrors the CI step.
+persist-smoke:
+    cargo test -q -p mprec-core --test persist

@@ -17,7 +17,7 @@
 //! here before it can skew a paper figure.
 
 use mprec::data::query::QueryTraceConfig;
-use mprec::data::scenario::{self, LoadScenario};
+use mprec::data::scenario::{self, ChurnAction, LoadScenario};
 use mprec::runtime::{
     serve, Cluster, ClusterConfig, ClusterReport, PathKind, RuntimeConfig, RuntimeModel,
     RuntimeModelConfig, RuntimeReport,
@@ -329,24 +329,66 @@ fn elastic_cluster_agrees_with_replay_across_node_churn() {
     );
 }
 
-#[test]
-fn per_node_caches_match_per_node_twins_across_churn() {
-    // The strongest cache pin: with one worker per node each node
-    // executes its scatter jobs in dispatch order, so replaying every
-    // batch's *final* (post-retry) per-node assignment against per-node
-    // twin models predicts each replica's counters exactly — dynamic
-    // tier included, across a failure and a join.
-    let cfg = churned(cluster_cfg(3, 1, 256));
-    let (cluster, report, sim) = run_cluster_both(cfg.clone());
-    assert_cluster_agreement(&cluster, &report, &sim);
+/// Mirrors `Cluster`'s warm-start hand-off between per-node twins: at
+/// each join barrier the runtime ships the joiner its newly owned
+/// features' dynamic cache entries (old owners' exports land in the
+/// joiner's disk tier) before any post-join batch dispatches. Because
+/// `sim.batches` is dispatch order and retries only bump `epoch_idx` at
+/// fail events, the first batch with `epoch_idx >= join_epoch` marks
+/// that barrier exactly.
+fn mirror_warm_start(
+    cfg: &ClusterConfig,
+    cluster: &Cluster,
+    ids: &[u32],
+    twins: &[RuntimeModel],
+    batch_epoch: usize,
+    warm_done: &mut [bool],
+) {
+    for (j, ev) in cfg.churn.iter().enumerate() {
+        let join_epoch = j + 1;
+        if ev.action != ChurnAction::Join || warm_done[j] || batch_epoch < join_epoch {
+            continue;
+        }
+        warm_done[j] = true;
+        let new_plan = &cluster.epochs()[join_epoch].plan;
+        let old_plan = &cluster.epochs()[join_epoch - 1].plan;
+        let joiner_slot = ids.iter().position(|i| *i == ev.node).expect("joiner twin");
+        let mut by_owner: std::collections::BTreeMap<u32, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for &f in new_plan.features_of(ev.node) {
+            by_owner.entry(old_plan.node_of(f)).or_default().push(f);
+        }
+        for (owner, feats) in by_owner {
+            let slot = ids.iter().position(|i| *i == owner).expect("owner twin");
+            let seg = twins[slot]
+                .cache()
+                .export_dynamic_segment(|f| feats.contains(&f));
+            twins[joiner_slot]
+                .cache()
+                .load_disk_segment(&seg)
+                .expect("exported segment loads");
+        }
+    }
+}
 
+/// Replays the simulator's dispatch-order batch trail against per-node
+/// twin models — mirroring the runtime's join-barrier warm-start — and
+/// returns each replica's predicted cache counters (in `node_ids`
+/// order, alongside those ids).
+fn per_node_twin_stats(
+    cfg: &ClusterConfig,
+    cluster: &Cluster,
+    sim: &ClusterReplayResult,
+) -> (Vec<u32>, Vec<mprec::core::CacheStats>) {
     let ids = cluster.node_ids();
     let twins: Vec<RuntimeModel> = ids
         .iter()
         .map(|_| RuntimeModel::build(&cfg.model, cfg.cache_shards, cfg.seed).expect("twin"))
         .collect();
     let mut scratches: Vec<_> = twins.iter().map(|t| t.make_scratch()).collect();
+    let mut warm_done = vec![false; cfg.churn.len()];
     for batch in &sim.batches {
+        mirror_warm_start(cfg, cluster, &ids, &twins, batch.epoch_idx, &mut warm_done);
         let path = cluster.paths()[batch.mapping_idx];
         let assignment = &cluster.epochs()[batch.epoch_idx].assignments[batch.mapping_idx];
         for (node_id, feats) in assignment {
@@ -361,11 +403,62 @@ fn per_node_caches_match_per_node_twins_across_churn() {
                 .expect("per-node twin replay");
         }
     }
-    for (slot, twin) in twins.iter().enumerate() {
+    let stats = twins.iter().map(|t| t.cache().stats()).collect();
+    (ids, stats)
+}
+
+#[test]
+fn per_node_caches_match_per_node_twins_across_churn() {
+    // The strongest cache pin: with one worker per node each node
+    // executes its scatter jobs in dispatch order, so replaying every
+    // batch's *final* (post-retry) per-node assignment against per-node
+    // twin models predicts each replica's counters exactly — dynamic
+    // tier included, across a failure and a join.
+    let cfg = churned(cluster_cfg(3, 1, 256));
+    let (cluster, report, sim) = run_cluster_both(cfg.clone());
+    assert_cluster_agreement(&cluster, &report, &sim);
+    let (ids, twin_stats) = per_node_twin_stats(&cfg, &cluster, &sim);
+    for (slot, stats) in twin_stats.iter().enumerate() {
         assert_eq!(
-            report.per_node_cache[slot],
-            twin.cache().stats(),
+            report.per_node_cache[slot], *stats,
             "node {} counters",
+            ids[slot]
+        );
+    }
+}
+
+#[test]
+fn warm_started_joiner_serves_disk_hits_that_twins_reproduce() {
+    // Three-tier contract, non-vacuously: at the default tight SLA the
+    // post-join routing picks the table path and the joiner's cache
+    // never sees traffic, so slacken the SLA until the hybrid path
+    // survives the join. The joiner then serves real lookups from its
+    // warm-started disk tier, and the per-node equality below only
+    // holds if the twins mirror the warm-start hand-off and the
+    // disk-hit accounting exactly.
+    let mut cfg = churned(cluster_cfg(3, 1, 256));
+    cfg.sla_us = 10_000.0;
+    let (cluster, report, sim) = run_cluster_both(cfg.clone());
+    assert_cluster_agreement(&cluster, &report, &sim);
+
+    let joiner = cfg
+        .churn
+        .iter()
+        .find(|ev| ev.action == ChurnAction::Join)
+        .expect("schedule has a join")
+        .node;
+    let (ids, twin_stats) = per_node_twin_stats(&cfg, &cluster, &sim);
+    let joiner_slot = ids.iter().position(|i| *i == joiner).expect("joiner");
+    assert!(
+        report.per_node_cache[joiner_slot].disk_hits > 0,
+        "joiner must serve from its warm-started disk tier \
+         (got {:?}; slacken the SLA)",
+        report.per_node_cache[joiner_slot]
+    );
+    for (slot, stats) in twin_stats.iter().enumerate() {
+        assert_eq!(
+            report.per_node_cache[slot], *stats,
+            "node {} counters (disk tier included)",
             ids[slot]
         );
     }
