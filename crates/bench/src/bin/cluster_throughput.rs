@@ -35,9 +35,12 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use mprec_core::mpcache::CacheStats;
 use mprec_data::query::QueryTraceConfig;
 use mprec_data::scenario::{self, LoadScenario};
-use mprec_runtime::{Cluster, ClusterConfig, ClusterReport, PathKind, RuntimeModelConfig};
+use mprec_runtime::{
+    Cluster, ClusterConfig, ClusterReport, EpochReport, PathKind, RuntimeModelConfig, TraceConfig,
+};
 
 const SCENARIOS: [&str; 4] = ["steady", "diurnal", "flash", "hotkey"];
 const NODE_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -105,6 +108,18 @@ fn shard_capacity_mb(model: &RuntimeModelConfig, features: usize) -> f64 {
     (model.rows_per_feature as f64 * model.emb_dim as f64 * 4.0 * features as f64) / 1e6
 }
 
+/// The one cache-counter schema every per-node JSON emitter in this
+/// bench uses: all four tier counters, never a lossy subset. (An
+/// earlier revision summed `disk_hits` across nodes and dropped the
+/// per-node tier breakdown entirely — the silent truncation this
+/// shared emitter fixes; the regression tests below pin the key set.)
+fn tier_counters_json(s: &CacheStats) -> String {
+    format!(
+        "{{\"static_hits\":{},\"dynamic_hits\":{},\"disk_hits\":{},\"misses\":{}}}",
+        s.encoder_hits, s.dynamic_hits, s.disk_hits, s.encoder_misses
+    )
+}
+
 fn cell_json(c: &Cell, model: &RuntimeModelConfig) -> String {
     let o = &c.report.outcome;
     let completed = o.completed.max(1) as f64;
@@ -123,11 +138,12 @@ fn cell_json(c: &Cell, model: &RuntimeModelConfig) -> String {
         };
         let _ = write!(
             per_node,
-            "{{\"features\":{},\"capacity_mb\":{:.2},\"cache_hit_rate\":{:.4},\"batches\":{}}}{}",
+            "{{\"features\":{},\"capacity_mb\":{:.2},\"cache_hit_rate\":{:.4},\"batches\":{},\"tiers\":{}}}{}",
             features,
             shard_capacity_mb(model, features),
             stats.encoder_hit_rate(),
             c.report.per_node_batches[n],
+            tier_counters_json(stats),
             sep
         );
     }
@@ -184,21 +200,32 @@ fn run_churn_cell(nodes: usize, num_queries: usize) -> ChurnCell {
     }
 }
 
+/// One `ClusterReport::epochs` entry, with the full per-node tier
+/// breakdown (same schema as the sweep's per-node cells).
+fn epoch_json(e: &EpochReport) -> String {
+    let mut per_node = String::from("[");
+    for (i, s) in e.per_node_cache.iter().enumerate() {
+        let sep = if i + 1 < e.per_node_cache.len() { "," } else { "" };
+        let _ = write!(per_node, "{}{}", tier_counters_json(s), sep);
+    }
+    per_node.push(']');
+    let disk_hits: u64 = e.per_node_cache.iter().map(|s| s.disk_hits).sum();
+    format!(
+        "{{\"start_us\":{:.0},\"live\":{:?},\"batches\":{},\"hit_rate\":{:.4},\"disk_hits\":{},\"per_node\":{}}}",
+        e.start_us,
+        e.live,
+        e.batches,
+        e.hit_rate(),
+        disk_hits,
+        per_node
+    )
+}
+
 fn churn_cell_json(c: &ChurnCell) -> String {
     let mut epochs = String::from("[");
     for (i, e) in c.report.epochs.iter().enumerate() {
         let sep = if i + 1 < c.report.epochs.len() { "," } else { "" };
-        let disk_hits: u64 = e.per_node_cache.iter().map(|s| s.disk_hits).sum();
-        let _ = write!(
-            epochs,
-            "{{\"start_us\":{:.0},\"live\":{:?},\"batches\":{},\"hit_rate\":{:.4},\"disk_hits\":{}}}{}",
-            e.start_us,
-            e.live,
-            e.batches,
-            e.hit_rate(),
-            disk_hits,
-            sep
-        );
+        let _ = write!(epochs, "{}{}", epoch_json(e), sep);
     }
     epochs.push(']');
     format!(
@@ -217,6 +244,66 @@ fn churn_cell_json(c: &ChurnCell) -> String {
         epochs,
         c.serve_s,
     )
+}
+
+struct OverheadCell {
+    queries: usize,
+    serve_s_off: f64,
+    serve_s_on: f64,
+    dropped_events: u64,
+}
+
+/// Runs the 2-node steady cell twice — flight recorder off, then on —
+/// asserts every virtual-time metric is bit-identical (recording must
+/// observe the deterministic schedule, never perturb it), and returns
+/// the wall-clock delta. The delta is the only machine-dependent
+/// number: on a 1-CPU container all threads share one core, so it
+/// overstates what a multicore host would pay.
+fn run_recorder_overhead(num_queries: usize) -> OverheadCell {
+    let run = |recorder: TraceConfig| {
+        let cfg = ClusterConfig {
+            recorder,
+            ..cluster_cfg(2, LoadScenario::SteadyPoisson, num_queries)
+        };
+        let cluster = Cluster::new(cfg).expect("overhead cluster builds");
+        let t0 = Instant::now();
+        let report = cluster.serve().expect("overhead cluster serves");
+        (report, t0.elapsed().as_secs_f64())
+    };
+    let (off, serve_s_off) = run(TraceConfig::default());
+    let (on, serve_s_on) = run(TraceConfig::enabled());
+    assert_eq!(
+        off.outcome.completed, on.outcome.completed,
+        "recorder changed completion count"
+    );
+    assert_eq!(
+        off.outcome.samples, on.outcome.samples,
+        "recorder changed sample count"
+    );
+    assert_eq!(
+        off.outcome.usage, on.outcome.usage,
+        "recorder changed per-path usage"
+    );
+    assert_eq!(
+        off.virtual_sla_violations, on.virtual_sla_violations,
+        "recorder changed virtual SLA accounting"
+    );
+    assert_eq!(
+        off.path_decisions, on.path_decisions,
+        "recorder changed the routing trail"
+    );
+    assert!(off.trace.is_none(), "disabled recorder must compile out");
+    let dropped_events = on
+        .trace
+        .as_ref()
+        .map(mprec_runtime::TraceRecording::total_dropped)
+        .unwrap_or(0);
+    OverheadCell {
+        queries: num_queries,
+        serve_s_off,
+        serve_s_on,
+        dropped_events,
+    }
 }
 
 fn main() {
@@ -384,10 +471,44 @@ fn main() {
         );
     }
 
+    // Recorder-overhead hygiene: tracing must be free in virtual time
+    // (asserted inside) and cheap in wall-clock time (reported, with
+    // the 1-CPU caveat).
+    let overhead = run_recorder_overhead(if smoke {
+        1500
+    } else {
+        mprec_bench::arg_or(1, 4000usize)
+    });
+    let overhead_pct = if overhead.serve_s_off > 0.0 {
+        100.0 * (overhead.serve_s_on - overhead.serve_s_off) / overhead.serve_s_off
+    } else {
+        0.0
+    };
+    println!(
+        "\nrecorder overhead ({} queries): off {:.3}s, on {:.3}s ({:+.1}% wall-clock, \
+         {} events dropped; virtual metrics asserted identical — on 1 CPU the \
+         delta overstates a multicore host)",
+        overhead.queries,
+        overhead.serve_s_off,
+        overhead.serve_s_on,
+        overhead_pct,
+        overhead.dropped_events,
+    );
+
     let model = cluster_cfg(1, LoadScenario::SteadyPoisson, 0).model;
     let mut json = String::from("{\n  \"bench\": \"cluster_throughput\",\n");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     let _ = writeln!(json, "  \"available_parallelism\": {cores},");
+    let _ = writeln!(
+        json,
+        "  \"recorder_overhead\": {{\"queries\":{},\"serve_s_off\":{:.3},\"serve_s_on\":{:.3},\"overhead_pct\":{:.1},\"dropped_events\":{},\"virtual_metrics_identical\":true,\"note\":\"wall-clock delta on {} core(s); virtual-time metrics asserted identical with tracing on/off\"}},",
+        overhead.queries,
+        overhead.serve_s_off,
+        overhead.serve_s_on,
+        overhead_pct,
+        overhead.dropped_events,
+        cores,
+    );
     json.push_str("  \"scaling\": [\n");
     for (i, (scenario, measured, virt)) in scaling_rows.iter().enumerate() {
         let sep = if i + 1 < scaling_rows.len() { "," } else { "" };
@@ -421,4 +542,56 @@ fn main() {
         cells.len(),
         churn_cells.len()
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats() -> CacheStats {
+        CacheStats {
+            encoder_hits: 5,
+            encoder_misses: 7,
+            decoder_lookups: 0,
+            dynamic_hits: 3,
+            disk_hits: 2,
+            evictions: 1,
+        }
+    }
+
+    #[test]
+    fn tier_schema_pins_all_four_counters() {
+        // Both the sweep's per-node cells and the churn sweep's per-epoch
+        // per-node entries go through this one emitter; pin the exact key
+        // set so a counter can't be silently dropped from either again.
+        assert_eq!(
+            tier_counters_json(&sample_stats()),
+            "{\"static_hits\":5,\"dynamic_hits\":3,\"disk_hits\":2,\"misses\":7}"
+        );
+    }
+
+    #[test]
+    fn epoch_json_keeps_the_per_node_breakdown() {
+        let e = EpochReport {
+            start_us: 1_000.0,
+            live: vec![0, 2],
+            batches: 4,
+            per_node_cache: vec![sample_stats(), CacheStats::default()],
+            metrics: Default::default(),
+        };
+        let json = epoch_json(&e);
+        // The aggregate disk_hits survives, and every node keeps its own
+        // four-counter breakdown (the regression: a sum with no per-node
+        // detail).
+        assert!(json.contains("\"disk_hits\":2"), "aggregate: {json}");
+        assert_eq!(
+            json.matches("static_hits").count(),
+            2,
+            "one tier block per node: {json}"
+        );
+        assert!(
+            json.contains("\"per_node\":[{\"static_hits\":5"),
+            "schema: {json}"
+        );
+    }
 }

@@ -93,29 +93,43 @@ impl Scheduler {
     /// `min_accuracy` filters paths (0.0 = no filter). Returns `None` only
     /// when the mapping set is empty.
     pub fn route(&mut self, size: u64, sla_us: f64, min_accuracy: u32) -> Option<RouteDecision> {
+        let mut completions = Vec::new();
+        self.route_into(size, sla_us, min_accuracy, &mut completions)
+    }
+
+    /// [`route`](Self::route), but additionally exposes every
+    /// candidate's scored expected completion through `completions`
+    /// (cleared and refilled, one entry per mapping index). The flight
+    /// recorder uses this to keep the *rejected* candidates' costs in
+    /// the `RouteDecision` trace event; callers that route repeatedly
+    /// reuse the buffer to stay allocation-free.
+    pub fn route_into(
+        &mut self,
+        size: u64,
+        sla_us: f64,
+        min_accuracy: u32,
+        completions: &mut Vec<f64>,
+    ) -> Option<RouteDecision> {
         let _ = min_accuracy;
-        let execs: Vec<f64> = self
-            .mappings
-            .mappings
-            .iter()
-            .map(|m| m.profile.latency_us(size) * self.cfg.latency_margin)
-            .collect();
-        let completions: Vec<f64> = execs
-            .iter()
-            .zip(self.mappings.mappings.iter())
-            .map(|(exec, m)| self.backlog_us(m.platform_idx) + exec)
-            .collect();
+        completions.clear();
+        for m in self.mappings.mappings.iter() {
+            let exec = m.profile.latency_us(size) * self.cfg.latency_margin;
+            completions.push(self.backlog_us(m.platform_idx) + exec);
+        }
         let idx = select_mapping(
             &self.mappings,
-            &completions,
+            completions,
             sla_us,
             self.cfg.accuracy_first,
         )?;
         let m = &self.mappings.mappings[idx];
+        // Recompute the chosen exec instead of keeping a second buffer;
+        // identical arithmetic to the scoring pass above.
+        let exec_us = m.profile.latency_us(size) * self.cfg.latency_margin;
         Some(RouteDecision {
             mapping_idx: idx,
             platform_idx: m.platform_idx,
-            exec_us: execs[idx],
+            exec_us,
             expected_completion_us: completions[idx],
             accuracy: m.rep.accuracy,
         })

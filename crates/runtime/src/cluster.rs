@@ -108,6 +108,9 @@ use mprec_data::scenario::{self, ChurnAction, ChurnEvent, LoadScenario};
 use mprec_nn::MlpScratch;
 use mprec_serving::{PathUsage, ServingOutcome};
 use mprec_tensor::Matrix;
+use mprec_trace::{
+    EventRing, MetricId, MetricsRegistry, MetricsSnapshot, TraceConfig, TraceEvent, TraceRecording,
+};
 use parking_lot::{Condvar, Mutex};
 
 pub use mprec_core::ring::FeatureShardPlan;
@@ -184,6 +187,12 @@ pub struct ClusterConfig {
     /// Per-node latency histogram resolution (sub-buckets per octave);
     /// the merged report adopts it.
     pub histogram_subs: u32,
+    /// Flight-recorder config: when enabled, the dispatcher, every node
+    /// worker, and the merger each record the query lifecycle into a
+    /// preallocated per-track [`EventRing`], assembled into
+    /// [`ClusterReport::trace`]. Off by default (zero overhead beyond
+    /// one branch per would-be event).
+    pub recorder: TraceConfig,
     /// Model shape (replicated weights, sharded execution).
     pub model: RuntimeModelConfig,
 }
@@ -219,6 +228,7 @@ impl Default for ClusterConfig {
             disk_hit_us: 2.0,
             accuracy: PathAccuracy::default(),
             histogram_subs: DEFAULT_SUBS_PER_OCTAVE,
+            recorder: TraceConfig::default(),
             model: RuntimeModelConfig::default(),
         }
     }
@@ -290,6 +300,12 @@ pub struct EpochReport {
     /// starts cold here — the post-failure hit-rate dip and its
     /// recovery are read off consecutive epochs.
     pub per_node_cache: Vec<CacheStats>,
+    /// Metrics-registry snapshot taken at the epoch's closing
+    /// quiescence barrier, one slot per replica (parallel to
+    /// [`ClusterReport::node_ids`]). Counters are cumulative across
+    /// epochs; gauges (queue depth, occupancy, SLA-slack percentiles)
+    /// are point-in-time values of the epoch that just closed.
+    pub metrics: MetricsSnapshot,
 }
 
 impl EpochReport {
@@ -346,6 +362,11 @@ pub struct ClusterReport {
     pub checksum: f64,
     /// Initial node count the run was configured with.
     pub nodes: usize,
+    /// Flight-recorder tracks (`dispatcher`, `node-{id}-worker-{w}`,
+    /// `merger`) when [`ClusterConfig::recorder`] was enabled. The
+    /// dispatcher track is deterministic in `(config, seed)` and is the
+    /// twin-agreement surface pinned by `tests/sim_vs_runtime.rs`.
+    pub trace: Option<TraceRecording>,
 }
 
 /// One query inside a dispatched batch (front-end bookkeeping).
@@ -362,6 +383,12 @@ struct BatchShared {
     specs: Vec<(u64, u64)>,
     queries: Vec<WorkQuery>,
     total: usize,
+    /// Dispatch-order batch id (the flight recorder's correlation key).
+    batch: u64,
+    /// Virtual execution window (final leg), carried so node workers
+    /// and the merger can stamp their events in virtual time.
+    vstart_us: f64,
+    vdone_us: f64,
     /// One partial-pool slot per scatter target, filled by that node's
     /// worker.
     partials: Vec<Mutex<Option<Matrix>>>,
@@ -383,6 +410,8 @@ struct ScatterJob {
 struct NodeWorkerReport {
     batches: u64,
     error: Option<String>,
+    /// This worker's flight-recorder track (None when tracing is off).
+    ring: Option<EventRing>,
 }
 
 #[derive(Debug)]
@@ -394,6 +423,8 @@ struct MergerReport {
     checksum: f64,
     last_done: Instant,
     error: Option<String>,
+    /// The merger's flight-recorder track (None when tracing is off).
+    ring: Option<EventRing>,
 }
 
 /// Cross-thread progress ledger: how many batches the merger has fully
@@ -472,6 +503,21 @@ struct DispatchTally {
     /// boundary (quiescent).
     epoch_snapshots: Vec<Vec<CacheStats>>,
     aborted: bool,
+    /// Dispatcher flight-recorder track (None when tracing is off).
+    ring: Option<EventRing>,
+    /// Typed metric cells, one slot per replica (slot 0 doubles as the
+    /// cluster-global slot for slack/violation/drop metrics).
+    registry: MetricsRegistry,
+    /// One registry snapshot per closed epoch, in epoch order.
+    epoch_metrics: Vec<MetricsSnapshot>,
+    /// Per-replica virtual busy-µs inside the current epoch (feeds the
+    /// occupancy gauge, reset at each barrier).
+    busy_us: Vec<f64>,
+    /// SLA-slack distribution of the current epoch (reset at each
+    /// barrier).
+    slack: LatencyHistogram,
+    /// Latest virtual completion seen (closes the final epoch's span).
+    last_done_us: f64,
 }
 
 /// The elastic feature-sharded multi-node serving runtime: build once
@@ -849,6 +895,7 @@ impl Cluster {
         let progress = Arc::new(Progress::new());
         let start = Instant::now();
 
+        let recorder = self.cfg.recorder;
         let mut workers = Vec::with_capacity(self.nodes.len() * self.cfg.workers_per_node);
         for (n, node) in self.nodes.iter().enumerate() {
             for _ in 0..self.cfg.workers_per_node {
@@ -858,7 +905,7 @@ impl Cluster {
                 let progress = Arc::clone(&progress);
                 let id = node.id;
                 workers.push(std::thread::spawn(move || {
-                    node_worker_loop(&queue, &merge, &model, &progress, id)
+                    node_worker_loop(&queue, &merge, &model, &progress, id, recorder)
                 }));
             }
         }
@@ -870,7 +917,7 @@ impl Cluster {
             let subs = self.cfg.histogram_subs;
             let emb_dim = self.cfg.model.emb_dim;
             std::thread::spawn(move || {
-                merger_loop(&merge, &model, &progress, sla_us, subs, emb_dim, start)
+                merger_loop(&merge, &model, &progress, sla_us, subs, emb_dim, start, recorder)
             })
         };
 
@@ -879,10 +926,17 @@ impl Cluster {
             q.close();
         }
         let mut node_batches = vec![0u64; self.nodes.len()];
+        let mut worker_rings: Vec<(String, EventRing)> = Vec::new();
         let mut worker_error: Option<String> = None;
         for (i, w) in workers.into_iter().enumerate() {
-            let report = w.join().expect("node worker thread panicked");
-            node_batches[i / self.cfg.workers_per_node] += report.batches;
+            let mut report = w.join().expect("node worker thread panicked");
+            let node_slot = i / self.cfg.workers_per_node;
+            node_batches[node_slot] += report.batches;
+            if let Some(ring) = report.ring.take() {
+                let node = self.nodes[node_slot].id;
+                let worker = i % self.cfg.workers_per_node;
+                worker_rings.push((format!("node-{node}-worker-{worker}"), ring));
+            }
             if worker_error.is_none() {
                 worker_error = report.error;
             }
@@ -900,7 +954,7 @@ impl Cluster {
                 "cluster run aborted at an epoch barrier".into(),
             ));
         }
-        Ok(self.assemble(tally, merged, node_batches, start))
+        Ok(self.assemble(tally, merged, node_batches, worker_rings, start))
     }
 
     /// Ships a joining node its owned features' dynamic-tier entries via
@@ -914,27 +968,31 @@ impl Cluster {
     /// visited in ascending id order so the hand-off is deterministic.
     ///
     /// Must be called at a quiescence barrier (no in-flight batches).
-    fn warm_start_joiner(&self, joiner: u32, epoch_idx: usize) {
+    /// Returns the number of warm entries shipped to the joiner (the
+    /// flight recorder's `WarmStart` payload).
+    fn warm_start_joiner(&self, joiner: u32, epoch_idx: usize) -> u64 {
         let new_plan = &self.epochs[epoch_idx].plan;
         let old_plan = &self.epochs[epoch_idx - 1].plan;
         let moved = new_plan.features_of(joiner);
         if moved.is_empty() {
-            return;
+            return 0;
         }
         let mut by_owner: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
         for &f in moved {
             by_owner.entry(old_plan.node_of(f)).or_default().push(f);
         }
         let joiner_cache = self.nodes[self.slot_of(joiner)].model.cache();
+        let mut loaded = 0u64;
         for (owner, feats) in by_owner {
             let seg = self.nodes[self.slot_of(owner)]
                 .model
                 .cache()
                 .export_dynamic_segment(|f| feats.contains(&f));
-            joiner_cache
+            loaded += joiner_cache
                 .load_disk_segment(&seg)
-                .expect("own export is always a valid segment");
+                .expect("own export is always a valid segment") as u64;
         }
+        loaded
     }
 
     /// Front-end loop: virtual-time batching + routing + pruned
@@ -946,6 +1004,7 @@ impl Cluster {
         progress: &Progress,
         start: Instant,
     ) -> DispatchTally {
+        let slots = self.nodes.len();
         let mut tally = DispatchTally {
             usage: PathUsage::default(),
             correct_samples: 0.0,
@@ -958,6 +1017,12 @@ impl Cluster {
             epoch_batches: vec![0; self.epochs.len()],
             epoch_snapshots: Vec::new(),
             aborted: false,
+            ring: self.cfg.recorder.ring(),
+            registry: MetricsRegistry::new(slots),
+            epoch_metrics: Vec::new(),
+            busy_us: vec![0.0; slots],
+            slack: LatencyHistogram::with_subs_per_octave(self.cfg.histogram_subs),
+            last_done_us: 0.0,
         };
         let mut free_at = vec![0.0f64; self.nodes.len()];
         let mut cur_epoch = 0usize;
@@ -983,6 +1048,14 @@ impl Cluster {
                         .epoch_snapshots
                         .push(self.nodes.iter().map(|n| n.model.cache().stats()).collect());
                     let ev = self.cfg.churn[cur_epoch];
+                    if let Some(ring) = tally.ring.as_mut() {
+                        ring.record(TraceEvent::epoch_barrier(
+                            ev.at_us,
+                            ev.node,
+                            (cur_epoch + 1) as u64,
+                            ev.action == ChurnAction::Join,
+                        ));
+                    }
                     if ev.action == ChurnAction::Fail {
                         node_queues[self.slot_of(ev.node)].close();
                     } else {
@@ -990,14 +1063,27 @@ impl Cluster {
                         // warm cache entries instead of rewarming from
                         // traffic. Safe here: the quiescence barrier
                         // means no worker is touching any cache.
-                        self.warm_start_joiner(ev.node, cur_epoch + 1);
+                        let entries = self.warm_start_joiner(ev.node, cur_epoch + 1);
+                        if let Some(ring) = tally.ring.as_mut() {
+                            ring.record(TraceEvent::warm_start(
+                                ev.at_us,
+                                ev.node,
+                                entries,
+                                (cur_epoch + 1) as u64,
+                            ));
+                        }
                     }
+                    // Close the departing epoch's metric window at the
+                    // event timestamp (the barrier is quiescent, so the
+                    // just-pushed cache snapshot is exact).
+                    self.close_epoch_metrics(&mut tally, &free_at, ev.at_us);
                     cur_epoch += 1;
                 }
             };
         }
 
-        let flush = |pending: &mut Vec<&Query>,
+        let mut route_completions: Vec<f64> = Vec::new();
+        let mut flush = |pending: &mut Vec<&Query>,
                          pending_samples: &mut u64,
                          flush_at_us: f64,
                          tally: &mut DispatchTally,
@@ -1020,12 +1106,43 @@ impl Cluster {
 
             // Route under the current epoch's capacity-aware profiles
             // with per-node queue depth visible to Algorithm 2.
-            let (idx, exec, start_us) =
-                self.route_in_epoch(e, samples, sla_remaining, flush_at_us, free_at);
+            let (idx, exec, start_us) = self.route_in_epoch(
+                e,
+                samples,
+                sla_remaining,
+                flush_at_us,
+                free_at,
+                &mut route_completions,
+            );
+            let batch = tally.decisions.len() as u64;
+            if let Some(ring) = tally.ring.as_mut() {
+                ring.record(TraceEvent::batch_formed(
+                    flush_at_us,
+                    batch,
+                    pending.len() as u64,
+                    samples,
+                    oldest_us,
+                ));
+                ring.record(TraceEvent::route_decision(
+                    flush_at_us,
+                    batch,
+                    samples,
+                    e as u64,
+                    sla_remaining,
+                    idx as i32,
+                    &route_completions,
+                ));
+                for &(id, _) in &self.epochs[e].assignments[idx] {
+                    ring.record(TraceEvent::scatter(flush_at_us, batch, id, e as u64));
+                }
+            }
             let mut done_us = start_us + exec;
+            let mut final_exec = exec;
             for &(id, _) in &self.epochs[e].assignments[idx] {
                 let slot = self.slot_of(id);
                 free_at[slot] = free_at[slot].max(flush_at_us) + exec;
+                tally.registry.add(MetricId::BatchesDispatched, slot, 1);
+                tally.busy_us[slot] += exec;
             }
 
             // Failure retries: a fail event inside this batch's flight
@@ -1056,9 +1173,18 @@ impl Cluster {
                         .fold(f64::NEG_INFINITY, f64::max)
                         .max(ev.at_us);
                     done_us = retry_start + retry_exec;
+                    final_exec = retry_exec;
+                    if let Some(ring) = tally.ring.as_mut() {
+                        ring.record(TraceEvent::retry(ev.at_us, batch, ev.node, exec_epoch as u64));
+                        for &(id, _) in &self.epochs[exec_epoch].assignments[idx] {
+                            ring.record(TraceEvent::scatter(ev.at_us, batch, id, exec_epoch as u64));
+                        }
+                    }
                     for &(id, _) in &self.epochs[exec_epoch].assignments[idx] {
                         let slot = self.slot_of(id);
                         free_at[slot] = free_at[slot].max(ev.at_us) + retry_exec;
+                        tally.registry.add(MetricId::BatchesDispatched, slot, 1);
+                        tally.busy_us[slot] += retry_exec;
                     }
                 }
                 scan += 1;
@@ -1070,6 +1196,15 @@ impl Cluster {
             if retried {
                 tally.retried_queries += pending.len() as u64;
             }
+            if let Some(ring) = tally.ring.as_mut() {
+                ring.record(TraceEvent::execute(
+                    done_us - final_exec,
+                    batch,
+                    exec_epoch as u64,
+                    done_us,
+                ));
+            }
+            tally.last_done_us = tally.last_done_us.max(done_us);
             let accuracy = self.cfg.accuracy.of(path) as f64;
             let label = &self.labels[idx];
             let now = Instant::now();
@@ -1079,12 +1214,17 @@ impl Cluster {
             for q in pending.iter() {
                 let virtual_latency = done_us - q.arrival_us as f64;
                 tally.virtual_histogram.record(virtual_latency);
+                tally.slack.record((self.cfg.sla_us - virtual_latency).max(0.0));
                 if virtual_latency > self.cfg.sla_us {
                     tally.virtual_violations += 1;
+                    tally.registry.add(MetricId::SlaViolations, 0, 1);
                 }
                 tally.correct_samples += q.size as f64 * accuracy;
                 tally.usage.record(label, q.size as u64);
                 tally.routed += 1;
+                if let Some(ring) = tally.ring.as_mut() {
+                    ring.record(TraceEvent::complete(done_us, q.id, batch, virtual_latency));
+                }
                 specs.push((q.id, q.size as u64));
                 total += q.size;
                 queries.push(WorkQuery {
@@ -1106,6 +1246,9 @@ impl Cluster {
                 specs,
                 queries,
                 total,
+                batch,
+                vstart_us: done_us - final_exec,
+                vdone_us: done_us,
                 partials: (0..assignment.len()).map(|_| Mutex::new(None)).collect(),
                 pending: AtomicUsize::new(assignment.len()),
             });
@@ -1163,6 +1306,9 @@ impl Cluster {
             }
             pending.push(q);
             pending_samples += q.size as u64;
+            if let Some(ring) = tally.ring.as_mut() {
+                ring.record(TraceEvent::enqueue(arrival_us, q.id, q.size as u64));
+            }
             if pending_samples >= self.cfg.max_batch_samples as u64 {
                 advance_epochs!(arrival_us);
                 flush(
@@ -1201,7 +1347,10 @@ impl Cluster {
     /// Algorithm 2 in the current epoch: per path, expected execution
     /// from the capacity-aware slowest-shard profile, plus the queueing
     /// wait of its most-backlogged scatter target. Returns `(mapping
-    /// idx, exec_us, start_us)` with `start_us >= now_us`.
+    /// idx, exec_us, start_us)` with `start_us >= now_us`; fills
+    /// `completions` with every candidate's scored completion so the
+    /// flight recorder can publish the rejected costs alongside the
+    /// chosen one.
     fn route_in_epoch(
         &self,
         epoch: usize,
@@ -1209,12 +1358,13 @@ impl Cluster {
         sla_remaining_us: f64,
         now_us: f64,
         free_at: &[f64],
+        completions: &mut Vec<f64>,
     ) -> (usize, f64, f64) {
         let ep = &self.epochs[epoch];
         let n = ep.mappings.mappings.len();
         let mut execs = Vec::with_capacity(n);
         let mut starts = Vec::with_capacity(n);
-        let mut completions = Vec::with_capacity(n);
+        completions.clear();
         for i in 0..n {
             let exec = ep.mappings.mappings[i].profile.latency_us(samples);
             let busiest = ep.assignments[i]
@@ -1226,23 +1376,88 @@ impl Cluster {
             starts.push(start);
             completions.push((start - now_us) + exec);
         }
-        let idx = select_mapping(&ep.mappings, &completions, sla_remaining_us, true)
+        let idx = select_mapping(&ep.mappings, completions, sla_remaining_us, true)
             .expect("mapping set is never empty");
         (idx, execs[idx], starts[idx])
+    }
+
+    /// Closes the newest snapshotted epoch's metric window at
+    /// `boundary_us`: folds its cache-tier deltas into the counters,
+    /// freezes the point-in-time gauges (virtual queue depth, FLOPs
+    /// occupancy, SLA-slack percentiles), pushes one registry snapshot,
+    /// and resets the per-epoch accumulators. Called with the live
+    /// `free_at` backlog at churn barriers and with an empty slice at
+    /// end-of-serve (where the backlog is drained by definition).
+    fn close_epoch_metrics(&self, tally: &mut DispatchTally, free_at: &[f64], boundary_us: f64) {
+        let closing = tally.epoch_snapshots.len() - 1;
+        let span = (boundary_us - self.epochs[closing].start_us).max(1.0);
+        let zeros: Vec<CacheStats> = Vec::new();
+        let prev = if closing == 0 {
+            &zeros
+        } else {
+            &tally.epoch_snapshots[closing - 1]
+        };
+        for (slot, now) in tally.epoch_snapshots[closing].iter().enumerate() {
+            let before = prev.get(slot).copied().unwrap_or_default();
+            let d = stats_delta(now, &before);
+            tally.registry.add(MetricId::StaticTierHits, slot, d.encoder_hits);
+            tally.registry.add(MetricId::DynamicTierHits, slot, d.dynamic_hits);
+            tally.registry.add(MetricId::DiskTierHits, slot, d.disk_hits);
+            tally.registry.add(MetricId::TierMisses, slot, d.encoder_misses);
+            let backlog = free_at.get(slot).map_or(0.0, |&f| (f - boundary_us).max(0.0));
+            tally.registry.set(MetricId::QueueDepthUs, slot, backlog as u64);
+            let permille = (tally.busy_us[slot].min(span) * 1000.0 / span) as u64;
+            tally.registry.set(MetricId::FlopsOccupancyPermille, slot, permille);
+        }
+        let slack = tally.slack.summary();
+        tally.registry.set(MetricId::SlaSlackP50Us, 0, slack.p50_us as u64);
+        tally.registry.set(MetricId::SlaSlackP95Us, 0, slack.p95_us as u64);
+        tally.registry.set(MetricId::SlaSlackP99Us, 0, slack.p99_us as u64);
+        if let Some(ring) = tally.ring.as_ref() {
+            tally.registry.set(MetricId::DroppedTraceEvents, 0, ring.dropped_events());
+        }
+        tally.epoch_metrics.push(tally.registry.snapshot());
+        for b in &mut tally.busy_us {
+            *b = 0.0;
+        }
+        tally.slack = LatencyHistogram::with_subs_per_octave(self.cfg.histogram_subs);
     }
 
     fn assemble(
         &self,
         mut tally: DispatchTally,
-        merged: MergerReport,
+        mut merged: MergerReport,
         per_node_batches: Vec<u64>,
+        worker_rings: Vec<(String, EventRing)>,
         start: Instant,
     ) -> ClusterReport {
+        // Assemble the recording first so the dropped-events metric in
+        // the final epoch snapshot covers every track, not just the
+        // dispatcher's.
+        let trace = self.cfg.recorder.enabled.then(|| {
+            let mut rec = TraceRecording::new(self.labels.clone());
+            if let Some(ring) = tally.ring.take() {
+                rec.push_ring("dispatcher", ring);
+            }
+            for (name, ring) in worker_rings {
+                rec.push_ring(name, ring);
+            }
+            if let Some(ring) = merged.ring.take() {
+                rec.push_ring("merger", ring);
+            }
+            rec
+        });
+        if let Some(rec) = &trace {
+            tally.registry.set(MetricId::DroppedTraceEvents, 0, rec.total_dropped());
+        }
         let per_node_cache: Vec<CacheStats> =
             self.nodes.iter().map(|n| n.model.cache().stats()).collect();
         // Final epoch closes at end-of-serve: its delta runs from the
-        // last boundary snapshot to the final counters.
+        // last boundary snapshot to the final counters, and its metric
+        // window closes at the last virtual completion.
         tally.epoch_snapshots.push(per_node_cache.clone());
+        let end_us = tally.last_done_us;
+        self.close_epoch_metrics(&mut tally, &[], end_us);
         let mut epochs = Vec::with_capacity(self.epochs.len());
         let mut prev: Vec<CacheStats> = self.nodes.iter().map(|_| CacheStats::default()).collect();
         for (e, snapshot) in tally.epoch_snapshots.iter().enumerate() {
@@ -1256,6 +1471,7 @@ impl Cluster {
                 live: self.epochs[e].live.clone(),
                 batches: tally.epoch_batches[e],
                 per_node_cache: deltas,
+                metrics: tally.epoch_metrics.get(e).cloned().unwrap_or_default(),
             });
             prev = snapshot.clone();
         }
@@ -1300,6 +1516,7 @@ impl Cluster {
             epochs,
             checksum: merged.checksum,
             nodes: self.cfg.nodes,
+            trace,
         }
     }
 }
@@ -1321,6 +1538,21 @@ fn capacity_of(cfg: &ClusterConfig, id: u32) -> f64 {
         .copied()
         .filter(|&c| c > 0.0)
         .unwrap_or(cfg.virtual_gflops)
+}
+
+/// Per-tier counter delta for a `NodeExecute` event, ordered
+/// `[static, dynamic, disk, miss]`. The sharded cache is shared by the
+/// node's whole worker pool, so a concurrent worker can inflate (never
+/// deflate) the counters between the two reads; saturate rather than
+/// panic.
+fn tier_delta(after: &CacheStats, before: &CacheStats) -> [u32; 4] {
+    let d = |a: u64, b: u64| u32::try_from(a.saturating_sub(b)).unwrap_or(u32::MAX);
+    [
+        d(after.encoder_hits, before.encoder_hits),
+        d(after.dynamic_hits, before.dynamic_hits),
+        d(after.disk_hits, before.disk_hits),
+        d(after.encoder_misses, before.encoder_misses),
+    ]
 }
 
 /// Field-wise difference of two cumulative counter snapshots.
@@ -1488,6 +1720,7 @@ fn node_worker_loop(
     model: &RuntimeModel,
     progress: &Progress,
     node_id: u32,
+    recorder: TraceConfig,
 ) -> NodeWorkerReport {
     let _close_guard = CloseOnPanic(queue);
     let _close_merge_guard = CloseOnPanic(merge);
@@ -1495,9 +1728,17 @@ fn node_worker_loop(
     let mut report = NodeWorkerReport {
         batches: 0,
         error: None,
+        // Preallocated before the first batch so steady-state recording
+        // never allocates.
+        ring: recorder.ring(),
     };
     let mut scratch = model.make_scratch();
     while let Some(job) = queue.pop() {
+        let tiers_before = if report.ring.is_some() {
+            model.cache().stats()
+        } else {
+            CacheStats::default()
+        };
         let mut partial = Matrix::default();
         match model.pool_features_into(
             job.shared.path,
@@ -1508,6 +1749,17 @@ fn node_worker_loop(
         ) {
             Ok(_) => {
                 *job.shared.partials[job.slot].lock() = Some(partial);
+                if let Some(ring) = report.ring.as_mut() {
+                    let tiers = tier_delta(&model.cache().stats(), &tiers_before);
+                    ring.record(TraceEvent::node_execute(
+                        job.shared.vstart_us,
+                        job.shared.batch,
+                        node_id,
+                        job.shared.total as u64,
+                        job.shared.vdone_us,
+                        tiers,
+                    ));
+                }
                 report.batches += 1;
                 if job.shared.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
                     // Last shard done: hand the batch to the merger
@@ -1532,6 +1784,7 @@ fn node_worker_loop(
     report
 }
 
+#[allow(clippy::too_many_arguments)]
 fn merger_loop(
     queue: &BoundedQueue<Arc<BatchShared>>,
     model: &RuntimeModel,
@@ -1540,6 +1793,7 @@ fn merger_loop(
     histogram_subs: u32,
     emb_dim: usize,
     start: Instant,
+    recorder: TraceConfig,
 ) -> MergerReport {
     let _close_guard = CloseOnPanic(queue);
     let _fail_guard = FailOnPanic(progress);
@@ -1551,6 +1805,7 @@ fn merger_loop(
         checksum: 0.0,
         last_done: start,
         error: None,
+        ring: recorder.ring(),
     };
     let mut pooled = Matrix::default();
     let mut top = MlpScratch::default();
@@ -1596,6 +1851,9 @@ fn merger_loop(
         }
         report.checksum += checksum;
         report.last_done = now;
+        if let Some(ring) = report.ring.as_mut() {
+            ring.record(TraceEvent::merge(batch.vdone_us, batch.batch, batch.total as u64));
+        }
         progress.batch_done();
     }
     report

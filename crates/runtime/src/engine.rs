@@ -29,6 +29,9 @@ use mprec_data::scenario::{self, LoadScenario};
 use mprec_embed::{DheConfig, RepresentationConfig};
 use mprec_hwsim::{Platform, WorkloadBuilder};
 use mprec_serving::{PathUsage, ServingOutcome};
+use mprec_trace::{
+    EventRing, MetricId, MetricsRegistry, MetricsSnapshot, TraceConfig, TraceEvent, TraceRecording,
+};
 
 use crate::histogram::LatencyHistogram;
 use crate::model::{PathKind, RuntimeModel, RuntimeModelConfig};
@@ -139,6 +142,12 @@ pub struct RuntimeConfig {
     pub dispatch_overhead_us: f64,
     /// Per-path accuracy book.
     pub accuracy: PathAccuracy,
+    /// Flight-recorder gate: when enabled, the dispatcher and every
+    /// worker record virtual-time lifecycle events into preallocated
+    /// rings, returned via [`RuntimeReport::trace`]. Off by default
+    /// (the `trace` field name was already taken by the query-trace
+    /// shape, so the recorder gate lives here).
+    pub recorder: TraceConfig,
     /// Model shape.
     pub model: RuntimeModelConfig,
 }
@@ -168,6 +177,7 @@ impl Default for RuntimeConfig {
             virtual_gflops: 2.0,
             dispatch_overhead_us: 30.0,
             accuracy: PathAccuracy::default(),
+            recorder: TraceConfig::default(),
             model: RuntimeModelConfig::default(),
         }
     }
@@ -186,6 +196,12 @@ struct WorkQuery {
 struct WorkItem {
     path: PathKind,
     queries: Vec<WorkQuery>,
+    /// Dispatch-order batch id (flight-recorder correlation key).
+    batch: u64,
+    /// Virtual execution window the dispatcher committed, shipped so
+    /// the worker's `NodeExecute` event is stamped in virtual time.
+    vstart_us: f64,
+    vdone_us: f64,
 }
 
 /// Per-worker tallies, merged after the run.
@@ -199,6 +215,7 @@ struct WorkerReport {
     checksum: f64,
     last_done: Instant,
     error: Option<String>,
+    ring: Option<EventRing>,
 }
 
 /// Everything one serve produced: the simulator-shaped outcome plus the
@@ -227,6 +244,11 @@ pub struct RuntimeReport {
     pub checksum: f64,
     /// Worker count the run used.
     pub workers: usize,
+    /// Flight-recorder tracks (dispatcher + one per worker) when
+    /// [`RuntimeConfig::recorder`] was enabled, `None` otherwise.
+    pub trace: Option<TraceRecording>,
+    /// End-of-run metrics snapshot (slot 0 = the whole engine).
+    pub metrics: MetricsSnapshot,
 }
 
 /// The multi-threaded serving engine: build once, serve a trace.
@@ -314,11 +336,14 @@ impl Engine {
         let start = Instant::now();
 
         let workers: Vec<_> = (0..self.cfg.workers)
-            .map(|_| {
+            .map(|w| {
                 let queue = Arc::clone(&queue);
                 let model = Arc::clone(&self.model);
                 let sla_us = self.cfg.sla_us;
-                std::thread::spawn(move || worker_loop(&queue, &model, sla_us, start))
+                let recorder = self.cfg.recorder;
+                std::thread::spawn(move || {
+                    worker_loop(&queue, &model, sla_us, start, recorder, w as u32)
+                })
             })
             .collect();
 
@@ -347,9 +372,21 @@ impl Engine {
         let mut tally = DispatchTally::default();
         let mut pending: Vec<&Query> = Vec::new();
         let mut pending_samples: u64 = 0;
+        // The dispatcher ring lives outside `tally` during the loop so
+        // the main loop can record Enqueue events while the flush
+        // closure holds `tally` mutably; it is moved into the tally at
+        // the end.
+        let mut ring = self.cfg.recorder.ring();
+        // Reused per-flush candidate-completion buffer: keeps the
+        // rejected candidates' scored costs for the RouteDecision event
+        // without allocating per batch.
+        let mut completions: Vec<f64> = Vec::with_capacity(self.mappings.mappings.len());
 
         let mut flush =
-            |pending: &mut Vec<&Query>, pending_samples: &mut u64, flush_at_us: f64| {
+            |pending: &mut Vec<&Query>,
+             pending_samples: &mut u64,
+             ring: &mut Option<EventRing>,
+             flush_at_us: f64| {
                 if pending.is_empty() {
                     return;
                 }
@@ -357,38 +394,71 @@ impl Engine {
                 sched.advance_to(flush_at_us);
                 let sla_remaining = (self.cfg.sla_us - (flush_at_us - oldest_us)).max(1.0);
                 let decision = sched
-                    .route(*pending_samples, sla_remaining, 0)
+                    .route_into(*pending_samples, sla_remaining, 0, &mut completions)
                     .expect("mapping set is never empty");
                 let done_us = sched.commit(&decision);
+                let batch = tally.decisions.len() as u64;
                 let path = self.paths[decision.mapping_idx];
                 tally.decisions.push(path);
+                if let Some(ring) = ring.as_mut() {
+                    ring.record(TraceEvent::batch_formed(
+                        flush_at_us,
+                        batch,
+                        pending.len() as u64,
+                        *pending_samples,
+                        oldest_us,
+                    ));
+                    ring.record(TraceEvent::route_decision(
+                        flush_at_us,
+                        batch,
+                        *pending_samples,
+                        0,
+                        sla_remaining,
+                        decision.mapping_idx as i32,
+                        &completions,
+                    ));
+                    ring.record(TraceEvent::execute(
+                        done_us - decision.exec_us,
+                        batch,
+                        0,
+                        done_us,
+                    ));
+                }
                 let accuracy = self.cfg.accuracy.of(path) as f64;
                 let label = &self.labels[decision.mapping_idx];
                 let now = Instant::now();
-                let queries: Vec<WorkQuery> = pending
-                    .iter()
-                    .map(|q| {
-                        let virtual_latency = done_us - q.arrival_us as f64;
-                        if virtual_latency > self.cfg.sla_us {
-                            tally.virtual_violations += 1;
-                        }
-                        tally.correct_samples += q.size as f64 * accuracy;
-                        tally.usage.record(label, q.size as u64);
-                        tally.routed += 1;
-                        WorkQuery {
-                            id: q.id,
-                            size: q.size as u64,
-                            real_arrival: if self.cfg.pace_ingress {
-                                start + Duration::from_micros(q.arrival_us)
-                            } else {
-                                now
-                            },
-                        }
-                    })
-                    .collect();
+                let mut queries: Vec<WorkQuery> = Vec::with_capacity(pending.len());
+                for q in pending.iter() {
+                    let virtual_latency = done_us - q.arrival_us as f64;
+                    if virtual_latency > self.cfg.sla_us {
+                        tally.virtual_violations += 1;
+                    }
+                    tally.slack.record((self.cfg.sla_us - virtual_latency).max(0.0));
+                    tally.correct_samples += q.size as f64 * accuracy;
+                    tally.usage.record(label, q.size as u64);
+                    tally.routed += 1;
+                    if let Some(ring) = ring.as_mut() {
+                        ring.record(TraceEvent::complete(done_us, q.id, batch, virtual_latency));
+                    }
+                    queries.push(WorkQuery {
+                        id: q.id,
+                        size: q.size as u64,
+                        real_arrival: if self.cfg.pace_ingress {
+                            start + Duration::from_micros(q.arrival_us)
+                        } else {
+                            now
+                        },
+                    });
+                }
                 // push only fails when a panicking worker closed the
                 // queue; the join in serve() surfaces that panic.
-                let _ = queue.push(WorkItem { path, queries });
+                let _ = queue.push(WorkItem {
+                    path,
+                    queries,
+                    batch,
+                    vstart_us: done_us - decision.exec_us,
+                    vdone_us: done_us,
+                });
                 pending.clear();
                 *pending_samples = 0;
             };
@@ -402,7 +472,7 @@ impl Engine {
                     if self.cfg.pace_ingress {
                         sleep_until(start, deadline);
                     }
-                    flush(&mut pending, &mut pending_samples, deadline);
+                    flush(&mut pending, &mut pending_samples, &mut ring, deadline);
                 }
             }
             if self.cfg.pace_ingress {
@@ -412,12 +482,15 @@ impl Engine {
             if !pending.is_empty()
                 && pending_samples + q.size as u64 > self.cfg.max_batch_samples as u64
             {
-                flush(&mut pending, &mut pending_samples, arrival_us);
+                flush(&mut pending, &mut pending_samples, &mut ring, arrival_us);
             }
             pending.push(q);
             pending_samples += q.size as u64;
+            if let Some(ring) = ring.as_mut() {
+                ring.record(TraceEvent::enqueue(arrival_us, q.id, q.size as u64));
+            }
             if pending_samples >= self.cfg.max_batch_samples as u64 {
-                flush(&mut pending, &mut pending_samples, arrival_us);
+                flush(&mut pending, &mut pending_samples, &mut ring, arrival_us);
             }
         }
         if !pending.is_empty() {
@@ -425,15 +498,16 @@ impl Engine {
             if self.cfg.pace_ingress {
                 sleep_until(start, deadline);
             }
-            flush(&mut pending, &mut pending_samples, deadline);
+            flush(&mut pending, &mut pending_samples, &mut ring, deadline);
         }
+        tally.ring = ring;
         tally
     }
 
     fn merge(
         &self,
-        tally: DispatchTally,
-        reports: Vec<WorkerReport>,
+        mut tally: DispatchTally,
+        mut reports: Vec<WorkerReport>,
         start: Instant,
     ) -> RuntimeReport {
         let mut histogram = LatencyHistogram::new();
@@ -443,7 +517,15 @@ impl Engine {
         let mut checksum = 0.0f64;
         let mut worker_batches = Vec::with_capacity(reports.len());
         let mut last_done = start;
-        for r in &reports {
+        let mut trace = self
+            .cfg
+            .recorder
+            .enabled
+            .then(|| TraceRecording::new(self.labels.clone()));
+        if let (Some(rec), Some(ring)) = (trace.as_mut(), tally.ring.take()) {
+            rec.push_ring("dispatcher", ring);
+        }
+        for (w, r) in reports.iter_mut().enumerate() {
             histogram.merge(&r.histogram);
             completed += r.completed;
             samples += r.samples;
@@ -452,6 +534,9 @@ impl Engine {
             worker_batches.push(r.batches);
             if r.last_done > last_done {
                 last_done = r.last_done;
+            }
+            if let (Some(rec), Some(ring)) = (trace.as_mut(), r.ring.take()) {
+                rec.push_ring(format!("worker-{w}"), ring);
             }
         }
         let sla_violations = match self.cfg.sla_accounting {
@@ -470,9 +555,27 @@ impl Engine {
             p99_latency_us: histogram.quantile_us(0.99),
             usage: tally.usage,
         };
+        let cache = self.model.cache().stats();
+        let metrics = {
+            let reg = MetricsRegistry::new(1);
+            reg.add(MetricId::BatchesDispatched, 0, tally.decisions.len() as u64);
+            reg.add(MetricId::StaticTierHits, 0, cache.encoder_hits);
+            reg.add(MetricId::DynamicTierHits, 0, cache.dynamic_hits);
+            reg.add(MetricId::DiskTierHits, 0, cache.disk_hits);
+            reg.add(MetricId::TierMisses, 0, cache.encoder_misses);
+            reg.add(MetricId::SlaViolations, 0, tally.virtual_violations);
+            let slack = tally.slack.summary();
+            reg.set(MetricId::SlaSlackP50Us, 0, slack.p50_us as u64);
+            reg.set(MetricId::SlaSlackP95Us, 0, slack.p95_us as u64);
+            reg.set(MetricId::SlaSlackP99Us, 0, slack.p99_us as u64);
+            if let Some(rec) = &trace {
+                reg.add(MetricId::DroppedTraceEvents, 0, rec.total_dropped());
+            }
+            reg.snapshot()
+        };
         RuntimeReport {
             outcome,
-            cache: self.model.cache().stats(),
+            cache,
             histogram,
             virtual_sla_violations: tally.virtual_violations,
             measured_sla_violations: measured_violations,
@@ -481,6 +584,8 @@ impl Engine {
             worker_batches,
             checksum,
             workers: self.cfg.workers,
+            trace,
+            metrics,
         }
     }
 }
@@ -493,6 +598,11 @@ struct DispatchTally {
     virtual_violations: u64,
     routed: u64,
     decisions: Vec<PathKind>,
+    /// Virtual SLA slack per query ((sla - latency) clamped at 0),
+    /// digested into the metrics snapshot.
+    slack: LatencyHistogram,
+    /// Dispatcher flight-recorder ring (None when recording is off).
+    ring: Option<EventRing>,
 }
 
 /// Convenience: build an engine and serve once.
@@ -523,6 +633,8 @@ fn worker_loop(
     model: &RuntimeModel,
     sla_us: f64,
     start: Instant,
+    recorder: TraceConfig,
+    worker_idx: u32,
 ) -> WorkerReport {
     let _close_guard = CloseOnPanic(queue);
     let mut report = WorkerReport {
@@ -534,6 +646,9 @@ fn worker_loop(
         checksum: 0.0,
         last_done: start,
         error: None,
+        // The ring preallocates its full capacity here, before the
+        // steady state, so recording below never allocates.
+        ring: recorder.ring(),
     };
     // Persistent per-worker buffers: after the first few batches grow
     // them to their high-water marks, the steady-state loop executes
@@ -543,8 +658,34 @@ fn worker_loop(
     while let Some(item) = queue.pop() {
         specs.clear();
         specs.extend(item.queries.iter().map(|q| (q.id, q.size)));
+        // Cache counters are monotone, so the before/after delta is
+        // this batch's tier outcome (other workers' concurrent lookups
+        // can inflate it, never deflate it — node tracks are telemetry,
+        // not twin-pinned).
+        let tiers_before = if report.ring.is_some() {
+            model.cache().stats()
+        } else {
+            CacheStats::default()
+        };
         match model.execute_with(item.path, &specs, &mut scratch) {
             Ok(res) => {
+                if let Some(ring) = report.ring.as_mut() {
+                    let after = model.cache().stats();
+                    let d = |a: u64, b: u64| a.saturating_sub(b).min(u64::from(u32::MAX)) as u32;
+                    ring.record(TraceEvent::node_execute(
+                        item.vstart_us,
+                        item.batch,
+                        worker_idx,
+                        specs.iter().map(|&(_, s)| s).sum(),
+                        item.vdone_us,
+                        [
+                            d(after.encoder_hits, tiers_before.encoder_hits),
+                            d(after.dynamic_hits, tiers_before.dynamic_hits),
+                            d(after.disk_hits, tiers_before.disk_hits),
+                            d(after.encoder_misses, tiers_before.encoder_misses),
+                        ],
+                    ));
+                }
                 let now = Instant::now();
                 for q in &item.queries {
                     let latency_us =

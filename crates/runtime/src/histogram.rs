@@ -224,6 +224,38 @@ impl LatencyHistogram {
     pub fn count_above(&self, threshold_us: f64) -> u64 {
         self.counts[self.bucket_of(threshold_us)..].iter().sum()
     }
+
+    /// [`quantile_us`](Self::quantile_us) with the percentile spelled as
+    /// a percentage: `percentile(95.0) == quantile_us(0.95)`. Benches
+    /// and the metrics registry use this instead of re-implementing
+    /// quantile extraction.
+    pub fn percentile(&self, p: f64) -> f64 {
+        self.quantile_us(p / 100.0)
+    }
+
+    /// p50/p95/p99/max digest of the recorded distribution (all zeros
+    /// when empty).
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            p50_us: self.percentile(50.0),
+            p95_us: self.percentile(95.0),
+            p99_us: self.percentile(99.0),
+            max_us: self.max_us(),
+        }
+    }
+}
+
+/// Quantile digest returned by [`LatencyHistogram::summary`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Median latency (µs, bucket upper bound).
+    pub p50_us: f64,
+    /// 95th-percentile latency (µs, bucket upper bound).
+    pub p95_us: f64,
+    /// 99th-percentile latency (µs, bucket upper bound).
+    pub p99_us: f64,
+    /// Exact observed maximum (µs).
+    pub max_us: f64,
 }
 
 /// Greatest common divisor (both inputs are clamped bucket counts >= 1).
@@ -452,5 +484,72 @@ mod tests {
         // (2^40 us) rather than extrapolating past the bucket grid.
         let q = h.quantile_us(0.5);
         assert!((1e12..=1.3e12).contains(&q), "saturated quantile {q}");
+    }
+
+    #[test]
+    fn percentile_is_quantile_in_percent() {
+        let mut h = LatencyHistogram::new();
+        for us in 1..=1000 {
+            h.record(us as f64);
+        }
+        for (p, q) in [(50.0, 0.5), (95.0, 0.95), (99.0, 0.99), (100.0, 1.0)] {
+            assert_eq!(h.percentile(p), h.quantile_us(q));
+        }
+        // Bucket upper bounds over-approximate by at most one growth
+        // factor (~4.4% at default resolution) on a uniform 1..=1000
+        // distribution.
+        let g = h.growth_factor();
+        for (p, exact) in [(50.0, 500.0), (95.0, 950.0), (99.0, 990.0)] {
+            let got = h.percentile(p);
+            assert!(
+                got >= exact && got <= exact * g * g,
+                "p{p}: {got} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn summary_matches_known_distribution() {
+        let mut h = LatencyHistogram::new();
+        // 90 fast + 9 medium + 1 slow: p50 in the fast band, p95/p99 in
+        // the medium band, max exact.
+        for _ in 0..90 {
+            h.record(100.0);
+        }
+        for _ in 0..9 {
+            h.record(1000.0);
+        }
+        h.record(50_000.0);
+        let s = h.summary();
+        let g = h.growth_factor();
+        assert!(s.p50_us >= 100.0 && s.p50_us <= 100.0 * g, "p50 {}", s.p50_us);
+        assert!(s.p95_us >= 1000.0 && s.p95_us <= 1000.0 * g, "p95 {}", s.p95_us);
+        assert!(s.p99_us >= 1000.0 && s.p99_us <= 1000.0 * g, "p99 {}", s.p99_us);
+        assert_eq!(s.max_us, 50_000.0);
+        assert_eq!(LatencyHistogram::new().summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn summary_survives_cross_resolution_merge() {
+        // A default-resolution aggregator fold-merging a fine and a
+        // coarse histogram rebuckets to gcd resolution; the digest must
+        // stay within the *coarser* configured error bound.
+        let mut fine = LatencyHistogram::with_subs_per_octave(32);
+        let mut coarse = LatencyHistogram::with_subs_per_octave(8);
+        for us in 1..=500 {
+            fine.record(us as f64);
+            coarse.record((500 + us) as f64);
+        }
+        let mut agg = LatencyHistogram::new();
+        agg.merge(&fine);
+        agg.merge(&coarse);
+        assert_eq!(agg.subs_per_octave(), 8, "gcd(32, 8)");
+        assert_eq!(agg.count(), 1000);
+        let s = agg.summary();
+        let g = agg.growth_factor();
+        assert!(s.p50_us >= 500.0 && s.p50_us <= 500.0 * g * g, "p50 {}", s.p50_us);
+        assert!(s.p95_us >= 950.0 && s.p95_us <= 950.0 * g * g, "p95 {}", s.p95_us);
+        assert_eq!(s.max_us, 1000.0);
+        assert_eq!(s.p50_us, agg.percentile(50.0));
     }
 }

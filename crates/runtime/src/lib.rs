@@ -62,12 +62,15 @@ pub use cluster::{
 pub use engine::{
     serve, Engine, PathAccuracy, RoutePolicy, RuntimeConfig, RuntimeReport, SlaAccounting,
 };
-pub use histogram::{LatencyHistogram, DEFAULT_SUBS_PER_OCTAVE};
+pub use histogram::{LatencyHistogram, LatencySummary, DEFAULT_SUBS_PER_OCTAVE};
 pub use model::{BatchResult, PathKind, RuntimeModel, RuntimeModelConfig, ScratchSpace};
 pub use queue::BoundedQueue;
 // Re-exported so runtime and simulator callers share one outcome type
 // (and its aggregation code) instead of duplicating it.
 pub use mprec_serving::{PathUsage, ServingOutcome};
+// Re-exported so report consumers reach the flight-recorder types
+// (recordings, metrics snapshots, exporters) without a separate dep.
+pub use mprec_trace::{MetricId, MetricsSnapshot, TraceConfig, TraceRecording};
 
 use std::error::Error;
 use std::fmt;

@@ -15,6 +15,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use mprec_runtime::{Cluster, ClusterConfig, PathKind, RuntimeModel, RuntimeModelConfig};
+use mprec_trace::{EventRing, MetricId, MetricsRegistry, TraceEvent};
 
 struct CountingAllocator;
 
@@ -131,4 +132,31 @@ fn steady_state_execute_makes_zero_heap_allocations() {
              performed >= {min_delta} heap allocations"
         );
     }
+
+    // The flight recorder's steady state: the event ring is preallocated
+    // at construction, records are fixed-size struct writes, and a full
+    // ring drops its oldest slot in place — so recording (including the
+    // spill path) and metric updates must allocate nothing.
+    let mut ring = EventRing::with_capacity(64);
+    let registry = MetricsRegistry::new(4);
+    for i in 0..128u64 {
+        ring.record(TraceEvent::enqueue(i as f64, i, 5));
+    }
+    assert!(ring.dropped_events() > 0, "spill path is exercised");
+    let mut min_delta = u64::MAX;
+    for _ in 0..4 {
+        let before = allocations();
+        for i in 0..64u64 {
+            ring.record(TraceEvent::enqueue(i as f64, i, 5));
+            ring.record(TraceEvent::complete(i as f64 + 100.0, i, i / 8, 100.0));
+            registry.add(MetricId::BatchesDispatched, (i % 4) as usize, 1);
+            registry.set(MetricId::QueueDepthUs, (i % 4) as usize, i);
+        }
+        min_delta = min_delta.min(allocations() - before);
+    }
+    assert_eq!(
+        min_delta, 0,
+        "recording with tracing enabled: every 128-event window performed \
+         >= {min_delta} heap allocations"
+    );
 }

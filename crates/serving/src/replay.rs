@@ -28,11 +28,13 @@
 //! the join barrier) and then demands exact per-node equality of
 //! static/dynamic/disk hit counters.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 use mprec_core::planner::MappingSet;
 use mprec_core::scheduler::{select_mapping, Scheduler, SchedulerConfig};
 use mprec_data::query::Query;
+use mprec_trace::{TraceConfig, TraceEvent, TraceRecording};
 
 use crate::outcome::{PathUsage, ServingOutcome};
 
@@ -104,6 +106,22 @@ impl ReplayResult {
 /// 5. each flush routes via Algorithm 2 (`Scheduler::route`) with the
 ///    batch's remaining SLA budget, measured from the oldest query.
 pub fn replay(mappings: &MappingSet, trace: &[Query], cfg: &ReplayConfig) -> ReplayResult {
+    replay_traced(mappings, trace, cfg, TraceConfig::default()).0
+}
+
+/// [`replay`] with a flight recorder: when `recorder.enabled`, the
+/// replay's dispatcher decisions are recorded into a `dispatcher` track
+/// in exactly the runtime engine's event order and virtual stamps —
+/// `Enqueue` at admission, then per flush `BatchFormed`,
+/// `RouteDecision` (with every candidate's scored completion),
+/// `Execute`, and one `Complete` per query. The differential tests
+/// compare this track's twin-pinned events against the runtime's.
+pub fn replay_traced(
+    mappings: &MappingSet,
+    trace: &[Query],
+    cfg: &ReplayConfig,
+    recorder: TraceConfig,
+) -> (ReplayResult, Option<TraceRecording>) {
     let labels: Vec<String> = mappings
         .mappings
         .iter()
@@ -117,15 +135,44 @@ pub fn replay(mappings: &MappingSet, trace: &[Query], cfg: &ReplayConfig) -> Rep
     let mut correct = 0.0f64;
     let mut violations = 0u64;
     let mut last_completion = 0.0f64;
+    // RefCell because admission (Enqueue) and flush both record; the
+    // two closures otherwise could not share a `&mut` ring.
+    let ring = RefCell::new(recorder.ring());
+    let mut completions: Vec<f64> = Vec::new();
 
     let flush = |pending: &mut Vec<&Query>, pending_samples: &mut u64, flush_at_us: f64| {
         let oldest_us = pending[0].arrival_us as f64;
         sched.advance_to(flush_at_us);
         let sla_remaining = (cfg.sla_us - (flush_at_us - oldest_us)).max(1.0);
         let decision = sched
-            .route(*pending_samples, sla_remaining, 0)
+            .route_into(*pending_samples, sla_remaining, 0, &mut completions)
             .expect("mapping set is never empty");
         let done_us = sched.commit(&decision);
+        let batch = batches.len() as u64;
+        if let Some(r) = ring.borrow_mut().as_mut() {
+            r.record(TraceEvent::batch_formed(
+                flush_at_us,
+                batch,
+                pending.len() as u64,
+                *pending_samples,
+                oldest_us,
+            ));
+            r.record(TraceEvent::route_decision(
+                flush_at_us,
+                batch,
+                *pending_samples,
+                0,
+                sla_remaining,
+                decision.mapping_idx as i32,
+                &completions,
+            ));
+            r.record(TraceEvent::execute(
+                done_us - decision.exec_us,
+                batch,
+                0,
+                done_us,
+            ));
+        }
         let accuracy = mappings.mappings[decision.mapping_idx].rep.accuracy as f64;
         let label = &labels[decision.mapping_idx];
         let mut queries = Vec::with_capacity(pending.len());
@@ -133,6 +180,9 @@ pub fn replay(mappings: &MappingSet, trace: &[Query], cfg: &ReplayConfig) -> Rep
             let latency = done_us - q.arrival_us as f64;
             if latency > cfg.sla_us {
                 violations += 1;
+            }
+            if let Some(r) = ring.borrow_mut().as_mut() {
+                r.record(TraceEvent::complete(done_us, q.id, batch, latency));
             }
             latencies.push(latency);
             samples += q.size as u64;
@@ -149,7 +199,12 @@ pub fn replay(mappings: &MappingSet, trace: &[Query], cfg: &ReplayConfig) -> Rep
         pending.clear();
         *pending_samples = 0;
     };
-    drive_batches(trace, cfg, flush);
+    let on_admit = |q: &Query| {
+        if let Some(r) = ring.borrow_mut().as_mut() {
+            r.record(TraceEvent::enqueue(q.arrival_us as f64, q.id, q.size as u64));
+        }
+    };
+    drive_batches(trace, cfg, on_admit, flush);
 
     let outcome = ServingOutcome::from_latency_samples(
         "replay",
@@ -160,13 +215,23 @@ pub fn replay(mappings: &MappingSet, trace: &[Query], cfg: &ReplayConfig) -> Rep
         last_completion / 1e6,
         usage,
     );
-    ReplayResult { outcome, batches }
+    let trace_rec = recorder.enabled.then(|| {
+        let mut rec = TraceRecording::new(labels);
+        if let Some(r) = ring.into_inner() {
+            rec.push_ring("dispatcher", r);
+        }
+        rec
+    });
+    (ReplayResult { outcome, batches }, trace_rec)
 }
 
 /// The runtime dispatcher's micro-batching rules (deadline flush,
 /// size-overflow flush, exact-budget flush, end-of-trace flush),
 /// invoking `flush(pending, pending_samples, flush_at_us)` at every
-/// batch boundary with a non-empty `pending`.
+/// batch boundary with a non-empty `pending` and `on_admit(q)` right
+/// after each query joins the pending batch (where the runtime stamps
+/// its `Enqueue` trace event — admission order is part of the twin
+/// contract).
 ///
 /// Shared by [`replay`] and [`replay_cluster`]: the independence
 /// contract is between this crate and `mprec-runtime`, not between the
@@ -175,6 +240,7 @@ pub fn replay(mappings: &MappingSet, trace: &[Query], cfg: &ReplayConfig) -> Rep
 fn drive_batches<'t>(
     trace: &'t [Query],
     cfg: &ReplayConfig,
+    mut on_admit: impl FnMut(&'t Query),
     mut flush: impl FnMut(&mut Vec<&'t Query>, &mut u64, f64),
 ) {
     let mut pending: Vec<&Query> = Vec::new();
@@ -194,6 +260,7 @@ fn drive_batches<'t>(
         }
         pending.push(q);
         pending_samples += q.size as u64;
+        on_admit(q);
         if pending_samples >= cfg.max_batch_samples as u64 {
             flush(&mut pending, &mut pending_samples, arrival_us);
         }
@@ -285,6 +352,24 @@ pub fn replay_cluster(
     trace: &[Query],
     cfg: &ReplayConfig,
 ) -> ClusterReplayResult {
+    replay_cluster_traced(spec, trace, cfg, TraceConfig::default()).0
+}
+
+/// [`replay_cluster`] with a flight recorder: when `recorder.enabled`,
+/// the replay records a `dispatcher` track in exactly the cluster
+/// runtime's event order and virtual stamps — `Enqueue` at admission,
+/// then per flush `BatchFormed`, `RouteDecision` (with the rejected
+/// candidates' scored completions), one `Scatter` per pruned target,
+/// a `Retry` plus post-failure `Scatter`s per retry leg, `Execute`,
+/// and one `Complete` per query. Epoch barriers and warm-start
+/// hand-offs are runtime-membership events and are deliberately *not*
+/// replayed (they are not twin-pinned).
+pub fn replay_cluster_traced(
+    spec: &ClusterReplaySpec,
+    trace: &[Query],
+    cfg: &ReplayConfig,
+    recorder: TraceConfig,
+) -> (ClusterReplayResult, Option<TraceRecording>) {
     assert_eq!(
         spec.events.len() + 1,
         spec.epochs.len(),
@@ -306,6 +391,7 @@ pub fn replay_cluster(
     let mut last_completion = 0.0f64;
     let mut free_at: BTreeMap<u32, f64> = BTreeMap::new();
     let mut cur_epoch = 0usize;
+    let ring = RefCell::new(recorder.ring());
 
     let flush = |pending: &mut Vec<&Query>, pending_samples: &mut u64, flush_at_us: f64| {
         while cur_epoch < spec.events.len() && spec.events[cur_epoch].at_us <= flush_at_us {
@@ -334,7 +420,30 @@ pub fn replay_cluster(
         }
         let idx = select_mapping(&ep.mappings, &completions, sla_remaining, true)
             .expect("mapping set is never empty");
+        let batch = batches.len() as u64;
+        if let Some(r) = ring.borrow_mut().as_mut() {
+            r.record(TraceEvent::batch_formed(
+                flush_at_us,
+                batch,
+                pending.len() as u64,
+                size,
+                oldest_us,
+            ));
+            r.record(TraceEvent::route_decision(
+                flush_at_us,
+                batch,
+                size,
+                e as u64,
+                sla_remaining,
+                idx as i32,
+                &completions,
+            ));
+            for id in &ep.targets[idx] {
+                r.record(TraceEvent::scatter(flush_at_us, batch, *id, e as u64));
+            }
+        }
         let mut done_us = starts[idx] + execs[idx];
+        let mut final_exec = execs[idx];
         for id in &ep.targets[idx] {
             let f = free_at.entry(*id).or_insert(0.0);
             *f = f.max(flush_at_us) + execs[idx];
@@ -362,6 +471,13 @@ pub fn replay_cluster(
                         .fold(f64::NEG_INFINITY, f64::max)
                         .max(ev.at_us);
                     done_us = retry_start + retry_exec;
+                    final_exec = retry_exec;
+                    if let Some(r) = ring.borrow_mut().as_mut() {
+                        r.record(TraceEvent::retry(ev.at_us, batch, failed, exec_epoch as u64));
+                        for id in &retry_ep.targets[idx] {
+                            r.record(TraceEvent::scatter(ev.at_us, batch, *id, exec_epoch as u64));
+                        }
+                    }
                     for id in &retry_ep.targets[idx] {
                         let f = free_at.entry(*id).or_insert(0.0);
                         *f = f.max(ev.at_us) + retry_exec;
@@ -371,6 +487,14 @@ pub fn replay_cluster(
             scan += 1;
         }
 
+        if let Some(r) = ring.borrow_mut().as_mut() {
+            r.record(TraceEvent::execute(
+                done_us - final_exec,
+                batch,
+                exec_epoch as u64,
+                done_us,
+            ));
+        }
         let accuracy = ep.mappings.mappings[idx].rep.accuracy as f64;
         let label = &labels[idx];
         let mut queries = Vec::with_capacity(pending.len());
@@ -378,6 +502,9 @@ pub fn replay_cluster(
             let latency = done_us - q.arrival_us as f64;
             if latency > cfg.sla_us {
                 violations += 1;
+            }
+            if let Some(r) = ring.borrow_mut().as_mut() {
+                r.record(TraceEvent::complete(done_us, q.id, batch, latency));
             }
             latencies.push(latency);
             samples += q.size as u64;
@@ -396,7 +523,12 @@ pub fn replay_cluster(
         pending.clear();
         *pending_samples = 0;
     };
-    drive_batches(trace, cfg, flush);
+    let on_admit = |q: &Query| {
+        if let Some(r) = ring.borrow_mut().as_mut() {
+            r.record(TraceEvent::enqueue(q.arrival_us as f64, q.id, q.size as u64));
+        }
+    };
+    drive_batches(trace, cfg, on_admit, flush);
 
     let outcome = ServingOutcome::from_latency_samples(
         "replay-cluster",
@@ -407,11 +539,21 @@ pub fn replay_cluster(
         last_completion / 1e6,
         usage,
     );
-    ClusterReplayResult {
-        outcome,
-        batches,
-        retried_batches,
-    }
+    let trace_rec = recorder.enabled.then(|| {
+        let mut rec = TraceRecording::new(labels);
+        if let Some(r) = ring.into_inner() {
+            rec.push_ring("dispatcher", r);
+        }
+        rec
+    });
+    (
+        ClusterReplayResult {
+            outcome,
+            batches,
+            retried_batches,
+        },
+        trace_rec,
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,57 @@
+//! Property tests for the flight-recorder ring's drop-oldest spill
+//! policy: under random burst sizes and capacities, the ring must keep
+//! exactly the newest `min(total, capacity)` events in recording order,
+//! and `dropped_events` must account for the shortfall exactly —
+//! spill is explicit, never silent.
+#![cfg(feature = "recorder")]
+
+use mprec_trace::{EventRing, TraceEvent};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn drop_oldest_keeps_newest_in_order_with_exact_accounting(
+        cap in 0usize..96,
+        bursts in prop::collection::vec(1u64..160, 1..10),
+    ) {
+        let mut ring = EventRing::with_capacity(cap);
+        let mut total = 0u64;
+        // Invariants must hold after *every* burst, not just at the end:
+        // a later burst can wrap the ring several times over.
+        for burst in &bursts {
+            for _ in 0..*burst {
+                // Monotonic ids double as monotonic virtual stamps, so
+                // order checks cover both.
+                ring.record(TraceEvent::enqueue(total as f64, total, 1));
+                total += 1;
+            }
+            let kept = ring.len() as u64;
+            prop_assert_eq!(ring.recorded(), total);
+            prop_assert_eq!(kept, total.min(cap as u64));
+            // Exact shortfall accounting: recorded == kept + dropped.
+            prop_assert_eq!(ring.dropped_events(), total - kept);
+            prop_assert_eq!(ring.dropped_events(), total.saturating_sub(cap as u64));
+
+            // The kept window is exactly the newest `kept` events, in
+            // recording order (drop-oldest never reorders survivors).
+            let ids: Vec<u64> = ring.iter().map(|e| e.id).collect();
+            let expect: Vec<u64> = (total - kept..total).collect();
+            prop_assert_eq!(&ids, &expect);
+            for pair in ids.windows(2) {
+                prop_assert!(pair[0] < pair[1], "order violated: {} !< {}", pair[0], pair[1]);
+            }
+        }
+
+        // Draining into a track carries the same events and counter.
+        let dropped = ring.dropped_events();
+        let kept = ring.len();
+        let track = ring.into_track("prop");
+        prop_assert_eq!(track.dropped_events, dropped);
+        prop_assert_eq!(track.events.len(), kept);
+        for (i, e) in track.events.iter().enumerate() {
+            prop_assert_eq!(e.id, total - kept as u64 + i as u64);
+        }
+    }
+}

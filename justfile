@@ -73,3 +73,16 @@ bench-cache-policy:
 # exit. Mirrors the CI step.
 persist-smoke:
     cargo test -q -p mprec-core --test persist
+
+# Flight-recorder export: node-churn cluster with tracing on ->
+# TRACE_cluster.json (chrome://tracing / ui.perfetto.dev) plus a text
+# "explain" of one query's routing chain. `just trace-viz` for the full
+# trace, `--explain <id>` via `just fig trace_viz`.
+trace-viz:
+    cargo run --release -p mprec-bench --bin trace_viz
+
+# Quick trace smoke: 1500-query churn cell with tracing enabled,
+# exported Chrome JSON validated (valid JSON, per-track monotonic
+# virtual timestamps, nonzero route decisions). Mirrors the CI step.
+trace-smoke:
+    timeout 300 cargo run --release -p mprec-bench --bin trace_viz -- --smoke

@@ -23,8 +23,10 @@ use mprec::runtime::{
     RuntimeModelConfig, RuntimeReport,
 };
 use mprec::serving::replay::{
-    replay, replay_cluster, ClusterReplayResult, ReplayConfig, ReplayResult,
+    replay, replay_cluster, replay_cluster_traced, replay_traced, ClusterReplayResult,
+    ReplayConfig, ReplayResult,
 };
+use mprec::trace::{EventKind, TraceConfig, TraceRecording};
 
 fn model_cfg(dynamic_entries: usize) -> RuntimeModelConfig {
     RuntimeModelConfig {
@@ -551,5 +553,127 @@ fn replay_sees_scenario_load_shapes_through_the_shared_trace() {
         "sim: flash {} !> steady {}",
         flash_sim.outcome.sla_violations,
         steady_sim.outcome.sla_violations
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Flight-recorder twin agreement: the dispatcher track's pinned events
+// (Enqueue/BatchFormed/RouteDecision/Scatter/Execute/Retry/Complete)
+// must match between runtime and replay exactly — same kinds, same
+// virtual timestamps (bit-equal f64), same decision payloads including
+// the rejected candidates' scored costs.
+// ---------------------------------------------------------------------------
+
+/// Compares the twin-pinned dispatcher event streams element-for-element.
+fn assert_trace_twin_agreement(rt: &TraceRecording, sim: &TraceRecording) {
+    let rt_track = rt.track("dispatcher").expect("runtime dispatcher track");
+    let sim_track = sim.track("dispatcher").expect("replay dispatcher track");
+    assert_eq!(rt_track.dropped_events, 0, "runtime dispatcher dropped events");
+    assert_eq!(sim_track.dropped_events, 0, "replay dispatcher dropped events");
+    let rt_pinned = rt_track.pinned_events();
+    let sim_pinned = sim_track.pinned_events();
+    assert_eq!(
+        rt_pinned.len(),
+        sim_pinned.len(),
+        "pinned dispatcher event counts (runtime {} vs replay {})",
+        rt_pinned.len(),
+        sim_pinned.len()
+    );
+    for (i, (r, s)) in rt_pinned.iter().zip(sim_pinned.iter()).enumerate() {
+        assert_eq!(
+            r, s,
+            "pinned dispatcher event #{i} diverges:\n  runtime: {r:?}\n  replay:  {s:?}"
+        );
+    }
+}
+
+#[test]
+fn steady_engine_trace_twins_agree_event_for_event() {
+    let cfg = RuntimeConfig {
+        recorder: TraceConfig::enabled(),
+        ..runtime_cfg(2, 0)
+    };
+    let engine = mprec::runtime::Engine::new(cfg.clone()).expect("engine builds");
+    let report = engine.serve().expect("runtime serves");
+    let rt_trace = report.trace.expect("runtime recorded a trace");
+    let trace = scenario::generate(cfg.trace, cfg.scenario, cfg.seed);
+    let (_, sim_trace) = replay_traced(
+        engine.mapping_set(),
+        &trace,
+        &ReplayConfig {
+            sla_us: cfg.sla_us,
+            max_batch_samples: cfg.max_batch_samples,
+            max_batch_wait_us: cfg.max_batch_wait_us,
+        },
+        TraceConfig::enabled(),
+    );
+    let sim_trace = sim_trace.expect("replay recorded a trace");
+    assert_trace_twin_agreement(&rt_trace, &sim_trace);
+
+    // Sanity: the agreement is over a non-vacuous lifecycle.
+    let dispatcher = rt_trace.track("dispatcher").unwrap();
+    let n = cfg.trace.num_queries;
+    assert_eq!(dispatcher.events_of(EventKind::Enqueue).count(), n);
+    assert_eq!(dispatcher.events_of(EventKind::Complete).count(), n);
+    let routes: Vec<_> = dispatcher.events_of(EventKind::RouteDecision).collect();
+    assert!(!routes.is_empty(), "route decisions were recorded");
+    assert!(
+        routes
+            .iter()
+            .any(|e| e.costs.iter().filter(|c| c.is_finite()).count() > 1),
+        "route decisions carry rejected candidates' scored costs"
+    );
+}
+
+#[test]
+fn churned_cluster_trace_twins_agree_event_for_event() {
+    let cfg = ClusterConfig {
+        recorder: TraceConfig::enabled(),
+        ..churned(cluster_cfg(3, 2, 0))
+    };
+    let cluster = Cluster::new(cfg.clone()).expect("cluster builds");
+    let report = cluster.serve().expect("cluster serves");
+    let rt_trace = report.trace.expect("cluster recorded a trace");
+    let trace = scenario::generate(cfg.trace, cfg.scenario, cfg.seed);
+    let (sim, sim_trace) = replay_cluster_traced(
+        &cluster.replay_spec(),
+        &trace,
+        &ReplayConfig {
+            sla_us: cfg.sla_us,
+            max_batch_samples: cfg.max_batch_samples,
+            max_batch_wait_us: cfg.max_batch_wait_us,
+        },
+        TraceConfig::enabled(),
+    );
+    let sim_trace = sim_trace.expect("replay recorded a trace");
+    assert_trace_twin_agreement(&rt_trace, &sim_trace);
+
+    // Churn must exercise the retry leg in both twins, and the runtime
+    // track additionally carries the runtime-only membership events
+    // (excluded from the pinned comparison above).
+    let rt_disp = rt_trace.track("dispatcher").unwrap();
+    let sim_disp = sim_trace.track("dispatcher").unwrap();
+    let rt_retries = rt_disp.events_of(EventKind::Retry).count();
+    assert!(rt_retries > 0, "churn produced retry legs");
+    assert_eq!(
+        rt_retries,
+        sim_disp.events_of(EventKind::Retry).count(),
+        "retry legs agree"
+    );
+    assert!(sim.retried_batches > 0, "replay charged retried batches");
+    assert_eq!(
+        rt_disp.events_of(EventKind::EpochBarrier).count(),
+        2,
+        "fail + join each quiesce an epoch barrier"
+    );
+    assert_eq!(
+        rt_disp.events_of(EventKind::WarmStart).count(),
+        1,
+        "the joiner warm-started once"
+    );
+    assert_eq!(
+        sim_disp.events_of(EventKind::EpochBarrier).count(),
+        0,
+        "membership events are runtime-only"
     );
 }
