@@ -31,13 +31,20 @@
 //!                                      (1 failure + 1 join, fault
 //!                                      model asserted); --churn has
 //!                                      no effect without --smoke
+//!   cluster_throughput --smoke --chaos CI chaos guard: the smoke cell
+//!                                      plus the fault-storm pair
+//!                                      (hardening on vs off; strict
+//!                                      violation-rate reduction and
+//!                                      zero sampled-recorder drops
+//!                                      asserted). The full sweep runs
+//!                                      the chaos pair unconditionally.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use mprec_core::mpcache::CacheStats;
 use mprec_data::query::QueryTraceConfig;
-use mprec_data::scenario::{self, LoadScenario};
+use mprec_data::scenario::{self, ChaosConfig, FaultPlan, LoadScenario};
 use mprec_runtime::{
     Cluster, ClusterConfig, ClusterReport, EpochReport, PathKind, RuntimeModelConfig, TraceConfig,
 };
@@ -246,6 +253,88 @@ fn churn_cell_json(c: &ChurnCell) -> String {
     )
 }
 
+struct ChaosCell {
+    nodes: usize,
+    hardened: bool,
+    report: ClusterReport,
+    dropped_events: u64,
+    sample_every_n: u64,
+    serve_s: f64,
+}
+
+impl ChaosCell {
+    fn violation_rate(&self) -> f64 {
+        self.report.virtual_sla_violations as f64 / self.report.outcome.completed.max(1) as f64
+    }
+
+    fn shed_rate(&self) -> f64 {
+        let offered = self.report.outcome.completed + self.report.shed_queries;
+        self.report.shed_queries as f64 / offered.max(1) as f64
+    }
+}
+
+/// Runs one chaos cell: the steady trace under the canonical fault
+/// storm (`FaultPlan::storm`), with the lifecycle hardening either
+/// fully on (timeouts + hedging + brownout) or reduced to the bare
+/// timeout/retry ladder — same fault plan, so the pair isolates what
+/// hedging and brownout buy. The flight recorder samples 1-in-8 events
+/// to show sampling loses nothing (dropped counter asserted zero).
+fn run_chaos_cell(nodes: usize, num_queries: usize, hardened: bool) -> ChaosCell {
+    let mut cfg = cluster_cfg(nodes, LoadScenario::SteadyPoisson, num_queries);
+    let span = scenario::nominal_span_us(num_queries, cfg.trace.qps);
+    cfg.faults = FaultPlan::storm(nodes, span);
+    cfg.chaos = if hardened {
+        ChaosConfig::hardened()
+    } else {
+        ChaosConfig {
+            timeout_mult: ChaosConfig::hardened().timeout_mult,
+            ..ChaosConfig::default()
+        }
+    };
+    let sample_every_n = 8;
+    cfg.recorder = TraceConfig::sampled(sample_every_n);
+    let cluster = Cluster::new(cfg).expect("chaos cluster builds");
+    let t0 = Instant::now();
+    let report = cluster.serve().expect("chaos cluster serves");
+    let serve_s = t0.elapsed().as_secs_f64();
+    let dropped_events = report
+        .trace
+        .as_ref()
+        .map(mprec_runtime::TraceRecording::total_dropped)
+        .unwrap_or(0);
+    ChaosCell {
+        nodes,
+        hardened,
+        report,
+        dropped_events,
+        sample_every_n,
+        serve_s,
+    }
+}
+
+fn chaos_cell_json(c: &ChaosCell) -> String {
+    format!(
+        concat!(
+            "{{\"nodes\":{},\"hardening\":\"{}\",\"completed\":{},\"shed_queries\":{},",
+            "\"shed_rate\":{:.5},\"virtual_sla_violation_rate\":{:.5},",
+            "\"leg_timeouts\":{},\"hedged_legs\":{},\"leg_retries\":{},",
+            "\"dropped_events\":{},\"sample_every_n\":{},\"serve_s\":{:.3}}}"
+        ),
+        c.nodes,
+        if c.hardened { "on" } else { "off" },
+        c.report.outcome.completed,
+        c.report.shed_queries,
+        c.shed_rate(),
+        c.violation_rate(),
+        c.report.leg_timeouts,
+        c.report.hedged_legs,
+        c.report.leg_retries,
+        c.dropped_events,
+        c.sample_every_n,
+        c.serve_s,
+    )
+}
+
 struct OverheadCell {
     queries: usize,
     serve_s_off: f64,
@@ -309,6 +398,7 @@ fn run_recorder_overhead(num_queries: usize) -> OverheadCell {
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let churn_flag = std::env::args().any(|a| a == "--churn");
+    let chaos_flag = std::env::args().any(|a| a == "--chaos");
     mprec_bench::header(
         "cluster_throughput",
         "feature-sharded scale-out serving: capacity and the routing-visible \
@@ -471,6 +561,68 @@ fn main() {
         );
     }
 
+    // Chaos sweep: the same fault storm with the lifecycle hardening
+    // on vs off. All rates are **virtual-time** rates — the fault
+    // schedule, timeouts, hedges, and brownout all live on the
+    // deterministic virtual clock, so the comparison is
+    // machine-independent (wall-clock serve_s is the only measured
+    // number). Hardening must strictly reduce the virtual SLA
+    // violation rate under the same plan, and sampling the recorder
+    // 1-in-8 must drop nothing.
+    let chaos_cells: Vec<ChaosCell> = if chaos_flag || !smoke {
+        let n = if smoke {
+            1500
+        } else {
+            mprec_bench::arg_or(1, 4000usize)
+        };
+        let on = run_chaos_cell(3, n, true);
+        let off = run_chaos_cell(3, n, false);
+        assert_eq!(
+            on.report.outcome.completed + on.report.shed_queries,
+            n as u64,
+            "chaos: every query completes or is shed explicitly"
+        );
+        assert_eq!(
+            off.report.shed_queries, 0,
+            "chaos: shedding is a brownout feature; off-arm must not shed"
+        );
+        assert!(
+            on.violation_rate() < off.violation_rate(),
+            "chaos: hedging + brownout must strictly reduce the virtual SLA \
+             violation rate (on {:.5} vs off {:.5})",
+            on.violation_rate(),
+            off.violation_rate()
+        );
+        assert_eq!(on.dropped_events, 0, "chaos: sampled recorder dropped events (on)");
+        assert_eq!(off.dropped_events, 0, "chaos: sampled recorder dropped events (off)");
+        println!("\nchaos sweep (fault storm: 4x straggler, scatter loss, stall; 3 nodes):");
+        println!(
+            "{:>10} {:>10} {:>8} {:>8} {:>9} {:>8} {:>8} {:>8}",
+            "hardening", "viol rate", "shed", "timeouts", "hedges", "retries", "dropped", "serve s"
+        );
+        for c in [&on, &off] {
+            println!(
+                "{:>10} {:>10.4} {:>8} {:>8} {:>9} {:>8} {:>8} {:>8.2}",
+                if c.hardened { "on" } else { "off" },
+                c.violation_rate(),
+                c.report.shed_queries,
+                c.report.leg_timeouts,
+                c.report.hedged_legs,
+                c.report.leg_retries,
+                c.dropped_events,
+                c.serve_s,
+            );
+        }
+        println!(
+            "(virtual-time rates: the fault schedule and the whole hardening \
+             ladder run on the deterministic virtual clock, so the on/off \
+             delta is machine-independent)"
+        );
+        vec![on, off]
+    } else {
+        Vec::new()
+    };
+
     // Recorder-overhead hygiene: tracing must be free in virtual time
     // (asserted inside) and cheap in wall-clock time (reported, with
     // the 1-CPU caveat).
@@ -534,6 +686,16 @@ fn main() {
     for (i, c) in churn_cells.iter().enumerate() {
         let sep = if i + 1 < churn_cells.len() { "," } else { "" };
         let _ = writeln!(json, "    {}{}", churn_cell_json(c), sep);
+    }
+    json.push_str(
+        "  ],\n  \"chaos_note\": \"virtual-time rates under the same FaultPlan::storm; \
+         hardening=on adds hedging + brownout to the timeout/retry ladder; strict \
+         violation-rate reduction and zero sampled-recorder drops are asserted\",\n",
+    );
+    json.push_str("  \"chaos_sweep\": [\n");
+    for (i, c) in chaos_cells.iter().enumerate() {
+        let sep = if i + 1 < chaos_cells.len() { "," } else { "" };
+        let _ = writeln!(json, "    {}{}", chaos_cell_json(c), sep);
     }
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_cluster.json", &json).expect("write BENCH_cluster.json");

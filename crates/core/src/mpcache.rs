@@ -941,10 +941,23 @@ impl ShardedMpCache {
 
     /// Empties every shard's persistent disk tier (e.g. between serving
     /// runs, so warm-start segments loaded mid-run do not leak into the
-    /// next run).
+    /// next run). Preserves any capacity bound set via
+    /// [`ShardedMpCache::set_disk_capacity`].
     pub fn clear_disk(&self) {
         for s in &self.shards {
-            *s.disk.write() = Segment::new();
+            let cap = s.disk.read().max_records();
+            *s.disk.write() = Segment::bounded(cap);
+        }
+    }
+
+    /// Bounds every shard's disk tier to at most `per_shard_records` log
+    /// records (`0` = unbounded, the default). Over-capacity appends first
+    /// compact superseded records away; if the live set alone still
+    /// exceeds the bound, the oldest live records are evicted. Applying a
+    /// tighter bound to already-loaded tiers compacts/evicts immediately.
+    pub fn set_disk_capacity(&self, per_shard_records: usize) {
+        for s in &self.shards {
+            s.disk.write().set_max_records(per_shard_records);
         }
     }
 
@@ -1624,6 +1637,47 @@ mod tests {
         assert_eq!(stats.lookups(), 2);
         cache.clear_disk();
         assert_eq!(cache.disk_len(), 0);
+    }
+
+    #[test]
+    fn disk_tier_capacity_bounds_each_shard() {
+        let (sd, donor) = sharded(1, 64);
+        for id in 0..24u64 {
+            let _ = donor.embed(&sd, 0, id).unwrap();
+        }
+        let seg = donor.export_dynamic_segment(|_| true);
+        // Ids that hit the static encoder tier never reach the dynamic
+        // tier, so derive the exported set from the segment itself.
+        let exported: Vec<(usize, u64)> = Segment::from_bytes(&seg)
+            .unwrap()
+            .iter()
+            .map(|(f, id, _)| (f, id))
+            .collect();
+        assert!(exported.len() > 8, "need enough records to overflow the bound");
+        let (_, cache) = sharded(1, 64);
+        cache.set_disk_capacity(6);
+        cache.load_disk_segment(&seg).unwrap();
+        // One shard, bounded to 6 records: only the 6 newest survive.
+        assert_eq!(cache.disk_len(), 6);
+        let mut buf = Vec::new();
+        for &(f, id) in &exported[exported.len() - 6..] {
+            assert!(cache.shard(f, id).disk.read().get_into(f, id, &mut buf));
+        }
+        let (f0, id0) = exported[0];
+        assert!(!cache.shard(f0, id0).disk.read().get_into(f0, id0, &mut buf));
+        // Tightening an already-loaded tier evicts immediately; clearing
+        // keeps the bound for the next load.
+        cache.set_disk_capacity(2);
+        assert_eq!(cache.disk_len(), 2);
+        cache.clear_disk();
+        assert_eq!(cache.disk_len(), 0);
+        cache.load_disk_segment(&seg).unwrap();
+        assert_eq!(cache.disk_len(), 2);
+        // Unbounding (0) restores unbounded loads.
+        cache.set_disk_capacity(0);
+        cache.clear_disk();
+        cache.load_disk_segment(&seg).unwrap();
+        assert_eq!(cache.disk_len(), exported.len());
     }
 
     #[test]

@@ -88,6 +88,8 @@ pub struct Segment {
     index: HashMap<(usize, u64), (u32, u32)>,
     records: usize,
     truncated: bool,
+    /// Record-count capacity; 0 means unbounded (the default).
+    max_records: usize,
 }
 
 impl Segment {
@@ -96,7 +98,34 @@ impl Segment {
         Self::default()
     }
 
+    /// Creates an empty segment bounded to at most `max_records` log
+    /// records (`0` = unbounded). When an append pushes the log over the
+    /// bound, the segment first compacts away superseded records; if the
+    /// live set alone still exceeds the bound, the *oldest* live records
+    /// are evicted — the disk tier degrades to a bounded LRU-by-append
+    /// rather than growing without limit.
+    pub fn bounded(max_records: usize) -> Self {
+        Segment {
+            max_records,
+            ..Segment::default()
+        }
+    }
+
+    /// The record-count bound (`0` = unbounded).
+    pub fn max_records(&self) -> usize {
+        self.max_records
+    }
+
+    /// Re-bounds the segment, compacting/evicting immediately if the
+    /// current log already exceeds the new bound.
+    pub fn set_max_records(&mut self, max_records: usize) {
+        self.max_records = max_records;
+        self.enforce_bound();
+    }
+
     /// Appends one record and indexes it (last write wins on duplicates).
+    /// On a bounded segment this may trigger compaction/eviction; see
+    /// [`Segment::bounded`].
     pub fn append(&mut self, feature: usize, id: u64, values: &[f32]) {
         let start = self.data.len();
         self.data
@@ -113,6 +142,67 @@ impl Segment {
         self.index
             .insert((feature, id), (float_off as u32, values.len() as u32));
         self.records += 1;
+        self.enforce_bound();
+    }
+
+    fn enforce_bound(&mut self) {
+        if self.max_records == 0 || self.records <= self.max_records {
+            return;
+        }
+        self.compact();
+        if self.records > self.max_records {
+            self.evict_oldest(self.records - self.max_records);
+        }
+    }
+
+    /// Drops superseded records (older duplicates of a rewritten key),
+    /// keeping the live set in original append order. A no-op when every
+    /// record is already live; byte layout of the survivors is unchanged.
+    pub fn compact(&mut self) {
+        if self.records == self.index.len() {
+            return;
+        }
+        let mut data = Vec::with_capacity(self.data.len());
+        let mut index = HashMap::with_capacity(self.index.len());
+        let mut records = 0usize;
+        let mut pos = 0usize;
+        while let Some((feature, id, float_off, dim, next)) = decode_record(&self.data, pos) {
+            // Live iff the index still points at this exact record.
+            if self.index.get(&(feature, id)) == Some(&(float_off as u32, dim)) {
+                index.insert(
+                    (feature, id),
+                    ((data.len() + RECORD_PREFIX) as u32, dim),
+                );
+                data.extend_from_slice(&self.data[pos..next]);
+                records += 1;
+            }
+            pos = next;
+        }
+        self.data = data;
+        self.index = index;
+        self.records = records;
+    }
+
+    /// Drops the `n` oldest records from the front of the log and
+    /// reindexes the remainder. Intended for post-compaction overflow,
+    /// where every record is live and eviction is a real data drop.
+    fn evict_oldest(&mut self, n: usize) {
+        let mut cut = 0usize;
+        for _ in 0..n {
+            match decode_record(&self.data, cut) {
+                Some((.., next)) => cut = next,
+                None => break,
+            }
+        }
+        self.data.drain(..cut);
+        self.index.clear();
+        self.records = 0;
+        let mut pos = 0usize;
+        while let Some((feature, id, float_off, dim, next)) = decode_record(&self.data, pos) {
+            self.index.insert((feature, id), (float_off as u32, dim));
+            self.records += 1;
+            pos = next;
+        }
     }
 
     /// Copies the embedding for `(feature, id)` into `out`, returning `true`
@@ -209,9 +299,20 @@ impl Segment {
     /// Writes the segment to `path` durably: the bytes land in a `.tmp`
     /// sibling first and are renamed into place, so a crash mid-write never
     /// replaces the previous durable file with a torn one.
+    ///
+    /// Snapshots are compacted on the way out: superseded records never
+    /// reach disk. For a segment with no duplicate keys the bytes are
+    /// identical to [`Segment::to_bytes`].
     pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        let bytes = if self.records == self.index.len() {
+            self.to_bytes()
+        } else {
+            let mut live = self.clone();
+            live.compact();
+            live.to_bytes()
+        };
         let tmp = path.with_extension("seg.tmp");
-        std::fs::write(&tmp, self.to_bytes())?;
+        std::fs::write(&tmp, bytes)?;
         std::fs::rename(&tmp, path)
     }
 
@@ -342,6 +443,85 @@ mod tests {
             Segment::from_bytes(&bytes).unwrap_err(),
             SegmentError::BadVersion(99)
         );
+    }
+
+    #[test]
+    fn compact_drops_superseded_records_and_keeps_order() {
+        let mut seg = Segment::new();
+        seg.append(0, 1, &[1.0]);
+        seg.append(0, 2, &[2.0]);
+        seg.append(0, 1, &[1.5]); // supersedes the first record
+        assert_eq!(seg.records(), 3);
+        seg.compact();
+        assert_eq!(seg.records(), 2);
+        assert_eq!(seg.len(), 2);
+        let replay: Vec<_> = seg.iter().collect();
+        // Live records keep original append order; the stale one is gone.
+        assert_eq!(replay[0].1, 2);
+        assert_eq!(replay[1].1, 1);
+        assert_eq!(replay[1].2, vec![1.5]);
+        let mut buf = Vec::new();
+        assert!(seg.get_into(0, 1, &mut buf));
+        assert_eq!(buf, vec![1.5]);
+        // Compacting an already-live log is a byte-level no-op.
+        let bytes = seg.to_bytes();
+        seg.compact();
+        assert_eq!(seg.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn bounded_segment_compacts_then_evicts_oldest() {
+        let mut seg = Segment::bounded(2);
+        seg.append(0, 1, &[1.0]);
+        seg.append(0, 2, &[2.0]);
+        // A rewrite of key 1 overflows the log but compaction alone
+        // absorbs it — no live data is lost.
+        seg.append(0, 1, &[1.5]);
+        assert_eq!(seg.records(), 2);
+        assert!(seg.contains(0, 1) && seg.contains(0, 2));
+        // A genuinely new key overflows a fully-live log: the oldest
+        // live record (key 2, appended before key 1's rewrite) is evicted.
+        seg.append(0, 3, &[3.0]);
+        assert_eq!(seg.records(), 2);
+        assert!(!seg.contains(0, 2));
+        assert!(seg.contains(0, 1) && seg.contains(0, 3));
+        let mut buf = Vec::new();
+        assert!(seg.get_into(0, 1, &mut buf));
+        assert_eq!(buf, vec![1.5]);
+        // Re-bounding tighter evicts immediately.
+        seg.set_max_records(1);
+        assert_eq!(seg.records(), 1);
+        assert!(seg.contains(0, 3));
+        assert_eq!(seg.max_records(), 1);
+    }
+
+    #[test]
+    fn snapshot_compacts_superseded_records_on_write() {
+        let dir = std::env::temp_dir().join(format!(
+            "mprec-seg-compact-{}-{}",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").len()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tier.seg");
+        let mut seg = Segment::new();
+        seg.append(4, 8, &[0.5; 4]);
+        seg.append(4, 8, &[0.75; 4]);
+        seg.append(5, 9, &[2.0; 4]);
+        seg.write_to(&path).unwrap();
+        let back = Segment::read_from(&path).unwrap();
+        // In-memory log still holds 3 records; the snapshot holds the 2 live.
+        assert_eq!(seg.records(), 3);
+        assert_eq!(back.records(), 2);
+        assert_eq!(back.len(), 2);
+        let mut buf = Vec::new();
+        assert!(back.get_into(4, 8, &mut buf));
+        assert_eq!(buf, vec![0.75; 4]);
+        // An already-compacted segment snapshots byte-exactly.
+        let mut live = seg.clone();
+        live.compact();
+        assert_eq!(std::fs::read(&path).unwrap(), live.to_bytes());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

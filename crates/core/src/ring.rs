@@ -152,6 +152,36 @@ impl HashRing {
         (0..count).map(|k| self.assign(k as u64)).collect()
     }
 
+    /// The next *distinct* node clockwise from `node`'s first ring
+    /// point — the hedge target for a slow scatter leg on `node`
+    /// (deterministic per node set, like every ring property). `None`
+    /// when `node` is not on the ring or is the only node.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mprec_core::ring::HashRing;
+    ///
+    /// let ring = HashRing::with_nodes(64, [0u32, 1, 2]);
+    /// let next = ring.successor(0).unwrap();
+    /// assert_ne!(next, 0);
+    /// assert!(ring.successor(9).is_none(), "unknown node has no successor");
+    /// ```
+    pub fn successor(&self, node: u32) -> Option<u32> {
+        if !self.contains(node) || self.nodes.len() < 2 {
+            return None;
+        }
+        let first = self.points.iter().position(|&(_, n)| n == node)?;
+        let len = self.points.len();
+        for step in 1..len {
+            let (_, n) = self.points[(first + step) % len];
+            if n != node {
+                return Some(n);
+            }
+        }
+        None
+    }
+
     /// The remap diff from `old` to `self` over keys `0..keys`: exactly
     /// the keys whose owner changed, plus the node-set delta. Applying
     /// the result to `old`'s [`FeatureShardPlan`] via
@@ -401,6 +431,29 @@ mod tests {
         for k in 0..100 {
             assert_eq!(ring.assign(k), Some(3));
         }
+    }
+
+    #[test]
+    fn successor_walks_to_the_next_distinct_node() {
+        let ring = HashRing::with_nodes(64, [0u32, 1, 2, 3]);
+        for node in 0..4u32 {
+            let next = ring.successor(node).expect("multi-node ring has a successor");
+            assert_ne!(next, node, "hedge target must be a different node");
+            assert!(ring.contains(next));
+            // Deterministic: same ring, same answer.
+            assert_eq!(ring.successor(node), Some(next));
+        }
+        // Membership changes reshuffle successors but keep the contract.
+        let mut shrunk = ring.clone();
+        shrunk.remove_node(2);
+        for node in [0u32, 1, 3] {
+            let next = shrunk.successor(node).unwrap();
+            assert_ne!(next, node);
+            assert_ne!(next, 2, "removed node can no longer be a hedge target");
+        }
+        assert_eq!(shrunk.successor(2), None, "absent node has no successor");
+        assert_eq!(HashRing::with_nodes(8, [7u32]).successor(7), None);
+        assert_eq!(HashRing::new(8).successor(0), None);
     }
 
     #[test]

@@ -201,6 +201,282 @@ pub fn nominal_span_us(num_queries: usize, qps: f64) -> f64 {
     num_queries as f64 * 1e6 / qps.max(1e-9)
 }
 
+/// What an injected fault does to the node it targets while its window
+/// is open. Unlike [`ChurnEvent`]s, faults are *unannounced*: the epoch
+/// machinery never sees them — only the request-lifecycle hardening
+/// (timeouts, hedging, backoff, brownout) reacts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Execution on the node runs `factor`x slower (virtual time) for
+    /// any attempt *started* inside the window.
+    Straggler {
+        /// Execution-time multiplier (> 1 slows the node down).
+        factor: f64,
+    },
+    /// Transient scatter-leg loss: the node silently drops the batch's
+    /// partial on the *first* attempt started inside the window; retried
+    /// and hedged attempts succeed.
+    ScatterLoss,
+    /// Unannounced stall: the node drops *every* attempt started inside
+    /// the window (only the retry ladder's post-window attempts, or the
+    /// forced completion after the last timeout, resolve the leg).
+    Stall,
+}
+
+/// One fault window on a cluster's virtual-time axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// The node the fault targets.
+    pub node: u32,
+    /// Window start (µs, inclusive). An attempt is affected iff its
+    /// virtual start time falls inside `[from_us, until_us)`.
+    pub from_us: f64,
+    /// Window end (µs, exclusive).
+    pub until_us: f64,
+    /// What the fault does.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// Whether the window is open at virtual time `t_us`.
+    #[inline]
+    pub fn active_at(&self, t_us: f64) -> bool {
+        t_us >= self.from_us && t_us < self.until_us
+    }
+}
+
+/// A deterministic, virtual-time-stamped fault schedule: the chaos
+/// plane's input. The plan is pure data — the cluster dispatcher and
+/// the replay twin both resolve attempts against it with the query
+/// helpers below, so a `(config, seed)` pair reproduces every timeout,
+/// hedge, and retry bit-exactly.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Fault windows, in schedule order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults (the default: chaos armed but inert).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Combined straggler multiplier for an attempt starting on `node`
+    /// at `t_us` (1.0 when no straggler window is open). Overlapping
+    /// windows compose multiplicatively.
+    #[inline]
+    pub fn straggler_multiplier(&self, node: u32, t_us: f64) -> f64 {
+        let mut mult = 1.0;
+        for ev in &self.events {
+            if ev.node == node && ev.active_at(t_us) {
+                if let FaultKind::Straggler { factor } = ev.kind {
+                    mult *= factor.max(1.0);
+                }
+            }
+        }
+        mult
+    }
+
+    /// Whether attempt number `attempt` (0 = the original scatter leg,
+    /// 1+ = hedges/retries) starting on `node` at `t_us` is lost:
+    /// [`FaultKind::ScatterLoss`] drops only attempt 0,
+    /// [`FaultKind::Stall`] drops every attempt in its window.
+    #[inline]
+    pub fn drops_leg(&self, node: u32, t_us: f64, attempt: u32) -> bool {
+        for ev in &self.events {
+            if ev.node != node || !ev.active_at(t_us) {
+                continue;
+            }
+            match ev.kind {
+                FaultKind::ScatterLoss if attempt == 0 => return true,
+                FaultKind::Stall => return true,
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// Seeded fault schedule for an `nodes`-node cluster over a trace
+    /// whose nominal span is `span_us`: one straggler window, one
+    /// scatter-loss window, and one stall window, each targeting a
+    /// seed-drawn node with seed-drawn placement — deterministic per
+    /// seed (pinned by the chaos determinism proptest).
+    pub fn generate(nodes: usize, span_us: f64, seed: u64) -> FaultPlan {
+        let nodes = nodes.max(1) as u32;
+        let mut rng = StdRng::seed_from_u64(seed ^ FAULT_SEED_SALT);
+        let mut window = |kind_pick: u8| {
+            let node = rng.gen_range(0..nodes as usize) as u32;
+            let from = rng.gen_range(0.1..0.6) * span_us;
+            let len = rng.gen_range(0.1..0.3) * span_us;
+            let kind = match kind_pick {
+                0 => FaultKind::Straggler { factor: 2.0 + 4.0 * rng.gen_range(0.0..1.0) },
+                1 => FaultKind::ScatterLoss,
+                _ => FaultKind::Stall,
+            };
+            FaultEvent { node, from_us: from, until_us: from + len, kind }
+        };
+        FaultPlan { events: vec![window(0), window(1), window(2)] }
+    }
+
+    /// The canonical **fault-storm** schedule for an `nodes`-node
+    /// cluster over `span_us` — the fixed plan `cluster_throughput
+    /// --chaos` and the differential chaos tests run: node 0 straggles
+    /// 4x over 30–55% of the span, node 1 (mod n) loses first-attempt
+    /// scatter legs over 35–60%, and the highest node stalls outright
+    /// over 60–75%.
+    pub fn storm(nodes: usize, span_us: f64) -> FaultPlan {
+        let n = nodes.max(1) as u32;
+        FaultPlan {
+            events: vec![
+                FaultEvent {
+                    node: 0,
+                    from_us: 0.30 * span_us,
+                    until_us: 0.55 * span_us,
+                    kind: FaultKind::Straggler { factor: 4.0 },
+                },
+                FaultEvent {
+                    node: 1 % n,
+                    from_us: 0.35 * span_us,
+                    until_us: 0.60 * span_us,
+                    kind: FaultKind::ScatterLoss,
+                },
+                FaultEvent {
+                    node: n - 1,
+                    from_us: 0.60 * span_us,
+                    until_us: 0.75 * span_us,
+                    kind: FaultKind::Stall,
+                },
+            ],
+        }
+    }
+}
+
+/// Request-lifecycle hardening knobs: how the serving tier reacts to
+/// the faults a [`FaultPlan`] injects. All virtual-time; the replay
+/// twin receives the same config and reproduces every decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Per-leg timeout as a multiple of the batch's routed execution
+    /// cost (`<= 0` disables the whole timeout/hedge/retry ladder and
+    /// restores the legacy always-succeeds scatter contract).
+    pub timeout_mult: f64,
+    /// Issue a hedge to the feature's next ring owner once this
+    /// fraction of the timeout budget has elapsed without a result
+    /// (requires [`ChaosConfig::hedging`]).
+    pub hedge_frac: f64,
+    /// Enable hedged scatter.
+    pub hedging: bool,
+    /// Bounded retries after a leg timeout (the final retry's timeout is
+    /// followed by a forced completion so every query still resolves).
+    pub max_retries: u32,
+    /// Exponential backoff base (µs): retry `k` starts
+    /// `backoff_base_us * 2^(k-1)` after the previous deadline.
+    pub backoff_base_us: f64,
+    /// Enable the brownout controller (candidate narrowing + shedding).
+    pub brownout: bool,
+    /// Rung 1: when the worst per-node virtual backlog reaches this
+    /// (µs), mask the hybrid path out of Algorithm 2's candidate set.
+    pub brownout_narrow_us: f64,
+    /// Rung 2: at this backlog, also mask DHE (table only).
+    pub brownout_table_only_us: f64,
+    /// Rung 3: at this backlog, shed low-priority queries outright.
+    pub brownout_shed_us: f64,
+    /// Every `shed_modulus`-th query (by trace sequence number) is
+    /// low-priority and sheddable; 0 disables shedding.
+    pub shed_modulus: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            timeout_mult: 0.0,
+            hedge_frac: 0.5,
+            hedging: false,
+            max_retries: 2,
+            backoff_base_us: 200.0,
+            brownout: false,
+            brownout_narrow_us: 4_000.0,
+            brownout_table_only_us: 8_000.0,
+            brownout_shed_us: 16_000.0,
+            shed_modulus: 4,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// The fully hardened profile: timeouts at 3x the scored cost,
+    /// hedging at half the budget, and the brownout ladder armed with
+    /// the default thresholds.
+    pub fn hardened() -> Self {
+        ChaosConfig { timeout_mult: 3.0, hedging: true, brownout: true, ..Self::default() }
+    }
+
+    /// Whether the timeout/hedge/retry ladder is active at all.
+    #[inline]
+    pub fn timeouts_enabled(&self) -> bool {
+        self.timeout_mult > 0.0
+    }
+
+    /// Applies the brownout candidate-narrowing ladder to a routing
+    /// candidate set: masks (sets to `+inf`) every completion whose
+    /// degrade rank the current rung has turned off, so the scheduler's
+    /// min-completion fallback never picks it while any finite
+    /// candidate remains. Rung 1 (`backlog >= brownout_narrow_us`)
+    /// masks rank 2 (hybrid); rung 2 (`>= brownout_table_only_us`)
+    /// masks ranks 1–2 (DHE too). Rank 0 (the replicated table path)
+    /// is never masked, and a masking that would empty the candidate
+    /// set entirely (e.g. a fixed-hybrid policy) is skipped. Returns
+    /// whether anything was masked.
+    ///
+    /// This is the single shared implementation for the runtime
+    /// dispatcher and the serving twin replay: both call it with the
+    /// same ranks and backlog, so their routing degrades identically.
+    #[inline]
+    pub fn brownout_mask(
+        &self,
+        degrade_rank: &[u32],
+        backlog_us: f64,
+        completions: &mut [f64],
+    ) -> bool {
+        if !self.brownout || backlog_us < self.brownout_narrow_us {
+            return false;
+        }
+        let min_masked = if backlog_us >= self.brownout_table_only_us { 1 } else { 2 };
+        if degrade_rank.iter().all(|&r| r >= min_masked) {
+            return false;
+        }
+        let mut masked = false;
+        for (c, &r) in completions.iter_mut().zip(degrade_rank) {
+            if r >= min_masked {
+                *c = f64::INFINITY;
+                masked = true;
+            }
+        }
+        masked
+    }
+
+    /// Whether the shed rung is reached at `backlog_us` and `sequence`
+    /// is a low-priority query under the modulus policy. Shared by both
+    /// twins so shedding decisions are bit-identical.
+    #[inline]
+    pub fn sheds(&self, backlog_us: f64, sequence: u64) -> bool {
+        self.brownout
+            && backlog_us >= self.brownout_shed_us
+            && self.shed_modulus > 0
+            && sequence.is_multiple_of(self.shed_modulus)
+    }
+}
+
+/// Salt mixed into [`FaultPlan::generate`]'s seed so fault draws never
+/// alias the trace generator's stream for the same user seed.
+const FAULT_SEED_SALT: u64 = 0xc4a0_5000_0000_0001;
+
 /// Generates a full scenario trace (sorted by arrival) for `base` under
 /// `scenario`, deterministically per seed.
 ///
@@ -366,6 +642,62 @@ mod tests {
         assert_eq!(events[1].node, 4, "joiner takes the next dense id");
         assert!(events[0].at_us < events[1].at_us);
         assert!(events[1].at_us < span, "both events inside the trace");
+    }
+
+    #[test]
+    fn fault_plan_helpers_resolve_windows_and_attempts() {
+        let span = 1_000_000.0;
+        let plan = FaultPlan::storm(4, span);
+        assert_eq!(plan.events.len(), 3);
+        // Straggler on node 0 inside [30%, 55%).
+        assert_eq!(plan.straggler_multiplier(0, 0.4 * span), 4.0);
+        assert_eq!(plan.straggler_multiplier(0, 0.6 * span), 1.0);
+        assert_eq!(plan.straggler_multiplier(2, 0.4 * span), 1.0);
+        // Scatter loss on node 1 drops only attempt 0.
+        assert!(plan.drops_leg(1, 0.5 * span, 0));
+        assert!(!plan.drops_leg(1, 0.5 * span, 1));
+        // Stall on the last node drops every attempt in its window.
+        assert!(plan.drops_leg(3, 0.65 * span, 0));
+        assert!(plan.drops_leg(3, 0.65 * span, 5));
+        assert!(!plan.drops_leg(3, 0.8 * span, 0));
+        // An empty plan is inert everywhere.
+        let none = FaultPlan::none();
+        assert!(none.is_empty());
+        assert_eq!(none.straggler_multiplier(0, 0.5 * span), 1.0);
+        assert!(!none.drops_leg(0, 0.5 * span, 0));
+    }
+
+    #[test]
+    fn generated_fault_plans_are_deterministic_per_seed() {
+        let span = 500_000.0;
+        let a = FaultPlan::generate(4, span, 9);
+        let b = FaultPlan::generate(4, span, 9);
+        assert_eq!(a, b, "same seed, same schedule");
+        let c = FaultPlan::generate(4, span, 10);
+        assert_ne!(a, c, "different seed, different schedule");
+        for ev in &a.events {
+            assert!(ev.node < 4);
+            assert!(ev.from_us >= 0.0 && ev.until_us <= span);
+            assert!(ev.from_us < ev.until_us);
+        }
+        // One of each fault kind, always.
+        assert!(matches!(a.events[0].kind, FaultKind::Straggler { factor } if factor >= 2.0));
+        assert_eq!(a.events[1].kind, FaultKind::ScatterLoss);
+        assert_eq!(a.events[2].kind, FaultKind::Stall);
+    }
+
+    #[test]
+    fn chaos_config_default_is_inert_and_hardened_arms_everything() {
+        let off = ChaosConfig::default();
+        assert!(!off.timeouts_enabled());
+        assert!(!off.hedging);
+        assert!(!off.brownout);
+        let on = ChaosConfig::hardened();
+        assert!(on.timeouts_enabled());
+        assert!(on.hedging);
+        assert!(on.brownout);
+        assert!(on.brownout_narrow_us < on.brownout_table_only_us);
+        assert!(on.brownout_table_only_us < on.brownout_shed_us);
     }
 
     #[test]

@@ -104,7 +104,7 @@ use mprec_core::planner::MappingSet;
 use mprec_core::ring::{HashRing, DEFAULT_VNODES};
 use mprec_core::scheduler::select_mapping;
 use mprec_data::query::{Query, QueryTraceConfig};
-use mprec_data::scenario::{self, ChurnAction, ChurnEvent, LoadScenario};
+use mprec_data::scenario::{self, ChaosConfig, ChurnAction, ChurnEvent, FaultPlan, LoadScenario};
 use mprec_nn::MlpScratch;
 use mprec_serving::{PathUsage, ServingOutcome};
 use mprec_tensor::Matrix;
@@ -193,6 +193,16 @@ pub struct ClusterConfig {
     /// [`ClusterReport::trace`]. Off by default (zero overhead beyond
     /// one branch per would-be event).
     pub recorder: TraceConfig,
+    /// Deterministic fault schedule on the virtual-time axis: straggler
+    /// windows, scatter-leg losses, and unannounced stalls, injected
+    /// into leg resolution without the epoch machinery knowing. Empty
+    /// (no faults) by default.
+    pub faults: FaultPlan,
+    /// Lifecycle-hardening knobs: per-leg virtual timeouts, bounded
+    /// backoff retries, hedged scatter, and the brownout ladder. The
+    /// default is fully inert — `timeout_mult == 0` preserves the
+    /// legacy single-attempt leg accounting bit for bit.
+    pub chaos: ChaosConfig,
     /// Model shape (replicated weights, sharded execution).
     pub model: RuntimeModelConfig,
 }
@@ -229,6 +239,8 @@ impl Default for ClusterConfig {
             accuracy: PathAccuracy::default(),
             histogram_subs: DEFAULT_SUBS_PER_OCTAVE,
             recorder: TraceConfig::default(),
+            faults: FaultPlan::default(),
+            chaos: ChaosConfig::default(),
             model: RuntimeModelConfig::default(),
         }
     }
@@ -263,6 +275,10 @@ pub struct ClusterEpoch {
     /// features always execute on their shard owner; replicated
     /// table-only features fold onto the first target.
     pub assignments: Vec<Vec<(u32, Arc<Vec<usize>>)>>,
+    /// Per live node: its consistent-hash-ring successor — the hedge
+    /// target for a slow scatter leg on that node. Pairs `(node,
+    /// successor)` in live-node order; empty for a single-node epoch.
+    pub hedge_next: Vec<(u32, u32)>,
 }
 
 impl ClusterEpoch {
@@ -356,6 +372,20 @@ pub struct ClusterReport {
     pub retried_batches: u64,
     /// Queries inside retried batches.
     pub retried_queries: u64,
+    /// Low-priority queries dropped by the brownout controller's last
+    /// rung before routing (each carries an explicit `Shed` outcome in
+    /// the trace; they never reach a node).
+    pub shed_queries: u64,
+    /// Scatter legs that missed their per-leg virtual-time deadline
+    /// (`chaos.timeout_mult ×` the scored execution cost).
+    pub leg_timeouts: u64,
+    /// Hedge legs issued: after a slow leg passed the hedge fraction of
+    /// its timeout budget, the batch was re-issued to the node's ring
+    /// successor, first result winning.
+    pub hedged_legs: u64,
+    /// Backoff retries of timed-out legs (both legs' time is charged to
+    /// the virtual histogram, extending the churn-retry contract).
+    pub leg_retries: u64,
     /// Per-epoch slices: membership, dispatch counts, cache deltas.
     pub epochs: Vec<EpochReport>,
     /// Sum of all top-MLP scores.
@@ -498,6 +528,11 @@ struct DispatchTally {
     virtual_histogram: LatencyHistogram,
     retried_batches: u64,
     retried_queries: u64,
+    /// Chaos-plane totals (per-slot splits live in `registry`).
+    shed_queries: u64,
+    leg_timeouts: u64,
+    hedged_legs: u64,
+    leg_retries: u64,
     epoch_batches: Vec<u64>,
     /// Per-replica cache snapshots taken at each processed epoch
     /// boundary (quiescent).
@@ -591,7 +626,7 @@ impl Cluster {
         let mut ring = HashRing::with_nodes(cfg.vnodes, 0..cfg.nodes as u32);
         let mut plan = FeatureShardPlan::new(&ring, features);
         let mut epochs = Vec::with_capacity(cfg.churn.len() + 1);
-        epochs.push(build_epoch(&cfg, &nodes, 0.0, &plan, None)?);
+        epochs.push(build_epoch(&cfg, &nodes, 0.0, &ring, &plan, None)?);
         let mut last_at = 0.0f64;
         for ev in &cfg.churn {
             if ev.at_us <= last_at {
@@ -635,7 +670,7 @@ impl Cluster {
             // cold (its lookups come from the warm-started disk tier):
             // charge its paths the disk-hit penalty for this epoch only.
             let joined = (ev.action == ChurnAction::Join).then_some(ev.node);
-            epochs.push(build_epoch(&cfg, &nodes, ev.at_us, &plan, joined)?);
+            epochs.push(build_epoch(&cfg, &nodes, ev.at_us, &ring, &plan, joined)?);
         }
         let (paths, labels) = {
             let m = &epochs[0].mappings;
@@ -781,6 +816,8 @@ impl Cluster {
                         .iter()
                         .map(|a| a.iter().map(|&(id, _)| id).collect())
                         .collect(),
+                    live: e.live.clone(),
+                    hedge_next: e.hedge_next.clone(),
                 })
                 .collect(),
             events: self
@@ -792,6 +829,9 @@ impl Cluster {
                     failed: (ev.action == ChurnAction::Fail).then_some(ev.node),
                 })
                 .collect(),
+            faults: self.cfg.faults.clone(),
+            chaos: self.cfg.chaos,
+            degrade_rank: self.paths.iter().map(|&p| degrade_rank(p)).collect(),
         }
     }
 
@@ -1014,6 +1054,10 @@ impl Cluster {
             virtual_histogram: LatencyHistogram::with_subs_per_octave(self.cfg.histogram_subs),
             retried_batches: 0,
             retried_queries: 0,
+            shed_queries: 0,
+            leg_timeouts: 0,
+            hedged_legs: 0,
+            leg_retries: 0,
             epoch_batches: vec![0; self.epochs.len()],
             epoch_snapshots: Vec::new(),
             aborted: false,
@@ -1082,6 +1126,7 @@ impl Cluster {
             };
         }
 
+        let degrade_ranks: Vec<u32> = self.paths.iter().map(|&p| degrade_rank(p)).collect();
         let mut route_completions: Vec<f64> = Vec::new();
         let mut flush = |pending: &mut Vec<&Query>,
                          pending_samples: &mut u64,
@@ -1100,20 +1145,62 @@ impl Cluster {
                 return;
             }
             let e = *cur_epoch;
+            // Brownout gauge: the worst live-node virtual backlog at the
+            // flush instant — the same value both twins derive from
+            // their own `free_at` ledgers.
+            let backlog_us = self.epochs[e]
+                .live
+                .iter()
+                .map(|&id| (free_at[self.slot_of(id)] - flush_at_us).max(0.0))
+                .fold(0.0f64, f64::max);
+            // Last brownout rung: shed low-priority queries (by the
+            // sequence-modulus policy) before routing, each with an
+            // explicit Shed outcome — never a silent drop.
+            if self.cfg.chaos.brownout && backlog_us >= self.cfg.chaos.brownout_shed_us {
+                pending.retain(|q| {
+                    if self.cfg.chaos.sheds(backlog_us, scenario::sequence_of(q.id)) {
+                        *pending_samples -= q.size as u64;
+                        tally.shed_queries += 1;
+                        tally.registry.add(MetricId::ShedQueries, 0, 1);
+                        if let Some(ring) = tally.ring.as_mut() {
+                            ring.record(TraceEvent::shed(
+                                flush_at_us,
+                                q.id,
+                                q.size as u64,
+                                backlog_us,
+                            ));
+                        }
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if pending.is_empty() {
+                    *pending_samples = 0;
+                    return;
+                }
+            }
             let oldest_us = pending[0].arrival_us as f64;
             let sla_remaining = (self.cfg.sla_us - (flush_at_us - oldest_us)).max(1.0);
             let samples = *pending_samples;
 
             // Route under the current epoch's capacity-aware profiles
-            // with per-node queue depth visible to Algorithm 2.
-            let (idx, exec, start_us) = self.route_in_epoch(
+            // with per-node queue depth visible to Algorithm 2 (and the
+            // brownout ladder narrowing the candidate set when the
+            // backlog gauge crosses a rung).
+            let (idx, exec, start_us, browned_out) = self.route_in_epoch(
                 e,
                 samples,
                 sla_remaining,
                 flush_at_us,
                 free_at,
+                &degrade_ranks,
+                backlog_us,
                 &mut route_completions,
             );
+            if browned_out {
+                tally.registry.add(MetricId::BrownoutBatches, 0, 1);
+            }
             let batch = tally.decisions.len() as u64;
             if let Some(ring) = tally.ring.as_mut() {
                 ring.record(TraceEvent::batch_formed(
@@ -1136,13 +1223,98 @@ impl Cluster {
                     ring.record(TraceEvent::scatter(flush_at_us, batch, id, e as u64));
                 }
             }
-            let mut done_us = start_us + exec;
+            let mut done_us;
             let mut final_exec = exec;
-            for &(id, _) in &self.epochs[e].assignments[idx] {
-                let slot = self.slot_of(id);
-                free_at[slot] = free_at[slot].max(flush_at_us) + exec;
-                tally.registry.add(MetricId::BatchesDispatched, slot, 1);
-                tally.busy_us[slot] += exec;
+            if self.cfg.chaos.timeouts_enabled() {
+                // Chaos leg resolution: every scatter leg runs the
+                // timeout / hedge / backoff-retry ladder against the
+                // fault plan. Every attempt — lost, hedged, or timed
+                // out — is charged to its node's virtual ledger, so
+                // failed work back-pressures routing exactly like real
+                // work and the virtual histogram carries both legs.
+                let chaos = self.cfg.chaos;
+                let faults = &self.cfg.faults;
+                let timeout = chaos.timeout_mult * exec;
+                let mut batch_done = f64::NEG_INFINITY;
+                for &(id, _) in &self.epochs[e].assignments[idx] {
+                    let slot = self.slot_of(id);
+                    tally.registry.add(MetricId::BatchesDispatched, slot, 1);
+                    let mut a_start = start_us;
+                    let mut attempt = 0u32;
+                    let leg_done = loop {
+                        let eff = exec * faults.straggler_multiplier(id, a_start);
+                        let lost = faults.drops_leg(id, a_start, attempt);
+                        free_at[slot] = free_at[slot].max(a_start) + eff;
+                        tally.busy_us[slot] += eff;
+                        let mut cand = if lost { f64::INFINITY } else { a_start + eff };
+                        let deadline = a_start + timeout;
+                        // Hedge once, on the first attempt: past the
+                        // hedge fraction of the budget, re-issue to the
+                        // node's ring successor; first result wins.
+                        if attempt == 0
+                            && chaos.hedging
+                            && cand > a_start + chaos.hedge_frac * timeout
+                        {
+                            let hedge_to = self.epochs[e]
+                                .hedge_next
+                                .iter()
+                                .find(|&&(n, _)| n == id)
+                                .map(|&(_, s)| s);
+                            if let Some(h) = hedge_to {
+                                let hslot = self.slot_of(h);
+                                let hedge_at = a_start + chaos.hedge_frac * timeout;
+                                let h_start = free_at[hslot].max(hedge_at);
+                                let h_eff = exec * faults.straggler_multiplier(h, h_start);
+                                // The hedge is attempt 1 on the target:
+                                // a ScatterLoss window (first attempts
+                                // only) cannot eat it, a Stall can.
+                                let h_lost = faults.drops_leg(h, h_start, 1);
+                                free_at[hslot] = free_at[hslot].max(h_start) + h_eff;
+                                tally.busy_us[hslot] += h_eff;
+                                tally.hedged_legs += 1;
+                                tally.registry.add(MetricId::HedgedLegs, hslot, 1);
+                                if let Some(ring) = tally.ring.as_mut() {
+                                    ring.record(TraceEvent::hedge(hedge_at, batch, id, h));
+                                }
+                                if !h_lost {
+                                    cand = cand.min(h_start + h_eff);
+                                }
+                            }
+                        }
+                        if cand <= deadline {
+                            break cand;
+                        }
+                        tally.leg_timeouts += 1;
+                        tally.registry.add(MetricId::LegTimeouts, slot, 1);
+                        if let Some(ring) = tally.ring.as_mut() {
+                            ring.record(TraceEvent::timeout(deadline, batch, id, attempt, timeout));
+                        }
+                        if attempt >= chaos.max_retries {
+                            // Retries exhausted: force completion with
+                            // one more clean execution charged at the
+                            // deadline, so every batch still finishes
+                            // and the total stays invariant.
+                            free_at[slot] = free_at[slot].max(deadline) + exec;
+                            tally.busy_us[slot] += exec;
+                            break deadline + exec;
+                        }
+                        attempt += 1;
+                        tally.leg_retries += 1;
+                        tally.registry.add(MetricId::LegRetries, slot, 1);
+                        a_start = deadline
+                            + chaos.backoff_base_us * (1u64 << (attempt - 1)) as f64;
+                    };
+                    batch_done = batch_done.max(leg_done);
+                }
+                done_us = batch_done;
+            } else {
+                done_us = start_us + exec;
+                for &(id, _) in &self.epochs[e].assignments[idx] {
+                    let slot = self.slot_of(id);
+                    free_at[slot] = free_at[slot].max(flush_at_us) + exec;
+                    tally.registry.add(MetricId::BatchesDispatched, slot, 1);
+                    tally.busy_us[slot] += exec;
+                }
             }
 
             // Failure retries: a fail event inside this batch's flight
@@ -1346,11 +1518,15 @@ impl Cluster {
 
     /// Algorithm 2 in the current epoch: per path, expected execution
     /// from the capacity-aware slowest-shard profile, plus the queueing
-    /// wait of its most-backlogged scatter target. Returns `(mapping
-    /// idx, exec_us, start_us)` with `start_us >= now_us`; fills
-    /// `completions` with every candidate's scored completion so the
-    /// flight recorder can publish the rejected costs alongside the
-    /// chosen one.
+    /// wait of its most-backlogged scatter target. When the brownout
+    /// controller's backlog gauge crosses a narrowing rung, degraded
+    /// candidates are masked to `+inf` *before* selection (see
+    /// [`ChaosConfig::brownout_mask`]). Returns `(mapping idx, exec_us,
+    /// start_us, browned_out)` with `start_us >= now_us`; fills
+    /// `completions` with every candidate's (post-mask) scored
+    /// completion so the flight recorder can publish the rejected costs
+    /// alongside the chosen one.
+    #[allow(clippy::too_many_arguments)]
     fn route_in_epoch(
         &self,
         epoch: usize,
@@ -1358,8 +1534,10 @@ impl Cluster {
         sla_remaining_us: f64,
         now_us: f64,
         free_at: &[f64],
+        degrade_rank: &[u32],
+        backlog_us: f64,
         completions: &mut Vec<f64>,
-    ) -> (usize, f64, f64) {
+    ) -> (usize, f64, f64, bool) {
         let ep = &self.epochs[epoch];
         let n = ep.mappings.mappings.len();
         let mut execs = Vec::with_capacity(n);
@@ -1376,9 +1554,13 @@ impl Cluster {
             starts.push(start);
             completions.push((start - now_us) + exec);
         }
+        let masked = self
+            .cfg
+            .chaos
+            .brownout_mask(degrade_rank, backlog_us, completions);
         let idx = select_mapping(&ep.mappings, completions, sla_remaining_us, true)
             .expect("mapping set is never empty");
-        (idx, execs[idx], starts[idx])
+        (idx, execs[idx], starts[idx], masked)
     }
 
     /// Closes the newest snapshotted epoch's metric window at
@@ -1513,6 +1695,10 @@ impl Cluster {
             path_decisions: tally.decisions,
             retried_batches: tally.retried_batches,
             retried_queries: tally.retried_queries,
+            shed_queries: tally.shed_queries,
+            leg_timeouts: tally.leg_timeouts,
+            hedged_legs: tally.hedged_legs,
+            leg_retries: tally.leg_retries,
             epochs,
             checksum: merged.checksum,
             nodes: self.cfg.nodes,
@@ -1575,6 +1761,19 @@ fn path_order(route: RoutePolicy) -> Vec<PathKind> {
     }
 }
 
+/// Brownout degrade rank of a path: how early the candidate-narrowing
+/// ladder masks it. Hybrid (rank 2) goes first at the narrow rung, DHE
+/// (rank 1) at the table-only rung, the replicated table path (rank 0)
+/// never — Algorithm 2 always keeps a finite candidate.
+pub(crate) fn degrade_rank(path: PathKind) -> u32 {
+    match path {
+        PathKind::Hybrid => 2,
+        PathKind::Dhe => 1,
+        PathKind::Table => 0,
+    }
+}
+
+
 /// The pruned scatter assignment of one path under one plan: DHE-cached
 /// features go to their shard owner (that node's cache holds their warm
 /// state); the target set is exactly those owners. A path touching no
@@ -1628,6 +1827,7 @@ fn build_epoch(
     cfg: &ClusterConfig,
     nodes: &[ClusterNode],
     start_us: f64,
+    ring: &HashRing,
     plan: &FeatureShardPlan,
     joined: Option<u32>,
 ) -> Result<ClusterEpoch> {
@@ -1692,12 +1892,21 @@ fn build_epoch(
             }
         }
     }
+    // Hedge targets are a pure ring property: each live node's next
+    // distinct ring neighbour, frozen per epoch so the twin replay can
+    // consume them from the spec without any ring logic of its own.
+    let hedge_next = plan
+        .nodes()
+        .iter()
+        .filter_map(|&n| ring.successor(n).map(|s| (n, s)))
+        .collect();
     Ok(ClusterEpoch {
         start_us,
         live: plan.nodes().to_vec(),
         plan: plan.clone(),
         mappings,
         assignments,
+        hedge_next,
     })
 }
 

@@ -14,6 +14,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use mprec_data::scenario::{ChaosConfig, FaultEvent, FaultKind, FaultPlan};
 use mprec_runtime::{Cluster, ClusterConfig, PathKind, RuntimeModel, RuntimeModelConfig};
 use mprec_trace::{EventRing, MetricId, MetricsRegistry, TraceEvent};
 
@@ -157,6 +158,62 @@ fn steady_state_execute_makes_zero_heap_allocations() {
     assert_eq!(
         min_delta, 0,
         "recording with tracing enabled: every 128-event window performed \
+         >= {min_delta} heap allocations"
+    );
+
+    // The chaos plane armed but quiet: the dispatcher scans the fault
+    // schedule and consults the brownout gauges on every flush, so with
+    // windows that never cover the probed timestamps (and a backlog
+    // below every brownout rung) the whole decision path must allocate
+    // nothing — injection cost is paid only when a fault actually fires.
+    let plan = FaultPlan {
+        events: vec![
+            FaultEvent {
+                node: 0,
+                from_us: 1e12,
+                until_us: 2e12,
+                kind: FaultKind::Straggler { factor: 4.0 },
+            },
+            FaultEvent {
+                node: 1,
+                from_us: 1e12,
+                until_us: 2e12,
+                kind: FaultKind::ScatterLoss,
+            },
+            FaultEvent {
+                node: 1,
+                from_us: 1e12,
+                until_us: 2e12,
+                kind: FaultKind::Stall,
+            },
+        ],
+    };
+    let chaos = ChaosConfig::hardened();
+    let degrade_rank = [2u32, 1, 0];
+    let mut completions = [1.0f64, 2.0, 3.0];
+    let mut min_delta = u64::MAX;
+    let mut acc = 0.0;
+    for _ in 0..4 {
+        let before = allocations();
+        for i in 0..256u64 {
+            let t = i as f64 * 10.0;
+            acc += plan.straggler_multiplier(0, t) + plan.straggler_multiplier(1, t);
+            if plan.drops_leg(0, t, 0) || plan.drops_leg(1, t, 1) {
+                acc += 1.0;
+            }
+            if chaos.sheds(100.0, i) {
+                acc += 1.0;
+            }
+            if chaos.brownout_mask(&degrade_rank, 100.0, &mut completions) {
+                acc += 1.0;
+            }
+        }
+        min_delta = min_delta.min(allocations() - before);
+    }
+    assert!(acc.is_finite());
+    assert_eq!(
+        min_delta, 0,
+        "armed-but-quiet chaos plane: every 256-probe window performed \
          >= {min_delta} heap allocations"
     );
 }

@@ -34,6 +34,7 @@ use std::collections::BTreeMap;
 use mprec_core::planner::MappingSet;
 use mprec_core::scheduler::{select_mapping, Scheduler, SchedulerConfig};
 use mprec_data::query::Query;
+use mprec_data::scenario::{self, ChaosConfig, FaultPlan};
 use mprec_trace::{TraceConfig, TraceEvent, TraceRecording};
 
 use crate::outcome::{PathUsage, ServingOutcome};
@@ -281,6 +282,13 @@ pub struct ClusterEpochSpec {
     pub mappings: MappingSet,
     /// Per mapping index: the scatter target node ids.
     pub targets: Vec<Vec<u32>>,
+    /// Live node ids during the epoch, ascending (the brownout gauge
+    /// scans exactly these backlogs).
+    pub live: Vec<u32>,
+    /// Per live node: its consistent-hash-ring successor, the hedge
+    /// target for a slow scatter leg. Frozen by the runtime at epoch
+    /// build time so the replay needs no ring logic of its own.
+    pub hedge_next: Vec<(u32, u32)>,
 }
 
 /// One churn event separating two epochs.
@@ -304,6 +312,18 @@ pub struct ClusterReplaySpec {
     pub epochs: Vec<ClusterEpochSpec>,
     /// The churn events separating consecutive epochs.
     pub events: Vec<ClusterChurnSpec>,
+    /// The deterministic fault schedule the runtime injected (empty
+    /// when chaos is off) — the replay resolves every leg against the
+    /// same windows.
+    pub faults: FaultPlan,
+    /// The lifecycle-hardening knobs in force (timeouts, hedging,
+    /// backoff, brownout). The inert default reproduces the legacy
+    /// single-attempt accounting bit for bit.
+    pub chaos: ChaosConfig,
+    /// Brownout degrade rank per mapping index (2 = hybrid, masked
+    /// first; 1 = DHE; 0 = table, never masked). Computed by the
+    /// runtime from its path kinds.
+    pub degrade_rank: Vec<u32>,
 }
 
 /// One routed micro-batch of a cluster replay.
@@ -333,6 +353,18 @@ pub struct ClusterReplayResult {
     pub batches: Vec<ClusterReplayBatch>,
     /// Batches that retried after an in-flight node failure.
     pub retried_batches: u64,
+    /// Low-priority queries shed by the brownout controller's last rung
+    /// before routing (twin of `ClusterReport::shed_queries`).
+    pub shed_queries: u64,
+    /// Scatter legs that missed their per-leg virtual deadline (twin of
+    /// `ClusterReport::leg_timeouts`).
+    pub leg_timeouts: u64,
+    /// Hedge legs issued to ring successors (twin of
+    /// `ClusterReport::hedged_legs`).
+    pub hedged_legs: u64,
+    /// Backoff retries of timed-out legs (twin of
+    /// `ClusterReport::leg_retries`).
+    pub leg_retries: u64,
 }
 
 /// Replays `trace` through the **elastic cluster's** serving contract:
@@ -388,6 +420,10 @@ pub fn replay_cluster_traced(
     let mut correct = 0.0f64;
     let mut violations = 0u64;
     let mut retried_batches = 0u64;
+    let mut shed_queries = 0u64;
+    let mut leg_timeouts = 0u64;
+    let mut hedged_legs = 0u64;
+    let mut leg_retries = 0u64;
     let mut last_completion = 0.0f64;
     let mut free_at: BTreeMap<u32, f64> = BTreeMap::new();
     let mut cur_epoch = 0usize;
@@ -399,6 +435,32 @@ pub fn replay_cluster_traced(
         }
         let e = cur_epoch;
         let ep = &spec.epochs[e];
+        // Brownout gauge and shed rung, mirroring the runtime's flush
+        // exactly: worst live-node backlog, then the sequence-modulus
+        // shed with an explicit Shed outcome per dropped query.
+        let backlog_us = ep
+            .live
+            .iter()
+            .map(|id| (free_at.get(id).copied().unwrap_or(0.0) - flush_at_us).max(0.0))
+            .fold(0.0f64, f64::max);
+        if spec.chaos.brownout && backlog_us >= spec.chaos.brownout_shed_us {
+            pending.retain(|q| {
+                if spec.chaos.sheds(backlog_us, scenario::sequence_of(q.id)) {
+                    *pending_samples -= q.size as u64;
+                    shed_queries += 1;
+                    if let Some(r) = ring.borrow_mut().as_mut() {
+                        r.record(TraceEvent::shed(flush_at_us, q.id, q.size as u64, backlog_us));
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+            if pending.is_empty() {
+                *pending_samples = 0;
+                return;
+            }
+        }
         let oldest_us = pending[0].arrival_us as f64;
         let sla_remaining = (cfg.sla_us - (flush_at_us - oldest_us)).max(1.0);
         let size = *pending_samples;
@@ -418,6 +480,8 @@ pub fn replay_cluster_traced(
             starts.push(start);
             completions.push((start - flush_at_us) + exec);
         }
+        spec.chaos
+            .brownout_mask(&spec.degrade_rank, backlog_us, &mut completions);
         let idx = select_mapping(&ep.mappings, &completions, sla_remaining, true)
             .expect("mapping set is never empty");
         let batch = batches.len() as u64;
@@ -442,11 +506,77 @@ pub fn replay_cluster_traced(
                 r.record(TraceEvent::scatter(flush_at_us, batch, *id, e as u64));
             }
         }
-        let mut done_us = starts[idx] + execs[idx];
+        let mut done_us;
         let mut final_exec = execs[idx];
-        for id in &ep.targets[idx] {
-            let f = free_at.entry(*id).or_insert(0.0);
-            *f = f.max(flush_at_us) + execs[idx];
+        if spec.chaos.timeouts_enabled() {
+            // Chaos leg resolution — the independent mirror of the
+            // runtime dispatcher's timeout/hedge/backoff ladder. Every
+            // attempt is charged to its node's ledger, lost or not.
+            let chaos = spec.chaos;
+            let exec = execs[idx];
+            let start_us = starts[idx];
+            let timeout = chaos.timeout_mult * exec;
+            let mut batch_done = f64::NEG_INFINITY;
+            for &id in &ep.targets[idx] {
+                let mut a_start = start_us;
+                let mut attempt = 0u32;
+                let leg_done = loop {
+                    let eff = exec * spec.faults.straggler_multiplier(id, a_start);
+                    let lost = spec.faults.drops_leg(id, a_start, attempt);
+                    let f = free_at.entry(id).or_insert(0.0);
+                    *f = f.max(a_start) + eff;
+                    let mut cand = if lost { f64::INFINITY } else { a_start + eff };
+                    let deadline = a_start + timeout;
+                    if attempt == 0
+                        && chaos.hedging
+                        && cand > a_start + chaos.hedge_frac * timeout
+                    {
+                        let hedge_to = ep
+                            .hedge_next
+                            .iter()
+                            .find(|&&(n, _)| n == id)
+                            .map(|&(_, s)| s);
+                        if let Some(h) = hedge_to {
+                            let hedge_at = a_start + chaos.hedge_frac * timeout;
+                            let h_start =
+                                free_at.get(&h).copied().unwrap_or(0.0).max(hedge_at);
+                            let h_eff = exec * spec.faults.straggler_multiplier(h, h_start);
+                            let h_lost = spec.faults.drops_leg(h, h_start, 1);
+                            free_at.insert(h, h_start + h_eff);
+                            hedged_legs += 1;
+                            if let Some(r) = ring.borrow_mut().as_mut() {
+                                r.record(TraceEvent::hedge(hedge_at, batch, id, h));
+                            }
+                            if !h_lost {
+                                cand = cand.min(h_start + h_eff);
+                            }
+                        }
+                    }
+                    if cand <= deadline {
+                        break cand;
+                    }
+                    leg_timeouts += 1;
+                    if let Some(r) = ring.borrow_mut().as_mut() {
+                        r.record(TraceEvent::timeout(deadline, batch, id, attempt, timeout));
+                    }
+                    if attempt >= chaos.max_retries {
+                        let f = free_at.entry(id).or_insert(0.0);
+                        *f = f.max(deadline) + exec;
+                        break deadline + exec;
+                    }
+                    attempt += 1;
+                    leg_retries += 1;
+                    a_start = deadline + chaos.backoff_base_us * (1u64 << (attempt - 1)) as f64;
+                };
+                batch_done = batch_done.max(leg_done);
+            }
+            done_us = batch_done;
+        } else {
+            done_us = starts[idx] + execs[idx];
+            for id in &ep.targets[idx] {
+                let f = free_at.entry(*id).or_insert(0.0);
+                *f = f.max(flush_at_us) + execs[idx];
+            }
         }
 
         // Failure retries, mirroring the runtime's fault model exactly.
@@ -551,6 +681,10 @@ pub fn replay_cluster_traced(
             outcome,
             batches,
             retried_batches,
+            shed_queries,
+            leg_timeouts,
+            hedged_legs,
+            leg_retries,
         },
         trace_rec,
     )

@@ -42,6 +42,9 @@ fn event_name(e: &TraceEvent, labels: &[String]) -> String {
         EventKind::Complete => format!("complete q{}", e.id),
         EventKind::EpochBarrier => format!("epoch {} barrier", e.b),
         EventKind::WarmStart => format!("warm-start n{}", e.node),
+        EventKind::Timeout => format!("timeout b{} @ n{}", e.id, e.node),
+        EventKind::Hedge => format!("hedge b{} -> n{}", e.id, e.node),
+        EventKind::Shed => format!("shed q{}", e.id),
     }
 }
 
@@ -110,6 +113,19 @@ fn event_args(e: &TraceEvent, labels: &[String]) -> String {
         }
         EventKind::WarmStart => {
             let _ = write!(args, "\"node\":{},\"entries\":{},\"new_epoch\":{}", e.node, e.a, e.b);
+        }
+        EventKind::Timeout => {
+            let _ = write!(
+                args,
+                "\"batch\":{},\"node\":{},\"attempt\":{},\"timeout_us\":{}",
+                e.id, e.node, e.a, e.arg
+            );
+        }
+        EventKind::Hedge => {
+            let _ = write!(args, "\"batch\":{},\"primary\":{},\"target\":{}", e.id, e.a, e.node);
+        }
+        EventKind::Shed => {
+            let _ = write!(args, "\"query\":{},\"samples\":{},\"backlog_us\":{}", e.id, e.a, e.arg);
         }
     }
     args.push('}');

@@ -27,6 +27,9 @@
 //! | `Complete`      | virtual done        | query id | —          | —              | batch id     | virtual latency    | —                             | —                            |
 //! | `EpochBarrier`  | membership event    | —        | churned    | 0=fail, 1=join | new epoch    | —                  | —                             | —                            |
 //! | `WarmStart`     | membership event    | —        | joiner     | entries loaded | new epoch    | —                  | —                             | —                            |
+//! | `Timeout`       | leg deadline        | batch id | timed-out  | attempt        | —            | timeout budget     | —                             | —                            |
+//! | `Hedge`         | hedge instant       | batch id | hedge target | primary node | —            | —                  | —                             | —                            |
+//! | `Shed`          | flush instant       | query id | —          | samples        | —            | backlog (µs)       | —                             | —                            |
 //!
 //! Unused fields hold their [`Default`] filler (`NO_NODE`, `-1`,
 //! `f64::INFINITY` cost slots, zeros), so whole events compare with
@@ -42,13 +45,24 @@
 //! `EpochBarrier`/`WarmStart` are runtime-membership bookkeeping, so the
 //! twin comparison excludes those kinds.
 //!
-//! # Spill policy
+//! # Spill policy and sampling
 //!
 //! Rings never allocate after construction and never block: on overflow
 //! the **oldest** event is overwritten and
 //! [`EventRing::dropped_events`] counts the shortfall exactly
-//! (`recorded - kept`). Spill is explicit, never silent — exporters and
-//! reports carry the dropped counter alongside the kept events.
+//! (`recorded - sampled_out - kept`). Spill is explicit, never silent —
+//! exporters and reports carry the dropped counter alongside the kept
+//! events.
+//!
+//! Under sustained overload (e.g. a chaos run injecting faults for the
+//! whole trace) even a large ring spills; [`TraceConfig::sample_every_n`]
+//! keeps only every Nth recorded event instead. Sampling is *counted,
+//! not dropped*: skipped events land in [`EventRing::sampled_out`], and
+//! the dropped/sampled/kept partition stays exact
+//! (`recorded == sampled_out + dropped + kept`, property-tested in
+//! `crates/trace/tests/ring_overflow.rs`). Because the sample decision
+//! is a pure function of the per-ring record count, twin recorders
+//! sample identically.
 //!
 //! # Compile-out
 //!
@@ -99,6 +113,15 @@ pub enum EventKind {
     EpochBarrier,
     /// A joining node warm-started its cache from disk segments.
     WarmStart,
+    /// A scatter leg missed its per-leg virtual-time deadline; the
+    /// retry ladder takes over.
+    Timeout,
+    /// A slow leg was hedged: re-issued to the feature's next ring
+    /// owner, first result wins.
+    Hedge,
+    /// The brownout controller shed a low-priority query before
+    /// routing (explicit outcome, never a silent drop).
+    Shed,
 }
 
 impl EventKind {
@@ -116,6 +139,9 @@ impl EventKind {
             EventKind::Complete => "complete",
             EventKind::EpochBarrier => "epoch_barrier",
             EventKind::WarmStart => "warm_start",
+            EventKind::Timeout => "timeout",
+            EventKind::Hedge => "hedge",
+            EventKind::Shed => "shed",
         }
     }
 
@@ -314,6 +340,46 @@ impl TraceEvent {
             ..Self::default()
         }
     }
+
+    /// Batch `id`'s leg on `node` missed its deadline at `t_us`
+    /// (attempt number `attempt`, timeout budget `timeout_us`).
+    pub fn timeout(t_us: f64, batch: u64, node: u32, attempt: u32, timeout_us: f64) -> Self {
+        TraceEvent {
+            t_us,
+            kind: EventKind::Timeout,
+            id: batch,
+            node,
+            a: attempt as u64,
+            arg: timeout_us,
+            ..Self::default()
+        }
+    }
+
+    /// Batch `id`'s slow leg on `primary` was hedged to `target` at
+    /// `t_us`.
+    pub fn hedge(t_us: f64, batch: u64, primary: u32, target: u32) -> Self {
+        TraceEvent {
+            t_us,
+            kind: EventKind::Hedge,
+            id: batch,
+            node: target,
+            a: primary as u64,
+            ..Self::default()
+        }
+    }
+
+    /// Low-priority query `id` of `samples` samples shed at `t_us`
+    /// under a per-node backlog of `backlog_us`.
+    pub fn shed(t_us: f64, query: u64, samples: u64, backlog_us: f64) -> Self {
+        TraceEvent {
+            t_us,
+            kind: EventKind::Shed,
+            id: query,
+            a: samples,
+            arg: backlog_us,
+            ..Self::default()
+        }
+    }
 }
 
 /// Preallocated drop-oldest ring of [`TraceEvent`]s.
@@ -328,13 +394,29 @@ pub struct EventRing {
     cap: usize,
     head: usize,
     recorded: u64,
+    every: u64,
+    sampled_out: u64,
 }
 
 impl EventRing {
     /// Ring keeping at most `capacity` events (0 keeps nothing but
     /// still counts).
     pub fn with_capacity(capacity: usize) -> Self {
-        EventRing { buf: Vec::with_capacity(capacity), cap: capacity, head: 0, recorded: 0 }
+        Self::with_capacity_sampled(capacity, 1)
+    }
+
+    /// Ring keeping every `every`-th recorded event (at most
+    /// `capacity`); `every <= 1` keeps everything. Skipped events are
+    /// counted in [`EventRing::sampled_out`], never silently lost.
+    pub fn with_capacity_sampled(capacity: usize, every: u64) -> Self {
+        EventRing {
+            buf: Vec::with_capacity(capacity),
+            cap: capacity,
+            head: 0,
+            recorded: 0,
+            every: every.max(1),
+            sampled_out: 0,
+        }
     }
 
     /// Append `ev`, overwriting the oldest kept event when full.
@@ -343,6 +425,10 @@ impl EventRing {
         #[cfg(feature = "recorder")]
         {
             self.recorded += 1;
+            if self.every > 1 && !(self.recorded - 1).is_multiple_of(self.every) {
+                self.sampled_out += 1;
+                return;
+            }
             if self.cap == 0 {
                 return;
             }
@@ -377,15 +463,28 @@ impl EventRing {
         self.buf.is_empty()
     }
 
-    /// Total events ever recorded (kept + dropped).
+    /// Total events ever recorded (kept + sampled out + dropped).
     pub fn recorded(&self) -> u64 {
         self.recorded
     }
 
+    /// Events intentionally skipped by the sampling rate (see
+    /// [`TraceConfig::sample_every_n`]); disjoint from
+    /// [`EventRing::dropped_events`].
+    pub fn sampled_out(&self) -> u64 {
+        self.sampled_out
+    }
+
+    /// The ring's sampling rate: every `n`-th recorded event is kept
+    /// (1 keeps everything).
+    pub fn sample_every(&self) -> u64 {
+        self.every
+    }
+
     /// Events lost to drop-oldest spill; always exactly
-    /// `recorded() - len()`.
+    /// `recorded() - sampled_out() - len()`.
     pub fn dropped_events(&self) -> u64 {
-        self.recorded - self.buf.len() as u64
+        self.recorded - self.sampled_out - self.buf.len() as u64
     }
 
     /// Kept events, oldest first.
@@ -394,11 +493,12 @@ impl EventRing {
     }
 
     /// Drain into a named [`TrackRecording`] (oldest first), carrying
-    /// the dropped counter.
+    /// the dropped and sampled-out counters.
     pub fn into_track(self, name: impl Into<String>) -> TrackRecording {
         let dropped_events = self.dropped_events();
+        let sampled_out = self.sampled_out();
         let events: Vec<TraceEvent> = self.iter().copied().collect();
-        TrackRecording { name: name.into(), events, dropped_events }
+        TrackRecording { name: name.into(), events, dropped_events, sampled_out }
     }
 }
 
@@ -410,11 +510,17 @@ pub struct TraceConfig {
     pub enabled: bool,
     /// Per-track ring capacity (events kept before drop-oldest).
     pub ring_capacity: usize,
+    /// Keep only every Nth recorded event per ring (`<= 1` keeps all).
+    /// Skipped events are counted exactly in
+    /// [`EventRing::sampled_out`] — sampling never inflates the dropped
+    /// counter. Meant for sustained-overload (chaos) runs that would
+    /// otherwise spill even a large ring.
+    pub sample_every_n: u64,
 }
 
 impl Default for TraceConfig {
     fn default() -> Self {
-        TraceConfig { enabled: false, ring_capacity: 1 << 16 }
+        TraceConfig { enabled: false, ring_capacity: 1 << 16, sample_every_n: 1 }
     }
 }
 
@@ -424,9 +530,15 @@ impl TraceConfig {
         TraceConfig { enabled: true, ..Self::default() }
     }
 
+    /// Recording on, keeping every `every`-th event per ring.
+    pub fn sampled(every: u64) -> Self {
+        TraceConfig { enabled: true, sample_every_n: every, ..Self::default() }
+    }
+
     /// A fresh ring if recording is on, `None` otherwise.
     pub fn ring(&self) -> Option<EventRing> {
-        self.enabled.then(|| EventRing::with_capacity(self.ring_capacity))
+        self.enabled
+            .then(|| EventRing::with_capacity_sampled(self.ring_capacity, self.sample_every_n))
     }
 }
 
@@ -440,6 +552,8 @@ pub struct TrackRecording {
     pub events: Vec<TraceEvent>,
     /// Events lost to drop-oldest spill on this track.
     pub dropped_events: u64,
+    /// Events intentionally skipped by the sampling rate on this track.
+    pub sampled_out: u64,
 }
 
 impl TrackRecording {
@@ -506,6 +620,11 @@ impl TraceRecording {
         self.tracks.iter().map(|t| t.dropped_events).sum()
     }
 
+    /// Total sampled-out events across all tracks.
+    pub fn total_sampled_out(&self) -> u64 {
+        self.tracks.iter().map(|t| t.sampled_out).sum()
+    }
+
     /// Check structural invariants: every timestamp finite, every
     /// execution window non-negative (`done >= start`), every
     /// `RouteDecision` carrying a feasible chosen index into the label
@@ -557,7 +676,8 @@ impl TraceRecording {
 
     /// Compact text "explain" for one query id: the decision chain that
     /// routed it, including the rejected candidates' scored costs.
-    /// `None` if the query never completed inside the kept window.
+    /// `None` if the query neither completed nor was shed inside the
+    /// kept window.
     pub fn explain(&self, query_id: u64) -> Option<String> {
         let all = |kind: EventKind, pred: &dyn Fn(&TraceEvent) -> bool| -> Vec<TraceEvent> {
             let mut found: Vec<TraceEvent> = self
@@ -570,7 +690,15 @@ impl TraceRecording {
             found.sort_by(|x, y| x.t_us.total_cmp(&y.t_us));
             found
         };
-        let complete = *all(EventKind::Complete, &|e| e.id == query_id).first()?;
+        let Some(&complete) = all(EventKind::Complete, &|e| e.id == query_id).first() else {
+            // A shed query never completes; its explicit outcome is the
+            // Shed event itself.
+            let shed = *all(EventKind::Shed, &|e| e.id == query_id).first()?;
+            return Some(format!(
+                "query {query_id}: SHED t={:.1}µs ({} sample(s); brownout backlog {:.1}µs)\n",
+                shed.t_us, shed.a, shed.arg
+            ));
+        };
         let batch = complete.b;
         let label = |idx: usize| -> &str {
             self.path_labels.get(idx).map(String::as_str).unwrap_or("?")
@@ -621,6 +749,18 @@ impl TraceRecording {
             out.push_str(&format!(
                 "  retry t={:.1}µs: node {} failed, re-routed in epoch {}\n",
                 e.t_us, e.node, e.b
+            ));
+        }
+        for e in all(EventKind::Timeout, &|e| e.id == batch) {
+            out.push_str(&format!(
+                "  timeout t={:.1}µs: node {} missed the {:.1}µs leg deadline (attempt {})\n",
+                e.t_us, e.node, e.arg, e.a
+            ));
+        }
+        for e in all(EventKind::Hedge, &|e| e.id == batch) {
+            out.push_str(&format!(
+                "  hedge t={:.1}µs: slow leg on node {} re-issued to node {}\n",
+                e.t_us, e.a, e.node
             ));
         }
         for e in all(EventKind::Execute, &|e| e.id == batch) {
@@ -695,8 +835,51 @@ mod tests {
     fn trace_config_default_is_off() {
         let cfg = TraceConfig::default();
         assert!(!cfg.enabled);
+        assert_eq!(cfg.sample_every_n, 1);
         assert!(cfg.ring().is_none());
         assert!(TraceConfig::enabled().ring().is_some());
+    }
+
+    #[test]
+    fn sampling_counts_skipped_events_exactly() {
+        let mut ring = TraceConfig::sampled(4).ring().expect("sampled config records");
+        for i in 0..10u64 {
+            ring.record(ev(i as f64, i));
+        }
+        // Events 0, 4, 8 kept; 7 sampled out; nothing dropped.
+        assert_eq!(ring.recorded(), 10);
+        assert_eq!(ring.sampled_out(), 7);
+        assert_eq!(ring.dropped_events(), 0);
+        let ids: Vec<u64> = ring.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![0, 4, 8]);
+        let track = ring.into_track("sampled");
+        assert_eq!(track.sampled_out, 7);
+        assert_eq!(track.dropped_events, 0);
+    }
+
+    #[test]
+    fn chaos_event_kinds_are_twin_pinned_and_explainable() {
+        assert!(EventKind::Timeout.is_twin_pinned());
+        assert!(EventKind::Hedge.is_twin_pinned());
+        assert!(EventKind::Shed.is_twin_pinned());
+        let mut rec = TraceRecording::new(vec!["table".into(), "hybrid".into()]);
+        let mut ring = EventRing::with_capacity(32);
+        ring.record(TraceEvent::enqueue(1.0, 42, 4));
+        ring.record(TraceEvent::batch_formed(9.0, 3, 1, 4, 1.0));
+        ring.record(TraceEvent::route_decision(9.0, 3, 4, 0, 491.0, 1, &[500.0, 120.0]));
+        ring.record(TraceEvent::scatter(9.0, 3, 0, 0));
+        ring.record(TraceEvent::timeout(129.0, 3, 0, 0, 120.0));
+        ring.record(TraceEvent::hedge(69.0, 3, 0, 1));
+        ring.record(TraceEvent::execute(9.0, 3, 0, 229.0));
+        ring.record(TraceEvent::complete(229.0, 42, 3, 228.0));
+        ring.record(TraceEvent::shed(240.0, 77, 2, 18_000.0));
+        rec.push_ring("dispatcher", ring);
+        let text = rec.explain(42).expect("query present");
+        assert!(text.contains("timeout t=129.0µs: node 0"), "{text}");
+        assert!(text.contains("hedge t=69.0µs: slow leg on node 0 re-issued to node 1"), "{text}");
+        let shed_text = rec.explain(77).expect("shed query has an explicit outcome");
+        assert!(shed_text.contains("SHED"), "{shed_text}");
+        assert!(rec.validate().is_ok());
     }
 
     #[test]

@@ -32,11 +32,24 @@ pub enum MetricId {
     SlaViolations,
     /// Counter: trace events lost to ring spill (drop-oldest).
     DroppedTraceEvents,
+    /// Counter: scatter legs that missed their per-leg virtual-time
+    /// deadline on this node.
+    LegTimeouts,
+    /// Counter: hedge legs issued *to* this node (the hedge target).
+    HedgedLegs,
+    /// Counter: backoff retries of timed-out legs on this node.
+    LegRetries,
+    /// Counter: low-priority queries shed by the brownout controller
+    /// (slot 0; shedding happens before scatter).
+    ShedQueries,
+    /// Counter: batches routed with a brownout-narrowed candidate set
+    /// (slot 0).
+    BrownoutBatches,
 }
 
 impl MetricId {
     /// Every catalog entry, in storage order.
-    pub const ALL: [MetricId; 12] = [
+    pub const ALL: [MetricId; 17] = [
         MetricId::QueueDepthUs,
         MetricId::BatchesDispatched,
         MetricId::StaticTierHits,
@@ -49,6 +62,11 @@ impl MetricId {
         MetricId::SlaSlackP99Us,
         MetricId::SlaViolations,
         MetricId::DroppedTraceEvents,
+        MetricId::LegTimeouts,
+        MetricId::HedgedLegs,
+        MetricId::LegRetries,
+        MetricId::ShedQueries,
+        MetricId::BrownoutBatches,
     ];
 
     /// Stable snake_case name for reports and JSON.
@@ -66,6 +84,11 @@ impl MetricId {
             MetricId::SlaSlackP99Us => "sla_slack_p99_us",
             MetricId::SlaViolations => "sla_violations",
             MetricId::DroppedTraceEvents => "dropped_trace_events",
+            MetricId::LegTimeouts => "leg_timeouts",
+            MetricId::HedgedLegs => "hedged_legs",
+            MetricId::LegRetries => "leg_retries",
+            MetricId::ShedQueries => "shed_queries",
+            MetricId::BrownoutBatches => "brownout_batches",
         }
     }
 
@@ -96,6 +119,11 @@ impl MetricId {
             MetricId::SlaSlackP99Us => 9,
             MetricId::SlaViolations => 10,
             MetricId::DroppedTraceEvents => 11,
+            MetricId::LegTimeouts => 12,
+            MetricId::HedgedLegs => 13,
+            MetricId::LegRetries => 14,
+            MetricId::ShedQueries => 15,
+            MetricId::BrownoutBatches => 16,
         }
     }
 }

@@ -49,9 +49,40 @@ proptest! {
         let kept = ring.len();
         let track = ring.into_track("prop");
         prop_assert_eq!(track.dropped_events, dropped);
+        prop_assert_eq!(track.sampled_out, 0u64);
         prop_assert_eq!(track.events.len(), kept);
         for (i, e) in track.events.iter().enumerate() {
             prop_assert_eq!(e.id, total - kept as u64 + i as u64);
         }
+    }
+
+    #[test]
+    fn sampled_rings_partition_recorded_into_kept_sampled_dropped(
+        cap in 0usize..96,
+        every in 1u64..9,
+        total in 1u64..600,
+    ) {
+        let mut ring = EventRing::with_capacity_sampled(cap, every);
+        for i in 0..total {
+            ring.record(TraceEvent::enqueue(i as f64, i, 1));
+        }
+        // Exact three-way partition: recorded == kept + sampled + dropped.
+        prop_assert_eq!(ring.recorded(), total);
+        prop_assert_eq!(
+            ring.recorded(),
+            ring.len() as u64 + ring.sampled_out() + ring.dropped_events()
+        );
+        // Sampling keeps indices 0, every, 2*every, ... exactly.
+        let passed = total.div_ceil(every);
+        prop_assert_eq!(ring.sampled_out(), total - passed);
+        prop_assert_eq!(ring.len() as u64, passed.min(cap as u64));
+        prop_assert_eq!(ring.dropped_events(), passed.saturating_sub(cap as u64));
+        // Survivors are the newest sampled events, still in order.
+        let ids: Vec<u64> = ring.iter().map(|e| e.id).collect();
+        let expect: Vec<u64> = (0..total)
+            .filter(|i| i % every == 0)
+            .skip((passed - ids.len() as u64) as usize)
+            .collect();
+        prop_assert_eq!(ids, expect);
     }
 }

@@ -61,6 +61,14 @@ bench-cluster:
 cluster-smoke:
     timeout 300 cargo run --release -p mprec-bench --bin cluster_throughput -- --smoke --churn
 
+# Chaos-plane smoke: the smoke cell plus the fault-storm pair
+# (hardening on vs off under the same FaultPlan::storm). Asserts the
+# strict virtual SLA-violation-rate reduction from hedging + brownout
+# and zero dropped events from the 1-in-8 sampled recorder. Mirrors
+# the CI step.
+chaos-smoke:
+    timeout 300 cargo run --release -p mprec-bench --bin cluster_throughput -- --smoke --chaos
+
 # Cache-policy ablation: the paper's static top-K cache vs online
 # FIFO / LRU / segmented-LRU at equal byte budgets (shared round-down
 # budget rule) on one power-law trace.

@@ -1,0 +1,119 @@
+//! Determinism of the chaos plane: a fault schedule and the hardened
+//! serving behavior it provokes are pure functions of `(config, seed)`.
+//! Same seed must mean the same `FaultPlan` and the same
+//! `ClusterReport` — across repeated runs *and* across worker counts,
+//! because every timeout, hedge, backoff retry, and brownout shed is
+//! decided in virtual time, never by wall-clock scheduling.
+
+use mprec::data::query::QueryTraceConfig;
+use mprec::data::scenario::{ChaosConfig, FaultPlan};
+use mprec::runtime::{Cluster, ClusterConfig, ClusterReport, RuntimeModelConfig};
+use proptest::prelude::*;
+
+fn chaos_cluster_cfg(seed: u64, workers_per_node: usize) -> ClusterConfig {
+    let trace = QueryTraceConfig {
+        num_queries: 200,
+        mean_size: 5.0,
+        sigma: 1.0,
+        max_size: 20,
+        qps: 4000.0,
+        poisson_arrivals: true,
+    };
+    let span = mprec::data::scenario::nominal_span_us(trace.num_queries, trace.qps);
+    ClusterConfig {
+        nodes: 3,
+        workers_per_node,
+        cache_shards: 4,
+        trace,
+        model: RuntimeModelConfig {
+            sparse_features: 3,
+            rows_per_feature: 800,
+            emb_dim: 4,
+            dhe_k: 8,
+            dhe_dnn: 8,
+            dhe_h: 1,
+            top_hidden: vec![8],
+            encoder_cache_bytes: 2_048,
+            decoder_centroids: 8,
+            dynamic_cache_entries: 0,
+            profile_accesses: 3_000,
+            ..RuntimeModelConfig::default()
+        },
+        max_batch_samples: 40,
+        seed,
+        virtual_gflops: 0.005,
+        sla_us: 2_500.0,
+        faults: FaultPlan::generate(3, span, seed),
+        chaos: ChaosConfig::hardened(),
+        ..ClusterConfig::default()
+    }
+}
+
+fn run(cfg: ClusterConfig) -> ClusterReport {
+    Cluster::new(cfg)
+        .expect("cluster builds")
+        .serve()
+        .expect("cluster serves")
+}
+
+/// The full determinism fingerprint of one chaotic run: outcome counts,
+/// per-path usage, the decision-trail length, and every chaos counter.
+type Fingerprint = (u64, u64, u64, Vec<(String, u64)>, usize, u64, u64, u64, u64, u64);
+
+fn fingerprint(r: &ClusterReport) -> Fingerprint {
+    (
+        r.outcome.completed,
+        r.outcome.samples,
+        r.virtual_sla_violations,
+        r.outcome
+            .usage
+            .queries
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect(),
+        r.path_decisions.len(),
+        r.retried_batches,
+        r.shed_queries,
+        r.leg_timeouts,
+        r.hedged_legs,
+        r.leg_retries,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn same_seed_same_fault_plan_and_same_report(seed in 0u64..1_000_000) {
+        // The fault schedule itself is seed-pure.
+        let plan_a = FaultPlan::generate(3, 125_000.0, seed);
+        let plan_b = FaultPlan::generate(3, 125_000.0, seed);
+        prop_assert_eq!(&plan_a.events, &plan_b.events, "fault schedule is seed-pure");
+
+        // Two identical runs agree on everything the report pins.
+        let first = run(chaos_cluster_cfg(seed, 2));
+        let second = run(chaos_cluster_cfg(seed, 2));
+        prop_assert_eq!(fingerprint(&first), fingerprint(&second), "repeat run diverged");
+        prop_assert_eq!(
+            &first.path_decisions, &second.path_decisions,
+            "decision trail is seed-pure"
+        );
+
+        // Worker count is a wall-clock knob: virtual-time chaos
+        // decisions must not see it.
+        let wide = run(chaos_cluster_cfg(seed, 4));
+        prop_assert_eq!(fingerprint(&first), fingerprint(&wide), "worker count leaked");
+        prop_assert_eq!(
+            &first.path_decisions, &wide.path_decisions,
+            "decision trail depends on worker count"
+        );
+
+        // The hardened lifecycle plus a generated three-window fault
+        // plan must not lose queries: everything completes or sheds.
+        prop_assert_eq!(
+            first.outcome.completed + first.shed_queries,
+            200,
+            "queries lost under chaos"
+        );
+    }
+}

@@ -264,6 +264,10 @@ fn assert_cluster_agreement(cluster: &Cluster, report: &ClusterReport, sim: &Clu
         report.retried_batches, sim.retried_batches,
         "failure-retry accounting"
     );
+    assert_eq!(report.shed_queries, sim.shed_queries, "shed-query accounting");
+    assert_eq!(report.leg_timeouts, sim.leg_timeouts, "leg-timeout accounting");
+    assert_eq!(report.hedged_legs, sim.hedged_legs, "hedged-leg accounting");
+    assert_eq!(report.leg_retries, sim.leg_retries, "leg-retry accounting");
 }
 
 /// Predicts the cluster's *merged* cache counters with one
@@ -675,5 +679,143 @@ fn churned_cluster_trace_twins_agree_event_for_event() {
         sim_disp.events_of(EventKind::EpochBarrier).count(),
         0,
         "membership events are runtime-only"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Chaos plane: deterministic fault injection + lifecycle hardening.
+// The fault schedule lives entirely in the config, so the replay twin
+// must reproduce every timeout, hedge, backoff retry, and brownout shed
+// bit-for-bit from the shipped spec.
+// ---------------------------------------------------------------------------
+
+use mprec::data::scenario::{ChaosConfig, FaultEvent, FaultKind, FaultPlan};
+
+/// Arms a fault plan under the fully hardened lifecycle profile.
+fn chaotic(mut cfg: ClusterConfig, faults: FaultPlan) -> ClusterConfig {
+    cfg.faults = faults;
+    cfg.chaos = ChaosConfig::hardened();
+    cfg
+}
+
+/// Runs both twins with the flight recorder on and pins the complete
+/// agreement contract: outcomes, decision trail, chaos counters, and
+/// the dispatcher trace event-for-event.
+fn assert_chaos_twins(cfg: ClusterConfig) -> (ClusterReport, ClusterReplayResult) {
+    let cfg = ClusterConfig {
+        recorder: TraceConfig::enabled(),
+        ..cfg
+    };
+    let cluster = Cluster::new(cfg.clone()).expect("cluster builds");
+    let report = cluster.serve().expect("cluster serves");
+    let trace = scenario::generate(cfg.trace, cfg.scenario, cfg.seed);
+    let (sim, sim_trace) = replay_cluster_traced(
+        &cluster.replay_spec(),
+        &trace,
+        &ReplayConfig {
+            sla_us: cfg.sla_us,
+            max_batch_samples: cfg.max_batch_samples,
+            max_batch_wait_us: cfg.max_batch_wait_us,
+        },
+        TraceConfig::enabled(),
+    );
+    assert_cluster_agreement(&cluster, &report, &sim);
+    let rt_trace = report.trace.as_ref().expect("cluster recorded a trace");
+    let sim_trace = sim_trace.expect("replay recorded a trace");
+    assert_trace_twin_agreement(rt_trace, &sim_trace);
+    (report, sim)
+}
+
+#[test]
+fn straggler_chaos_twins_agree_event_for_event() {
+    let base = cluster_cfg(3, 2, 0);
+    let span = scenario::nominal_span_us(base.trace.num_queries, base.trace.qps);
+    // Straggle every node: a hedge to a healthy neighbour would finish
+    // inside the timeout budget, but with the whole cluster slow the
+    // ladder has to walk timeout -> hedge -> backoff retry -> forced
+    // completion.
+    let faults = FaultPlan {
+        events: (0..3)
+            .map(|node| FaultEvent {
+                node,
+                from_us: 0.2 * span,
+                until_us: 0.7 * span,
+                kind: FaultKind::Straggler { factor: 5.0 },
+            })
+            .collect(),
+    };
+    let (report, _) = assert_chaos_twins(chaotic(base, faults));
+
+    // The 5x straggler blows straight through the 3x timeout budget, so
+    // the hardened lifecycle must visibly fire on every rung.
+    assert!(report.leg_timeouts > 0, "straggler legs timed out");
+    assert!(report.hedged_legs > 0, "slow legs were hedged");
+    assert!(report.leg_retries > 0, "timed-out legs retried with backoff");
+    let rt_trace = report.trace.as_ref().unwrap();
+    let disp = rt_trace.track("dispatcher").unwrap();
+    assert_eq!(
+        disp.events_of(EventKind::Timeout).count() as u64,
+        report.leg_timeouts,
+        "every leg timeout traced"
+    );
+    assert_eq!(
+        disp.events_of(EventKind::Hedge).count() as u64,
+        report.hedged_legs,
+        "every hedge traced"
+    );
+}
+
+#[test]
+fn scatter_loss_chaos_twins_agree_event_for_event() {
+    let base = cluster_cfg(3, 2, 0);
+    let span = scenario::nominal_span_us(base.trace.num_queries, base.trace.qps);
+    let faults = FaultPlan {
+        events: vec![FaultEvent {
+            node: 1,
+            from_us: 0.2 * span,
+            until_us: 0.6 * span,
+            kind: FaultKind::ScatterLoss,
+        }],
+    };
+    let (report, sim) = assert_chaos_twins(chaotic(base, faults));
+
+    // A lost first attempt can never finish, so affected legs must be
+    // rescued by the hedge (next ring owner) or the backoff retry.
+    assert!(report.hedged_legs > 0, "lost legs were hedged");
+    assert!(
+        report.leg_timeouts + report.hedged_legs > 0,
+        "scatter loss exercised the hardening ladder"
+    );
+    assert_eq!(
+        report.outcome.completed, sim.outcome.completed,
+        "no query outcome is silently lost to scatter loss"
+    );
+}
+
+#[test]
+fn fault_storm_twins_agree_and_brownout_sheds_explicitly() {
+    let base = cluster_cfg(3, 2, 0);
+    let span = scenario::nominal_span_us(base.trace.num_queries, base.trace.qps);
+    let mut cfg = chaotic(base, FaultPlan::storm(3, span));
+    // Tighten the brownout ladder so the storm's backlog actually walks
+    // all three rungs (narrow -> table-only -> shed) inside this trace.
+    cfg.chaos.brownout_narrow_us = 1_500.0;
+    cfg.chaos.brownout_table_only_us = 3_000.0;
+    cfg.chaos.brownout_shed_us = 4_500.0;
+    let (report, sim) = assert_chaos_twins(cfg);
+
+    assert!(report.shed_queries > 0, "the storm shed low-priority queries");
+    assert_eq!(
+        report.outcome.completed + report.shed_queries,
+        500,
+        "every query either completes or is shed explicitly"
+    );
+    assert_eq!(report.shed_queries, sim.shed_queries, "twins shed identically");
+    let rt_trace = report.trace.as_ref().unwrap();
+    let disp = rt_trace.track("dispatcher").unwrap();
+    assert_eq!(
+        disp.events_of(EventKind::Shed).count() as u64,
+        report.shed_queries,
+        "every shed is an explicit traced outcome"
     );
 }
