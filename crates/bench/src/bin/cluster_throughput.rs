@@ -38,6 +38,18 @@
 //!                                      zero sampled-recorder drops
 //!                                      asserted). The full sweep runs
 //!                                      the chaos pair unconditionally.
+//!   cluster_throughput --smoke --migrate CI migration guard: the smoke
+//!                                      cell plus the rebalance pair —
+//!                                      the same hot-key-drift churn
+//!                                      trace under the legacy
+//!                                      stop-the-world barrier swap vs
+//!                                      streaming chunked handoff with
+//!                                      penalty drain and the adaptive
+//!                                      planner. Zero dropped queries
+//!                                      and a strict virtual
+//!                                      SLA-violation-rate reduction
+//!                                      are asserted. The full sweep
+//!                                      runs the pair unconditionally.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -46,7 +58,8 @@ use mprec_core::mpcache::CacheStats;
 use mprec_data::query::QueryTraceConfig;
 use mprec_data::scenario::{self, ChaosConfig, FaultPlan, LoadScenario};
 use mprec_runtime::{
-    Cluster, ClusterConfig, ClusterReport, EpochReport, PathKind, RuntimeModelConfig, TraceConfig,
+    Cluster, ClusterConfig, ClusterReport, EpochReport, PathKind, RebalanceConfig,
+    RuntimeModelConfig, TraceConfig,
 };
 
 const SCENARIOS: [&str; 4] = ["steady", "diurnal", "flash", "hotkey"];
@@ -253,6 +266,81 @@ fn churn_cell_json(c: &ChurnCell) -> String {
     )
 }
 
+struct MigrateCell {
+    nodes: usize,
+    strategy: &'static str,
+    report: ClusterReport,
+    serve_s: f64,
+}
+
+impl MigrateCell {
+    fn violation_rate(&self) -> f64 {
+        self.report.virtual_sla_violations as f64 / self.report.outcome.completed.max(1) as f64
+    }
+}
+
+/// Runs one rebalance-strategy cell: the hot-key-drift trace under the
+/// canonical churn schedule, either with the legacy stop-the-world
+/// barrier swap (the inert `RebalanceConfig::default`) or with the
+/// streaming handoff — chunked dual-ownership flips, a cold-tier
+/// penalty drain, and the adaptive partial-migration planner. The
+/// cold-tier penalty is raised well above its default and the route is
+/// pinned to the hybrid path — which scatters to the joiner's shard —
+/// so the penalty sits on the routed path instead of being masked by
+/// Algorithm 2 shedding to the replicated table path: the pair isolates
+/// what the migration strategy costs in virtual SLA terms under
+/// identical load.
+fn run_migrate_cell(nodes: usize, num_queries: usize, streaming: bool) -> MigrateCell {
+    let mut cfg = cluster_cfg(nodes, LoadScenario::HotKeyDrift { epochs: 6 }, num_queries);
+    let span = scenario::nominal_span_us(num_queries, cfg.trace.qps);
+    cfg.churn = scenario::node_churn(nodes, span);
+    cfg.route = mprec_runtime::RoutePolicy::Fixed(PathKind::Hybrid);
+    cfg.disk_hit_us = 25.0;
+    if streaming {
+        cfg.rebalance = RebalanceConfig {
+            streaming_chunks: 4,
+            drain_us: 0.05 * span,
+            adaptive: true,
+            adaptive_threshold_us: 50.0,
+            adaptive_cooldown_us: 0.02 * span,
+            adaptive_max_moves: 1,
+            ..RebalanceConfig::default()
+        };
+    }
+    let cluster = Cluster::new(cfg).expect("migrate cluster builds");
+    let t0 = Instant::now();
+    let report = cluster.serve().expect("migrate cluster serves");
+    MigrateCell {
+        nodes,
+        strategy: if streaming { "streaming" } else { "barrier" },
+        report,
+        serve_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+fn migrate_cell_json(c: &MigrateCell) -> String {
+    format!(
+        concat!(
+            "{{\"nodes\":{},\"strategy\":\"{}\",\"completed\":{},\"shed_queries\":{},",
+            "\"virtual_sla_violation_rate\":{:.5},\"migration_steps\":{},",
+            "\"adaptive_replans\":{},\"epochs\":{},\"retried_batches\":{},",
+            "\"cache_hit_rate\":{:.4},\"disk_hits\":{},\"serve_s\":{:.3}}}"
+        ),
+        c.nodes,
+        c.strategy,
+        c.report.outcome.completed,
+        c.report.shed_queries,
+        c.violation_rate(),
+        c.report.migration_steps,
+        c.report.adaptive_replans,
+        c.report.epochs.len(),
+        c.report.retried_batches,
+        c.report.cache.encoder_hit_rate(),
+        c.report.cache.disk_hits,
+        c.serve_s,
+    )
+}
+
 struct ChaosCell {
     nodes: usize,
     hardened: bool,
@@ -399,6 +487,7 @@ fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let churn_flag = std::env::args().any(|a| a == "--churn");
     let chaos_flag = std::env::args().any(|a| a == "--chaos");
+    let migrate_flag = std::env::args().any(|a| a == "--migrate");
     mprec_bench::header(
         "cluster_throughput",
         "feature-sharded scale-out serving: capacity and the routing-visible \
@@ -623,6 +712,77 @@ fn main() {
         Vec::new()
     };
 
+    // Migration sweep: the same hot-key-drift churn trace under the
+    // legacy stop-the-world barrier swap vs the streaming handoff
+    // (chunked dual-ownership flips + penalty drain + adaptive
+    // planner). All rates are virtual-time rates, so the pair is
+    // machine-independent. Streaming must strictly reduce the virtual
+    // SLA violation rate during the rebalance, and neither strategy may
+    // drop a query.
+    let migrate_cells: Vec<MigrateCell> = if migrate_flag || !smoke {
+        let n = if smoke {
+            1500
+        } else {
+            mprec_bench::arg_or(1, 4000usize)
+        };
+        let barrier = run_migrate_cell(3, n, false);
+        let streaming = run_migrate_cell(3, n, true);
+        for c in [&barrier, &streaming] {
+            assert_eq!(
+                c.report.outcome.completed + c.report.shed_queries,
+                n as u64,
+                "migrate ({}): every query completes or is shed explicitly",
+                c.strategy
+            );
+            assert_eq!(
+                c.report.shed_queries, 0,
+                "migrate ({}): no brownout armed, so zero dropped queries",
+                c.strategy
+            );
+        }
+        assert_eq!(
+            barrier.report.migration_steps, 0,
+            "migrate: the barrier arm streams nothing"
+        );
+        assert!(
+            streaming.report.migration_steps > 0,
+            "migrate: the streaming arm must flip at least one chunk"
+        );
+        assert!(
+            streaming.violation_rate() < barrier.violation_rate(),
+            "migrate: streaming handoff must strictly reduce the virtual SLA \
+             violation rate vs the barrier swap (streaming {:.5} vs barrier {:.5})",
+            streaming.violation_rate(),
+            barrier.violation_rate()
+        );
+        println!("\nmigration sweep (hot-key drift, fail @40% + join @70%; 3 nodes):");
+        println!(
+            "{:>10} {:>10} {:>10} {:>10} {:>9} {:>8} {:>8}",
+            "strategy", "viol rate", "completed", "mig steps", "replans", "epochs", "serve s"
+        );
+        for c in [&barrier, &streaming] {
+            println!(
+                "{:>10} {:>10.4} {:>10} {:>10} {:>9} {:>8} {:>8.2}",
+                c.strategy,
+                c.violation_rate(),
+                c.report.outcome.completed,
+                c.report.migration_steps,
+                c.report.adaptive_replans,
+                c.report.epochs.len(),
+                c.serve_s,
+            );
+        }
+        println!(
+            "(identical trace and churn schedule; the barrier arm charges the \
+             joiner's cold-tier penalty on every post-join batch for the rest \
+             of the run, the streaming arm confines it to the dual-ownership \
+             window and drains it once the shipped disk tier has promoted)"
+        );
+        vec![barrier, streaming]
+    } else {
+        Vec::new()
+    };
+
     // Recorder-overhead hygiene: tracing must be free in virtual time
     // (asserted inside) and cheap in wall-clock time (reported, with
     // the 1-CPU caveat).
@@ -696,6 +856,18 @@ fn main() {
     for (i, c) in chaos_cells.iter().enumerate() {
         let sep = if i + 1 < chaos_cells.len() { "," } else { "" };
         let _ = writeln!(json, "    {}{}", chaos_cell_json(c), sep);
+    }
+    json.push_str(
+        "  ],\n  \"migrate_note\": \"virtual-time rates on the same hot-key-drift churn \
+         trace; barrier = stop-the-world epoch swap with the cold-tier penalty charged \
+         until the end of the run, streaming = chunked dual-ownership handoff + penalty \
+         drain + adaptive partial migrations; strict violation-rate reduction and zero \
+         dropped queries are asserted\",\n",
+    );
+    json.push_str("  \"migrate_sweep\": [\n");
+    for (i, c) in migrate_cells.iter().enumerate() {
+        let sep = if i + 1 < migrate_cells.len() { "," } else { "" };
+        let _ = writeln!(json, "    {}{}", migrate_cell_json(c), sep);
     }
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_cluster.json", &json).expect("write BENCH_cluster.json");

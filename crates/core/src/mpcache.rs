@@ -981,6 +981,26 @@ impl ShardedMpCache {
         seg.to_bytes()
     }
 
+    /// Exports the *disk*-tier records whose feature satisfies `keep` as
+    /// one segment byte stream (shard index order, log order within a
+    /// shard — deterministic). Records are appended in their original
+    /// log order, so last-write-wins semantics survive a re-load on the
+    /// receiving node. This completes the warm-start hand-off: entries
+    /// the old owner had demoted to its disk segment travel with the
+    /// dynamic tier instead of being silently lost on migration.
+    pub fn export_disk_segment(&self, mut keep: impl FnMut(usize) -> bool) -> Vec<u8> {
+        let mut seg = Segment::new();
+        for shard in &self.shards {
+            let disk = shard.disk.read();
+            for (feature, id, values) in disk.iter() {
+                if keep(feature) {
+                    seg.append(feature, id, &values);
+                }
+            }
+        }
+        seg.to_bytes()
+    }
+
     /// Loads segment bytes into the per-shard disk tiers (each record is
     /// routed to its owning shard by key hash), returning the number of
     /// records loaded. Torn trailing records are tolerated and dropped.

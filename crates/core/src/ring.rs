@@ -279,6 +279,36 @@ impl RemapDiff {
     pub fn is_empty(&self) -> bool {
         self.moves.is_empty() && self.added.is_empty() && self.removed.is_empty()
     }
+
+    /// Splits this diff into at most `chunks` sub-diffs whose sequential
+    /// application equals applying `self` once (pinned by the chain
+    /// property tests in `crates/core/tests/ring.rs`). The moved keys are
+    /// partitioned into contiguous ascending groups; added nodes ride the
+    /// *first* chunk (so every later move targets a live node) and
+    /// removed nodes ride the *last* (so no feature is ever owned by an
+    /// already-dropped node mid-chain). This is the unit of streaming
+    /// shard handoff: each chunk is one incremental plan flip.
+    pub fn chunked(&self, chunks: usize) -> Vec<RemapDiff> {
+        let chunks = chunks.clamp(1, self.moves.len().max(1));
+        let mut out: Vec<RemapDiff> = Vec::with_capacity(chunks);
+        let per = self.moves.len().div_ceil(chunks);
+        let mut start = 0;
+        while start < self.moves.len() {
+            let end = (start + per).min(self.moves.len());
+            out.push(RemapDiff {
+                moves: self.moves[start..end].to_vec(),
+                added: Vec::new(),
+                removed: Vec::new(),
+            });
+            start = end;
+        }
+        if out.is_empty() {
+            out.push(RemapDiff { moves: Vec::new(), added: Vec::new(), removed: Vec::new() });
+        }
+        out.first_mut().expect("at least one chunk").added = self.added.clone();
+        out.last_mut().expect("at least one chunk").removed = self.removed.clone();
+        out
+    }
 }
 
 /// A materialized assignment of sparse features (keys `0..features`) to
@@ -314,6 +344,13 @@ pub struct FeatureShardPlan {
     nodes: Vec<u32>,
     /// Features owned per node, parallel to `nodes`, each ascending.
     per_node: Vec<Vec<usize>>,
+    /// Open dual-ownership handoffs, sorted by feature: each entry is a
+    /// feature still *read*-served by [`FeatureShardPlan::node_of`] whose
+    /// incoming owner warms up in the background until the feature is
+    /// flipped via [`FeatureShardPlan::commit_handoff`]. Empty outside a
+    /// streaming-migration window, so a fully committed plan compares
+    /// equal to a freshly computed one.
+    pending: Vec<(usize, u32)>,
 }
 
 impl FeatureShardPlan {
@@ -333,6 +370,7 @@ impl FeatureShardPlan {
             node_of,
             nodes,
             per_node: Vec::new(),
+            pending: Vec::new(),
         };
         plan.rebuild_per_node();
         plan
@@ -351,6 +389,12 @@ impl FeatureShardPlan {
     /// [`FeatureShardPlan::new`] on the diff's new ring — pinned by the
     /// remap-diff property tests in `crates/core/tests/ring.rs`.
     pub fn apply(&mut self, diff: &RemapDiff) {
+        // A still-open handoff window is fast-forwarded first: membership
+        // diffs are computed ring-to-ring, so the plan must be back on
+        // pure ring assignment before replaying one.
+        for (f, to) in std::mem::take(&mut self.pending) {
+            self.node_of[f] = to;
+        }
         for m in diff.moves() {
             self.node_of[m.key as usize] = m.to;
         }
@@ -411,6 +455,95 @@ impl FeatureShardPlan {
     /// [`FeatureShardPlan::nodes`] (the shard-balance view).
     pub fn shard_sizes(&self) -> Vec<usize> {
         self.per_node.iter().map(Vec::len).collect()
+    }
+
+    /// Opens a dual-ownership handoff window for `diff`: the diff's added
+    /// nodes become live immediately (owning nothing yet), and every
+    /// moved feature is registered as *pending* — still read-served by
+    /// its old owner — instead of flipping. Chunks of the window are then
+    /// flipped incrementally via [`FeatureShardPlan::commit_handoff`]
+    /// while traffic flows; once every pending feature has committed, the
+    /// plan equals [`FeatureShardPlan::apply`] of the whole diff.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the diff removes nodes: a removed node's
+    /// features have no live old owner to read from during the window, so
+    /// failure rebalances cannot stream and must go through
+    /// [`FeatureShardPlan::apply`].
+    pub fn begin_handoff(&mut self, diff: &RemapDiff) {
+        debug_assert!(
+            diff.removed_nodes().is_empty(),
+            "streaming handoff needs live old owners; failures use apply()"
+        );
+        for &n in diff.added_nodes() {
+            if let Err(pos) = self.nodes.binary_search(&n) {
+                self.nodes.insert(pos, n);
+            }
+        }
+        for m in diff.moves() {
+            self.pending.push((m.key as usize, m.to));
+        }
+        self.pending.sort_unstable();
+        self.pending.dedup();
+        self.rebuild_per_node();
+    }
+
+    /// Flips `features` (a chunk of the open handoff window) to their
+    /// pending incoming owners and returns how many flipped. Features
+    /// without a pending handoff are ignored, so replaying a chunk is
+    /// idempotent. The caller ships the old owner's warm cache entries
+    /// *before* flipping — that ordering is what makes the flip safe
+    /// while traffic flows.
+    pub fn commit_handoff(&mut self, features: &[usize]) -> usize {
+        let mut flipped = 0;
+        for &f in features {
+            if let Ok(pos) = self.pending.binary_search_by_key(&f, |&(pf, _)| pf) {
+                let (_, to) = self.pending.remove(pos);
+                self.node_of[f] = to;
+                flipped += 1;
+            }
+        }
+        if flipped > 0 {
+            self.rebuild_per_node();
+        }
+        flipped
+    }
+
+    /// The open dual-ownership handoffs, sorted by feature: `(feature,
+    /// incoming_owner)` pairs whose reads still go to
+    /// [`FeatureShardPlan::node_of`].
+    pub fn pending_handoffs(&self) -> &[(usize, u32)] {
+        &self.pending
+    }
+
+    /// The incoming owner of `feature` if it sits inside an open
+    /// dual-ownership window, else `None`.
+    pub fn incoming_owner(&self, feature: usize) -> Option<u32> {
+        self.pending
+            .binary_search_by_key(&feature, |&(pf, _)| pf)
+            .ok()
+            .map(|pos| self.pending[pos].1)
+    }
+
+    /// Reassigns `features` to live node `to` immediately (no window) —
+    /// the adaptive planner's partial migration primitive. The resulting
+    /// plan intentionally diverges from pure ring assignment; it stays
+    /// internally consistent and is superseded wholesale by the next
+    /// ring-derived plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `to` is not a live node of the plan.
+    pub fn reassign(&mut self, features: &[usize], to: u32) {
+        debug_assert!(
+            self.nodes.binary_search(&to).is_ok(),
+            "reassign target must be live"
+        );
+        for &f in features {
+            self.node_of[f] = to;
+        }
+        self.rebuild_per_node();
     }
 }
 

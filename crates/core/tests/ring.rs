@@ -217,4 +217,92 @@ proptest! {
             prop_assert!(plan.features_of(plan.node_of(k)).contains(&k));
         }
     }
+
+    #[test]
+    fn a_chain_of_diffs_equals_recomputing_from_the_final_ring(
+        node_count in 2usize..6,
+        keys in 64usize..256,
+        vnodes in 16usize..96,
+        // Each step: ids >= 100 join that node, ids < 100 remove the
+        // lowest live node.
+        steps in proptest::collection::vec(0u32..200, 1..7),
+    ) {
+        // The invariant streaming handoff depends on: N sequential
+        // membership/migration events replayed incrementally through
+        // `apply` land on exactly the plan a fresh computation from the
+        // final ring produces — no drift accumulates across the chain.
+        let mut ring = HashRing::with_nodes(vnodes, 0..node_count as u32);
+        let mut plan = FeatureShardPlan::new(&ring, keys);
+        for step in steps {
+            let old = ring.clone();
+            if step >= 100 && !ring.contains(step) {
+                ring.add_node(step);
+            } else if ring.len() > 2 {
+                // Keep at least two nodes live so removals stay legal.
+                let victim = *ring.nodes().first().expect("non-empty");
+                ring.remove_node(victim);
+            } else {
+                continue;
+            }
+            plan.apply(&ring.diff(&old, keys as u64));
+        }
+        prop_assert_eq!(&plan, &FeatureShardPlan::new(&ring, keys));
+    }
+
+    #[test]
+    fn chunked_diffs_compose_to_the_whole_diff(
+        node_count in 2usize..6,
+        keys in 64usize..256,
+        joiner in 100u32..200,
+        chunks in 1usize..9,
+    ) {
+        // Applying a join diff chunk-by-chunk (the streaming migration
+        // path) must land on the same plan as applying it whole, with
+        // every intermediate plan still covering each key exactly once.
+        let old = HashRing::with_nodes(64, 0..node_count as u32);
+        let mut new = old.clone();
+        new.add_node(joiner);
+        let diff = new.diff(&old, keys as u64);
+
+        let mut streamed = FeatureShardPlan::new(&old, keys);
+        for chunk in diff.chunked(chunks) {
+            streamed.apply(&chunk);
+            prop_assert_eq!(streamed.shard_sizes().iter().sum::<usize>(), keys);
+        }
+        prop_assert_eq!(&streamed, &FeatureShardPlan::new(&new, keys));
+    }
+
+    #[test]
+    fn dual_ownership_window_commits_to_the_ring_pure_plan(
+        node_count in 2usize..6,
+        keys in 64usize..256,
+        joiner in 100u32..200,
+        chunks in 1usize..9,
+    ) {
+        // begin_handoff keeps reads on the old owners (node_of unchanged
+        // for pending features, the joiner live but empty); committing
+        // chunk-by-chunk drains the window onto exactly the ring-pure
+        // plan.
+        let old = HashRing::with_nodes(64, 0..node_count as u32);
+        let mut new = old.clone();
+        new.add_node(joiner);
+        let diff = new.diff(&old, keys as u64);
+
+        let before = FeatureShardPlan::new(&old, keys);
+        let mut plan = before.clone();
+        plan.begin_handoff(&diff);
+        prop_assert!(plan.nodes().contains(&joiner), "joiner live in the window");
+        prop_assert!(plan.features_of(joiner).is_empty(), "but owns nothing yet");
+        for m in diff.moves() {
+            prop_assert_eq!(plan.node_of(m.key as usize), m.from, "reads stay old");
+            prop_assert_eq!(plan.incoming_owner(m.key as usize), Some(m.to));
+        }
+
+        let pending: Vec<usize> = plan.pending_handoffs().iter().map(|&(f, _)| f).collect();
+        for chunk in pending.chunks(keys.div_ceil(chunks)) {
+            plan.commit_handoff(chunk);
+        }
+        prop_assert!(plan.pending_handoffs().is_empty());
+        prop_assert_eq!(&plan, &FeatureShardPlan::new(&new, keys));
+    }
 }

@@ -63,6 +63,53 @@ fn run_sequence(
     (cache.stats(), outputs)
 }
 
+#[test]
+fn disk_tier_records_survive_a_second_handoff() {
+    // Warm-start hand-off regression: records an old owner had demoted
+    // to its *disk* segment must travel on the next migration too — a
+    // dynamic-tier-only export silently loses them.
+    let s = stack();
+    let cfg = ShardedCacheConfig {
+        shards: 4,
+        dynamic_entries: 8,
+    };
+    let first_owner = ShardedMpCache::new(None, None, cfg);
+    let mut seg = mprec_core::Segment::new();
+    for id in 0..10u64 {
+        seg.append(3, id, s.infer(&[id]).expect("infer").row(0));
+        seg.append(5, id, s.infer(&[id + 50]).expect("infer").row(0));
+    }
+    assert_eq!(
+        first_owner
+            .load_disk_segment(&seg.to_bytes())
+            .expect("segment loads"),
+        20
+    );
+
+    // Feature 3 moves on to a second owner: only its records ship.
+    let shipped = first_owner.export_disk_segment(|f| f == 3);
+    let second_owner = ShardedMpCache::new(None, None, cfg);
+    assert_eq!(
+        second_owner
+            .load_disk_segment(&shipped)
+            .expect("shipped segment loads"),
+        10,
+        "all disk-resident records of the moved feature arrive"
+    );
+    assert_eq!(second_owner.disk_len(), 10);
+
+    // The old behaviour (dynamic tier only) would have shipped nothing:
+    // the first owner's dynamic tier never saw these entries.
+    let dynamic_only = first_owner.export_dynamic_segment(|f| f == 3);
+    assert_eq!(
+        mprec_core::Segment::from_bytes(&dynamic_only)
+            .expect("valid segment")
+            .records(),
+        0,
+        "disk-resident entries are invisible to a dynamic-only export"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

@@ -203,8 +203,72 @@ pub struct ClusterConfig {
     /// default is fully inert — `timeout_mult == 0` preserves the
     /// legacy single-attempt leg accounting bit for bit.
     pub chaos: ChaosConfig,
+    /// Shard-migration strategy: stop-the-world barrier swaps (the
+    /// fully inert default) versus incremental streaming handoff,
+    /// cold-tier penalty drain, and the adaptive partial-migration
+    /// planner.
+    pub rebalance: RebalanceConfig,
     /// Model shape (replicated weights, sharded execution).
     pub model: RuntimeModelConfig,
+}
+
+/// How the cluster moves shards when membership (or load) changes.
+///
+/// The default reproduces the legacy stop-the-world behaviour bit for
+/// bit: every churn event is a single quiescence-barrier epoch swap and
+/// a joiner's [`ClusterConfig::disk_hit_us`] penalty is never lifted.
+/// Turning the knobs on replaces join rebalances with an incremental
+/// dual-ownership handoff ([`FeatureShardPlan::begin_handoff`]) whose
+/// chunks flip one at a time while traffic flows, drains the cold-tier
+/// penalty once the shipped disk records have promoted, and arms a
+/// dispatcher-side planner that migrates hot features off the most
+/// backlogged node under load skew.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebalanceConfig {
+    /// Number of incremental chunks a join's remap diff is streamed in
+    /// (`0` = legacy single barrier swap). Each chunk is one plan flip:
+    /// the old owners ship the chunk's warm entries — dynamic *and*
+    /// disk tier — then ownership flips, so reads before the flip keep
+    /// hitting the old owner's warm cache and the joiner never serves a
+    /// feature it has no state for.
+    pub streaming_chunks: usize,
+    /// Virtual-time spacing between consecutive chunk flips (µs). The
+    /// schedule is compressed automatically so every flip (and the
+    /// drain, if any) lands strictly before the next churn event.
+    pub chunk_interval_us: f64,
+    /// Virtual time after a join's last plan flip at which the joiner's
+    /// [`ClusterConfig::disk_hit_us`] penalty is lifted — by then its
+    /// warm-started disk tier has drained into RAM. `0` keeps the
+    /// legacy behaviour of charging the penalty for the rest of the
+    /// run, long after the cold tier stopped being cold.
+    pub drain_us: f64,
+    /// Enables the adaptive planner: once the static churn schedule is
+    /// exhausted, the dispatcher watches the live nodes' virtual queue
+    /// depth at every flush and triggers a partial migration when the
+    /// backlog imbalance crosses the threshold (hot-key drift parks the
+    /// hot features' owner at the back of every queue).
+    pub adaptive: bool,
+    /// Backlog imbalance — max minus min live-node virtual queue depth
+    /// (µs) at a flush instant — that arms an adaptive migration.
+    pub adaptive_threshold_us: f64,
+    /// Minimum virtual time between adaptive migrations (µs).
+    pub adaptive_cooldown_us: f64,
+    /// Features moved off the busiest node per adaptive migration.
+    pub adaptive_max_moves: usize,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            streaming_chunks: 0,
+            chunk_interval_us: 500.0,
+            drain_us: 0.0,
+            adaptive: false,
+            adaptive_threshold_us: 2_000.0,
+            adaptive_cooldown_us: 5_000.0,
+            adaptive_max_moves: 2,
+        }
+    }
 }
 
 impl Default for ClusterConfig {
@@ -241,6 +305,7 @@ impl Default for ClusterConfig {
             recorder: TraceConfig::default(),
             faults: FaultPlan::default(),
             chaos: ChaosConfig::default(),
+            rebalance: RebalanceConfig::default(),
             model: RuntimeModelConfig::default(),
         }
     }
@@ -386,6 +451,14 @@ pub struct ClusterReport {
     /// Backoff retries of timed-out legs (both legs' time is charged to
     /// the virtual histogram, extending the churn-retry contract).
     pub leg_retries: u64,
+    /// Incremental shard-migration steps executed: streaming chunk
+    /// flips plus adaptive partial migrations (0 under the legacy
+    /// barrier default).
+    pub migration_steps: u64,
+    /// Overlay epochs the adaptive planner opened, each one partial
+    /// migration triggered by live backlog imbalance (0 with the
+    /// planner off).
+    pub adaptive_replans: u64,
     /// Per-epoch slices: membership, dispatch counts, cache deltas.
     pub epochs: Vec<EpochReport>,
     /// Sum of all top-MLP scores.
@@ -534,6 +607,11 @@ struct DispatchTally {
     hedged_legs: u64,
     leg_retries: u64,
     epoch_batches: Vec<u64>,
+    /// Incremental shard-migration steps executed (streaming chunk
+    /// flips plus adaptive partial migrations).
+    migration_steps: u64,
+    /// Overlay epochs the adaptive planner opened.
+    adaptive_replans: u64,
     /// Per-replica cache snapshots taken at each processed epoch
     /// boundary (quiescent).
     epoch_snapshots: Vec<Vec<CacheStats>>,
@@ -555,6 +633,61 @@ struct DispatchTally {
     last_done_us: f64,
 }
 
+/// One internal rebalance step on the virtual-time axis. The configured
+/// [`ChurnEvent`]s expand into these at build time: a failure or a
+/// legacy barrier join stays a single step, a streaming join becomes a
+/// window-open plus one flip per chunk, and a configured drain appends
+/// a penalty lift. Step `i` opens epoch `i + 1`.
+#[derive(Debug, Clone)]
+enum RebalanceAction {
+    /// Stop-the-world removal of a failed node (always a barrier: a
+    /// dead node cannot co-serve a dual-ownership window).
+    Fail(u32),
+    /// Legacy barrier join: the whole remap diff flips at once behind
+    /// the quiescence barrier, warm-starting the joiner.
+    Join(u32),
+    /// A streaming join's window open: the joiner is live but owns
+    /// nothing yet; all its incoming features are pending, still
+    /// read-served (and written) by their old owners.
+    WindowOpen {
+        /// The joining node.
+        node: u32,
+        /// Features registered in the dual-ownership window.
+        moves: u64,
+    },
+    /// One chunk flip of an open window: ship the chunk's warm entries
+    /// (dynamic and disk tier) from the old owners, then flip
+    /// ownership of exactly these features.
+    ChunkFlip {
+        /// The receiving (joined) node.
+        node: u32,
+        /// The features flipping in this chunk.
+        feats: Vec<usize>,
+    },
+    /// The joiner's warm-started disk tier has drained into RAM: swap
+    /// the penalized routing profiles back out. Carries no payload —
+    /// the lift has no cache or queue side effects, it only advances
+    /// the epoch index to the unpenalized profiles.
+    PenaltyLift,
+}
+
+#[derive(Debug, Clone)]
+struct InternalEvent {
+    at_us: f64,
+    action: RebalanceAction,
+}
+
+/// Overlay epochs the adaptive planner opened during the most recent
+/// serve, appended after the static schedule in the merged epoch index
+/// space (static epochs first, then these in trigger order).
+#[derive(Debug, Default)]
+struct AdaptiveState {
+    epochs: Vec<ClusterEpoch>,
+    /// Virtual trigger time per overlay epoch (the replay spec's event
+    /// timestamps; routing switches at the triggering flush).
+    at_us: Vec<f64>,
+}
+
 /// The elastic feature-sharded multi-node serving runtime: build once
 /// (optionally scheduling churn), serve a trace.
 #[derive(Debug)]
@@ -564,6 +697,14 @@ pub struct Cluster {
     epochs: Vec<ClusterEpoch>,
     paths: Vec<PathKind>,
     labels: Vec<String>,
+    /// The churn schedule expanded into internal rebalance steps, one
+    /// per epoch transition (parallel to `epochs[1..]`).
+    events: Vec<InternalEvent>,
+    /// Ring state after the whole churn schedule — adaptive overlay
+    /// epochs read their hedge successors off it.
+    ring: HashRing,
+    /// What the adaptive planner did during the most recent serve.
+    adaptive: Mutex<AdaptiveState>,
 }
 
 impl Cluster {
@@ -623,12 +764,14 @@ impl Cluster {
     /// builders).
     fn from_parts(cfg: ClusterConfig, nodes: Vec<ClusterNode>) -> Result<Self> {
         let features = cfg.model.sparse_features;
+        let rb = cfg.rebalance;
         let mut ring = HashRing::with_nodes(cfg.vnodes, 0..cfg.nodes as u32);
         let mut plan = FeatureShardPlan::new(&ring, features);
         let mut epochs = Vec::with_capacity(cfg.churn.len() + 1);
+        let mut events: Vec<InternalEvent> = Vec::new();
         epochs.push(build_epoch(&cfg, &nodes, 0.0, &ring, &plan, None)?);
         let mut last_at = 0.0f64;
-        for ev in &cfg.churn {
+        for (i, ev) in cfg.churn.iter().enumerate() {
             if ev.at_us <= last_at {
                 return Err(RuntimeError::BadConfig(format!(
                     "churn events must have strictly increasing positive times, got {} after {}",
@@ -636,6 +779,13 @@ impl Cluster {
                 )));
             }
             last_at = ev.at_us;
+            // Virtual-time room before the next configured event: every
+            // streamed sub-step of this event (chunk flips, the penalty
+            // lift) must land strictly inside it.
+            let budget = cfg
+                .churn
+                .get(i + 1)
+                .map_or(f64::INFINITY, |n| n.at_us - ev.at_us);
             let old = ring.clone();
             match ev.action {
                 ChurnAction::Fail => {
@@ -651,6 +801,16 @@ impl Cluster {
                         ));
                     }
                     ring.remove_node(ev.node);
+                    // A failure is always a barrier swap: the dead node
+                    // cannot co-serve a dual-ownership window, so its
+                    // features remap to the survivors in one step.
+                    plan.apply(&ring.diff(&old, features as u64));
+                    debug_assert_eq!(plan, FeatureShardPlan::new(&ring, features));
+                    events.push(InternalEvent {
+                        at_us: ev.at_us,
+                        action: RebalanceAction::Fail(ev.node),
+                    });
+                    epochs.push(build_epoch(&cfg, &nodes, ev.at_us, &ring, &plan, None)?);
                 }
                 ChurnAction::Join => {
                     if ring.contains(ev.node) {
@@ -660,17 +820,97 @@ impl Cluster {
                         )));
                     }
                     ring.add_node(ev.node);
+                    // Incremental rebalance: only the ~K/N remapped
+                    // features change owner (the diff), everything else
+                    // keeps its shard.
+                    let diff = ring.diff(&old, features as u64);
+                    let mut lift_from = ev.at_us;
+                    if rb.streaming_chunks > 0 && !diff.moves().is_empty() {
+                        // Streaming handoff: open the dual-ownership
+                        // window (the joiner is live but owns nothing —
+                        // no cold-tier penalty yet), then flip the diff
+                        // chunk by chunk, each flip preceded by the old
+                        // owners shipping that chunk's warm entries.
+                        let chunks = diff.chunked(rb.streaming_chunks);
+                        let step = if budget.is_finite() {
+                            rb.chunk_interval_us.min(budget / (chunks.len() + 2) as f64)
+                        } else {
+                            rb.chunk_interval_us
+                        };
+                        events.push(InternalEvent {
+                            at_us: ev.at_us,
+                            action: RebalanceAction::WindowOpen {
+                                node: ev.node,
+                                moves: diff.moves().len() as u64,
+                            },
+                        });
+                        plan.begin_handoff(&diff);
+                        epochs.push(build_epoch(&cfg, &nodes, ev.at_us, &ring, &plan, None)?);
+                        for (k, chunk) in chunks.iter().enumerate() {
+                            let at = ev.at_us + (k + 1) as f64 * step;
+                            let feats: Vec<usize> =
+                                chunk.moves().iter().map(|m| m.key as usize).collect();
+                            plan.commit_handoff(&feats);
+                            events.push(InternalEvent {
+                                at_us: at,
+                                action: RebalanceAction::ChunkFlip {
+                                    node: ev.node,
+                                    feats,
+                                },
+                            });
+                            epochs.push(build_epoch(
+                                &cfg,
+                                &nodes,
+                                at,
+                                &ring,
+                                &plan,
+                                Some(ev.node),
+                            )?);
+                            lift_from = at;
+                        }
+                        debug_assert!(plan.pending_handoffs().is_empty());
+                        debug_assert_eq!(plan, FeatureShardPlan::new(&ring, features));
+                    } else {
+                        plan.apply(&diff);
+                        debug_assert_eq!(plan, FeatureShardPlan::new(&ring, features));
+                        // A barrier join opens an epoch where the new
+                        // node's RAM tiers are cold (its lookups come
+                        // from the warm-started disk tier): charge its
+                        // paths the disk-hit penalty.
+                        events.push(InternalEvent {
+                            at_us: ev.at_us,
+                            action: RebalanceAction::Join(ev.node),
+                        });
+                        epochs.push(build_epoch(
+                            &cfg,
+                            &nodes,
+                            ev.at_us,
+                            &ring,
+                            &plan,
+                            Some(ev.node),
+                        )?);
+                    }
+                    if rb.drain_us > 0.0 && cfg.disk_hit_us > 0.0 {
+                        // Penalty drain: once the joiner's shipped disk
+                        // records have promoted into RAM, re-open the
+                        // epoch with unpenalized profiles. (The legacy
+                        // `drain_us == 0` charged the penalty for the
+                        // rest of the run — long after the disk tier
+                        // stopped being cold.)
+                        let headroom = if budget.is_finite() {
+                            (budget - (lift_from - ev.at_us)) / 2.0
+                        } else {
+                            f64::INFINITY
+                        };
+                        let at = lift_from + rb.drain_us.min(headroom);
+                        events.push(InternalEvent {
+                            at_us: at,
+                            action: RebalanceAction::PenaltyLift,
+                        });
+                        epochs.push(build_epoch(&cfg, &nodes, at, &ring, &plan, None)?);
+                    }
                 }
             }
-            // Incremental rebalance: only the ~K/N remapped features
-            // change owner (the diff), everything else keeps its shard.
-            plan.apply(&ring.diff(&old, features as u64));
-            debug_assert_eq!(plan, FeatureShardPlan::new(&ring, features));
-            // A join opens an epoch where the new node's RAM tiers are
-            // cold (its lookups come from the warm-started disk tier):
-            // charge its paths the disk-hit penalty for this epoch only.
-            let joined = (ev.action == ChurnAction::Join).then_some(ev.node);
-            epochs.push(build_epoch(&cfg, &nodes, ev.at_us, &ring, &plan, joined)?);
         }
         let (paths, labels) = {
             let m = &epochs[0].mappings;
@@ -687,6 +927,9 @@ impl Cluster {
             epochs,
             paths,
             labels,
+            events,
+            ring,
+            adaptive: Mutex::new(AdaptiveState::default()),
         })
     }
 
@@ -773,9 +1016,12 @@ impl Cluster {
         &self.epochs[0].plan
     }
 
-    /// The full epoch sequence: boot membership plus one epoch per
-    /// churn event, each with its plan, pruned scatter assignments, and
-    /// routing profiles.
+    /// The static epoch sequence: boot membership plus one epoch per
+    /// internal rebalance step (a streaming join contributes several —
+    /// window open, one per chunk flip, and the penalty lift), each
+    /// with its plan, pruned scatter assignments, and routing profiles.
+    /// Overlay epochs opened by the adaptive planner during a serve are
+    /// not included here; [`Cluster::replay_spec`] merges them in.
     pub fn epochs(&self) -> &[ClusterEpoch] {
         &self.epochs
     }
@@ -800,34 +1046,53 @@ impl Cluster {
 
     /// The cluster's serving contract as the replay simulator consumes
     /// it: per-epoch routing profiles and pruned scatter target sets,
-    /// plus the churn events separating epochs. Feeding this to
-    /// [`mprec_serving::replay::replay_cluster`] with the same trace
-    /// must reproduce this cluster's decision trail exactly
-    /// (`tests/sim_vs_runtime.rs`).
+    /// plus the internal rebalance steps separating epochs (streaming
+    /// sub-steps and adaptive re-plans included; only failures carry a
+    /// `failed` node, because only failures retry in-flight batches).
+    /// Overlay epochs the adaptive planner opened during the most
+    /// recent [`Cluster::serve`] are appended after the static
+    /// schedule, so call this *after* serving when the planner is on.
+    /// Feeding this to [`mprec_serving::replay::replay_cluster`] with
+    /// the same trace must reproduce this cluster's decision trail
+    /// exactly (`tests/sim_vs_runtime.rs`).
     pub fn replay_spec(&self) -> mprec_serving::replay::ClusterReplaySpec {
+        let adaptive = self.adaptive.lock();
+        let spec_of = |e: &ClusterEpoch| mprec_serving::replay::ClusterEpochSpec {
+            mappings: e.mappings.clone(),
+            targets: e
+                .assignments
+                .iter()
+                .map(|a| a.iter().map(|&(id, _)| id).collect())
+                .collect(),
+            live: e.live.clone(),
+            hedge_next: e.hedge_next.clone(),
+        };
         mprec_serving::replay::ClusterReplaySpec {
             epochs: self
                 .epochs
                 .iter()
-                .map(|e| mprec_serving::replay::ClusterEpochSpec {
-                    mappings: e.mappings.clone(),
-                    targets: e
-                        .assignments
-                        .iter()
-                        .map(|a| a.iter().map(|&(id, _)| id).collect())
-                        .collect(),
-                    live: e.live.clone(),
-                    hedge_next: e.hedge_next.clone(),
-                })
+                .chain(adaptive.epochs.iter())
+                .map(spec_of)
                 .collect(),
             events: self
-                .cfg
-                .churn
+                .events
                 .iter()
                 .map(|ev| mprec_serving::replay::ClusterChurnSpec {
                     at_us: ev.at_us,
-                    failed: (ev.action == ChurnAction::Fail).then_some(ev.node),
+                    failed: match ev.action {
+                        RebalanceAction::Fail(node) => Some(node),
+                        _ => None,
+                    },
                 })
+                .chain(
+                    adaptive
+                        .at_us
+                        .iter()
+                        .map(|&at_us| mprec_serving::replay::ClusterChurnSpec {
+                            at_us,
+                            failed: None,
+                        }),
+                )
                 .collect(),
             faults: self.cfg.faults.clone(),
             chaos: self.cfg.chaos,
@@ -1013,26 +1278,56 @@ impl Cluster {
     fn warm_start_joiner(&self, joiner: u32, epoch_idx: usize) -> u64 {
         let new_plan = &self.epochs[epoch_idx].plan;
         let old_plan = &self.epochs[epoch_idx - 1].plan;
-        let moved = new_plan.features_of(joiner);
-        if moved.is_empty() {
-            return 0;
-        }
+        self.ship_features(joiner, old_plan, new_plan.features_of(joiner))
+    }
+
+    /// Ships `feats`' warm cache entries — dynamic *and* disk tier —
+    /// from their owners under `old_plan` into `receiver`'s disk tier.
+    /// Shipping the disk tier too is what lets warm state survive a
+    /// *second* migration: records an earlier hand-off had parked in
+    /// the old owner's disk segment (or that never got promoted) used
+    /// to be silently dropped by the dynamic-only export. Owners are
+    /// visited in ascending id order so the hand-off is deterministic;
+    /// features already owned by the receiver are skipped.
+    ///
+    /// Must be called at a quiescence barrier (no in-flight batches).
+    /// Returns the number of records loaded (the flight recorder's
+    /// `WarmStart` / `MigrationDone` payload).
+    fn ship_features(&self, receiver: u32, old_plan: &FeatureShardPlan, feats: &[usize]) -> u64 {
         let mut by_owner: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
-        for &f in moved {
-            by_owner.entry(old_plan.node_of(f)).or_default().push(f);
+        for &f in feats {
+            let owner = old_plan.node_of(f);
+            if owner != receiver {
+                by_owner.entry(owner).or_default().push(f);
+            }
         }
-        let joiner_cache = self.nodes[self.slot_of(joiner)].model.cache();
+        let dst = self.nodes[self.slot_of(receiver)].model.cache();
         let mut loaded = 0u64;
         for (owner, feats) in by_owner {
-            let seg = self.nodes[self.slot_of(owner)]
-                .model
-                .cache()
-                .export_dynamic_segment(|f| feats.contains(&f));
-            loaded += joiner_cache
-                .load_disk_segment(&seg)
-                .expect("own export is always a valid segment") as u64;
+            let src = self.nodes[self.slot_of(owner)].model.cache();
+            // Disk first, dynamic second: the dynamic tier holds the
+            // live (most recently admitted) values, and the receiver's
+            // append-only log is last-write-wins.
+            let disk = src.export_disk_segment(|f| feats.contains(&f));
+            let dynamic = src.export_dynamic_segment(|f| feats.contains(&f));
+            for seg in [disk, dynamic] {
+                loaded += dst
+                    .load_disk_segment(&seg)
+                    .expect("own export is always a valid segment")
+                    as u64;
+            }
         }
         loaded
+    }
+
+    /// The epoch at merged index `e`: the static schedule first, then
+    /// any overlay epochs the adaptive planner opened this serve.
+    fn epoch_at<'a>(&'a self, dyn_epochs: &'a [ClusterEpoch], e: usize) -> &'a ClusterEpoch {
+        if e < self.epochs.len() {
+            &self.epochs[e]
+        } else {
+            &dyn_epochs[e - self.epochs.len()]
+        }
     }
 
     /// Front-end loop: virtual-time batching + routing + pruned
@@ -1059,6 +1354,8 @@ impl Cluster {
             hedged_legs: 0,
             leg_retries: 0,
             epoch_batches: vec![0; self.epochs.len()],
+            migration_steps: 0,
+            adaptive_replans: 0,
             epoch_snapshots: Vec::new(),
             aborted: false,
             ring: self.cfg.recorder.ring(),
@@ -1073,17 +1370,27 @@ impl Cluster {
         let mut dispatched = 0u64;
         let mut pending: Vec<&Query> = Vec::new();
         let mut pending_samples: u64 = 0;
+        // Overlay epochs the adaptive planner opens mid-serve, indexed
+        // after the static schedule; published to `self.adaptive` at
+        // the end so `replay_spec` and `assemble` see them.
+        let mut dyn_epochs: Vec<ClusterEpoch> = Vec::new();
+        let mut dyn_event_at: Vec<f64> = Vec::new();
+        let mut last_adaptive_us = f64::NEG_INFINITY;
 
         macro_rules! advance_epochs {
             ($t:expr) => {
-                while cur_epoch < self.cfg.churn.len()
-                    && self.cfg.churn[cur_epoch].at_us <= $t
+                while cur_epoch < self.events.len()
+                    && self.events[cur_epoch].at_us <= $t
                     && !tally.aborted
                 {
-                    // Quiescence barrier: every dispatched batch is
-                    // merged before the snapshot and teardown, so the
-                    // per-epoch cache deltas are exact and a failed
-                    // node's queue is provably drained.
+                    // Wall-clock quiescence (zero virtual cost): every
+                    // dispatched batch is merged before the snapshot,
+                    // shipping, and teardown, so per-epoch cache deltas
+                    // are exact and a failed node's queue is provably
+                    // drained. A streaming step differs from the legacy
+                    // barrier in *virtual* time only: it flips one
+                    // chunk of ownership instead of the whole plan, so
+                    // routing never pays a stop-the-world profile shock.
                     if !progress.wait_for_batches(dispatched) {
                         tally.aborted = true;
                         break;
@@ -1091,36 +1398,72 @@ impl Cluster {
                     tally
                         .epoch_snapshots
                         .push(self.nodes.iter().map(|n| n.model.cache().stats()).collect());
-                    let ev = self.cfg.churn[cur_epoch];
-                    if let Some(ring) = tally.ring.as_mut() {
-                        ring.record(TraceEvent::epoch_barrier(
-                            ev.at_us,
-                            ev.node,
-                            (cur_epoch + 1) as u64,
-                            ev.action == ChurnAction::Join,
-                        ));
-                    }
-                    if ev.action == ChurnAction::Fail {
-                        node_queues[self.slot_of(ev.node)].close();
-                    } else {
-                        // Warm-start: ship the joiner its owned features'
-                        // warm cache entries instead of rewarming from
-                        // traffic. Safe here: the quiescence barrier
-                        // means no worker is touching any cache.
-                        let entries = self.warm_start_joiner(ev.node, cur_epoch + 1);
-                        if let Some(ring) = tally.ring.as_mut() {
-                            ring.record(TraceEvent::warm_start(
-                                ev.at_us,
-                                ev.node,
-                                entries,
-                                (cur_epoch + 1) as u64,
-                            ));
+                    let at_us = self.events[cur_epoch].at_us;
+                    let new_epoch = (cur_epoch + 1) as u64;
+                    match &self.events[cur_epoch].action {
+                        RebalanceAction::Fail(node) => {
+                            if let Some(ring) = tally.ring.as_mut() {
+                                ring.record(TraceEvent::epoch_barrier(
+                                    at_us, *node, new_epoch, false,
+                                ));
+                            }
+                            node_queues[self.slot_of(*node)].close();
                         }
+                        RebalanceAction::Join(node) => {
+                            if let Some(ring) = tally.ring.as_mut() {
+                                ring.record(TraceEvent::epoch_barrier(
+                                    at_us, *node, new_epoch, true,
+                                ));
+                            }
+                            // Warm-start: ship the joiner its owned
+                            // features' warm cache entries instead of
+                            // rewarming from traffic. Safe here: the
+                            // quiescence means no worker is touching
+                            // any cache.
+                            let entries = self.warm_start_joiner(*node, cur_epoch + 1);
+                            if let Some(ring) = tally.ring.as_mut() {
+                                ring.record(TraceEvent::warm_start(
+                                    at_us, *node, entries, new_epoch,
+                                ));
+                            }
+                        }
+                        RebalanceAction::WindowOpen { node, moves } => {
+                            if let Some(ring) = tally.ring.as_mut() {
+                                ring.record(TraceEvent::migration_start(
+                                    at_us, *node, *moves, new_epoch,
+                                ));
+                            }
+                        }
+                        RebalanceAction::ChunkFlip { node, feats } => {
+                            // Dual-write realization: everything the old
+                            // owners hold for this chunk — including
+                            // entries admitted *during* the window, which
+                            // went to the old owners because reads did —
+                            // ships right before the flip.
+                            let entries = self.ship_features(
+                                *node,
+                                &self.epochs[cur_epoch].plan,
+                                feats,
+                            );
+                            tally.migration_steps += 1;
+                            if let Some(ring) = tally.ring.as_mut() {
+                                ring.record(TraceEvent::migration_done(
+                                    at_us,
+                                    *node,
+                                    entries,
+                                    new_epoch,
+                                    feats.len() as u64,
+                                ));
+                            }
+                        }
+                        // The lift only swaps penalized routing profiles
+                        // for clean ones; no cache or queue side effects.
+                        RebalanceAction::PenaltyLift => {}
                     }
                     // Close the departing epoch's metric window at the
-                    // event timestamp (the barrier is quiescent, so the
-                    // just-pushed cache snapshot is exact).
-                    self.close_epoch_metrics(&mut tally, &free_at, ev.at_us);
+                    // event timestamp (quiescent, so the just-pushed
+                    // cache snapshot is exact).
+                    self.close_epoch_metrics(&mut tally, &free_at, at_us, &dyn_epochs);
                     cur_epoch += 1;
                 }
             };
@@ -1134,7 +1477,10 @@ impl Cluster {
                          tally: &mut DispatchTally,
                          free_at: &mut Vec<f64>,
                          cur_epoch: &mut usize,
-                         dispatched: &mut u64| {
+                         dispatched: &mut u64,
+                         dyn_epochs: &mut Vec<ClusterEpoch>,
+                         dyn_event_at: &mut Vec<f64>,
+                         last_adaptive_us: &mut f64| {
             if pending.is_empty() {
                 return;
             }
@@ -1144,11 +1490,103 @@ impl Cluster {
                 *pending_samples = 0;
                 return;
             }
+            // Adaptive re-planning: once the static schedule is
+            // exhausted, watch the live nodes' virtual backlog at every
+            // flush. A sustained imbalance (hot-key drift parks the hot
+            // features' owner at the back of every queue) triggers a
+            // partial migration: ship the busiest node's lowest-id
+            // owned features to the idlest live node and open an
+            // overlay epoch at the flush instant. The trigger reads
+            // only virtual state (`free_at`, flush time), so it is
+            // deterministic, and the triggering flush itself routes
+            // under the new epoch — exactly when the replay twin
+            // switches, since the spec event carries this timestamp.
+            if self.cfg.rebalance.adaptive
+                && *cur_epoch >= self.events.len()
+                && flush_at_us - *last_adaptive_us >= self.cfg.rebalance.adaptive_cooldown_us
+            {
+                let cur = self.epoch_at(dyn_epochs, *cur_epoch);
+                let backlog =
+                    |id: u32| (free_at[self.slot_of(id)] - flush_at_us).max(0.0);
+                let mut busiest = cur.live[0];
+                let mut idlest = cur.live[0];
+                for &id in cur.live.iter().skip(1) {
+                    if backlog(id) > backlog(busiest) {
+                        busiest = id;
+                    }
+                    if backlog(id) < backlog(idlest) {
+                        idlest = id;
+                    }
+                }
+                let imbalance = backlog(busiest) - backlog(idlest);
+                let moved: Vec<usize> = cur
+                    .plan
+                    .features_of(busiest)
+                    .iter()
+                    .copied()
+                    .take(self.cfg.rebalance.adaptive_max_moves.max(1))
+                    .collect();
+                if busiest != idlest
+                    && imbalance >= self.cfg.rebalance.adaptive_threshold_us
+                    && !moved.is_empty()
+                {
+                    let old_plan = cur.plan.clone();
+                    // Quiesce (wall-clock only — zero virtual cost) so
+                    // the boundary snapshot and the shipped segments
+                    // are exact.
+                    if !progress.wait_for_batches(*dispatched) {
+                        tally.aborted = true;
+                        pending.clear();
+                        *pending_samples = 0;
+                        return;
+                    }
+                    tally
+                        .epoch_snapshots
+                        .push(self.nodes.iter().map(|n| n.model.cache().stats()).collect());
+                    let entries = self.ship_features(idlest, &old_plan, &moved);
+                    let mut plan = old_plan;
+                    plan.reassign(&moved, idlest);
+                    let epoch = build_epoch(
+                        &self.cfg,
+                        &self.nodes,
+                        flush_at_us,
+                        &self.ring,
+                        &plan,
+                        None,
+                    )
+                    .expect("overlay epoch shares the boot epoch's validated shape");
+                    let new_epoch = (*cur_epoch + 1) as u64;
+                    if let Some(ring) = tally.ring.as_mut() {
+                        ring.record(TraceEvent::migration_start(
+                            flush_at_us,
+                            idlest,
+                            moved.len() as u64,
+                            new_epoch,
+                        ));
+                        ring.record(TraceEvent::migration_done(
+                            flush_at_us,
+                            idlest,
+                            entries,
+                            new_epoch,
+                            moved.len() as u64,
+                        ));
+                    }
+                    self.close_epoch_metrics(tally, free_at, flush_at_us, dyn_epochs);
+                    dyn_epochs.push(epoch);
+                    dyn_event_at.push(flush_at_us);
+                    tally.epoch_batches.push(0);
+                    tally.migration_steps += 1;
+                    tally.adaptive_replans += 1;
+                    *last_adaptive_us = flush_at_us;
+                    *cur_epoch += 1;
+                }
+            }
             let e = *cur_epoch;
+            let ep = self.epoch_at(dyn_epochs, e);
             // Brownout gauge: the worst live-node virtual backlog at the
             // flush instant — the same value both twins derive from
             // their own `free_at` ledgers.
-            let backlog_us = self.epochs[e]
+            let backlog_us = ep
                 .live
                 .iter()
                 .map(|&id| (free_at[self.slot_of(id)] - flush_at_us).max(0.0))
@@ -1189,7 +1627,7 @@ impl Cluster {
             // brownout ladder narrowing the candidate set when the
             // backlog gauge crosses a rung).
             let (idx, exec, start_us, browned_out) = self.route_in_epoch(
-                e,
+                ep,
                 samples,
                 sla_remaining,
                 flush_at_us,
@@ -1219,7 +1657,7 @@ impl Cluster {
                     idx as i32,
                     &route_completions,
                 ));
-                for &(id, _) in &self.epochs[e].assignments[idx] {
+                for &(id, _) in &ep.assignments[idx] {
                     ring.record(TraceEvent::scatter(flush_at_us, batch, id, e as u64));
                 }
             }
@@ -1236,7 +1674,7 @@ impl Cluster {
                 let faults = &self.cfg.faults;
                 let timeout = chaos.timeout_mult * exec;
                 let mut batch_done = f64::NEG_INFINITY;
-                for &(id, _) in &self.epochs[e].assignments[idx] {
+                for &(id, _) in &ep.assignments[idx] {
                     let slot = self.slot_of(id);
                     tally.registry.add(MetricId::BatchesDispatched, slot, 1);
                     let mut a_start = start_us;
@@ -1255,7 +1693,7 @@ impl Cluster {
                             && chaos.hedging
                             && cand > a_start + chaos.hedge_frac * timeout
                         {
-                            let hedge_to = self.epochs[e]
+                            let hedge_to = ep
                                 .hedge_next
                                 .iter()
                                 .find(|&&(n, _)| n == id)
@@ -1309,7 +1747,7 @@ impl Cluster {
                 done_us = batch_done;
             } else {
                 done_us = start_us + exec;
-                for &(id, _) in &self.epochs[e].assignments[idx] {
+                for &(id, _) in &ep.assignments[idx] {
                     let slot = self.slot_of(id);
                     free_at[slot] = free_at[slot].max(flush_at_us) + exec;
                     tally.registry.add(MetricId::BatchesDispatched, slot, 1);
@@ -1321,42 +1759,50 @@ impl Cluster {
             // window whose victim is one of its targets restarts the
             // batch — at the failure instant, under the post-failure
             // plan — and the queries carry both legs' latency.
+            // Only failures retry: streaming sub-steps and adaptive
+            // re-plans keep every in-flight batch valid (its epoch's
+            // owners still hold the features' warm state until the
+            // flip, and the flip itself is preceded by shipping).
             let mut exec_epoch = e;
             let mut retried = false;
             let mut scan = e;
-            while scan < self.cfg.churn.len() {
-                let ev = self.cfg.churn[scan];
-                if ev.at_us >= done_us {
+            while scan < self.events.len() {
+                let ev_at = self.events[scan].at_us;
+                if ev_at >= done_us {
                     break;
                 }
-                if ev.action == ChurnAction::Fail
-                    && self.epochs[exec_epoch].assignments[idx]
+                if let RebalanceAction::Fail(failed) = self.events[scan].action {
+                    if self
+                        .epoch_at(dyn_epochs, exec_epoch)
+                        .assignments[idx]
                         .iter()
-                        .any(|&(id, _)| id == ev.node)
-                {
-                    exec_epoch = scan + 1;
-                    retried = true;
-                    tally.retried_batches += 1;
-                    let retry_exec =
-                        self.epochs[exec_epoch].mappings.mappings[idx].profile.latency_us(samples);
-                    let retry_start = self.epochs[exec_epoch].assignments[idx]
-                        .iter()
-                        .map(|&(id, _)| free_at[self.slot_of(id)])
-                        .fold(f64::NEG_INFINITY, f64::max)
-                        .max(ev.at_us);
-                    done_us = retry_start + retry_exec;
-                    final_exec = retry_exec;
-                    if let Some(ring) = tally.ring.as_mut() {
-                        ring.record(TraceEvent::retry(ev.at_us, batch, ev.node, exec_epoch as u64));
-                        for &(id, _) in &self.epochs[exec_epoch].assignments[idx] {
-                            ring.record(TraceEvent::scatter(ev.at_us, batch, id, exec_epoch as u64));
+                        .any(|&(id, _)| id == failed)
+                    {
+                        exec_epoch = scan + 1;
+                        retried = true;
+                        tally.retried_batches += 1;
+                        let retry_ep = self.epoch_at(dyn_epochs, exec_epoch);
+                        let retry_exec =
+                            retry_ep.mappings.mappings[idx].profile.latency_us(samples);
+                        let retry_start = retry_ep.assignments[idx]
+                            .iter()
+                            .map(|&(id, _)| free_at[self.slot_of(id)])
+                            .fold(f64::NEG_INFINITY, f64::max)
+                            .max(ev_at);
+                        done_us = retry_start + retry_exec;
+                        final_exec = retry_exec;
+                        if let Some(ring) = tally.ring.as_mut() {
+                            ring.record(TraceEvent::retry(ev_at, batch, failed, exec_epoch as u64));
+                            for &(id, _) in &retry_ep.assignments[idx] {
+                                ring.record(TraceEvent::scatter(ev_at, batch, id, exec_epoch as u64));
+                            }
                         }
-                    }
-                    for &(id, _) in &self.epochs[exec_epoch].assignments[idx] {
-                        let slot = self.slot_of(id);
-                        free_at[slot] = free_at[slot].max(ev.at_us) + retry_exec;
-                        tally.registry.add(MetricId::BatchesDispatched, slot, 1);
-                        tally.busy_us[slot] += retry_exec;
+                        for &(id, _) in &retry_ep.assignments[idx] {
+                            let slot = self.slot_of(id);
+                            free_at[slot] = free_at[slot].max(ev_at) + retry_exec;
+                            tally.registry.add(MetricId::BatchesDispatched, slot, 1);
+                            tally.busy_us[slot] += retry_exec;
+                        }
                     }
                 }
                 scan += 1;
@@ -1412,7 +1858,7 @@ impl Cluster {
             // epoch's pruned assignment — the wasted attempt exists
             // only in virtual time, so sharded math and cache state
             // stay deterministic.
-            let assignment = &self.epochs[exec_epoch].assignments[idx];
+            let assignment = &self.epoch_at(dyn_epochs, exec_epoch).assignments[idx];
             let shared = Arc::new(BatchShared {
                 path,
                 specs,
@@ -1456,6 +1902,9 @@ impl Cluster {
                         &mut free_at,
                         &mut cur_epoch,
                         &mut dispatched,
+                        &mut dyn_epochs,
+                        &mut dyn_event_at,
+                        &mut last_adaptive_us,
                     );
                 }
             }
@@ -1474,6 +1923,9 @@ impl Cluster {
                     &mut free_at,
                     &mut cur_epoch,
                     &mut dispatched,
+                    &mut dyn_epochs,
+                    &mut dyn_event_at,
+                    &mut last_adaptive_us,
                 );
             }
             pending.push(q);
@@ -1491,6 +1943,9 @@ impl Cluster {
                     &mut free_at,
                     &mut cur_epoch,
                     &mut dispatched,
+                    &mut dyn_epochs,
+                    &mut dyn_event_at,
+                    &mut last_adaptive_us,
                 );
             }
         }
@@ -1508,11 +1963,20 @@ impl Cluster {
                 &mut free_at,
                 &mut cur_epoch,
                 &mut dispatched,
+                &mut dyn_epochs,
+                &mut dyn_event_at,
+                &mut last_adaptive_us,
             );
         }
         // Process any trailing events so every epoch gets its boundary
         // snapshot even when the schedule outlives the trace.
         advance_epochs!(f64::INFINITY);
+        // Publish the planner's overlay epochs so `replay_spec` and
+        // `assemble` see the merged schedule this serve actually ran.
+        *self.adaptive.lock() = AdaptiveState {
+            epochs: dyn_epochs,
+            at_us: dyn_event_at,
+        };
         tally
     }
 
@@ -1529,7 +1993,7 @@ impl Cluster {
     #[allow(clippy::too_many_arguments)]
     fn route_in_epoch(
         &self,
-        epoch: usize,
+        ep: &ClusterEpoch,
         samples: u64,
         sla_remaining_us: f64,
         now_us: f64,
@@ -1538,7 +2002,6 @@ impl Cluster {
         backlog_us: f64,
         completions: &mut Vec<f64>,
     ) -> (usize, f64, f64, bool) {
-        let ep = &self.epochs[epoch];
         let n = ep.mappings.mappings.len();
         let mut execs = Vec::with_capacity(n);
         let mut starts = Vec::with_capacity(n);
@@ -1570,9 +2033,15 @@ impl Cluster {
     /// and resets the per-epoch accumulators. Called with the live
     /// `free_at` backlog at churn barriers and with an empty slice at
     /// end-of-serve (where the backlog is drained by definition).
-    fn close_epoch_metrics(&self, tally: &mut DispatchTally, free_at: &[f64], boundary_us: f64) {
+    fn close_epoch_metrics(
+        &self,
+        tally: &mut DispatchTally,
+        free_at: &[f64],
+        boundary_us: f64,
+        dyn_epochs: &[ClusterEpoch],
+    ) {
         let closing = tally.epoch_snapshots.len() - 1;
-        let span = (boundary_us - self.epochs[closing].start_us).max(1.0);
+        let span = (boundary_us - self.epoch_at(dyn_epochs, closing).start_us).max(1.0);
         let zeros: Vec<CacheStats> = Vec::new();
         let prev = if closing == 0 {
             &zeros
@@ -1636,11 +2105,15 @@ impl Cluster {
             self.nodes.iter().map(|n| n.model.cache().stats()).collect();
         // Final epoch closes at end-of-serve: its delta runs from the
         // last boundary snapshot to the final counters, and its metric
-        // window closes at the last virtual completion.
+        // window closes at the last virtual completion. The epoch index
+        // space merges the static schedule with any overlay epochs the
+        // adaptive planner opened during this serve.
+        let adaptive = self.adaptive.lock();
         tally.epoch_snapshots.push(per_node_cache.clone());
         let end_us = tally.last_done_us;
-        self.close_epoch_metrics(&mut tally, &[], end_us);
-        let mut epochs = Vec::with_capacity(self.epochs.len());
+        self.close_epoch_metrics(&mut tally, &[], end_us, &adaptive.epochs);
+        let total_epochs = self.epochs.len() + adaptive.epochs.len();
+        let mut epochs = Vec::with_capacity(total_epochs);
         let mut prev: Vec<CacheStats> = self.nodes.iter().map(|_| CacheStats::default()).collect();
         for (e, snapshot) in tally.epoch_snapshots.iter().enumerate() {
             let deltas = snapshot
@@ -1648,9 +2121,10 @@ impl Cluster {
                 .zip(prev.iter())
                 .map(|(now, before)| stats_delta(now, before))
                 .collect();
+            let ep = self.epoch_at(&adaptive.epochs, e);
             epochs.push(EpochReport {
-                start_us: self.epochs[e].start_us,
-                live: self.epochs[e].live.clone(),
+                start_us: ep.start_us,
+                live: ep.live.clone(),
                 batches: tally.epoch_batches[e],
                 per_node_cache: deltas,
                 metrics: tally.epoch_metrics.get(e).cloned().unwrap_or_default(),
@@ -1660,7 +2134,7 @@ impl Cluster {
         let cache = per_node_cache
             .iter()
             .fold(CacheStats::default(), |acc, s| acc.merged(s));
-        let final_plan = &self.epochs[self.epochs.len() - 1].plan;
+        let final_plan = &self.epoch_at(&adaptive.epochs, total_epochs - 1).plan;
         let outcome = ServingOutcome {
             policy: format!(
                 "cluster:{}@{}n/{}w",
@@ -1699,6 +2173,8 @@ impl Cluster {
             leg_timeouts: tally.leg_timeouts,
             hedged_legs: tally.hedged_legs,
             leg_retries: tally.leg_retries,
+            migration_steps: tally.migration_steps,
+            adaptive_replans: tally.adaptive_replans,
             epochs,
             checksum: merged.checksum,
             nodes: self.cfg.nodes,
@@ -2569,6 +3045,181 @@ mod tests {
             joiner_final.encoder_hit_rate() > 0.0,
             "joiner's cold cache warms up"
         );
+    }
+
+    #[test]
+    fn streaming_join_opens_a_dual_ownership_window() {
+        // A streaming join must expand into window-open + one epoch per
+        // chunk flip + the penalty lift, converging on exactly the plan
+        // a barrier swap would have produced in one step.
+        let barrier = Cluster::new(with_churn(quick_cfg(3))).unwrap();
+        assert_eq!(barrier.epochs().len(), 3, "barrier baseline: boot/fail/join");
+        let streaming = Cluster::new(ClusterConfig {
+            rebalance: RebalanceConfig {
+                streaming_chunks: 2,
+                drain_us: 300.0,
+                ..RebalanceConfig::default()
+            },
+            ..with_churn(quick_cfg(3))
+        })
+        .unwrap();
+        let joiner = 3u32;
+        let moves = barrier.epochs()[2].plan.features_of(joiner).len();
+        assert!(moves >= 1, "test premise: the joiner takes features");
+        let chunks = moves.min(2);
+        // boot + fail + window + one per chunk + lift.
+        let e = streaming.epochs();
+        assert_eq!(e.len(), 4 + chunks);
+        // The window epoch: joiner is live (it can receive warm state)
+        // but owns nothing yet — reads keep going to the old owners.
+        let window = &e[2];
+        assert!(window.live.contains(&joiner), "joiner live in the window");
+        assert!(
+            window.plan.features_of(joiner).is_empty(),
+            "dual-ownership window: reads stay on the old owners"
+        );
+        // Each flip epoch grows the joiner's shard monotonically...
+        let mut owned = 0;
+        for ep in &e[3..3 + chunks] {
+            let now = ep.plan.features_of(joiner).len();
+            assert!(now > owned, "each chunk flip moves features");
+            owned = now;
+        }
+        // ...and the final plan is exactly the barrier plan.
+        assert_eq!(e[e.len() - 1].plan, barrier.epochs()[2].plan);
+        assert_eq!(e[2 + chunks].plan, barrier.epochs()[2].plan);
+        // The replay contract holds with the expanded schedule, and
+        // only the failure carries a retry-triggering node.
+        let spec = streaming.replay_spec();
+        assert_eq!(spec.events.len() + 1, spec.epochs.len());
+        let failed: Vec<_> = spec.events.iter().filter_map(|ev| ev.failed).collect();
+        assert_eq!(failed, vec![2], "only the failure retries in-flight work");
+    }
+
+    #[test]
+    fn penalty_drain_lifts_the_disk_hit_surcharge() {
+        // Satellite regression: the joiner's disk-hit surcharge used to
+        // stick to its routing profiles for the rest of the run. With a
+        // drain window configured, the lift epoch must route on
+        // unpenalized profiles again — same plan, cheaper paths.
+        let cluster = Cluster::new(ClusterConfig {
+            rebalance: RebalanceConfig {
+                streaming_chunks: 2,
+                drain_us: 300.0,
+                ..RebalanceConfig::default()
+            },
+            ..with_churn(quick_cfg(3))
+        })
+        .unwrap();
+        let e = cluster.epochs();
+        let (penalized, lifted) = (&e[e.len() - 2], &e[e.len() - 1]);
+        assert_eq!(penalized.plan, lifted.plan, "the lift changes no shards");
+        let mut strictly_cheaper = 0;
+        for (p, l) in penalized
+            .mappings
+            .mappings
+            .iter()
+            .zip(lifted.mappings.mappings.iter())
+        {
+            let (pc, lc) = (p.profile.latency_us(1024), l.profile.latency_us(1024));
+            assert!(lc <= pc, "lift never makes a path slower: {lc} > {pc}");
+            if lc < pc {
+                strictly_cheaper += 1;
+            }
+        }
+        assert!(
+            strictly_cheaper >= 1,
+            "at least one path scattered to the joiner and sheds the surcharge"
+        );
+    }
+
+    #[test]
+    fn warm_start_ships_disk_tier_records_too() {
+        // Satellite regression: `warm_start_joiner` used to export only
+        // the old owners' *dynamic* tiers, silently dropping records
+        // that lived in their disk segments (e.g. parked there by an
+        // earlier hand-off and never promoted). A disk-resident feature
+        // must survive a fail -> join cycle.
+        let cluster = Cluster::new(with_churn(quick_cfg(3))).unwrap();
+        let joiner = 3u32;
+        let feats = cluster.epochs()[2].plan.features_of(joiner);
+        assert!(!feats.is_empty(), "test premise: the joiner takes features");
+        let f = feats[0];
+        let owner = cluster.epochs()[1].plan.node_of(f);
+        assert_ne!(owner, joiner);
+        // Park records for the migrating feature in the old owner's
+        // disk tier only — its dynamic tier never sees them.
+        let mut seg = mprec_core::Segment::new();
+        for id in 0..12u64 {
+            seg.append(f, id, &[id as f32, 1.0, 2.0, 3.0]);
+        }
+        let owner_cache = cluster.nodes[cluster.slot_of(owner)].model.cache();
+        assert_eq!(owner_cache.load_disk_segment(&seg.to_bytes()).unwrap(), 12);
+        let shipped = cluster.warm_start_joiner(joiner, 2);
+        assert!(
+            shipped >= 12,
+            "disk-tier records must ship on warm start, got {shipped}"
+        );
+        let joiner_cache = cluster.nodes[cluster.slot_of(joiner)].model.cache();
+        assert!(joiner_cache.disk_len() >= 12, "records landed on the joiner");
+    }
+
+    #[test]
+    fn adaptive_planner_rebalances_a_hot_table_executor() {
+        // Pin every batch to the table path: pruned scatter folds it
+        // onto one designated executor, so that node's virtual queue
+        // grows while the others idle — exactly the hot-key imbalance
+        // the planner watches. It must fire at least one partial
+        // migration, every query must still complete exactly once, and
+        // the overlay epochs must keep the replay contract intact.
+        // Cripple the designated executor's capacity so its virtual
+        // queue actually backs up between flushes.
+        let mut base = ClusterConfig {
+            route: RoutePolicy::Fixed(PathKind::Table),
+            ..quick_cfg(3)
+        };
+        base.trace.qps = 20_000.0;
+        let probe = Cluster::new(base.clone()).unwrap();
+        let table_idx = probe
+            .paths()
+            .iter()
+            .position(|&p| p == PathKind::Table)
+            .unwrap();
+        let executor = probe.epochs()[0].assignments[table_idx][0].0;
+        let mut capacities = vec![base.virtual_gflops; 3];
+        capacities[executor as usize] = base.virtual_gflops / 200.0;
+        let cluster = Cluster::new(ClusterConfig {
+            node_capacity_gflops: capacities,
+            rebalance: RebalanceConfig {
+                adaptive: true,
+                adaptive_threshold_us: 50.0,
+                adaptive_cooldown_us: 5_000.0,
+                adaptive_max_moves: 1,
+                ..RebalanceConfig::default()
+            },
+            ..base
+        })
+        .unwrap();
+        assert_eq!(cluster.epochs().len(), 1, "no configured churn");
+        let report = cluster.serve().unwrap();
+        assert_eq!(report.outcome.completed, 300, "no query lost to a re-plan");
+        assert_eq!(report.routed_queries, 300);
+        assert!(
+            report.adaptive_replans >= 1,
+            "the imbalance must trigger the planner"
+        );
+        assert_eq!(report.migration_steps, report.adaptive_replans);
+        let spec = cluster.replay_spec();
+        assert_eq!(spec.events.len() + 1, spec.epochs.len());
+        assert!(
+            spec.epochs.len() > cluster.epochs().len(),
+            "overlay epochs are appended to the replay spec"
+        );
+        assert!(
+            spec.events.iter().all(|ev| ev.failed.is_none()),
+            "re-plans never retry in-flight batches"
+        );
+        assert_eq!(report.epochs.len(), spec.epochs.len());
     }
 
     #[test]

@@ -202,11 +202,25 @@ impl LatencyHistogram {
     /// Approximate `q`-quantile (`q` in [0, 1]) in microseconds: the upper
     /// bound of the bucket holding the target order statistic, clamped to
     /// the exact observed maximum.
+    ///
+    /// Edge cases are exact, not bucket-quantized: an empty histogram
+    /// reports 0 for every quantile, `q <= 0` (and non-finite `q`)
+    /// returns the tracked minimum, and `q >= 1` returns the tracked
+    /// maximum — so `quantile_us(0.0) <= quantile_us(q) <=
+    /// quantile_us(1.0)` holds for all `q`, including after
+    /// cross-resolution merges.
     pub fn quantile_us(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
-        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let q = if q.is_finite() { q.clamp(0.0, 1.0) } else { 0.0 };
+        if q == 0.0 {
+            // The 0-quantile is the smallest observation, tracked exactly
+            // outside the buckets — not the first non-empty bucket's
+            // (quantized) upper bound.
+            return self.min_us;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
         let mut cum = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             cum += c;
@@ -228,7 +242,9 @@ impl LatencyHistogram {
     /// [`quantile_us`](Self::quantile_us) with the percentile spelled as
     /// a percentage: `percentile(95.0) == quantile_us(0.95)`. Benches
     /// and the metrics registry use this instead of re-implementing
-    /// quantile extraction.
+    /// quantile extraction. `p <= 0` is the exact minimum, `p >= 100`
+    /// the exact maximum; out-of-range and non-finite `p` clamp rather
+    /// than panic or alias into the bucket grid.
     pub fn percentile(&self, p: f64) -> f64 {
         self.quantile_us(p / 100.0)
     }
@@ -452,6 +468,41 @@ mod tests {
         assert_eq!(a.subs_per_octave(), 3, "gcd(9, 6)");
         assert_eq!(a.count(), 6);
         assert_eq!(a.max_us(), 2000.0);
+    }
+
+    #[test]
+    fn percentile_edge_cases_are_exact() {
+        let empty = LatencyHistogram::new();
+        for p in [0.0, 50.0, 100.0, -3.0, 400.0] {
+            assert_eq!(empty.percentile(p), 0.0, "empty histogram reports 0");
+        }
+
+        let mut h = LatencyHistogram::new();
+        for v in [3.0, 70.0, 900.0] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 3.0, "p0 is the exact minimum");
+        assert_eq!(h.percentile(100.0), 900.0, "p100 is the exact maximum");
+        assert_eq!(h.percentile(-5.0), 3.0, "negative p clamps to p0");
+        assert_eq!(h.percentile(250.0), 900.0, "overshoot clamps to p100");
+        assert_eq!(
+            h.percentile(f64::NAN),
+            3.0,
+            "non-finite p clamps instead of aliasing into the bucket grid"
+        );
+
+        // Single-bucket histogram: every interior quantile stays inside
+        // the observed [min, max] envelope.
+        let mut one = LatencyHistogram::new();
+        one.record(10.0);
+        one.record(10.1);
+        for p in [0.0, 25.0, 50.0, 99.0, 100.0] {
+            let v = one.percentile(p);
+            assert!(
+                (10.0..=10.1).contains(&v),
+                "p{p} = {v} escaped the single-bucket envelope"
+            );
+        }
     }
 
     #[test]

@@ -57,7 +57,7 @@ mod queue;
 
 pub use cluster::{
     serve_cluster, Cluster, ClusterConfig, ClusterEpoch, ClusterReport, ClusterScratch,
-    EpochReport, FeatureShardPlan,
+    EpochReport, FeatureShardPlan, RebalanceConfig,
 };
 pub use engine::{
     serve, Engine, PathAccuracy, RoutePolicy, RuntimeConfig, RuntimeReport, SlaAccounting,

@@ -291,14 +291,23 @@ pub struct ClusterEpochSpec {
     pub hedge_next: Vec<(u32, u32)>,
 }
 
-/// One churn event separating two epochs.
+/// One rebalance event separating two epochs. The runtime expands every
+/// configured churn event into one or more of these: a failure stays a
+/// single barrier swap, while a streaming join unrolls into its
+/// dual-ownership window open, one event per chunk flip, and the
+/// cold-tier penalty lift; adaptive re-plans append further events
+/// after the static schedule. The replay needs no migration-specific
+/// logic — each event just advances it to the next epoch's profiles and
+/// target sets at the first flush at or after `at_us`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClusterChurnSpec {
     /// Virtual time of the event (µs); takes effect at the first flush
     /// at or after it.
     pub at_us: f64,
     /// `Some(node)` for a failure (in-flight batches to it retry under
-    /// the next epoch), `None` for a join (no retries).
+    /// the next epoch), `None` for every other rebalance step — joins,
+    /// window opens, chunk flips, penalty lifts, adaptive re-plans —
+    /// none of which retries anything.
     pub failed: Option<u32>,
 }
 

@@ -42,6 +42,8 @@ fn event_name(e: &TraceEvent, labels: &[String]) -> String {
         EventKind::Complete => format!("complete q{}", e.id),
         EventKind::EpochBarrier => format!("epoch {} barrier", e.b),
         EventKind::WarmStart => format!("warm-start n{}", e.node),
+        EventKind::MigrationStart => format!("migration window n{}", e.node),
+        EventKind::MigrationDone => format!("migration chunk -> n{}", e.node),
         EventKind::Timeout => format!("timeout b{} @ n{}", e.id, e.node),
         EventKind::Hedge => format!("hedge b{} -> n{}", e.id, e.node),
         EventKind::Shed => format!("shed q{}", e.id),
@@ -113,6 +115,20 @@ fn event_args(e: &TraceEvent, labels: &[String]) -> String {
         }
         EventKind::WarmStart => {
             let _ = write!(args, "\"node\":{},\"entries\":{},\"new_epoch\":{}", e.node, e.a, e.b);
+        }
+        EventKind::MigrationStart => {
+            let _ = write!(
+                args,
+                "\"node\":{},\"features_pending\":{},\"new_epoch\":{}",
+                e.node, e.a, e.b
+            );
+        }
+        EventKind::MigrationDone => {
+            let _ = write!(
+                args,
+                "\"node\":{},\"entries\":{},\"new_epoch\":{},\"features\":{}",
+                e.node, e.a, e.b, e.arg as u64
+            );
         }
         EventKind::Timeout => {
             let _ = write!(

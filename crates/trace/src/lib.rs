@@ -27,6 +27,8 @@
 //! | `Complete`      | virtual done        | query id | —          | —              | batch id     | virtual latency    | —                             | —                            |
 //! | `EpochBarrier`  | membership event    | —        | churned    | 0=fail, 1=join | new epoch    | —                  | —                             | —                            |
 //! | `WarmStart`     | membership event    | —        | joiner     | entries loaded | new epoch    | —                  | —                             | —                            |
+//! | `MigrationStart`| window open         | —        | receiver   | features pending | new epoch  | —                  | —                             | —                            |
+//! | `MigrationDone` | chunk flip          | —        | receiver   | entries shipped | new epoch   | features flipped   | —                             | —                            |
 //! | `Timeout`       | leg deadline        | batch id | timed-out  | attempt        | —            | timeout budget     | —                             | —                            |
 //! | `Hedge`         | hedge instant       | batch id | hedge target | primary node | —            | —                  | —                             | —                            |
 //! | `Shed`          | flush instant       | query id | —          | samples        | —            | backlog (µs)       | —                             | —                            |
@@ -42,8 +44,10 @@
 //! [`EventKind::is_twin_pinned`] marks them. `NodeExecute` and `Merge`
 //! land on worker/merger threads (their *stamps* are virtual, but their
 //! ring order depends on wall-clock scheduling), and
-//! `EpochBarrier`/`WarmStart` are runtime-membership bookkeeping, so the
-//! twin comparison excludes those kinds.
+//! `EpochBarrier`/`WarmStart`/`MigrationStart`/`MigrationDone` are
+//! runtime-membership bookkeeping (the twin consumes the resulting
+//! epochs from the shipped spec instead of re-enacting the handoff), so
+//! the twin comparison excludes those kinds.
 //!
 //! # Spill policy and sampling
 //!
@@ -113,6 +117,13 @@ pub enum EventKind {
     EpochBarrier,
     /// A joining node warm-started its cache from disk segments.
     WarmStart,
+    /// A dual-ownership handoff window opened: the receiver is live but
+    /// the listed features are still read-served by their old owners
+    /// until each chunk flips.
+    MigrationStart,
+    /// One handoff chunk flipped to the receiver after its warm cache
+    /// entries (dynamic + disk tiers) were shipped in the background.
+    MigrationDone,
     /// A scatter leg missed its per-leg virtual-time deadline; the
     /// retry ladder takes over.
     Timeout,
@@ -139,6 +150,8 @@ impl EventKind {
             EventKind::Complete => "complete",
             EventKind::EpochBarrier => "epoch_barrier",
             EventKind::WarmStart => "warm_start",
+            EventKind::MigrationStart => "migration_start",
+            EventKind::MigrationDone => "migration_done",
             EventKind::Timeout => "timeout",
             EventKind::Hedge => "hedge",
             EventKind::Shed => "shed",
@@ -155,6 +168,8 @@ impl EventKind {
                 | EventKind::Merge
                 | EventKind::EpochBarrier
                 | EventKind::WarmStart
+                | EventKind::MigrationStart
+                | EventKind::MigrationDone
         )
     }
 }
@@ -337,6 +352,36 @@ impl TraceEvent {
             node,
             a: entries,
             b: new_epoch,
+            ..Self::default()
+        }
+    }
+
+    /// A dual-ownership handoff window opened at `t_us`: receiving
+    /// `node` became live under `new_epoch` with `features` still
+    /// pending (read-served by their old owners until each chunk
+    /// flips).
+    pub fn migration_start(t_us: f64, node: u32, features: u64, new_epoch: u64) -> Self {
+        TraceEvent {
+            t_us,
+            kind: EventKind::MigrationStart,
+            node,
+            a: features,
+            b: new_epoch,
+            ..Self::default()
+        }
+    }
+
+    /// One handoff chunk of `features` features flipped to receiving
+    /// `node` at `t_us` under `new_epoch`, after `entries` warm cache
+    /// entries were shipped in the background.
+    pub fn migration_done(t_us: f64, node: u32, entries: u64, new_epoch: u64, features: u64) -> Self {
+        TraceEvent {
+            t_us,
+            kind: EventKind::MigrationDone,
+            node,
+            a: entries,
+            b: new_epoch,
+            arg: features as f64,
             ..Self::default()
         }
     }

@@ -61,6 +61,15 @@ bench-cluster:
 cluster-smoke:
     timeout 300 cargo run --release -p mprec-bench --bin cluster_throughput -- --smoke --churn
 
+# Live-migration smoke: the smoke cell plus the rebalance pair — the
+# same hot-key-drift churn trace under the stop-the-world barrier swap
+# vs streaming chunked handoff (dual-ownership flips + cold-tier
+# penalty drain + adaptive planner). Asserts zero dropped queries and
+# a strict virtual SLA-violation-rate reduction for streaming. Mirrors
+# the CI step.
+migrate-smoke:
+    timeout 300 cargo run --release -p mprec-bench --bin cluster_throughput -- --smoke --migrate
+
 # Chaos-plane smoke: the smoke cell plus the fault-storm pair
 # (hardening on vs off under the same FaultPlan::storm). Asserts the
 # strict virtual SLA-violation-rate reduction from hedging + brownout

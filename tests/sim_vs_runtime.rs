@@ -19,8 +19,8 @@
 use mprec::data::query::QueryTraceConfig;
 use mprec::data::scenario::{self, ChurnAction, LoadScenario};
 use mprec::runtime::{
-    serve, Cluster, ClusterConfig, ClusterReport, PathKind, RuntimeConfig, RuntimeModel,
-    RuntimeModelConfig, RuntimeReport,
+    serve, Cluster, ClusterConfig, ClusterReport, PathKind, RebalanceConfig, RuntimeConfig,
+    RuntimeModel, RuntimeModelConfig, RuntimeReport,
 };
 use mprec::serving::replay::{
     replay, replay_cluster, replay_cluster_traced, replay_traced, ClusterReplayResult,
@@ -366,13 +366,23 @@ fn mirror_warm_start(
         }
         for (owner, feats) in by_owner {
             let slot = ids.iter().position(|i| *i == owner).expect("owner twin");
-            let seg = twins[slot]
+            // Disk first, dynamic second — mirroring the runtime's
+            // hand-off exactly: the receiver's log is last-write-wins
+            // and the dynamic tier holds the live values. Shipping the
+            // disk tier too is what keeps a twice-migrated feature's
+            // parked records alive.
+            let disk = twins[slot]
+                .cache()
+                .export_disk_segment(|f| feats.contains(&f));
+            let dynamic = twins[slot]
                 .cache()
                 .export_dynamic_segment(|f| feats.contains(&f));
-            twins[joiner_slot]
-                .cache()
-                .load_disk_segment(&seg)
-                .expect("exported segment loads");
+            for seg in [disk, dynamic] {
+                twins[joiner_slot]
+                    .cache()
+                    .load_disk_segment(&seg)
+                    .expect("exported segment loads");
+            }
         }
     }
 }
@@ -679,6 +689,100 @@ fn churned_cluster_trace_twins_agree_event_for_event() {
         sim_disp.events_of(EventKind::EpochBarrier).count(),
         0,
         "membership events are runtime-only"
+    );
+}
+
+#[test]
+fn streaming_migration_and_adaptive_replan_twins_agree_event_for_event() {
+    // The full elastic path in one trace: the join streams in over
+    // chunked dual-ownership flips plus a penalty drain (no barrier
+    // swap), and once the static schedule is exhausted the adaptive
+    // planner opens at least one overlay epoch under hot-key drift.
+    // The replay twin consumes the merged spec — static epochs plus
+    // overlays — with no migration-specific logic of its own, and must
+    // agree on every virtual-time number and pinned dispatcher event.
+    let mut cfg = ClusterConfig {
+        recorder: TraceConfig::enabled(),
+        scenario: LoadScenario::HotKeyDrift { epochs: 6 },
+        ..churned(cluster_cfg(3, 2, 0))
+    };
+    cfg.rebalance = RebalanceConfig {
+        streaming_chunks: 2,
+        drain_us: 400.0,
+        adaptive: true,
+        adaptive_threshold_us: 50.0,
+        adaptive_cooldown_us: 4_000.0,
+        adaptive_max_moves: 1,
+        ..RebalanceConfig::default()
+    };
+    let cluster = Cluster::new(cfg.clone()).expect("cluster builds");
+    let report = cluster.serve().expect("cluster serves");
+    let trace = scenario::generate(cfg.trace, cfg.scenario, cfg.seed);
+    // replay_spec is read *after* serving so the planner's overlay
+    // epochs are part of the shipped contract.
+    let (sim, sim_trace) = replay_cluster_traced(
+        &cluster.replay_spec(),
+        &trace,
+        &ReplayConfig {
+            sla_us: cfg.sla_us,
+            max_batch_samples: cfg.max_batch_samples,
+            max_batch_wait_us: cfg.max_batch_wait_us,
+        },
+        TraceConfig::enabled(),
+    );
+
+    assert!(
+        cluster.epochs().len() > 3,
+        "the join expanded into streaming sub-epochs, got {}",
+        cluster.epochs().len()
+    );
+    assert!(
+        report.migration_steps > report.adaptive_replans,
+        "at least one chunk flip streamed warm state"
+    );
+    assert!(
+        report.adaptive_replans >= 1,
+        "hot-key drift triggered the planner"
+    );
+    assert_eq!(report.outcome.completed, 500, "no query lost mid-migration");
+
+    assert_cluster_agreement(&cluster, &report, &sim);
+    assert_eq!(
+        report.cache,
+        merged_twin_stats(&cfg, &cluster, &sim),
+        "merged counters are plan-invariant across streaming + re-plans"
+    );
+    let rt_trace = report.trace.as_ref().expect("cluster recorded a trace");
+    let sim_trace = sim_trace.expect("replay recorded a trace");
+    assert_trace_twin_agreement(rt_trace, &sim_trace);
+
+    // The migration lifecycle itself is runtime-only (like EpochBarrier
+    // and WarmStart): window-open plus each re-plan announce a start,
+    // every flip and re-plan lands a done.
+    let rt_disp = rt_trace.track("dispatcher").unwrap();
+    let sim_disp = sim_trace.track("dispatcher").unwrap();
+    assert_eq!(
+        rt_disp.events_of(EventKind::MigrationStart).count() as u64,
+        1 + report.adaptive_replans,
+        "one dual-ownership window + one start per re-plan"
+    );
+    assert_eq!(
+        rt_disp.events_of(EventKind::MigrationDone).count() as u64,
+        report.migration_steps,
+        "every chunk flip and re-plan completes"
+    );
+    assert_eq!(sim_disp.events_of(EventKind::MigrationStart).count(), 0);
+    assert_eq!(sim_disp.events_of(EventKind::MigrationDone).count(), 0);
+
+    // The merged spec keeps the replay shape contract with the overlay
+    // epochs appended.
+    let spec = cluster.replay_spec();
+    assert_eq!(spec.events.len() + 1, spec.epochs.len());
+    assert_eq!(report.epochs.len(), spec.epochs.len());
+    assert_eq!(
+        spec.events.iter().filter_map(|ev| ev.failed).count(),
+        1,
+        "only the failure retries in-flight batches"
     );
 }
 
