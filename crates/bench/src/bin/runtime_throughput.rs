@@ -12,11 +12,19 @@
 //!   runtime_throughput \[num_queries\]  full sweep (default 10000/cell)
 //!   runtime_throughput --smoke         CI smoke: one 4-worker cell,
 //!                                      3000 queries, asserts completion
+//!   runtime_throughput --smoke --tenants
+//!                                      CI tenant guard: light + overload
+//!                                      2-tenant open-loop cells, per-
+//!                                      tenant SLA-class separation
+//!                                      asserted (loose class shed first,
+//!                                      strict never class-shed); the
+//!                                      full sweep always includes it
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use mprec_data::query::QueryTraceConfig;
+use mprec_data::traffic::{TenantSpec, TrafficConfig};
 use mprec_runtime::{Engine, RuntimeConfig, RuntimeReport};
 
 struct Cell {
@@ -77,8 +85,156 @@ fn cell_json(c: &Cell) -> String {
     )
 }
 
+struct TenantCell {
+    label: &'static str,
+    mix: TrafficConfig,
+    report: RuntimeReport,
+    serve_s: f64,
+}
+
+/// Runs one 2-tenant open-loop cell: a strict 2 ms interactive tenant
+/// and a loose 20 ms batch tenant, arrival rates scaled by `qps_mult`
+/// over slow virtual compute. At `qps_mult >= 1` the cell is genuinely
+/// overloaded and the loose class's degradation ladder engages.
+fn run_tenant_cell(label: &'static str, qps_mult: f64) -> TenantCell {
+    let mix = TrafficConfig::new(vec![
+        TenantSpec::ranking("interactive", 1_500, 9_000.0 * qps_mult),
+        TenantSpec::batch("batch-score", 1_000, 6_000.0 * qps_mult),
+    ]);
+    let cfg = RuntimeConfig {
+        workers: 2,
+        cache_shards: 4,
+        tenants: mix.clone(),
+        // A small model with slow virtual compute: capacity sits near
+        // 1-2k qps, so the light cell (5% rates) is uncongested while
+        // the overload cell's backlog climbs through the loose class's
+        // ladder within the trace.
+        model: mprec_runtime::RuntimeModelConfig {
+            sparse_features: 3,
+            rows_per_feature: 800,
+            emb_dim: 4,
+            dhe_k: 8,
+            dhe_dnn: 8,
+            dhe_h: 1,
+            top_hidden: vec![8],
+            encoder_cache_bytes: 2_048,
+            decoder_centroids: 8,
+            dynamic_cache_entries: 0,
+            profile_accesses: 3_000,
+            ..mprec_runtime::RuntimeModelConfig::default()
+        },
+        max_batch_samples: 40,
+        // A batch deadline well inside the strict 2 ms target: at light
+        // load the wait must not eat the whole latency budget.
+        max_batch_wait_us: 400.0,
+        seed: 42,
+        virtual_gflops: 0.005,
+        sla_us: 2_500.0,
+        ..RuntimeConfig::default()
+    };
+    let engine = Engine::new(cfg).expect("tenant engine builds");
+    let t0 = Instant::now();
+    let report = engine.serve().expect("tenant cell serves");
+    let serve_s = t0.elapsed().as_secs_f64();
+    TenantCell { label, mix, report, serve_s }
+}
+
+fn tenant_cell_json(c: &TenantCell) -> String {
+    let mut rows = String::new();
+    for (i, row) in c.report.tenants.iter().enumerate() {
+        let sep = if i + 1 < c.report.tenants.len() { "," } else { "" };
+        let completed = row.completed.max(1) as f64;
+        let _ = write!(
+            rows,
+            concat!(
+                "{{\"tenant\":{},\"name\":\"{}\",\"sla_us\":{},\"completed\":{},",
+                "\"shed_queries\":{},\"virtual_sla_violation_rate\":{:.5},",
+                "\"virtual_p50_us\":{:.1},\"virtual_p95_us\":{:.1},\"virtual_p99_us\":{:.1}}}{}"
+            ),
+            row.tenant,
+            c.mix.tenants[row.tenant as usize].name,
+            row.sla_us,
+            row.completed,
+            row.shed_queries,
+            row.virtual_sla_violations as f64 / completed,
+            row.virtual_histogram.quantile_us(0.50),
+            row.virtual_histogram.quantile_us(0.95),
+            row.virtual_histogram.quantile_us(0.99),
+            sep,
+        );
+    }
+    format!(
+        "{{\"cell\":\"{}\",\"completed\":{},\"shed_queries\":{},\"serve_s\":{:.3},\"tenants\":[{}]}}",
+        c.label, c.report.outcome.completed, c.report.shed_queries, c.serve_s, rows
+    )
+}
+
+/// Runs the light + overload tenant pair and asserts the SLA-class
+/// separation contract in-process.
+fn run_tenant_sweep() -> Vec<TenantCell> {
+    let light = run_tenant_cell("light", 0.05);
+    let overload = run_tenant_cell("overload", 1.0);
+    for c in [&light, &overload] {
+        let total = c.mix.total_queries() as u64;
+        assert_eq!(
+            c.report.outcome.completed + c.report.shed_queries,
+            total,
+            "tenants ({}): every query completes or is shed explicitly",
+            c.label
+        );
+        let footed: u64 = c
+            .report
+            .tenants
+            .iter()
+            .map(|t| t.completed + t.shed_queries)
+            .sum();
+        assert_eq!(footed, total, "tenants ({}): rows partition the trace", c.label);
+        assert_eq!(
+            c.report.tenants[0].shed_queries, 0,
+            "tenants ({}): the strict class is never class-shed",
+            c.label
+        );
+    }
+    assert_eq!(
+        light.report.shed_queries, 0,
+        "tenants (light): no backlog, no shedding"
+    );
+    assert!(
+        overload.report.tenants[1].shed_queries > 0,
+        "tenants (overload): the loose class must shed first under backlog \
+         (got none; raise the rates or lower virtual_gflops)"
+    );
+    println!("\ntenant sweep (strict 2ms interactive vs loose 20ms batch, open loop):");
+    println!(
+        "{:>9} {:>12} {:>8} {:>10} {:>6} {:>10} {:>12} {:>12}",
+        "cell", "tenant", "sla ms", "completed", "shed", "viol rate", "v-p50 ms", "v-p99 ms"
+    );
+    for c in [&light, &overload] {
+        for row in &c.report.tenants {
+            println!(
+                "{:>9} {:>12} {:>8.0} {:>10} {:>6} {:>10.4} {:>12.2} {:>12.2}",
+                c.label,
+                c.mix.tenants[row.tenant as usize].name,
+                row.sla_us / 1000.0,
+                row.completed,
+                row.shed_queries,
+                row.virtual_sla_violations as f64 / row.completed.max(1) as f64,
+                row.virtual_histogram.quantile_us(0.50) / 1000.0,
+                row.virtual_histogram.quantile_us(0.99) / 1000.0,
+            );
+        }
+    }
+    println!(
+        "(virtual-time latencies; under overload the loose class walks its \
+         narrow -> table-only -> shed ladder while the strict class keeps its \
+         full candidate set — the separation above is asserted in-process)"
+    );
+    vec![light, overload]
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let tenants_flag = std::env::args().any(|a| a == "--tenants");
     mprec_bench::header(
         "runtime_throughput",
         "real multi-threaded serving scales with workers (>1.5x from 1 to 4)",
@@ -124,6 +280,14 @@ fn main() {
             c.serve_s,
         );
     }
+
+    // Tenant sweep: always part of the full sweep; opt-in for the CI
+    // smoke via --tenants (the separation assertions run in-process).
+    let tenant_cells: Vec<TenantCell> = if tenants_flag || !smoke {
+        run_tenant_sweep()
+    } else {
+        Vec::new()
+    };
 
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -172,6 +336,17 @@ fn main() {
     for (i, c) in cells.iter().enumerate() {
         let sep = if i + 1 < cells.len() { "," } else { "" };
         let _ = writeln!(json, "    {}{}", cell_json(c), sep);
+    }
+    json.push_str(
+        "  ],\n  \"tenant_note\": \"2-tenant open-loop mix (strict 2ms interactive vs \
+         loose 20ms batch) over slow virtual compute; per-tenant virtual-time \
+         percentiles and violation rates; loose-class-sheds-first and \
+         strict-never-class-shed are asserted in-process\",\n",
+    );
+    json.push_str("  \"tenant_sweep\": [\n");
+    for (i, c) in tenant_cells.iter().enumerate() {
+        let sep = if i + 1 < tenant_cells.len() { "," } else { "" };
+        let _ = writeln!(json, "    {}{}", tenant_cell_json(c), sep);
     }
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");

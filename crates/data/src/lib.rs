@@ -27,6 +27,7 @@ mod hashutil;
 pub mod query;
 pub mod scenario;
 pub mod teacher;
+pub mod traffic;
 pub mod zipf;
 
 pub use batch::Batch;

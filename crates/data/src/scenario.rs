@@ -16,36 +16,129 @@
 //!   (cache churn: the MP-Cache static tier goes stale as the hot set
 //!   moves).
 //!
-//! Hot-key drift travels inside [`Query::id`]: the top [`EPOCH_SHIFT`]
-//! bits carry the epoch, the low bits the sequential query number
-//! ([`with_epoch`], [`epoch_of`], [`sequence_of`]). Consumers that draw
-//! sparse IDs per query (the runtime's `RuntimeModel`) rotate their
-//! Zipf ranks by a per-epoch offset, so epoch 0 (every non-drift trace)
-//! reproduces the legacy ID stream exactly.
+//! Hot-key drift, tenancy, and user identity all travel inside
+//! [`Query::id`] under a validated bit budget (see [`pack_query_id`]):
+//!
+//! ```text
+//! bit 63                                                    bit 0
+//! | epoch : 8 | tenant : 4 |      user : 24     |    seq : 28    |
+//! ```
+//!
+//! * **epoch** (8 bits, 256 hot-set rotations) — the hot-key-drift
+//!   epoch, formerly 16 bits at shift 48. The old layout let a wide
+//!   sequence space collide with the epoch bits (a trace of more than
+//!   2^48 queries — or any generator packing user ids into the low
+//!   bits — would silently bleed into the epoch field); every field is
+//!   now `debug_assert`-validated at pack time and budget-checked by a
+//!   unit test.
+//! * **tenant** (4 bits, 16 tenants) — which [`crate::traffic`] tenant
+//!   issued the query; 0 for every legacy single-tenant trace.
+//! * **user** (24 bits, ~16.7M distinct users) — the issuing user plus
+//!   one; 0 is reserved for "no user" so legacy traces (plain
+//!   sequential ids) decode as user-less and reproduce the historical
+//!   ID draws bit-exactly.
+//! * **seq** (28 bits, ~268M queries) — the global sequence number.
+//!
+//! Consumers that draw sparse IDs per query (the runtime's
+//! `RuntimeModel`) rotate their Zipf ranks by per-epoch and per-tenant
+//! offsets and mix the user into the per-query stream, so an all-zero
+//! high half (every non-drift, single-tenant trace) reproduces the
+//! legacy ID stream exactly.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::query::{Query, QueryGenerator, QueryTraceConfig};
 
-/// Bit position where the hot-key epoch lives inside a query id; the low
-/// 48 bits remain the sequential query number.
-pub const EPOCH_SHIFT: u32 = 48;
+/// Bits carrying the hot-key epoch (field width of [`pack_query_id`]).
+pub const EPOCH_BITS: u32 = 8;
+/// Bits carrying the tenant index.
+pub const TENANT_BITS: u32 = 4;
+/// Bits carrying the user id (+1; 0 = no user).
+pub const USER_BITS: u32 = 24;
+/// Bits carrying the sequential query number.
+pub const SEQ_BITS: u32 = 28;
 
-/// Packs a sequential query number and a hot-key epoch into a query id.
+/// Bit position where the sequential query number starts (always 0).
+pub const SEQ_SHIFT: u32 = 0;
+/// Bit position where the user field starts.
+pub const USER_SHIFT: u32 = SEQ_SHIFT + SEQ_BITS;
+/// Bit position where the tenant field starts.
+pub const TENANT_SHIFT: u32 = USER_SHIFT + USER_BITS;
+/// Bit position where the hot-key epoch lives inside a query id.
+pub const EPOCH_SHIFT: u32 = TENANT_SHIFT + TENANT_BITS;
+
+// The budget must tile the id exactly: a gap would waste bits, an
+// overlap would let one field corrupt another (the bug this layout
+// fixes). Checked at compile time.
+const _: () = assert!(EPOCH_BITS + TENANT_BITS + USER_BITS + SEQ_BITS == 64);
+
+#[inline]
+const fn field_mask(bits: u32) -> u64 {
+    (1u64 << bits) - 1
+}
+
+/// Packs all four id fields, validating each against its bit budget.
+///
+/// # Panics (debug builds)
+///
+/// `debug_assert`s that every field fits its width — an overflowing
+/// field would silently alias a neighbouring field in release builds,
+/// so generators must validate their id spaces up front (the traffic
+/// engine does, see [`crate::traffic::TrafficConfig::validate`]).
+#[inline]
+pub fn pack_query_id(epoch: u32, tenant: u32, user: u64, sequence: u64) -> u64 {
+    debug_assert!((epoch as u64) <= field_mask(EPOCH_BITS), "epoch {epoch} overflows its {EPOCH_BITS}-bit budget");
+    debug_assert!((tenant as u64) <= field_mask(TENANT_BITS), "tenant {tenant} overflows its {TENANT_BITS}-bit budget");
+    debug_assert!(user <= field_mask(USER_BITS), "user {user} overflows its {USER_BITS}-bit budget");
+    debug_assert!(sequence <= field_mask(SEQ_BITS), "sequence {sequence} overflows its {SEQ_BITS}-bit budget");
+    ((epoch as u64) << EPOCH_SHIFT)
+        | ((tenant as u64) << TENANT_SHIFT)
+        | (user << USER_SHIFT)
+        | sequence
+}
+
+/// Packs a sequential query number and a hot-key epoch into a query id
+/// (tenant and user zero — the legacy single-tenant layout).
+#[inline]
 pub fn with_epoch(sequence: u64, epoch: u32) -> u64 {
-    debug_assert!(sequence < (1u64 << EPOCH_SHIFT));
-    sequence | ((epoch as u64) << EPOCH_SHIFT)
+    pack_query_id(epoch, 0, 0, sequence)
 }
 
 /// Hot-key epoch of a query id (0 for every non-drift trace).
+#[inline]
 pub fn epoch_of(id: u64) -> u64 {
     id >> EPOCH_SHIFT
 }
 
+/// Tenant index of a query id (0 for every legacy trace).
+#[inline]
+pub fn tenant_of(id: u64) -> u32 {
+    ((id >> TENANT_SHIFT) & field_mask(TENANT_BITS)) as u32
+}
+
+/// User field of a query id: `user + 1` for traffic-engine queries, 0
+/// ("no user") for legacy traces.
+#[inline]
+pub fn user_of(id: u64) -> u64 {
+    (id >> USER_SHIFT) & field_mask(USER_BITS)
+}
+
 /// Sequential query number of a query id.
+#[inline]
 pub fn sequence_of(id: u64) -> u64 {
-    id & ((1u64 << EPOCH_SHIFT) - 1)
+    id & field_mask(SEQ_BITS)
+}
+
+/// Largest value each id field admits, in `(epoch, tenant, user,
+/// sequence)` order — what generators validate their spaces against.
+pub const fn id_field_limits() -> (u64, u64, u64, u64) {
+    (
+        field_mask(EPOCH_BITS),
+        field_mask(TENANT_BITS),
+        field_mask(USER_BITS),
+        field_mask(SEQ_BITS),
+    )
 }
 
 /// One load scenario: how arrivals (and for hot-key drift, ID
@@ -629,6 +722,46 @@ mod tests {
         assert_eq!(sequence_of(id), 123_456);
         assert_eq!(epoch_of(id), 7);
         assert_eq!(with_epoch(5, 0), 5, "epoch 0 is the identity");
+        assert_eq!(tenant_of(id), 0, "legacy ids carry no tenant");
+        assert_eq!(user_of(id), 0, "legacy ids carry no user");
+    }
+
+    #[test]
+    fn id_bit_budget_tiles_the_word_and_roundtrips_at_the_limits() {
+        // The budget must cover all 64 bits with no overlap: packing
+        // every field at its maximum and unpacking must be lossless.
+        assert_eq!(EPOCH_BITS + TENANT_BITS + USER_BITS + SEQ_BITS, 64);
+        let (max_epoch, max_tenant, max_user, max_seq) = id_field_limits();
+        assert!(max_user >= 16_000_000, "user field holds millions of ids");
+        let id = pack_query_id(max_epoch as u32, max_tenant as u32, max_user, max_seq);
+        assert_eq!(id, u64::MAX, "saturated fields tile the whole word");
+        assert_eq!(epoch_of(id), max_epoch);
+        assert_eq!(tenant_of(id) as u64, max_tenant);
+        assert_eq!(user_of(id), max_user);
+        assert_eq!(sequence_of(id), max_seq);
+
+        // Each field decodes independently of its neighbours: setting
+        // one field at a time never bleeds into another (the collision
+        // the old 48-bit epoch shift allowed for wide id ranges).
+        for (id, want) in [
+            (pack_query_id(3, 0, 0, 0), (3u64, 0u64, 0u64, 0u64)),
+            (pack_query_id(0, 5, 0, 0), (0, 5, 0, 0)),
+            (pack_query_id(0, 0, 9_999_999, 0), (0, 0, 9_999_999, 0)),
+            (pack_query_id(0, 0, 0, 77_777_777), (0, 0, 0, 77_777_777)),
+        ] {
+            assert_eq!(
+                (epoch_of(id), tenant_of(id) as u64, user_of(id), sequence_of(id)),
+                want
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    #[cfg(debug_assertions)]
+    fn packing_an_oversized_user_panics_in_debug() {
+        let (_, _, max_user, _) = id_field_limits();
+        let _ = pack_query_id(0, 0, max_user + 1, 0);
     }
 
     #[test]

@@ -102,9 +102,10 @@ use std::time::{Duration, Instant};
 use mprec_core::mpcache::CacheStats;
 use mprec_core::planner::MappingSet;
 use mprec_core::ring::{HashRing, DEFAULT_VNODES};
-use mprec_core::scheduler::select_mapping;
+use mprec_core::scheduler::{class_pressure_mask, select_mapping};
 use mprec_data::query::{Query, QueryTraceConfig};
 use mprec_data::scenario::{self, ChaosConfig, ChurnAction, ChurnEvent, FaultPlan, LoadScenario};
+use mprec_data::traffic::{SlaClass, TrafficConfig};
 use mprec_nn::MlpScratch;
 use mprec_serving::{PathUsage, ServingOutcome};
 use mprec_tensor::Matrix;
@@ -115,7 +116,9 @@ use parking_lot::{Condvar, Mutex};
 
 pub use mprec_core::ring::FeatureShardPlan;
 
-use crate::engine::{build_path_mappings, PathAccuracy, RoutePolicy};
+use crate::engine::{
+    build_path_mappings, degrade_rank, PathAccuracy, RoutePolicy, TenantReport, TenantTally,
+};
 use crate::histogram::{LatencyHistogram, DEFAULT_SUBS_PER_OCTAVE};
 use crate::model::{BatchResult, PathKind, RuntimeModel, RuntimeModelConfig, ScratchSpace};
 use crate::queue::BoundedQueue;
@@ -208,6 +211,13 @@ pub struct ClusterConfig {
     /// cold-tier penalty drain, and the adaptive partial-migration
     /// planner.
     pub rebalance: RebalanceConfig,
+    /// Multi-tenant open-loop traffic engine. When enabled (at least
+    /// one tenant), the cluster serves the tenanted trace it generates
+    /// instead of `trace`/`scenario`; each tenant batches on its own
+    /// deadline axis, routes under its own [`SlaClass`], and is
+    /// accounted in [`ClusterReport::tenants`]. Empty (the default)
+    /// keeps the legacy single-stream trace bit for bit.
+    pub tenants: TrafficConfig,
     /// Model shape (replicated weights, sharded execution).
     pub model: RuntimeModelConfig,
 }
@@ -306,6 +316,7 @@ impl Default for ClusterConfig {
             faults: FaultPlan::default(),
             chaos: ChaosConfig::default(),
             rebalance: RebalanceConfig::default(),
+            tenants: TrafficConfig::default(),
             model: RuntimeModelConfig::default(),
         }
     }
@@ -459,6 +470,13 @@ pub struct ClusterReport {
     /// migration triggered by live backlog imbalance (0 with the
     /// planner off).
     pub adaptive_replans: u64,
+    /// Per-tenant accounting rows, indexed by tenant id (row 0 covers
+    /// legacy untenanted traffic). Offered load partitions exactly:
+    /// Σ (completed + shed) over rows equals the trace length, and each
+    /// row's histogram/violation counters cover only that tenant's
+    /// queries — the isolation surface `tests/sim_vs_runtime.rs` pins
+    /// against the replay twin.
+    pub tenants: Vec<TenantReport>,
     /// Per-epoch slices: membership, dispatch counts, cache deltas.
     pub epochs: Vec<EpochReport>,
     /// Sum of all top-MLP scores.
@@ -598,6 +616,9 @@ struct DispatchTally {
     virtual_violations: u64,
     routed: u64,
     decisions: Vec<PathKind>,
+    /// Per-tenant tallies, indexed by tenant id (preallocated before
+    /// the dispatch loop so steady-state accounting never allocates).
+    per_tenant: Vec<TenantTally>,
     virtual_histogram: LatencyHistogram,
     retried_batches: u64,
     retried_queries: u64,
@@ -719,6 +740,16 @@ impl Cluster {
     /// failing an unknown or last-remaining node, joining a live node,
     /// or reusing a node id — and propagates model-construction errors.
     pub fn new(cfg: ClusterConfig) -> Result<Self> {
+        let mut cfg = cfg;
+        if cfg.tenants.is_enabled() {
+            cfg.tenants.validate().map_err(RuntimeError::BadConfig)?;
+            // Default the per-tenant ID skews off the traffic spec so a
+            // tenanted cluster gets distinct hot sets without repeating
+            // the exponents in the model config (matches Engine::new).
+            if cfg.model.tenant_zipf.is_empty() {
+                cfg.model.tenant_zipf = cfg.tenants.tenants.iter().map(|t| t.id_zipf).collect();
+            }
+        }
         if cfg.nodes == 0 {
             return Err(RuntimeError::BadConfig("nodes must be >= 1".into()));
         }
@@ -1186,7 +1217,11 @@ impl Cluster {
             // drop them so repeated serves start identical.
             node.model.cache().clear_disk();
         }
-        let trace = scenario::generate(self.cfg.trace, self.cfg.scenario, self.cfg.seed);
+        let trace = if self.cfg.tenants.is_enabled() {
+            self.cfg.tenants.generate(self.cfg.seed)
+        } else {
+            scenario::generate(self.cfg.trace, self.cfg.scenario, self.cfg.seed)
+        };
         let depth = if self.cfg.queue_depth == 0 {
             self.cfg.workers_per_node * 4
         } else {
@@ -1346,6 +1381,7 @@ impl Cluster {
             virtual_violations: 0,
             routed: 0,
             decisions: Vec::new(),
+            per_tenant: Vec::new(),
             virtual_histogram: LatencyHistogram::with_subs_per_octave(self.cfg.histogram_subs),
             retried_batches: 0,
             retried_queries: 0,
@@ -1368,8 +1404,22 @@ impl Cluster {
         let mut free_at = vec![0.0f64; self.nodes.len()];
         let mut cur_epoch = 0usize;
         let mut dispatched = 0u64;
-        let mut pending: Vec<&Query> = Vec::new();
-        let mut pending_samples: u64 = 0;
+        // One pending list per tenant: each tenant batches on its own
+        // deadline axis (same contract as the single-node engine), so a
+        // legacy trace (every id tenant 0) collapses to the historical
+        // single-pending behaviour bit for bit.
+        let tenant_count = trace
+            .iter()
+            .map(|q| scenario::tenant_of(q.id) as usize + 1)
+            .max()
+            .unwrap_or(1)
+            .max(self.cfg.tenants.tenant_count());
+        tally.per_tenant = (0..tenant_count).map(|_| TenantTally::new()).collect();
+        let classes: Vec<SlaClass> = (0..tenant_count)
+            .map(|t| self.cfg.tenants.class_of(t as u32, self.cfg.sla_us))
+            .collect();
+        let mut pending: Vec<Vec<&Query>> = vec![Vec::new(); tenant_count];
+        let mut pending_samples: Vec<u64> = vec![0; tenant_count];
         // Overlay epochs the adaptive planner opens mid-serve, indexed
         // after the static schedule; published to `self.adaptive` at
         // the end so `replay_spec` and `assemble` see them.
@@ -1473,6 +1523,7 @@ impl Cluster {
         let mut route_completions: Vec<f64> = Vec::new();
         let mut flush = |pending: &mut Vec<&Query>,
                          pending_samples: &mut u64,
+                         tenant: usize,
                          flush_at_us: f64,
                          tally: &mut DispatchTally,
                          free_at: &mut Vec<f64>,
@@ -1591,6 +1642,24 @@ impl Cluster {
                 .iter()
                 .map(|&id| (free_at[self.slot_of(id)] - flush_at_us).max(0.0))
                 .fold(0.0f64, f64::max);
+            let class = &classes[tenant];
+            if class.sheds(backlog_us) {
+                // Class shed: the loose tenant's whole batch takes an
+                // explicit Shed outcome instead of queueing — strict
+                // tenants keep routing through the same overload.
+                let tt = &mut tally.per_tenant[tenant];
+                for q in pending.iter() {
+                    tally.shed_queries += 1;
+                    tt.shed += 1;
+                    tally.registry.add(MetricId::ShedQueries, 0, 1);
+                    if let Some(ring) = tally.ring.as_mut() {
+                        ring.record(TraceEvent::shed(flush_at_us, q.id, q.size as u64, backlog_us));
+                    }
+                }
+                pending.clear();
+                *pending_samples = 0;
+                return;
+            }
             // Last brownout rung: shed low-priority queries (by the
             // sequence-modulus policy) before routing, each with an
             // explicit Shed outcome — never a silent drop.
@@ -1599,6 +1668,7 @@ impl Cluster {
                     if self.cfg.chaos.sheds(backlog_us, scenario::sequence_of(q.id)) {
                         *pending_samples -= q.size as u64;
                         tally.shed_queries += 1;
+                        tally.per_tenant[tenant].shed += 1;
                         tally.registry.add(MetricId::ShedQueries, 0, 1);
                         if let Some(ring) = tally.ring.as_mut() {
                             ring.record(TraceEvent::shed(
@@ -1619,13 +1689,14 @@ impl Cluster {
                 }
             }
             let oldest_us = pending[0].arrival_us as f64;
-            let sla_remaining = (self.cfg.sla_us - (flush_at_us - oldest_us)).max(1.0);
+            let sla_remaining = (class.sla_us - (flush_at_us - oldest_us)).max(1.0);
             let samples = *pending_samples;
 
             // Route under the current epoch's capacity-aware profiles
-            // with per-node queue depth visible to Algorithm 2 (and the
-            // brownout ladder narrowing the candidate set when the
-            // backlog gauge crosses a rung).
+            // with per-node queue depth visible to Algorithm 2 (the
+            // chaos brownout ladder and the tenant's SLA-class pressure
+            // ladder both narrow the candidate set on the same cost
+            // vector when the backlog gauge crosses their rungs).
             let (idx, exec, start_us, browned_out) = self.route_in_epoch(
                 ep,
                 samples,
@@ -1634,6 +1705,7 @@ impl Cluster {
                 free_at,
                 &degrade_ranks,
                 backlog_us,
+                class,
                 &mut route_completions,
             );
             if browned_out {
@@ -1832,11 +1904,17 @@ impl Cluster {
             for q in pending.iter() {
                 let virtual_latency = done_us - q.arrival_us as f64;
                 tally.virtual_histogram.record(virtual_latency);
-                tally.slack.record((self.cfg.sla_us - virtual_latency).max(0.0));
-                if virtual_latency > self.cfg.sla_us {
+                tally.slack.record((class.sla_us - virtual_latency).max(0.0));
+                let tt = &mut tally.per_tenant[tenant];
+                if virtual_latency > class.sla_us {
                     tally.virtual_violations += 1;
+                    tt.violations += 1;
                     tally.registry.add(MetricId::SlaViolations, 0, 1);
                 }
+                tt.completed += 1;
+                tt.samples += q.size as u64;
+                tt.latency_sum_us += virtual_latency;
+                tt.vhist.record(virtual_latency);
                 tally.correct_samples += q.size as f64 * accuracy;
                 tally.usage.record(label, q.size as u64);
                 tally.routed += 1;
@@ -1885,39 +1963,61 @@ impl Cluster {
             *pending_samples = 0;
         };
 
+        // Earliest batch deadline among tenants with pending queries
+        // (ties keep the lowest tenant index — the scan is ascending).
+        let earliest_deadline = |pending: &[Vec<&Query>]| -> Option<(f64, usize)> {
+            let mut due: Option<(f64, usize)> = None;
+            for (t, p) in pending.iter().enumerate() {
+                if let Some(first) = p.first() {
+                    let d = first.arrival_us as f64 + self.cfg.max_batch_wait_us;
+                    if due.is_none_or(|(bd, _)| d < bd) {
+                        due = Some((d, t));
+                    }
+                }
+            }
+            due
+        };
+
         for q in trace {
             let arrival_us = q.arrival_us as f64;
-            if !pending.is_empty() {
-                let deadline = pending[0].arrival_us as f64 + self.cfg.max_batch_wait_us;
-                if arrival_us > deadline {
-                    if self.cfg.pace_ingress {
-                        sleep_until(start, deadline);
-                    }
-                    advance_epochs!(deadline);
-                    flush(
-                        &mut pending,
-                        &mut pending_samples,
-                        deadline,
-                        &mut tally,
-                        &mut free_at,
-                        &mut cur_epoch,
-                        &mut dispatched,
-                        &mut dyn_epochs,
-                        &mut dyn_event_at,
-                        &mut last_adaptive_us,
-                    );
+            // Deadline-triggered flushes strictly before this arrival,
+            // across all tenants, in (deadline, tenant) order — each
+            // flush walks the churn schedule up to its own instant.
+            while let Some((deadline, t)) = earliest_deadline(&pending) {
+                if arrival_us <= deadline {
+                    break;
                 }
+                if self.cfg.pace_ingress {
+                    sleep_until(start, deadline);
+                }
+                advance_epochs!(deadline);
+                flush(
+                    &mut pending[t],
+                    &mut pending_samples[t],
+                    t,
+                    deadline,
+                    &mut tally,
+                    &mut free_at,
+                    &mut cur_epoch,
+                    &mut dispatched,
+                    &mut dyn_epochs,
+                    &mut dyn_event_at,
+                    &mut last_adaptive_us,
+                );
             }
             if self.cfg.pace_ingress {
                 sleep_until(start, arrival_us);
             }
-            if !pending.is_empty()
-                && pending_samples + q.size as u64 > self.cfg.max_batch_samples as u64
+            let t = scenario::tenant_of(q.id) as usize;
+            // Size-triggered flush: don't blow the batch budget by adding.
+            if !pending[t].is_empty()
+                && pending_samples[t] + q.size as u64 > self.cfg.max_batch_samples as u64
             {
                 advance_epochs!(arrival_us);
                 flush(
-                    &mut pending,
-                    &mut pending_samples,
+                    &mut pending[t],
+                    &mut pending_samples[t],
+                    t,
                     arrival_us,
                     &mut tally,
                     &mut free_at,
@@ -1928,16 +2028,17 @@ impl Cluster {
                     &mut last_adaptive_us,
                 );
             }
-            pending.push(q);
-            pending_samples += q.size as u64;
+            pending[t].push(q);
+            pending_samples[t] += q.size as u64;
             if let Some(ring) = tally.ring.as_mut() {
                 ring.record(TraceEvent::enqueue(arrival_us, q.id, q.size as u64));
             }
-            if pending_samples >= self.cfg.max_batch_samples as u64 {
+            if pending_samples[t] >= self.cfg.max_batch_samples as u64 {
                 advance_epochs!(arrival_us);
                 flush(
-                    &mut pending,
-                    &mut pending_samples,
+                    &mut pending[t],
+                    &mut pending_samples[t],
+                    t,
                     arrival_us,
                     &mut tally,
                     &mut free_at,
@@ -1949,15 +2050,16 @@ impl Cluster {
                 );
             }
         }
-        if !pending.is_empty() {
-            let deadline = pending[0].arrival_us as f64 + self.cfg.max_batch_wait_us;
+        // Final flushes, earliest deadline first.
+        while let Some((deadline, t)) = earliest_deadline(&pending) {
             if self.cfg.pace_ingress {
                 sleep_until(start, deadline);
             }
             advance_epochs!(deadline);
             flush(
-                &mut pending,
-                &mut pending_samples,
+                &mut pending[t],
+                &mut pending_samples[t],
+                t,
                 deadline,
                 &mut tally,
                 &mut free_at,
@@ -1985,11 +2087,14 @@ impl Cluster {
     /// wait of its most-backlogged scatter target. When the brownout
     /// controller's backlog gauge crosses a narrowing rung, degraded
     /// candidates are masked to `+inf` *before* selection (see
-    /// [`ChaosConfig::brownout_mask`]). Returns `(mapping idx, exec_us,
-    /// start_us, browned_out)` with `start_us >= now_us`; fills
-    /// `completions` with every candidate's (post-mask) scored
-    /// completion so the flight recorder can publish the rejected costs
-    /// alongside the chosen one.
+    /// [`ChaosConfig::brownout_mask`]); the flushing tenant's SLA-class
+    /// pressure ladder ([`class_pressure_mask`]) then narrows the same
+    /// cost vector on its own thresholds, so a loose class degrades to
+    /// cheaper paths while a strict class keeps the full candidate set.
+    /// Returns `(mapping idx, exec_us, start_us, browned_out)` with
+    /// `start_us >= now_us`; fills `completions` with every candidate's
+    /// (post-mask) scored completion so the flight recorder can publish
+    /// the rejected costs alongside the chosen one.
     #[allow(clippy::too_many_arguments)]
     fn route_in_epoch(
         &self,
@@ -2000,6 +2105,7 @@ impl Cluster {
         free_at: &[f64],
         degrade_rank: &[u32],
         backlog_us: f64,
+        class: &SlaClass,
         completions: &mut Vec<f64>,
     ) -> (usize, f64, f64, bool) {
         let n = ep.mappings.mappings.len();
@@ -2021,6 +2127,13 @@ impl Cluster {
             .cfg
             .chaos
             .brownout_mask(degrade_rank, backlog_us, completions);
+        class_pressure_mask(
+            degrade_rank,
+            backlog_us,
+            class.narrow_backlog_us,
+            class.table_only_backlog_us,
+            completions,
+        );
         let idx = select_mapping(&ep.mappings, completions, sla_remaining_us, true)
             .expect("mapping set is never empty");
         (idx, execs[idx], starts[idx], masked)
@@ -2134,6 +2247,21 @@ impl Cluster {
         let cache = per_node_cache
             .iter()
             .fold(CacheStats::default(), |acc, s| acc.merged(s));
+        let tenants = tally
+            .per_tenant
+            .drain(..)
+            .enumerate()
+            .map(|(t, tt)| TenantReport {
+                tenant: t as u32,
+                sla_us: self.cfg.tenants.class_of(t as u32, self.cfg.sla_us).sla_us,
+                completed: tt.completed,
+                samples: tt.samples,
+                shed_queries: tt.shed,
+                virtual_sla_violations: tt.violations,
+                latency_sum_us: tt.latency_sum_us,
+                virtual_histogram: tt.vhist,
+            })
+            .collect();
         let final_plan = &self.epoch_at(&adaptive.epochs, total_epochs - 1).plan;
         let outcome = ServingOutcome {
             policy: format!(
@@ -2175,6 +2303,7 @@ impl Cluster {
             leg_retries: tally.leg_retries,
             migration_steps: tally.migration_steps,
             adaptive_replans: tally.adaptive_replans,
+            tenants,
             epochs,
             checksum: merged.checksum,
             nodes: self.cfg.nodes,
@@ -2236,19 +2365,6 @@ fn path_order(route: RoutePolicy) -> Vec<PathKind> {
         RoutePolicy::Fixed(p) => vec![p],
     }
 }
-
-/// Brownout degrade rank of a path: how early the candidate-narrowing
-/// ladder masks it. Hybrid (rank 2) goes first at the narrow rung, DHE
-/// (rank 1) at the table-only rung, the replicated table path (rank 0)
-/// never — Algorithm 2 always keeps a finite candidate.
-pub(crate) fn degrade_rank(path: PathKind) -> u32 {
-    match path {
-        PathKind::Hybrid => 2,
-        PathKind::Dhe => 1,
-        PathKind::Table => 0,
-    }
-}
-
 
 /// The pruned scatter assignment of one path under one plan: DHE-cached
 /// features go to their shard owner (that node's cache holds their warm

@@ -26,6 +26,7 @@ use mprec_core::profile::LatencyProfile;
 use mprec_core::scheduler::{Scheduler, SchedulerConfig};
 use mprec_data::query::{Query, QueryTraceConfig};
 use mprec_data::scenario::{self, LoadScenario};
+use mprec_data::traffic::{SlaClass, TrafficConfig};
 use mprec_embed::{DheConfig, RepresentationConfig};
 use mprec_hwsim::{Platform, WorkloadBuilder};
 use mprec_serving::{PathUsage, ServingOutcome};
@@ -115,6 +116,13 @@ pub struct RuntimeConfig {
     /// ([`LoadScenario::SteadyPoisson`] reproduces the legacy trace
     /// bit-for-bit).
     pub scenario: LoadScenario,
+    /// Multi-tenant open-loop traffic mix. When enabled it *replaces*
+    /// `trace`/`scenario` as the load source: arrivals come from
+    /// [`TrafficConfig::generate`], each tenant batches separately,
+    /// routes under its own [`SlaClass`], and is accounted in
+    /// [`RuntimeReport::tenants`]. Empty (the default) keeps the legacy
+    /// single-tenant path bit-for-bit.
+    pub tenants: TrafficConfig,
     /// Seed for the trace, the model weights, and per-query ID draws.
     pub seed: u64,
     /// SLA latency target in microseconds.
@@ -166,6 +174,7 @@ impl Default for RuntimeConfig {
                 poisson_arrivals: true,
             },
             scenario: LoadScenario::SteadyPoisson,
+            tenants: TrafficConfig::default(),
             seed: 42,
             sla_us: 10_000.0,
             max_batch_samples: 256,
@@ -218,6 +227,46 @@ struct WorkerReport {
     ring: Option<EventRing>,
 }
 
+/// Per-tenant virtual-time accounting for one run: deterministic
+/// dispatcher-side tallies (identical across worker counts, pinned
+/// against the replay twin). Legacy single-tenant traces produce one
+/// row, tenant 0.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Tenant index (the query id's tenant field).
+    pub tenant: u32,
+    /// The SLA target (µs) this tenant's violations are counted
+    /// against.
+    pub sla_us: f64,
+    /// Queries routed and executed for this tenant.
+    pub completed: u64,
+    /// Samples across this tenant's completed queries.
+    pub samples: u64,
+    /// Queries shed by the tenant's SLA-class ladder (explicit
+    /// outcome; never executed).
+    pub shed_queries: u64,
+    /// Completed queries whose virtual latency exceeded `sla_us`.
+    pub virtual_sla_violations: u64,
+    /// Sum of virtual latencies (µs) over completed queries.
+    pub latency_sum_us: f64,
+    /// Virtual-latency histogram over completed queries (per-tenant
+    /// p50/p95/p99 for the bench artifacts and isolation metrics).
+    pub virtual_histogram: LatencyHistogram,
+}
+
+impl TenantReport {
+    /// Violation rate over this tenant's *offered* load (completed +
+    /// shed; a shed query counts as a violation of intent even though
+    /// it never accrues latency).
+    pub fn violation_rate(&self) -> f64 {
+        let offered = self.completed + self.shed_queries;
+        if offered == 0 {
+            return 0.0;
+        }
+        (self.virtual_sla_violations + self.shed_queries) as f64 / offered as f64
+    }
+}
+
 /// Everything one serve produced: the simulator-shaped outcome plus the
 /// runtime-only telemetry.
 #[derive(Debug)]
@@ -234,6 +283,12 @@ pub struct RuntimeReport {
     pub measured_sla_violations: u64,
     /// Queries routed by the dispatcher (must equal `outcome.completed`).
     pub routed_queries: u64,
+    /// Queries shed by the SLA-class ladder before execution
+    /// (`routed_queries + shed_queries` == trace length).
+    pub shed_queries: u64,
+    /// Per-tenant accounting, indexed by tenant id (one row — tenant
+    /// 0 — for legacy traces).
+    pub tenants: Vec<TenantReport>,
     /// Path chosen per dispatched micro-batch, in dispatch order — the
     /// deterministic decision trail the differential sim-vs-runtime
     /// tests compare against the replay simulator.
@@ -276,6 +331,19 @@ impl Engine {
             return Err(RuntimeError::BadConfig(
                 "max_batch_samples must be >= 1".into(),
             ));
+        }
+        let mut cfg = cfg;
+        if cfg.tenants.is_enabled() {
+            cfg.tenants
+                .validate()
+                .map_err(RuntimeError::BadConfig)?;
+            // Each tenant's feature-id skew flows into the model so its
+            // draws use the tenant's own Zipf exponent (explicit
+            // `model.tenant_zipf` wins if the caller set one).
+            if cfg.model.tenant_zipf.is_empty() {
+                cfg.model.tenant_zipf =
+                    cfg.tenants.tenants.iter().map(|t| t.id_zipf).collect();
+            }
         }
         let model = RuntimeModel::build(&cfg.model, cfg.cache_shards, cfg.seed)?;
         let (mappings, paths) = build_mapping_set(&cfg, &model)?;
@@ -326,7 +394,11 @@ impl Engine {
         // report comparable (and reproducible) per-run cache stats.
         self.model.cache().reset_stats();
         self.model.cache().clear_dynamic();
-        let trace = scenario::generate(self.cfg.trace, self.cfg.scenario, self.cfg.seed);
+        let trace = if self.cfg.tenants.is_enabled() {
+            self.cfg.tenants.generate(self.cfg.seed)
+        } else {
+            scenario::generate(self.cfg.trace, self.cfg.scenario, self.cfg.seed)
+        };
         let depth = if self.cfg.queue_depth == 0 {
             self.cfg.workers * 4
         } else {
@@ -362,6 +434,14 @@ impl Engine {
     }
 
     /// Runs the dispatcher loop: virtual-time batching + routing.
+    ///
+    /// Queries batch *per tenant* (a tenant never shares a micro-batch
+    /// with another tenant's SLA class). Tenants whose batch deadline
+    /// passes are flushed in (deadline, tenant) order before the next
+    /// arrival, so the interleaving is a pure function of the trace —
+    /// the replay twin reproduces it decision-for-decision. A legacy
+    /// trace (every id tenant 0) collapses to the historical
+    /// single-pending behaviour bit-for-bit.
     fn dispatch(
         &self,
         trace: &[Query],
@@ -370,8 +450,19 @@ impl Engine {
     ) -> DispatchTally {
         let mut sched = Scheduler::new(self.mappings.clone(), SchedulerConfig::default());
         let mut tally = DispatchTally::default();
-        let mut pending: Vec<&Query> = Vec::new();
-        let mut pending_samples: u64 = 0;
+        let tenant_count = trace
+            .iter()
+            .map(|q| scenario::tenant_of(q.id) as usize + 1)
+            .max()
+            .unwrap_or(1)
+            .max(self.cfg.tenants.tenant_count());
+        tally.per_tenant = (0..tenant_count).map(|_| TenantTally::new()).collect();
+        let classes: Vec<SlaClass> = (0..tenant_count)
+            .map(|t| self.cfg.tenants.class_of(t as u32, self.cfg.sla_us))
+            .collect();
+        let ranks: Vec<u32> = self.paths.iter().map(|&p| degrade_rank(p)).collect();
+        let mut pending: Vec<Vec<&Query>> = vec![Vec::new(); tenant_count];
+        let mut pending_samples: Vec<u64> = vec![0; tenant_count];
         // The dispatcher ring lives outside `tally` during the loop so
         // the main loop can record Enqueue events while the flush
         // closure holds `tally` mutably; it is moved into the tally at
@@ -386,15 +477,45 @@ impl Engine {
             |pending: &mut Vec<&Query>,
              pending_samples: &mut u64,
              ring: &mut Option<EventRing>,
+             tenant: usize,
              flush_at_us: f64| {
                 if pending.is_empty() {
                     return;
                 }
+                let class = &classes[tenant];
                 let oldest_us = pending[0].arrival_us as f64;
                 sched.advance_to(flush_at_us);
-                let sla_remaining = (self.cfg.sla_us - (flush_at_us - oldest_us)).max(1.0);
+                let backlog_us = sched.max_backlog_us();
+                if class.sheds(backlog_us) {
+                    // Class shed: the loose tenant's whole batch takes
+                    // an explicit Shed outcome instead of queueing.
+                    let tt = &mut tally.per_tenant[tenant];
+                    for q in pending.iter() {
+                        tally.shed += 1;
+                        tt.shed += 1;
+                        if let Some(ring) = ring.as_mut() {
+                            ring.record(TraceEvent::shed(
+                                flush_at_us,
+                                q.id,
+                                q.size as u64,
+                                backlog_us,
+                            ));
+                        }
+                    }
+                    pending.clear();
+                    *pending_samples = 0;
+                    return;
+                }
+                let sla_remaining = (class.sla_us - (flush_at_us - oldest_us)).max(1.0);
                 let decision = sched
-                    .route_into(*pending_samples, sla_remaining, 0, &mut completions)
+                    .route_classed_into(
+                        *pending_samples,
+                        sla_remaining,
+                        &ranks,
+                        class.narrow_backlog_us,
+                        class.table_only_backlog_us,
+                        &mut completions,
+                    )
                     .expect("mapping set is never empty");
                 let done_us = sched.commit(&decision);
                 let batch = tally.decisions.len() as u64;
@@ -428,12 +549,18 @@ impl Engine {
                 let label = &self.labels[decision.mapping_idx];
                 let now = Instant::now();
                 let mut queries: Vec<WorkQuery> = Vec::with_capacity(pending.len());
+                let tt = &mut tally.per_tenant[tenant];
                 for q in pending.iter() {
                     let virtual_latency = done_us - q.arrival_us as f64;
-                    if virtual_latency > self.cfg.sla_us {
+                    if virtual_latency > class.sla_us {
                         tally.virtual_violations += 1;
+                        tt.violations += 1;
                     }
-                    tally.slack.record((self.cfg.sla_us - virtual_latency).max(0.0));
+                    tt.completed += 1;
+                    tt.samples += q.size as u64;
+                    tt.latency_sum_us += virtual_latency;
+                    tt.vhist.record(virtual_latency);
+                    tally.slack.record((class.sla_us - virtual_latency).max(0.0));
                     tally.correct_samples += q.size as f64 * accuracy;
                     tally.usage.record(label, q.size as u64);
                     tally.routed += 1;
@@ -463,42 +590,59 @@ impl Engine {
                 *pending_samples = 0;
             };
 
+        // Earliest batch deadline among tenants with pending queries
+        // (ties keep the lowest tenant index — the scan is ascending).
+        let earliest_deadline = |pending: &[Vec<&Query>]| -> Option<(f64, usize)> {
+            let mut due: Option<(f64, usize)> = None;
+            for (t, p) in pending.iter().enumerate() {
+                if let Some(first) = p.first() {
+                    let d = first.arrival_us as f64 + self.cfg.max_batch_wait_us;
+                    if due.is_none_or(|(bd, _)| d < bd) {
+                        due = Some((d, t));
+                    }
+                }
+            }
+            due
+        };
+
         for q in trace {
             let arrival_us = q.arrival_us as f64;
-            // Deadline-triggered flush strictly before this arrival.
-            if !pending.is_empty() {
-                let deadline = pending[0].arrival_us as f64 + self.cfg.max_batch_wait_us;
-                if arrival_us > deadline {
-                    if self.cfg.pace_ingress {
-                        sleep_until(start, deadline);
-                    }
-                    flush(&mut pending, &mut pending_samples, &mut ring, deadline);
+            // Deadline-triggered flushes strictly before this arrival,
+            // across all tenants, in (deadline, tenant) order.
+            while let Some((deadline, t)) = earliest_deadline(&pending) {
+                if arrival_us <= deadline {
+                    break;
                 }
+                if self.cfg.pace_ingress {
+                    sleep_until(start, deadline);
+                }
+                flush(&mut pending[t], &mut pending_samples[t], &mut ring, t, deadline);
             }
             if self.cfg.pace_ingress {
                 sleep_until(start, arrival_us);
             }
+            let t = scenario::tenant_of(q.id) as usize;
             // Size-triggered flush: don't blow the batch budget by adding.
-            if !pending.is_empty()
-                && pending_samples + q.size as u64 > self.cfg.max_batch_samples as u64
+            if !pending[t].is_empty()
+                && pending_samples[t] + q.size as u64 > self.cfg.max_batch_samples as u64
             {
-                flush(&mut pending, &mut pending_samples, &mut ring, arrival_us);
+                flush(&mut pending[t], &mut pending_samples[t], &mut ring, t, arrival_us);
             }
-            pending.push(q);
-            pending_samples += q.size as u64;
+            pending[t].push(q);
+            pending_samples[t] += q.size as u64;
             if let Some(ring) = ring.as_mut() {
                 ring.record(TraceEvent::enqueue(arrival_us, q.id, q.size as u64));
             }
-            if pending_samples >= self.cfg.max_batch_samples as u64 {
-                flush(&mut pending, &mut pending_samples, &mut ring, arrival_us);
+            if pending_samples[t] >= self.cfg.max_batch_samples as u64 {
+                flush(&mut pending[t], &mut pending_samples[t], &mut ring, t, arrival_us);
             }
         }
-        if !pending.is_empty() {
-            let deadline = pending[0].arrival_us as f64 + self.cfg.max_batch_wait_us;
+        // Final flushes, earliest deadline first.
+        while let Some((deadline, t)) = earliest_deadline(&pending) {
             if self.cfg.pace_ingress {
                 sleep_until(start, deadline);
             }
-            flush(&mut pending, &mut pending_samples, &mut ring, deadline);
+            flush(&mut pending[t], &mut pending_samples[t], &mut ring, t, deadline);
         }
         tally.ring = ring;
         tally
@@ -564,6 +708,7 @@ impl Engine {
             reg.add(MetricId::DiskTierHits, 0, cache.disk_hits);
             reg.add(MetricId::TierMisses, 0, cache.encoder_misses);
             reg.add(MetricId::SlaViolations, 0, tally.virtual_violations);
+            reg.add(MetricId::ShedQueries, 0, tally.shed);
             let slack = tally.slack.summary();
             reg.set(MetricId::SlaSlackP50Us, 0, slack.p50_us as u64);
             reg.set(MetricId::SlaSlackP95Us, 0, slack.p95_us as u64);
@@ -573,6 +718,21 @@ impl Engine {
             }
             reg.snapshot()
         };
+        let tenants = tally
+            .per_tenant
+            .drain(..)
+            .enumerate()
+            .map(|(t, tt)| TenantReport {
+                tenant: t as u32,
+                sla_us: self.cfg.tenants.class_of(t as u32, self.cfg.sla_us).sla_us,
+                completed: tt.completed,
+                samples: tt.samples,
+                shed_queries: tt.shed,
+                virtual_sla_violations: tt.violations,
+                latency_sum_us: tt.latency_sum_us,
+                virtual_histogram: tt.vhist,
+            })
+            .collect();
         RuntimeReport {
             outcome,
             cache,
@@ -580,6 +740,8 @@ impl Engine {
             virtual_sla_violations: tally.virtual_violations,
             measured_sla_violations: measured_violations,
             routed_queries: tally.routed,
+            shed_queries: tally.shed,
+            tenants,
             path_decisions: tally.decisions,
             worker_batches,
             checksum,
@@ -597,12 +759,54 @@ struct DispatchTally {
     correct_samples: f64,
     virtual_violations: u64,
     routed: u64,
+    shed: u64,
     decisions: Vec<PathKind>,
+    /// Per-tenant tallies, indexed by tenant id (preallocated before
+    /// the dispatch loop so steady-state accounting never allocates).
+    per_tenant: Vec<TenantTally>,
     /// Virtual SLA slack per query ((sla - latency) clamped at 0),
     /// digested into the metrics snapshot.
     slack: LatencyHistogram,
     /// Dispatcher flight-recorder ring (None when recording is off).
     ring: Option<EventRing>,
+}
+
+/// One tenant's in-flight dispatcher tallies (shared with the cluster
+/// front-end, which accounts tenants the same way).
+#[derive(Debug)]
+pub(crate) struct TenantTally {
+    pub(crate) completed: u64,
+    pub(crate) samples: u64,
+    pub(crate) shed: u64,
+    pub(crate) violations: u64,
+    pub(crate) latency_sum_us: f64,
+    pub(crate) vhist: LatencyHistogram,
+}
+
+impl TenantTally {
+    pub(crate) fn new() -> Self {
+        TenantTally {
+            completed: 0,
+            samples: 0,
+            shed: 0,
+            violations: 0,
+            latency_sum_us: 0.0,
+            vhist: LatencyHistogram::new(),
+        }
+    }
+}
+
+/// The SLA-class degrade rank of a path: the order the class-pressure
+/// ladder turns candidates off under backlog (hybrid first, then DHE;
+/// the table path is never masked). The replay twins derive the same
+/// ranks from each mapping's `RepRole`, so class decisions stay
+/// bit-equal across twins.
+pub fn degrade_rank(path: PathKind) -> u32 {
+    match path {
+        PathKind::Hybrid => 2,
+        PathKind::Dhe => 1,
+        PathKind::Table => 0,
+    }
 }
 
 /// Convenience: build an engine and serve once.

@@ -12,7 +12,7 @@ use mprec_embed::{DheConfig, DheStack, EmbeddingTable, GatherScratch};
 use mprec_nn::{Activation, Mlp, MlpScratch};
 use mprec_tensor::Matrix;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 use crate::{Result, RuntimeError};
@@ -88,6 +88,21 @@ pub struct RuntimeModelConfig {
     /// Accesses sampled offline to profile ID popularity for the static
     /// encoder tier.
     pub profile_accesses: usize,
+    /// Per-tenant Zipf exponents for multi-tenant traffic: a query whose
+    /// id carries tenant `t > 0` samples with exponent
+    /// `tenant_zipf[(t - 1) % len]`. Empty (the default) keeps every
+    /// tenant on `zipf_exponent`; tenant 0 — every legacy trace — always
+    /// uses `zipf_exponent`.
+    pub tenant_zipf: Vec<f64>,
+    /// Probability that a draw for a query carrying a nonzero user id
+    /// comes from that user's small personal ID pool instead of the
+    /// tenant's Zipf — sessions and repeat visits, so dynamic-tier cache
+    /// hit rates become honest under million-user load. Ignored for
+    /// user 0 (legacy traces).
+    pub user_affinity: f64,
+    /// IDs in each user's personal pool (≥ 1; only read when a query
+    /// carries a nonzero user id).
+    pub user_pool: u64,
 }
 
 impl Default for RuntimeModelConfig {
@@ -105,6 +120,9 @@ impl Default for RuntimeModelConfig {
             decoder_centroids: 32,
             dynamic_cache_entries: 4096,
             profile_accesses: 40_000,
+            tenant_zipf: Vec::new(),
+            user_affinity: 0.75,
+            user_pool: 32,
         }
     }
 }
@@ -129,8 +147,15 @@ pub struct RuntimeModel {
     cache: ShardedMpCache,
     top: Mlp,
     zipf: Zipf,
+    tenant_zipfs: Vec<Zipf>,
     seed: u64,
 }
+
+/// Seed salt separating per-user personal-pool IDs from the Zipf stream.
+const USER_POOL_SALT: u64 = 0x05E5_510E_4B1D_F00D;
+
+/// Seed salt for the per-tenant hot-set rotation.
+const TENANT_ROT_SALT: u64 = 0x7E4A_4170_0000_0001;
 
 impl RuntimeModel {
     /// Builds tables, DHE stacks, the sharded MP-Cache (profiled static
@@ -160,6 +185,11 @@ impl RuntimeModel {
             stacks.push(DheStack::new(dhe_cfg, f, &mut rng)?);
         }
         let zipf = Zipf::new(cfg.rows_per_feature, cfg.zipf_exponent);
+        let tenant_zipfs = cfg
+            .tenant_zipf
+            .iter()
+            .map(|&e| Zipf::new(cfg.rows_per_feature, e))
+            .collect();
 
         // Offline profiling pass: Zipf access counts per feature drive the
         // static encoder tier (paper §4.3's frequency-based tier).
@@ -235,6 +265,7 @@ impl RuntimeModel {
             cache,
             top,
             zipf,
+            tenant_zipfs,
             seed,
         })
     }
@@ -272,28 +303,58 @@ impl RuntimeModel {
     /// the query id's high bits; a nonzero epoch rotates every Zipf draw
     /// by a per-epoch offset, moving the hot ID set without touching the
     /// RNG stream (epoch 0 reproduces the legacy IDs bit-for-bit).
+    ///
+    /// Multi-tenant traffic ([`mprec_data::traffic`]) additionally packs
+    /// tenant and user bits into the id. A nonzero tenant mixes into the
+    /// per-query seed, samples from its own Zipf exponent
+    /// ([`RuntimeModelConfig::tenant_zipf`]), and rotates its hot set to
+    /// a tenant-private region; a nonzero user mixes into the seed too
+    /// and draws from its small personal pool with probability
+    /// [`RuntimeModelConfig::user_affinity`] (repeat visits — honest
+    /// dynamic-tier hit rates). Queries with an all-zero high half —
+    /// every pre-traffic trace — reproduce the historical ID streams
+    /// bit-for-bit.
     pub fn draw_query_ids(&self, query_id: u64, size: u64, per_feature: &mut [Vec<u64>]) {
         // Seed from the sequence number only: the epoch bits select the
         // rotation below, so one query keeps one RNG stream across
-        // epochs and the hot set moves as a pure rotation.
+        // epochs and the hot set moves as a pure rotation. Tenant/user
+        // bits mix in ONLY when nonzero, keeping legacy traces bit-exact.
         let sequence = mprec_data::scenario::sequence_of(query_id);
-        let mut rng = StdRng::seed_from_u64(splitmix64(
-            self.seed ^ sequence.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        ));
+        let tenant = mprec_data::scenario::tenant_of(query_id);
+        let user = mprec_data::scenario::user_of(query_id);
+        let mut seed = self.seed ^ sequence.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        if tenant != 0 || user != 0 {
+            seed ^= splitmix64(
+                (tenant as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                    ^ user.wrapping_mul(0x94D0_49BB_1331_11EB),
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(splitmix64(seed));
         let epoch = mprec_data::scenario::epoch_of(query_id);
-        let rotation = if epoch == 0 {
-            0
+        let rows = self.cfg.rows_per_feature;
+        let mut rotation = if epoch == 0 { 0 } else { splitmix64(epoch) % rows };
+        if tenant != 0 {
+            // Tenants share the physical tables but not their hot sets.
+            rotation = (rotation + splitmix64(TENANT_ROT_SALT ^ tenant as u64) % rows) % rows;
+        }
+        let zipf = if tenant == 0 || self.tenant_zipfs.is_empty() {
+            &self.zipf
         } else {
-            splitmix64(epoch) % self.cfg.rows_per_feature
+            &self.tenant_zipfs[(tenant as usize - 1) % self.tenant_zipfs.len()]
         };
+        let pool = self.cfg.user_pool.max(1);
         for _ in 0..size {
             for ids in per_feature.iter_mut() {
-                let id = self.zipf.sample(&mut rng);
-                ids.push(if rotation == 0 {
-                    id
+                let id = if user != 0 && rng.gen::<f64>() < self.cfg.user_affinity {
+                    splitmix64(
+                        USER_POOL_SALT
+                            ^ user.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            ^ (rng.gen::<u64>() % pool),
+                    ) % rows
                 } else {
-                    (id + rotation) % self.cfg.rows_per_feature
-                });
+                    zipf.sample(&mut rng)
+                };
+                ids.push(if rotation == 0 { id } else { (id + rotation) % rows });
             }
         }
     }
@@ -728,6 +789,61 @@ mod tests {
         let mut again = vec![Vec::new(); 2];
         m.draw_query_ids(7, 64, &mut again);
         assert_eq!(base, again);
+    }
+
+    #[test]
+    fn tenant_bits_move_the_hot_set_per_tenant() {
+        use mprec_data::scenario::pack_query_id;
+        let cfg = RuntimeModelConfig {
+            tenant_zipf: vec![1.4, 0.8],
+            ..tiny_cfg()
+        };
+        let m = RuntimeModel::build(&cfg, 4, 3).unwrap();
+        let draw = |tenant: u32, user: u64| {
+            let mut v = vec![Vec::new(); 2];
+            m.draw_query_ids(pack_query_id(0, tenant, user, 7), 64, &mut v);
+            v
+        };
+        let t0 = draw(0, 0);
+        let t1 = draw(1, 0);
+        let t2 = draw(2, 0);
+        assert_ne!(t0, t1, "tenant bits must reshape the stream");
+        assert_ne!(t1, t2, "tenants must not share a stream");
+        // Legacy bit-exactness: an all-zero high half is the plain
+        // sequence id.
+        let mut legacy = vec![Vec::new(); 2];
+        m.draw_query_ids(7, 64, &mut legacy);
+        assert_eq!(t0, legacy);
+    }
+
+    #[test]
+    fn user_bits_concentrate_draws_on_a_personal_pool() {
+        use mprec_data::scenario::pack_query_id;
+        let cfg = RuntimeModelConfig {
+            user_affinity: 0.9,
+            user_pool: 8,
+            ..tiny_cfg()
+        };
+        let m = RuntimeModel::build(&cfg, 4, 3).unwrap();
+        let mut ids = vec![Vec::new(); 2];
+        // Two queries from the same user share the personal pool even
+        // though their sequence numbers (and so their RNG streams) differ.
+        m.draw_query_ids(pack_query_id(0, 1, 42, 7), 128, &mut ids);
+        m.draw_query_ids(pack_query_id(0, 1, 42, 8), 128, &mut ids);
+        let mut uniq = ids[0].clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        // 256 draws at 90% affinity over an 8-id pool: the distinct-id
+        // count collapses far below the draw count.
+        assert!(
+            uniq.len() < 64,
+            "personal pool must dominate: {} distinct ids",
+            uniq.len()
+        );
+        // A different user in the same tenant draws a different pool.
+        let mut other = vec![Vec::new(); 2];
+        m.draw_query_ids(pack_query_id(0, 1, 43, 7), 128, &mut other);
+        assert_ne!(ids[0][..128], other[0][..]);
     }
 
     #[test]

@@ -14,8 +14,12 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use mprec_core::scheduler::class_pressure_mask;
 use mprec_data::scenario::{ChaosConfig, FaultEvent, FaultKind, FaultPlan};
-use mprec_runtime::{Cluster, ClusterConfig, PathKind, RuntimeModel, RuntimeModelConfig};
+use mprec_data::traffic::{SlaClass, TenantSpec, TrafficConfig};
+use mprec_runtime::{
+    Cluster, ClusterConfig, LatencyHistogram, PathKind, RuntimeModel, RuntimeModelConfig,
+};
 use mprec_trace::{EventRing, MetricId, MetricsRegistry, TraceEvent};
 
 struct CountingAllocator;
@@ -215,5 +219,64 @@ fn steady_state_execute_makes_zero_heap_allocations() {
         min_delta, 0,
         "armed-but-quiet chaos plane: every 256-probe window performed \
          >= {min_delta} heap allocations"
+    );
+
+    // Tenant accounting in steady state: per flush the dispatcher looks
+    // up the flushing tenant's SLA class, consults its shed ladder and
+    // class-pressure mask, and records the per-query virtual latency
+    // into that tenant's histogram — none of which may allocate once
+    // the histograms have seen their value range.
+    let mut batch = TenantSpec::batch("score", 10, 1_000.0);
+    batch.sla = SlaClass {
+        sla_us: 8_000.0,
+        narrow_backlog_us: 1_500.0,
+        table_only_backlog_us: 3_000.0,
+        shed_backlog_us: 4_500.0,
+    };
+    let mix = TrafficConfig::new(vec![TenantSpec::ranking("rank", 10, 1_000.0), batch]);
+    let classes: Vec<SlaClass> = (0..2).map(|t| mix.class_of(t, 2_500.0)).collect();
+    let mut hists = [LatencyHistogram::new(), LatencyHistogram::new()];
+    for h in &mut hists {
+        // Warm-up: touch every bucket this loop's latencies will hit.
+        for i in 0..64u64 {
+            h.record(100.0 + i as f64 * 120.0);
+        }
+    }
+    let mut min_delta = u64::MAX;
+    let mut acc = 0.0f64;
+    for _ in 0..4 {
+        let before = allocations();
+        for i in 0..256u64 {
+            let t = (i % 2) as usize;
+            let class = &classes[t];
+            let backlog_us = (i % 8) as f64 * 700.0;
+            if class.sheds(backlog_us) {
+                acc += 1.0;
+                continue;
+            }
+            completions = [1.0, 2.0, 3.0];
+            if class_pressure_mask(
+                &degrade_rank,
+                backlog_us,
+                class.narrow_backlog_us,
+                class.table_only_backlog_us,
+                &mut completions,
+            ) {
+                acc += 1.0;
+            }
+            hists[t].record(100.0 + (i % 64) as f64 * 120.0);
+        }
+        min_delta = min_delta.min(allocations() - before);
+    }
+    assert!(acc.is_finite());
+    assert!(
+        hists[0].count() > 0 && hists[1].count() > 0,
+        "both tenants' histograms recorded"
+    );
+    assert_eq!(
+        min_delta, 0,
+        "tenant accounting (class ladder + pressure mask + per-tenant \
+         histograms): every 256-flush window performed >= {min_delta} \
+         heap allocations"
     );
 }

@@ -41,7 +41,8 @@ mod sim;
 pub use outcome::{PathUsage, ServingOutcome};
 pub use policy::Policy;
 pub use replay::{
-    replay, replay_cluster, ClusterChurnSpec, ClusterEpochSpec, ClusterReplayBatch,
-    ClusterReplayResult, ClusterReplaySpec, ReplayBatch, ReplayConfig, ReplayResult,
+    replay, replay_closed_loop, replay_cluster, ClusterChurnSpec, ClusterEpochSpec,
+    ClusterReplayBatch, ClusterReplayResult, ClusterReplaySpec, ReplayBatch, ReplayConfig,
+    ReplayResult, TenantOutcome,
 };
 pub use sim::{simulate, simulate_trace, MpCacheEffect, ServingConfig};

@@ -31,24 +31,32 @@
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 
+use mprec_core::candidates::RepRole;
 use mprec_core::planner::MappingSet;
-use mprec_core::scheduler::{select_mapping, Scheduler, SchedulerConfig};
+use mprec_core::scheduler::{class_pressure_mask, select_mapping, Scheduler, SchedulerConfig};
 use mprec_data::query::Query;
 use mprec_data::scenario::{self, ChaosConfig, FaultPlan};
+use mprec_data::traffic::SlaClass;
 use mprec_trace::{TraceConfig, TraceEvent, TraceRecording};
 
 use crate::outcome::{PathUsage, ServingOutcome};
 
 /// Micro-batching policy mirrored from the runtime engine.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReplayConfig {
-    /// SLA latency target in microseconds.
+    /// SLA latency target in microseconds (the default class when
+    /// `classes` is empty or a tenant has no entry).
     pub sla_us: f64,
     /// Sample budget: a pending batch flushes at this size.
     pub max_batch_samples: usize,
     /// Deadline: a pending batch flushes this long after its oldest
     /// query arrived.
     pub max_batch_wait_us: f64,
+    /// Per-tenant SLA classes, indexed by the query-id tenant field
+    /// (mirror of the runtime's `TrafficConfig::class_of`). Empty keeps
+    /// the legacy single-class behaviour: every tenant is strict at
+    /// `sla_us`, nothing is shed, and no candidate is class-masked.
+    pub classes: Vec<SlaClass>,
 }
 
 impl Default for ReplayConfig {
@@ -57,8 +65,55 @@ impl Default for ReplayConfig {
             sla_us: 10_000.0,
             max_batch_samples: 256,
             max_batch_wait_us: 2_000.0,
+            classes: Vec::new(),
         }
     }
+}
+
+impl ReplayConfig {
+    /// The SLA class governing `tenant`'s batches: its `classes` entry,
+    /// or a strict class at `sla_us` (identical to the runtime's
+    /// fallback for legacy traffic and out-of-range tenant fields).
+    pub fn class_of(&self, tenant: usize) -> SlaClass {
+        self.classes
+            .get(tenant)
+            .copied()
+            .unwrap_or_else(|| SlaClass::strict(self.sla_us))
+    }
+}
+
+/// The SLA-class degrade rank the replay derives from a mapping's
+/// representation role — the twin of `mprec-runtime`'s
+/// `degrade_rank(path)`, which the runtime computes from its path
+/// kinds. Hybrid masks first under class pressure, DHE variants at the
+/// table-only rung, and everything else (table paths) never.
+pub fn degrade_rank_of(role: RepRole) -> u32 {
+    match role {
+        RepRole::Hybrid => 2,
+        RepRole::Dhe | RepRole::DheCompact => 1,
+        _ => 0,
+    }
+}
+
+/// One tenant's replay-side accounting row — the twin of the runtime's
+/// `TenantReport`, carrying exactly the counters the differential tests
+/// pin to equality (histogram shapes follow from equal latencies).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TenantOutcome {
+    /// Queries routed and completed for this tenant.
+    pub completed: u64,
+    /// Samples inside those queries.
+    pub samples: u64,
+    /// Queries shed before routing (class shed plus, for the cluster
+    /// replay, the chaos brownout's sequence-modulus shed).
+    pub shed_queries: u64,
+    /// Completed queries whose virtual latency exceeded the tenant
+    /// class's SLA.
+    pub sla_violations: u64,
+    /// Sum of virtual latencies over completed queries (µs) — pins the
+    /// full latency ledger without shipping a histogram type across the
+    /// crate boundary.
+    pub latency_sum_us: f64,
 }
 
 /// One routed micro-batch of the replay.
@@ -81,6 +136,11 @@ pub struct ReplayResult {
     pub outcome: ServingOutcome,
     /// The full batch/decision trail, in dispatch order.
     pub batches: Vec<ReplayBatch>,
+    /// Queries class-shed before routing (0 without SLA classes).
+    pub shed_queries: u64,
+    /// Per-tenant accounting rows, indexed by tenant id — the twin of
+    /// `RuntimeReport::tenants`.
+    pub tenants: Vec<TenantOutcome>,
 }
 
 impl ReplayResult {
@@ -129,24 +189,56 @@ pub fn replay_traced(
         .map(|m| m.label(&mappings.platforms))
         .collect();
     let mut sched = Scheduler::new(mappings.clone(), SchedulerConfig::default());
+    let ranks: Vec<u32> = mappings
+        .mappings
+        .iter()
+        .map(|m| degrade_rank_of(m.rep.role))
+        .collect();
+    let tenant_count = tenant_count_of(trace, cfg);
+    let mut tenants: Vec<TenantOutcome> = vec![TenantOutcome::default(); tenant_count];
     let mut batches: Vec<ReplayBatch> = Vec::new();
     let mut usage = PathUsage::default();
     let mut latencies: Vec<f64> = Vec::with_capacity(trace.len());
     let mut samples = 0u64;
     let mut correct = 0.0f64;
     let mut violations = 0u64;
+    let mut shed_queries = 0u64;
     let mut last_completion = 0.0f64;
     // RefCell because admission (Enqueue) and flush both record; the
     // two closures otherwise could not share a `&mut` ring.
     let ring = RefCell::new(recorder.ring());
     let mut completions: Vec<f64> = Vec::new();
 
-    let flush = |pending: &mut Vec<&Query>, pending_samples: &mut u64, flush_at_us: f64| {
+    let flush = |pending: &mut Vec<&Query>, pending_samples: &mut u64, tenant: usize, flush_at_us: f64| {
+        let class = cfg.class_of(tenant);
         let oldest_us = pending[0].arrival_us as f64;
         sched.advance_to(flush_at_us);
-        let sla_remaining = (cfg.sla_us - (flush_at_us - oldest_us)).max(1.0);
+        let backlog_us = sched.max_backlog_us();
+        if class.sheds(backlog_us) {
+            // Class shed, mirroring the engine: the loose tenant's
+            // whole batch takes an explicit Shed outcome.
+            let tt = &mut tenants[tenant];
+            for q in pending.iter() {
+                shed_queries += 1;
+                tt.shed_queries += 1;
+                if let Some(r) = ring.borrow_mut().as_mut() {
+                    r.record(TraceEvent::shed(flush_at_us, q.id, q.size as u64, backlog_us));
+                }
+            }
+            pending.clear();
+            *pending_samples = 0;
+            return;
+        }
+        let sla_remaining = (class.sla_us - (flush_at_us - oldest_us)).max(1.0);
         let decision = sched
-            .route_into(*pending_samples, sla_remaining, 0, &mut completions)
+            .route_classed_into(
+                *pending_samples,
+                sla_remaining,
+                &ranks,
+                class.narrow_backlog_us,
+                class.table_only_backlog_us,
+                &mut completions,
+            )
             .expect("mapping set is never empty");
         let done_us = sched.commit(&decision);
         let batch = batches.len() as u64;
@@ -177,11 +269,16 @@ pub fn replay_traced(
         let accuracy = mappings.mappings[decision.mapping_idx].rep.accuracy as f64;
         let label = &labels[decision.mapping_idx];
         let mut queries = Vec::with_capacity(pending.len());
+        let tt = &mut tenants[tenant];
         for q in pending.iter() {
             let latency = done_us - q.arrival_us as f64;
-            if latency > cfg.sla_us {
+            if latency > class.sla_us {
                 violations += 1;
+                tt.sla_violations += 1;
             }
+            tt.completed += 1;
+            tt.samples += q.size as u64;
+            tt.latency_sum_us += latency;
             if let Some(r) = ring.borrow_mut().as_mut() {
                 r.record(TraceEvent::complete(done_us, q.id, batch, latency));
             }
@@ -205,7 +302,7 @@ pub fn replay_traced(
             r.record(TraceEvent::enqueue(q.arrival_us as f64, q.id, q.size as u64));
         }
     };
-    drive_batches(trace, cfg, on_admit, flush);
+    drive_batches(trace, cfg, tenant_count, on_admit, flush);
 
     let outcome = ServingOutcome::from_latency_samples(
         "replay",
@@ -223,16 +320,121 @@ pub fn replay_traced(
         }
         rec
     });
-    (ReplayResult { outcome, batches }, trace_rec)
+    (
+        ReplayResult {
+            outcome,
+            batches,
+            shed_queries,
+            tenants,
+        },
+        trace_rec,
+    )
 }
 
-/// The runtime dispatcher's micro-batching rules (deadline flush,
-/// size-overflow flush, exact-budget flush, end-of-trace flush),
-/// invoking `flush(pending, pending_samples, flush_at_us)` at every
+/// Replays `trace` through a **closed-loop** load driver over the same
+/// mapping set: one outstanding query at a time, the next send gated on
+/// the previous completion, latency measured from the *send* instant.
+/// This is the classic coordinated-omission trap — under overload the
+/// driver silently slows its offered rate, so queue delay the intended
+/// schedule would have accrued never shows up in the measured tail. The
+/// regression test pins [`replay`]'s open-loop p99 strictly above this
+/// driver's p99 on an overloaded cell, so the trap cannot quietly
+/// become the default again.
+pub fn replay_closed_loop(
+    mappings: &MappingSet,
+    trace: &[Query],
+    cfg: &ReplayConfig,
+) -> ReplayResult {
+    let labels: Vec<String> = mappings
+        .mappings
+        .iter()
+        .map(|m| m.label(&mappings.platforms))
+        .collect();
+    let mut sched = Scheduler::new(mappings.clone(), SchedulerConfig::default());
+    let tenant_count = tenant_count_of(trace, cfg);
+    let mut tenants: Vec<TenantOutcome> = vec![TenantOutcome::default(); tenant_count];
+    let mut batches: Vec<ReplayBatch> = Vec::new();
+    let mut usage = PathUsage::default();
+    let mut latencies: Vec<f64> = Vec::with_capacity(trace.len());
+    let mut samples = 0u64;
+    let mut correct = 0.0f64;
+    let mut violations = 0u64;
+    let mut last_completion = 0.0f64;
+    let mut completions: Vec<f64> = Vec::new();
+    let mut next_free = 0.0f64;
+    for q in trace {
+        // The closed-loop driver cannot send before the previous query
+        // finished: an overloaded cell pushes the send time back, and
+        // with it the measurement origin.
+        let send_us = (q.arrival_us as f64).max(next_free);
+        sched.advance_to(send_us);
+        let decision = sched
+            .route_into(q.size as u64, cfg.sla_us, 0, &mut completions)
+            .expect("mapping set is never empty");
+        let done_us = sched.commit(&decision);
+        next_free = done_us;
+        let latency = done_us - send_us;
+        if latency > cfg.sla_us {
+            violations += 1;
+        }
+        let tenant = scenario::tenant_of(q.id) as usize;
+        let tt = &mut tenants[tenant];
+        tt.completed += 1;
+        tt.samples += q.size as u64;
+        tt.latency_sum_us += latency;
+        if latency > cfg.class_of(tenant).sla_us {
+            tt.sla_violations += 1;
+        }
+        latencies.push(latency);
+        samples += q.size as u64;
+        correct += q.size as f64 * mappings.mappings[decision.mapping_idx].rep.accuracy as f64;
+        usage.record(&labels[decision.mapping_idx], q.size as u64);
+        last_completion = last_completion.max(done_us);
+        batches.push(ReplayBatch {
+            mapping_idx: decision.mapping_idx,
+            queries: vec![(q.id, q.size as u64)],
+            done_us,
+        });
+    }
+    let outcome = ServingOutcome::from_latency_samples(
+        "replay-closed-loop",
+        latencies,
+        samples,
+        correct,
+        violations,
+        last_completion / 1e6,
+        usage,
+    );
+    ReplayResult {
+        outcome,
+        batches,
+        shed_queries: 0,
+        tenants,
+    }
+}
+
+/// Tenant-axis length shared by the replay drivers: one row per tenant
+/// seen in the trace, at least one row, and never fewer rows than the
+/// configured class list (so an all-shed tenant still gets its row).
+fn tenant_count_of(trace: &[Query], cfg: &ReplayConfig) -> usize {
+    trace
+        .iter()
+        .map(|q| scenario::tenant_of(q.id) as usize + 1)
+        .max()
+        .unwrap_or(1)
+        .max(cfg.classes.len())
+        .max(1)
+}
+
+/// The runtime dispatcher's micro-batching rules (per-tenant pending
+/// lists, deadline flushes in (deadline, tenant) order, size-overflow
+/// flush, exact-budget flush, end-of-trace drain), invoking
+/// `flush(pending, pending_samples, tenant, flush_at_us)` at every
 /// batch boundary with a non-empty `pending` and `on_admit(q)` right
-/// after each query joins the pending batch (where the runtime stamps
-/// its `Enqueue` trace event — admission order is part of the twin
-/// contract).
+/// after each query joins its tenant's pending batch (where the
+/// runtime stamps its `Enqueue` trace event — admission order is part
+/// of the twin contract). A legacy trace (every id tenant 0) collapses
+/// to the historical single-pending behaviour bit for bit.
 ///
 /// Shared by [`replay`] and [`replay_cluster`]: the independence
 /// contract is between this crate and `mprec-runtime`, not between the
@@ -241,34 +443,49 @@ pub fn replay_traced(
 fn drive_batches<'t>(
     trace: &'t [Query],
     cfg: &ReplayConfig,
+    tenant_count: usize,
     mut on_admit: impl FnMut(&'t Query),
-    mut flush: impl FnMut(&mut Vec<&'t Query>, &mut u64, f64),
+    mut flush: impl FnMut(&mut Vec<&'t Query>, &mut u64, usize, f64),
 ) {
-    let mut pending: Vec<&Query> = Vec::new();
-    let mut pending_samples: u64 = 0;
-    for q in trace {
-        let arrival_us = q.arrival_us as f64;
-        if !pending.is_empty() {
-            let deadline = pending[0].arrival_us as f64 + cfg.max_batch_wait_us;
-            if arrival_us > deadline {
-                flush(&mut pending, &mut pending_samples, deadline);
+    let mut pending: Vec<Vec<&Query>> = vec![Vec::new(); tenant_count];
+    let mut pending_samples: Vec<u64> = vec![0; tenant_count];
+    // Earliest batch deadline among tenants with pending queries (ties
+    // keep the lowest tenant index — the scan is ascending).
+    let earliest_deadline = |pending: &[Vec<&Query>]| -> Option<(f64, usize)> {
+        let mut due: Option<(f64, usize)> = None;
+        for (t, p) in pending.iter().enumerate() {
+            if let Some(first) = p.first() {
+                let d = first.arrival_us as f64 + cfg.max_batch_wait_us;
+                if due.is_none_or(|(bd, _)| d < bd) {
+                    due = Some((d, t));
+                }
             }
         }
-        if !pending.is_empty()
-            && pending_samples + q.size as u64 > cfg.max_batch_samples as u64
-        {
-            flush(&mut pending, &mut pending_samples, arrival_us);
+        due
+    };
+    for q in trace {
+        let arrival_us = q.arrival_us as f64;
+        while let Some((deadline, t)) = earliest_deadline(&pending) {
+            if arrival_us <= deadline {
+                break;
+            }
+            flush(&mut pending[t], &mut pending_samples[t], t, deadline);
         }
-        pending.push(q);
-        pending_samples += q.size as u64;
+        let t = scenario::tenant_of(q.id) as usize;
+        if !pending[t].is_empty()
+            && pending_samples[t] + q.size as u64 > cfg.max_batch_samples as u64
+        {
+            flush(&mut pending[t], &mut pending_samples[t], t, arrival_us);
+        }
+        pending[t].push(q);
+        pending_samples[t] += q.size as u64;
         on_admit(q);
-        if pending_samples >= cfg.max_batch_samples as u64 {
-            flush(&mut pending, &mut pending_samples, arrival_us);
+        if pending_samples[t] >= cfg.max_batch_samples as u64 {
+            flush(&mut pending[t], &mut pending_samples[t], t, arrival_us);
         }
     }
-    if !pending.is_empty() {
-        let deadline = pending[0].arrival_us as f64 + cfg.max_batch_wait_us;
-        flush(&mut pending, &mut pending_samples, deadline);
+    while let Some((deadline, t)) = earliest_deadline(&pending) {
+        flush(&mut pending[t], &mut pending_samples[t], t, deadline);
     }
 }
 
@@ -362,9 +579,13 @@ pub struct ClusterReplayResult {
     pub batches: Vec<ClusterReplayBatch>,
     /// Batches that retried after an in-flight node failure.
     pub retried_batches: u64,
-    /// Low-priority queries shed by the brownout controller's last rung
-    /// before routing (twin of `ClusterReport::shed_queries`).
+    /// Queries shed before routing — the tenant-class shed plus the
+    /// brownout controller's sequence-modulus rung (twin of
+    /// `ClusterReport::shed_queries`).
     pub shed_queries: u64,
+    /// Per-tenant accounting rows, indexed by tenant id — the twin of
+    /// `ClusterReport::tenants`.
+    pub tenants: Vec<TenantOutcome>,
     /// Scatter legs that missed their per-leg virtual deadline (twin of
     /// `ClusterReport::leg_timeouts`).
     pub leg_timeouts: u64,
@@ -422,6 +643,8 @@ pub fn replay_cluster_traced(
         .iter()
         .map(|m| m.label(&spec.epochs[0].mappings.platforms))
         .collect();
+    let tenant_count = tenant_count_of(trace, cfg);
+    let mut tenants: Vec<TenantOutcome> = vec![TenantOutcome::default(); tenant_count];
     let mut batches: Vec<ClusterReplayBatch> = Vec::new();
     let mut usage = PathUsage::default();
     let mut latencies: Vec<f64> = Vec::with_capacity(trace.len());
@@ -438,25 +661,42 @@ pub fn replay_cluster_traced(
     let mut cur_epoch = 0usize;
     let ring = RefCell::new(recorder.ring());
 
-    let flush = |pending: &mut Vec<&Query>, pending_samples: &mut u64, flush_at_us: f64| {
+    let flush = |pending: &mut Vec<&Query>, pending_samples: &mut u64, tenant: usize, flush_at_us: f64| {
         while cur_epoch < spec.events.len() && spec.events[cur_epoch].at_us <= flush_at_us {
             cur_epoch += 1;
         }
         let e = cur_epoch;
         let ep = &spec.epochs[e];
-        // Brownout gauge and shed rung, mirroring the runtime's flush
-        // exactly: worst live-node backlog, then the sequence-modulus
-        // shed with an explicit Shed outcome per dropped query.
+        // Brownout gauge, class shed, then the chaos shed rung,
+        // mirroring the runtime's flush exactly: worst live-node
+        // backlog; a loose tenant class drops its whole batch at its
+        // shed rung; then the sequence-modulus shed — every dropped
+        // query takes an explicit Shed outcome.
         let backlog_us = ep
             .live
             .iter()
             .map(|id| (free_at.get(id).copied().unwrap_or(0.0) - flush_at_us).max(0.0))
             .fold(0.0f64, f64::max);
+        let class = cfg.class_of(tenant);
+        if class.sheds(backlog_us) {
+            let tt = &mut tenants[tenant];
+            for q in pending.iter() {
+                shed_queries += 1;
+                tt.shed_queries += 1;
+                if let Some(r) = ring.borrow_mut().as_mut() {
+                    r.record(TraceEvent::shed(flush_at_us, q.id, q.size as u64, backlog_us));
+                }
+            }
+            pending.clear();
+            *pending_samples = 0;
+            return;
+        }
         if spec.chaos.brownout && backlog_us >= spec.chaos.brownout_shed_us {
             pending.retain(|q| {
                 if spec.chaos.sheds(backlog_us, scenario::sequence_of(q.id)) {
                     *pending_samples -= q.size as u64;
                     shed_queries += 1;
+                    tenants[tenant].shed_queries += 1;
                     if let Some(r) = ring.borrow_mut().as_mut() {
                         r.record(TraceEvent::shed(flush_at_us, q.id, q.size as u64, backlog_us));
                     }
@@ -471,7 +711,7 @@ pub fn replay_cluster_traced(
             }
         }
         let oldest_us = pending[0].arrival_us as f64;
-        let sla_remaining = (cfg.sla_us - (flush_at_us - oldest_us)).max(1.0);
+        let sla_remaining = (class.sla_us - (flush_at_us - oldest_us)).max(1.0);
         let size = *pending_samples;
 
         let n = ep.mappings.mappings.len();
@@ -491,6 +731,13 @@ pub fn replay_cluster_traced(
         }
         spec.chaos
             .brownout_mask(&spec.degrade_rank, backlog_us, &mut completions);
+        class_pressure_mask(
+            &spec.degrade_rank,
+            backlog_us,
+            class.narrow_backlog_us,
+            class.table_only_backlog_us,
+            &mut completions,
+        );
         let idx = select_mapping(&ep.mappings, &completions, sla_remaining, true)
             .expect("mapping set is never empty");
         let batch = batches.len() as u64;
@@ -637,11 +884,16 @@ pub fn replay_cluster_traced(
         let accuracy = ep.mappings.mappings[idx].rep.accuracy as f64;
         let label = &labels[idx];
         let mut queries = Vec::with_capacity(pending.len());
+        let tt = &mut tenants[tenant];
         for q in pending.iter() {
             let latency = done_us - q.arrival_us as f64;
-            if latency > cfg.sla_us {
+            if latency > class.sla_us {
                 violations += 1;
+                tt.sla_violations += 1;
             }
+            tt.completed += 1;
+            tt.samples += q.size as u64;
+            tt.latency_sum_us += latency;
             if let Some(r) = ring.borrow_mut().as_mut() {
                 r.record(TraceEvent::complete(done_us, q.id, batch, latency));
             }
@@ -667,7 +919,7 @@ pub fn replay_cluster_traced(
             r.record(TraceEvent::enqueue(q.arrival_us as f64, q.id, q.size as u64));
         }
     };
-    drive_batches(trace, cfg, on_admit, flush);
+    drive_batches(trace, cfg, tenant_count, on_admit, flush);
 
     let outcome = ServingOutcome::from_latency_samples(
         "replay-cluster",
@@ -691,6 +943,7 @@ pub fn replay_cluster_traced(
             batches,
             retried_batches,
             shed_queries,
+            tenants,
             leg_timeouts,
             hedged_legs,
             leg_retries,
@@ -757,6 +1010,7 @@ mod tests {
             sla_us: 5_000.0,
             max_batch_samples: 48,
             max_batch_wait_us: 2_000.0,
+            ..ReplayConfig::default()
         };
         let r = replay(&two_path_mappings(), &trace(), &cfg);
         assert_eq!(r.outcome.completed, 400);

@@ -78,6 +78,16 @@ migrate-smoke:
 chaos-smoke:
     timeout 300 cargo run --release -p mprec-bench --bin cluster_throughput -- --smoke --chaos
 
+# Multi-tenant smoke: the light + overload open-loop tenant pair
+# (strict 2ms interactive vs loose 20ms batch) on both the single-node
+# engine and the 3-node cluster. Asserts the SLA-class separation
+# contract in-process: per-tenant rows partition the trace, the strict
+# class is never class-shed, the loose class sheds first under
+# backlog. Mirrors the CI step.
+tenant-smoke:
+    timeout 300 cargo run --release -p mprec-bench --bin runtime_throughput -- --smoke --tenants
+    timeout 300 cargo run --release -p mprec-bench --bin cluster_throughput -- --smoke --tenants
+
 # Cache-policy ablation: the paper's static top-K cache vs online
 # FIFO / LRU / segmented-LRU at equal byte budgets (shared round-down
 # budget rule) on one power-law trace.

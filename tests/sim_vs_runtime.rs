@@ -18,13 +18,14 @@
 
 use mprec::data::query::QueryTraceConfig;
 use mprec::data::scenario::{self, ChurnAction, LoadScenario};
+use mprec::data::traffic::{SlaClass, TenantSpec, TrafficConfig};
 use mprec::runtime::{
     serve, Cluster, ClusterConfig, ClusterReport, PathKind, RebalanceConfig, RuntimeConfig,
-    RuntimeModel, RuntimeModelConfig, RuntimeReport,
+    RuntimeModel, RuntimeModelConfig, RuntimeReport, TenantReport,
 };
 use mprec::serving::replay::{
     replay, replay_cluster, replay_cluster_traced, replay_traced, ClusterReplayResult,
-    ReplayConfig, ReplayResult,
+    ReplayConfig, ReplayResult, TenantOutcome,
 };
 use mprec::trace::{EventKind, TraceConfig, TraceRecording};
 
@@ -82,6 +83,7 @@ fn run_both(cfg: RuntimeConfig) -> (RuntimeReport, ReplayResult, Vec<PathKind>) 
             sla_us: cfg.sla_us,
             max_batch_samples: cfg.max_batch_samples,
             max_batch_wait_us: cfg.max_batch_wait_us,
+            classes: Vec::new(),
         },
     );
     (report, sim, engine.paths().to_vec())
@@ -232,6 +234,7 @@ fn run_cluster_both(cfg: ClusterConfig) -> (Cluster, ClusterReport, ClusterRepla
             sla_us: cfg.sla_us,
             max_batch_samples: cfg.max_batch_samples,
             max_batch_wait_us: cfg.max_batch_wait_us,
+            classes: Vec::new(),
         },
     );
     (cluster, report, sim)
@@ -618,6 +621,7 @@ fn steady_engine_trace_twins_agree_event_for_event() {
             sla_us: cfg.sla_us,
             max_batch_samples: cfg.max_batch_samples,
             max_batch_wait_us: cfg.max_batch_wait_us,
+            classes: Vec::new(),
         },
         TraceConfig::enabled(),
     );
@@ -656,6 +660,7 @@ fn churned_cluster_trace_twins_agree_event_for_event() {
             sla_us: cfg.sla_us,
             max_batch_samples: cfg.max_batch_samples,
             max_batch_wait_us: cfg.max_batch_wait_us,
+            classes: Vec::new(),
         },
         TraceConfig::enabled(),
     );
@@ -727,6 +732,7 @@ fn streaming_migration_and_adaptive_replan_twins_agree_event_for_event() {
             sla_us: cfg.sla_us,
             max_batch_samples: cfg.max_batch_samples,
             max_batch_wait_us: cfg.max_batch_wait_us,
+            classes: Vec::new(),
         },
         TraceConfig::enabled(),
     );
@@ -820,6 +826,7 @@ fn assert_chaos_twins(cfg: ClusterConfig) -> (ClusterReport, ClusterReplayResult
             sla_us: cfg.sla_us,
             max_batch_samples: cfg.max_batch_samples,
             max_batch_wait_us: cfg.max_batch_wait_us,
+            classes: Vec::new(),
         },
         TraceConfig::enabled(),
     );
@@ -921,5 +928,180 @@ fn fault_storm_twins_agree_and_brownout_sheds_explicitly() {
         disp.events_of(EventKind::Shed).count() as u64,
         report.shed_queries,
         "every shed is an explicit traced outcome"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant open-loop traffic: with a `TrafficConfig` mix the
+// dispatchers batch per tenant, route each flush through the tenant's
+// SLA class (per-class brownout ladder composed with the chaos plane),
+// and report per-tenant rows. The replay twins must reproduce every
+// per-tenant number exactly — bit-equal latency sums included — and
+// the per-tenant rows must partition the trace.
+// ---------------------------------------------------------------------------
+
+/// Two-tenant mix: a strict interactive tenant (never class-degraded)
+/// and a loose batch tenant whose degradation ladder is tightened so
+/// this short overloaded trace actually walks narrow -> table-only ->
+/// shed for the loose class only.
+fn tenant_mix() -> TrafficConfig {
+    let mut batch = TenantSpec::batch("score", 200, 2_500.0);
+    batch.sla = SlaClass {
+        sla_us: 8_000.0,
+        narrow_backlog_us: 1_500.0,
+        table_only_backlog_us: 3_000.0,
+        shed_backlog_us: 4_500.0,
+    };
+    TrafficConfig::new(vec![TenantSpec::ranking("rank", 300, 4_000.0), batch])
+}
+
+fn tenant_classes(mix: &TrafficConfig) -> Vec<SlaClass> {
+    mix.tenants.iter().map(|t| t.sla).collect()
+}
+
+/// Pins the per-tenant twin rows field-for-field and checks that the
+/// rows partition the trace (every query is exactly one tenant's
+/// completed or shed outcome).
+fn assert_tenant_twin_agreement(
+    rows: &[TenantReport],
+    sim_rows: &[TenantOutcome],
+    total_queries: u64,
+) {
+    assert_eq!(rows.len(), sim_rows.len(), "tenant row counts");
+    let mut completed_or_shed = 0;
+    for (r, s) in rows.iter().zip(sim_rows.iter()) {
+        let t = r.tenant;
+        assert_eq!(r.completed, s.completed, "tenant {t} completed");
+        assert_eq!(r.samples, s.samples, "tenant {t} samples");
+        assert_eq!(r.shed_queries, s.shed_queries, "tenant {t} shed queries");
+        assert_eq!(
+            r.virtual_sla_violations, s.sla_violations,
+            "tenant {t} virtual SLA violations"
+        );
+        assert_eq!(
+            r.latency_sum_us.to_bits(),
+            s.latency_sum_us.to_bits(),
+            "tenant {t} latency sums are bit-equal ({} vs {})",
+            r.latency_sum_us,
+            s.latency_sum_us
+        );
+        assert_eq!(
+            r.virtual_histogram.count(),
+            r.completed,
+            "tenant {t}: one histogram sample per completed query"
+        );
+        completed_or_shed += r.completed + r.shed_queries;
+    }
+    assert_eq!(
+        completed_or_shed, total_queries,
+        "per-tenant rows partition the trace"
+    );
+}
+
+#[test]
+fn multi_tenant_engine_twins_agree_per_tenant() {
+    let mix = tenant_mix();
+    let mut cfg = RuntimeConfig {
+        tenants: mix.clone(),
+        recorder: TraceConfig::enabled(),
+        ..runtime_cfg(2, 0)
+    };
+    // Pin the per-tenant id skews explicitly so the cache twin below
+    // builds the same model the engine normalizes internally.
+    cfg.model.tenant_zipf = mix.tenants.iter().map(|t| t.id_zipf).collect();
+    let engine = mprec::runtime::Engine::new(cfg.clone()).expect("engine builds");
+    let report = engine.serve().expect("runtime serves");
+    let trace = mix.generate(cfg.seed);
+    let (sim, sim_trace) = replay_traced(
+        engine.mapping_set(),
+        &trace,
+        &ReplayConfig {
+            sla_us: cfg.sla_us,
+            max_batch_samples: cfg.max_batch_samples,
+            max_batch_wait_us: cfg.max_batch_wait_us,
+            classes: tenant_classes(&mix),
+        },
+        TraceConfig::enabled(),
+    );
+    let paths = engine.paths().to_vec();
+    assert_agreement(&report, &sim, &paths);
+    assert_eq!(report.shed_queries, sim.shed_queries, "shed accounting");
+    assert_tenant_twin_agreement(&report.tenants, &sim.tenants, trace.len() as u64);
+    assert_eq!(
+        report.cache,
+        twin_cache_stats(&cfg, &sim, &paths),
+        "cache counters under tenant-packed query ids"
+    );
+    assert_trace_twin_agreement(
+        report.trace.as_ref().expect("runtime recorded a trace"),
+        &sim_trace.expect("replay recorded a trace"),
+    );
+
+    // Non-vacuity: both tenants served traffic, the strict tenant
+    // violated its 2 ms target under this overload, and only the loose
+    // class was shed by its tightened ladder.
+    let strict = &report.tenants[0];
+    let loose = &report.tenants[1];
+    assert!(strict.completed > 0 && loose.completed > 0, "both tenants served");
+    assert!(
+        strict.virtual_sla_violations > 0,
+        "strict tenant must see violations (got none; tighten the SLA)"
+    );
+    assert_eq!(strict.shed_queries, 0, "strict class is never class-shed");
+    assert!(
+        loose.shed_queries > 0,
+        "loose class must shed under this backlog (got none; lower the ladder)"
+    );
+}
+
+#[test]
+fn multi_tenant_cluster_twins_agree_per_tenant_across_churn() {
+    let mix = tenant_mix();
+    let span = mix
+        .tenants
+        .iter()
+        .map(|t| scenario::nominal_span_us(t.queries, t.qps))
+        .fold(0.0, f64::max);
+    let mut cfg = cluster_cfg(3, 2, 0);
+    cfg.tenants = mix.clone();
+    cfg.model.tenant_zipf = mix.tenants.iter().map(|t| t.id_zipf).collect();
+    cfg.churn = scenario::node_churn(cfg.nodes, span);
+    cfg.recorder = TraceConfig::enabled();
+    let cluster = Cluster::new(cfg.clone()).expect("cluster builds");
+    let report = cluster.serve().expect("cluster serves");
+    let trace = mix.generate(cfg.seed);
+    let (sim, sim_trace) = replay_cluster_traced(
+        &cluster.replay_spec(),
+        &trace,
+        &ReplayConfig {
+            sla_us: cfg.sla_us,
+            max_batch_samples: cfg.max_batch_samples,
+            max_batch_wait_us: cfg.max_batch_wait_us,
+            classes: tenant_classes(&mix),
+        },
+        TraceConfig::enabled(),
+    );
+    assert_cluster_agreement(&cluster, &report, &sim);
+    assert_tenant_twin_agreement(&report.tenants, &sim.tenants, trace.len() as u64);
+    assert_eq!(
+        report.cache,
+        merged_twin_stats(&cfg, &cluster, &sim),
+        "merged cache counters under tenant-packed ids across churn"
+    );
+    assert_trace_twin_agreement(
+        report.trace.as_ref().expect("cluster recorded a trace"),
+        &sim_trace.expect("replay recorded a trace"),
+    );
+
+    // The churn epochs and the class ladder must both be live in this
+    // run, and class shedding must hit the loose tenant first.
+    assert_eq!(cluster.epochs().len(), 3, "boot + fail + join epochs");
+    let strict = &report.tenants[0];
+    let loose = &report.tenants[1];
+    assert!(strict.completed > 0 && loose.completed > 0, "both tenants served");
+    assert_eq!(strict.shed_queries, 0, "strict class is never class-shed");
+    assert!(
+        loose.shed_queries > 0,
+        "loose class must shed under churned backlog (got none; lower the ladder)"
     );
 }
